@@ -1,0 +1,395 @@
+// Package feam_bench holds the benchmark harness: one benchmark per paper
+// table plus ablation benchmarks for the design choices DESIGN.md calls
+// out. Benchmarks operate on a shared prebuilt testbed so each iteration
+// measures the FEAM operation itself, not world construction.
+package feam_bench
+
+import (
+	"sync"
+	"testing"
+
+	"feam/internal/elfimg"
+	"feam/internal/execsim"
+	"feam/internal/experiment"
+	"feam/internal/feam"
+	"feam/internal/ldso"
+	"feam/internal/mpistack"
+	"feam/internal/testbed"
+	"feam/internal/toolchain"
+	"feam/internal/workload"
+)
+
+var (
+	benchOnce sync.Once
+	benchTB   *testbed.Testbed
+	benchErr  error
+)
+
+func benchTestbed(b *testing.B) *testbed.Testbed {
+	b.Helper()
+	benchOnce.Do(func() { benchTB, benchErr = testbed.Build() })
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchTB
+}
+
+func benchSim() *execsim.Simulator {
+	sim := execsim.NewSimulator(2013)
+	sim.TransientRate = 0
+	return sim
+}
+
+func compileBench(b *testing.B, tb *testbed.Testbed, site, stack, code string) *toolchain.Artifact {
+	b.Helper()
+	s := tb.ByName[site]
+	rec := s.FindStack(stack)
+	art, err := toolchain.Compile(workload.Find(code), rec, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return art
+}
+
+// BenchmarkTable1Identification measures the Table I link-level MPI
+// identification scheme on real compiled NEEDED lists.
+func BenchmarkTable1Identification(b *testing.B) {
+	tb := benchTestbed(b)
+	var lists [][]string
+	for _, spec := range []struct{ site, stack, code string }{
+		{"india", "openmpi-1.4-gnu", "cg"},
+		{"india", "mvapich2-1.7a2-intel", "104.milc"},
+		{"fir", "mpich2-1.3-gnu", "is"},
+	} {
+		art := compileBench(b, tb, spec.site, spec.stack, spec.code)
+		f, err := elfimg.Parse(art.Bytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lists = append(lists, f.Needed)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, needed := range lists {
+			if _, ok := mpistack.Identify(needed); !ok {
+				b.Fatal("identification failed")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2SiteDiscovery measures the EDC survey that regenerates
+// Table II: uname/proc/release parsing, C-library probing, and MPI stack
+// enumeration via modules, softenv, and path search.
+func BenchmarkTable2SiteDiscovery(b *testing.B) {
+	tb := benchTestbed(b)
+	for _, name := range []string{"india", "blacklight", "fir"} {
+		site := tb.ByName[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env, err := feam.Discover(site)
+				if err != nil || len(env.Available) == 0 {
+					b.Fatalf("discovery failed: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Prediction measures one Table III prediction, basic and
+// extended, on a representative migration (india Open MPI binary at fir).
+func BenchmarkTable3Prediction(b *testing.B) {
+	tb := benchTestbed(b)
+	runner := experiment.NewSimRunner(benchSim())
+	art := compileBench(b, tb, "india", "openmpi-1.4-gnu", "cg")
+	desc, err := feam.DescribeBytes(art.Bytes, art.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fir := tb.ByName["fir"]
+	env, err := feam.Discover(fir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bundle := sourceBundle(b, tb, "india", "openmpi-1.4-gnu", art)
+
+	b.Run("basic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pred, err := feam.Evaluate(desc, art.Bytes, env, fir, feam.EvalOptions{Runner: runner})
+			if err != nil || !pred.Ready {
+				b.Fatalf("prediction failed: %v", err)
+			}
+		}
+	})
+	b.Run("extended", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pred, err := feam.Evaluate(desc, art.Bytes, env, fir, feam.EvalOptions{
+				Runner: runner, Bundle: bundle, Resolve: true,
+			})
+			if err != nil || !pred.Ready {
+				b.Fatalf("prediction failed: %v", err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable4Resolution measures the Table IV resolution path: the
+// MVAPICH2 1.2 binary from ranger whose MPI and Fortran runtime libraries
+// must be staged at india.
+func BenchmarkTable4Resolution(b *testing.B) {
+	tb := benchTestbed(b)
+	runner := experiment.NewSimRunner(benchSim())
+	art := compileBench(b, tb, "ranger", "mvapich2-1.2-gnu", "cg")
+	desc, err := feam.DescribeBytes(art.Bytes, art.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	india := tb.ByName["india"]
+	env, err := feam.Discover(india)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bundle := sourceBundle(b, tb, "ranger", "mvapich2-1.2-gnu", art)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred, err := feam.Evaluate(desc, art.Bytes, env, india, feam.EvalOptions{
+			Runner: runner, Bundle: bundle, Resolve: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !pred.Ready || len(pred.ResolvedLibs) == 0 {
+			b.Fatalf("resolution did not run: %+v", pred.Reasons)
+		}
+	}
+}
+
+// BenchmarkSourcePhaseBundle measures the §VI.C source phase: description,
+// discovery, library gathering and bundle assembly.
+func BenchmarkSourcePhaseBundle(b *testing.B) {
+	tb := benchTestbed(b)
+	runner := experiment.NewSimRunner(benchSim())
+	ranger := tb.ByName["ranger"]
+	art := compileBench(b, tb, "ranger", "mvapich2-1.2-gnu", "cg")
+	if err := ranger.FS().WriteFile("/home/user/"+art.Name, art.Bytes); err != nil {
+		b.Fatal(err)
+	}
+	snap := ranger.SnapshotEnv()
+	if err := testbed.ActivateStack(ranger, "mvapich2-1.2-gnu"); err != nil {
+		b.Fatal(err)
+	}
+	defer ranger.RestoreEnv(snap)
+	cfg := benchConfig("source", "/home/user/"+art.Name)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bundle, _, err := feam.RunSourcePhase(cfg, ranger, runner)
+		if err != nil || bundle.Size() == 0 {
+			b.Fatalf("source phase failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkELFBuildParse measures the substrate: building and parsing the
+// ELF image of a typical application binary.
+func BenchmarkELFBuildParse(b *testing.B) {
+	spec := elfimg.Spec{
+		Class: elfimg.Class64, Machine: elfimg.EMX8664, Type: elfimg.TypeExec,
+		Interp: "/lib64/ld-linux-x86-64.so.2",
+		Needed: []string{"libmpi.so.0", "libopen-rte.so.0", "libopen-pal.so.0",
+			"libnsl.so.1", "libutil.so.1", "libgfortran.so.1", "libm.so.6", "libpthread.so.0", "libc.so.6"},
+		VerNeeds: []elfimg.VerNeed{{File: "libc.so.6", Versions: []string{"GLIBC_2.0", "GLIBC_2.3.4"}}},
+		Comments: []string{"GCC: (GNU) 4.1.2"},
+		TextSize: 256 << 10,
+	}
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := elfimg.Build(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	img := elfimg.MustBuild(spec)
+	b.Run("parse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := elfimg.Parse(img); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLdsoResolve measures the dynamic-loader closure over a fully
+// provisioned site.
+func BenchmarkLdsoResolve(b *testing.B) {
+	tb := benchTestbed(b)
+	india := tb.ByName["india"]
+	art := compileBench(b, tb, "india", "openmpi-1.4-gnu", "bt")
+	opts := ldso.Options{
+		FS:          india.FS(),
+		LibraryPath: []string{"/opt/openmpi-1.4-gnu/lib"},
+		DefaultDirs: india.DefaultLibDirs(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ldso.ResolveBytes(art.Bytes, art.Name, opts)
+		if err != nil || !res.OK() {
+			b.Fatalf("resolution failed: %v %v", err, res.Missing)
+		}
+	}
+}
+
+// BenchmarkExecSimRun measures a single ground-truth execution.
+func BenchmarkExecSimRun(b *testing.B) {
+	tb := benchTestbed(b)
+	sim := benchSim()
+	india := tb.ByName["india"]
+	rec := india.FindStack("openmpi-1.4-gnu")
+	art := compileBench(b, tb, "india", "openmpi-1.4-gnu", "cg")
+	snap := india.SnapshotEnv()
+	if err := testbed.ActivateStack(india, rec.Key); err != nil {
+		b.Fatal(err)
+	}
+	defer india.RestoreEnv(snap)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.Run(execsim.Request{Art: art, Site: india, Stack: rec})
+		if !res.Success() {
+			b.Fatalf("run failed: %s", res.Detail)
+		}
+	}
+}
+
+// BenchmarkAblationRecursiveResolution compares the paper's recursive
+// resolution model with a single-level variant that ignores copy
+// dependencies. The shallow variant is cheaper but stages less and misses
+// transitive requirements.
+func BenchmarkAblationRecursiveResolution(b *testing.B) {
+	tb := benchTestbed(b)
+	runner := experiment.NewSimRunner(benchSim())
+	art := compileBench(b, tb, "ranger", "mvapich2-1.2-gnu", "cg")
+	desc, err := feam.DescribeBytes(art.Bytes, art.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	india := tb.ByName["india"]
+	env, err := feam.Discover(india)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bundle := sourceBundle(b, tb, "ranger", "mvapich2-1.2-gnu", art)
+	for name, shallow := range map[string]bool{"recursive": false, "single-level": true} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := feam.Evaluate(desc, art.Bytes, env, india, feam.EvalOptions{
+					Runner: runner, Bundle: bundle, Resolve: true, ShallowResolution: shallow,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDeterminantOrder shows the value of evaluating the cheap
+// ISA and C-library gates before the expensive MPI stack probes (§V.C): an
+// early C-library failure skips probe executions entirely.
+func BenchmarkAblationDeterminantOrder(b *testing.B) {
+	tb := benchTestbed(b)
+	runner := experiment.NewSimRunner(benchSim())
+	ranger := tb.ByName["ranger"]
+	envRanger, err := feam.Discover(ranger)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A binary that fails the C-library gate at ranger.
+	failing := compileBench(b, tb, "forge", "openmpi-1.4-gnu", "lu")
+	failingDesc, err := feam.DescribeBytes(failing.Bytes, failing.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A binary that passes all gates and pays for the probes.
+	passing := compileBench(b, tb, "india", "openmpi-1.4-gnu", "is")
+	passingDesc, err := feam.DescribeBytes(passing.Bytes, passing.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fir := tb.ByName["fir"]
+	envFir, err := feam.Discover(fir)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("early-exit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pred, err := feam.Evaluate(failingDesc, failing.Bytes, envRanger, ranger, feam.EvalOptions{Runner: runner})
+			if err != nil || pred.Ready {
+				b.Fatal("expected early failure")
+			}
+		}
+	})
+	b.Run("full-evaluation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pred, err := feam.Evaluate(passingDesc, passing.Bytes, envFir, fir, feam.EvalOptions{Runner: runner})
+			if err != nil || !pred.Ready {
+				b.Fatal("expected success")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationVersionPolicy compares the paper's soname-major
+// compatibility rule with exact-name matching when looking up bundle
+// copies.
+func BenchmarkAblationVersionPolicy(b *testing.B) {
+	tb := benchTestbed(b)
+	art := compileBench(b, tb, "ranger", "mvapich2-1.2-gnu", "cg")
+	bundle := sourceBundle(b, tb, "ranger", "mvapich2-1.2-gnu", art)
+	// The compatibility rule finds libmpich.so.1.0 for a libmpich.so.1
+	// reference; exact matching does not.
+	b.Run("soname-major", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if bundle.FindLibrary("libmpich.so.1") == nil {
+				b.Fatal("compatibility lookup failed")
+			}
+		}
+	})
+	b.Run("exact-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			found := false
+			for _, lc := range bundle.Libs {
+				if lc.Name == "libmpich.so.1" {
+					found = true
+				}
+			}
+			if found {
+				b.Fatal("exact lookup should miss")
+			}
+		}
+	})
+}
+
+func sourceBundle(b *testing.B, tb *testbed.Testbed, siteName, stackKey string, art *toolchain.Artifact) *feam.Bundle {
+	b.Helper()
+	site := tb.ByName[siteName]
+	if err := site.FS().WriteFile("/home/user/"+art.Name, art.Bytes); err != nil {
+		b.Fatal(err)
+	}
+	snap := site.SnapshotEnv()
+	defer site.RestoreEnv(snap)
+	if err := testbed.ActivateStack(site, stackKey); err != nil {
+		b.Fatal(err)
+	}
+	runner := experiment.NewSimRunner(benchSim())
+	bundle, _, err := feam.RunSourcePhase(benchConfig("source", "/home/user/"+art.Name), site, runner)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bundle
+}
+
+func benchConfig(phase, binary string) *feam.Config {
+	serial := "#!/bin/sh\n#PBS -N feam\n#PBS -q debug\n#PBS -l nodes=1:ppn=1\n#PBS -l walltime=00:10:00\n%CMD%\n"
+	parallel := "#!/bin/sh\n#PBS -N feam\n#PBS -q debug\n#PBS -l nodes=1:ppn=4\n#PBS -l walltime=00:15:00\n%CMD%\n"
+	return &feam.Config{Phase: phase, BinaryPath: binary,
+		SerialScript: serial, ParallelScript: parallel}
+}

@@ -1,0 +1,92 @@
+// Command feam-eval runs the paper's full evaluation on the simulated
+// testbed and regenerates its tables: Table I (MPI identification), Table II
+// (site characteristics), Table III (prediction accuracy), Table IV
+// (resolution impact), and the §VI.C statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"feam/internal/execsim"
+	"feam/internal/experiment"
+	"feam/internal/report"
+	"feam/internal/testbed"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "print a single table (1-4); 0 prints everything")
+		stats  = flag.Bool("stats", false, "print only the evaluation statistics")
+		effort = flag.Bool("effort", false, "print only the user-effort comparison")
+		ablate = flag.Bool("ablate", false, "run the mechanism ablations (slow: four full matrices)")
+		seed   = flag.Int64("seed", 2013, "simulation seed")
+	)
+	flag.Parse()
+	if err := run(*table, *stats, *effort, *ablate, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "feam-eval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table int, statsOnly, effortOnly, ablate bool, seed int64) error {
+	// Tables I and II need no evaluation run.
+	if table == 1 {
+		fmt.Print(report.Table1())
+		return nil
+	}
+	fmt.Fprintln(os.Stderr, "building testbed...")
+	tb, err := testbed.Build()
+	if err != nil {
+		return err
+	}
+	if table == 2 {
+		fmt.Print(report.Table2(tb))
+		return nil
+	}
+	sim := execsim.NewSimulator(seed)
+	fmt.Fprintln(os.Stderr, "compiling test set (NPB + SPEC MPI2007 across 26 stacks)...")
+	ts, err := experiment.BuildTestSet(tb, sim)
+	if err != nil {
+		return err
+	}
+	if ablate {
+		fmt.Fprintln(os.Stderr, "running mechanism ablations...")
+		results, err := experiment.RunAblations(tb, ts, sim)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.Ablations(results))
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "running evaluation over %d migration pairs...\n",
+		len(experiment.Migrations(tb, ts)))
+	ev, err := experiment.Run(tb, ts, sim)
+	if err != nil {
+		return err
+	}
+	switch {
+	case statsOnly:
+		fmt.Print(report.Stats(ev))
+	case effortOnly:
+		fmt.Print(report.Effort(ev, tb))
+	case table == 3:
+		fmt.Print(report.Table3(ev))
+	case table == 4:
+		fmt.Print(report.Table4(ev))
+	default:
+		fmt.Print(report.Table1())
+		fmt.Println()
+		fmt.Print(report.Table2(tb))
+		fmt.Println()
+		fmt.Print(report.Table3(ev))
+		fmt.Println()
+		fmt.Print(report.Table4(ev))
+		fmt.Println()
+		fmt.Print(report.Stats(ev))
+		fmt.Println()
+		fmt.Print(report.Effort(ev, tb))
+	}
+	return nil
+}

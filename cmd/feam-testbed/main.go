@@ -1,0 +1,149 @@
+// Command feam-testbed builds the simulated five-site testbed (Table II)
+// and inspects it: site characteristics, what FEAM's Environment Discovery
+// Component finds at each site, and the compile matrix of the test set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"feam/internal/feam"
+	"feam/internal/report"
+	"feam/internal/sitemodel"
+	"feam/internal/testbed"
+	"feam/internal/toolchain"
+	"feam/internal/workload"
+)
+
+func main() {
+	var (
+		survey    = flag.Bool("survey", false, "run the EDC at every site and print what it discovers")
+		matrix    = flag.Bool("matrix", false, "print the (code x stack) compile matrix")
+		exportDir = flag.String("export", "", "write serialized site images (<site>.feamsite) into this directory")
+		importOne = flag.String("import", "", "load a serialized site image and survey it")
+	)
+	flag.Parse()
+
+	if *importOne != "" {
+		if err := runImport(*importOne); err != nil {
+			fmt.Fprintln(os.Stderr, "feam-testbed:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	tb, err := testbed.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "feam-testbed:", err)
+		os.Exit(1)
+	}
+	switch {
+	case *survey:
+		runSurvey(tb)
+	case *matrix:
+		runMatrix(tb)
+	case *exportDir != "":
+		if err := runExport(tb, *exportDir); err != nil {
+			fmt.Fprintln(os.Stderr, "feam-testbed:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Print(report.Table2(tb))
+	}
+}
+
+func runExport(tb *testbed.Testbed, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, site := range tb.Sites {
+		data, err := sitemodel.EncodeSite(site)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, site.Name+".feamsite")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%.1f MB)\n", path, float64(len(data))/(1<<20))
+	}
+	return nil
+}
+
+func runImport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	site, err := sitemodel.DecodeSite(data)
+	if err != nil {
+		return err
+	}
+	env, err := feam.Discover(site)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("site image %s: %s (%s, %d cores)\n", path, site.Description, site.SystemType, site.Cores)
+	fmt.Printf("  processor %s, %s %s, C library %s (via %s)\n",
+		env.UnameProcessor, env.OSType, env.OSVersion, env.Glibc, env.GlibcSource)
+	fmt.Printf("  %d MPI stacks discovered\n", len(env.Available))
+	for _, s := range env.Available {
+		fmt.Printf("    %s\n", s.Key)
+	}
+	return nil
+}
+
+func runSurvey(tb *testbed.Testbed) {
+	for _, site := range tb.Sites {
+		env, err := feam.Discover(site)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "discovery at %s failed: %v\n", site.Name, err)
+			continue
+		}
+		fmt.Printf("== %s ==\n", site.Name)
+		fmt.Printf("  processor: %s (%d-bit), OS: %s %s, distro: %s\n",
+			env.UnameProcessor, env.Bits, env.OSType, env.OSVersion, env.Distro)
+		fmt.Printf("  C library: %s (determined via %s)\n", env.Glibc, env.GlibcSource)
+		fmt.Printf("  env tool: %s\n", orNone(env.EnvTool))
+		fmt.Printf("  MPI stacks (%d):\n", len(env.Available))
+		for _, s := range env.Available {
+			fmt.Printf("    %-26s %s %s with %s %s (via %s)\n",
+				s.Key, s.Impl, s.ImplVersion, s.CompilerFamily, s.CompilerVersion, s.DiscoveredVia)
+		}
+	}
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none (path search)"
+	}
+	return s
+}
+
+func runMatrix(tb *testbed.Testbed) {
+	fmt.Printf("%-14s", "code")
+	total := 0
+	for _, site := range tb.Sites {
+		fmt.Printf(" %-12s", site.Name)
+	}
+	fmt.Println()
+	for _, code := range workload.All() {
+		fmt.Printf("%-14s", code.Name)
+		for _, site := range tb.Sites {
+			ok, all := 0, 0
+			for _, rec := range site.Stacks {
+				all++
+				family, _ := toolchain.FamilyFromKey(rec.CompilerFamily)
+				comp := toolchain.Compiler{Family: family, Version: rec.CompilerVersion}
+				if toolchain.CanCompile(code, comp) == nil {
+					ok++
+					total++
+				}
+			}
+			fmt.Printf(" %2d/%-9d", ok, all)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\ncompilable (code, stack) combinations: %d\n", total)
+}

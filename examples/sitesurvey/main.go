@@ -1,0 +1,54 @@
+// Site survey: run FEAM's Environment Discovery Component against every
+// site in the simulated testbed and regenerate Table II from what the EDC
+// actually discovers — not from the testbed's construction parameters.
+//
+// This demonstrates the three discovery mechanisms the paper describes:
+// Environment Modules (ranger, forge, india), SoftEnv (blacklight), and
+// plain filesystem/path search (fir), plus the C-library version probes
+// (executing the C library and parsing its banner).
+//
+// Run with: go run ./examples/sitesurvey
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"feam/internal/feam"
+	"feam/internal/report"
+	"feam/internal/testbed"
+)
+
+func main() {
+	tb, err := testbed.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("What the EDC discovers at each site:")
+	fmt.Println()
+	for _, site := range tb.Sites {
+		env, err := feam.Discover(site)
+		if err != nil {
+			log.Fatalf("discovery at %s: %v", site.Name, err)
+		}
+		fmt.Printf("%s:\n", env.SiteName)
+		fmt.Printf("  ISA        %s (%d-bit, uname -p: %s)\n", env.ISA, env.Bits, env.UnameProcessor)
+		fmt.Printf("  OS         %s kernel %s — %s\n", env.OSType, env.OSVersion, env.Distro)
+		fmt.Printf("  C library  %s (via %s)\n", env.Glibc, env.GlibcSource)
+		tool := env.EnvTool
+		if tool == "" {
+			tool = "none — falling back to path search"
+		}
+		fmt.Printf("  env tool   %s\n", tool)
+		for _, s := range env.Available {
+			fmt.Printf("  stack      %-26s %-9s %-7s %s %s\n",
+				s.Key, s.Impl, s.ImplVersion, s.CompilerFamily, s.CompilerVersion)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Reference (testbed ground truth, Table II):")
+	fmt.Println()
+	fmt.Print(report.Table2(tb))
+}

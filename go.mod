@@ -1,0 +1,3 @@
+module feam
+
+go 1.22

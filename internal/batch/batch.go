@@ -1,0 +1,233 @@
+// Package batch simulates the HPC resource-manager layer FEAM submits its
+// probe jobs through: PBS, SGE, and SLURM submission-script formats, queue
+// wait-time modelling (including the short debug queues the paper recommends
+// for FEAM runs), CPU-hour accounting, and the spaced retry policy the
+// evaluation used (five attempts, spread out to dodge transient overload).
+//
+// FEAM itself only requires the user to supply one serial and one parallel
+// submission script per site — the single piece of site knowledge the paper
+// does not automate — so this package also provides the %CMD% placeholder
+// substitution FEAM performs on those scripts.
+package batch
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Manager is a resource-manager flavor.
+type Manager int
+
+const (
+	PBS Manager = iota
+	SGE
+	SLURM
+)
+
+func (m Manager) String() string {
+	switch m {
+	case PBS:
+		return "PBS"
+	case SGE:
+		return "SGE"
+	case SLURM:
+		return "SLURM"
+	default:
+		return fmt.Sprintf("Manager(%d)", int(m))
+	}
+}
+
+// SubmitCommand returns the manager's submission executable.
+func (m Manager) SubmitCommand() string {
+	switch m {
+	case PBS:
+		return "qsub"
+	case SGE:
+		return "qsub"
+	case SLURM:
+		return "sbatch"
+	default:
+		return "qsub"
+	}
+}
+
+// ScriptSpec describes a submission script.
+type ScriptSpec struct {
+	Manager  Manager
+	JobName  string
+	Queue    string
+	Nodes    int
+	Tasks    int
+	WallTime time.Duration
+	// Command is the job payload; "%CMD%" in templates is replaced by it.
+	Command string
+}
+
+// CmdPlaceholder is the token FEAM substitutes into user-provided templates.
+const CmdPlaceholder = "%CMD%"
+
+// Generate renders the submission script in the manager's native directive
+// syntax.
+func Generate(spec ScriptSpec) string {
+	var b strings.Builder
+	b.WriteString("#!/bin/sh\n")
+	wall := fmtWall(spec.WallTime)
+	switch spec.Manager {
+	case PBS:
+		fmt.Fprintf(&b, "#PBS -N %s\n", spec.JobName)
+		if spec.Queue != "" {
+			fmt.Fprintf(&b, "#PBS -q %s\n", spec.Queue)
+		}
+		fmt.Fprintf(&b, "#PBS -l nodes=%d:ppn=%d\n", spec.Nodes, spec.Tasks)
+		fmt.Fprintf(&b, "#PBS -l walltime=%s\n", wall)
+	case SGE:
+		fmt.Fprintf(&b, "#$ -N %s\n", spec.JobName)
+		if spec.Queue != "" {
+			fmt.Fprintf(&b, "#$ -q %s\n", spec.Queue)
+		}
+		fmt.Fprintf(&b, "#$ -pe mpi %d\n", spec.Nodes*spec.Tasks)
+		fmt.Fprintf(&b, "#$ -l h_rt=%s\n", wall)
+	case SLURM:
+		fmt.Fprintf(&b, "#SBATCH --job-name=%s\n", spec.JobName)
+		if spec.Queue != "" {
+			fmt.Fprintf(&b, "#SBATCH --partition=%s\n", spec.Queue)
+		}
+		fmt.Fprintf(&b, "#SBATCH --nodes=%d\n", spec.Nodes)
+		fmt.Fprintf(&b, "#SBATCH --ntasks-per-node=%d\n", spec.Tasks)
+		fmt.Fprintf(&b, "#SBATCH --time=%s\n", wall)
+	}
+	b.WriteString(spec.Command)
+	b.WriteString("\n")
+	return b.String()
+}
+
+func fmtWall(d time.Duration) string {
+	total := int(d.Seconds())
+	return fmt.Sprintf("%02d:%02d:%02d", total/3600, (total/60)%60, total%60)
+}
+
+// Parse recovers a ScriptSpec from a submission script. Unknown directive
+// lines are ignored; the last non-directive, non-comment line is taken as
+// the command.
+func Parse(text string) (ScriptSpec, error) {
+	spec := ScriptSpec{Nodes: 1, Tasks: 1}
+	sawDirective := false
+	for _, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "#PBS "):
+			spec.Manager = PBS
+			sawDirective = true
+			parsePBS(&spec, strings.TrimPrefix(trimmed, "#PBS "))
+		case strings.HasPrefix(trimmed, "#$ "):
+			spec.Manager = SGE
+			sawDirective = true
+			parseSGE(&spec, strings.TrimPrefix(trimmed, "#$ "))
+		case strings.HasPrefix(trimmed, "#SBATCH "):
+			spec.Manager = SLURM
+			sawDirective = true
+			parseSLURM(&spec, strings.TrimPrefix(trimmed, "#SBATCH "))
+		case trimmed == "" || strings.HasPrefix(trimmed, "#"):
+			// comment or shebang
+		default:
+			spec.Command = trimmed
+		}
+	}
+	if !sawDirective {
+		return spec, fmt.Errorf("batch: no recognizable scheduler directives")
+	}
+	return spec, nil
+}
+
+func parsePBS(spec *ScriptSpec, rest string) {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return
+	}
+	switch fields[0] {
+	case "-N":
+		spec.JobName = fields[1]
+	case "-q":
+		spec.Queue = fields[1]
+	case "-l":
+		for _, kv := range strings.Split(fields[1], ",") {
+			if strings.HasPrefix(kv, "walltime=") {
+				spec.WallTime = parseWall(strings.TrimPrefix(kv, "walltime="))
+			}
+			if strings.HasPrefix(kv, "nodes=") {
+				parts := strings.Split(strings.TrimPrefix(kv, "nodes="), ":")
+				spec.Nodes = atoiDefault(parts[0], 1)
+				for _, p := range parts[1:] {
+					if strings.HasPrefix(p, "ppn=") {
+						spec.Tasks = atoiDefault(strings.TrimPrefix(p, "ppn="), 1)
+					}
+				}
+			}
+		}
+	}
+}
+
+func parseSGE(spec *ScriptSpec, rest string) {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return
+	}
+	switch fields[0] {
+	case "-N":
+		spec.JobName = fields[1]
+	case "-q":
+		spec.Queue = fields[1]
+	case "-pe":
+		if len(fields) >= 3 {
+			spec.Tasks = atoiDefault(fields[2], 1)
+			spec.Nodes = 1
+		}
+	case "-l":
+		if strings.HasPrefix(fields[1], "h_rt=") {
+			spec.WallTime = parseWall(strings.TrimPrefix(fields[1], "h_rt="))
+		}
+	}
+}
+
+func parseSLURM(spec *ScriptSpec, rest string) {
+	for _, f := range strings.Fields(rest) {
+		switch {
+		case strings.HasPrefix(f, "--job-name="):
+			spec.JobName = strings.TrimPrefix(f, "--job-name=")
+		case strings.HasPrefix(f, "--partition="):
+			spec.Queue = strings.TrimPrefix(f, "--partition=")
+		case strings.HasPrefix(f, "--nodes="):
+			spec.Nodes = atoiDefault(strings.TrimPrefix(f, "--nodes="), 1)
+		case strings.HasPrefix(f, "--ntasks-per-node="):
+			spec.Tasks = atoiDefault(strings.TrimPrefix(f, "--ntasks-per-node="), 1)
+		case strings.HasPrefix(f, "--time="):
+			spec.WallTime = parseWall(strings.TrimPrefix(f, "--time="))
+		}
+	}
+}
+
+func parseWall(s string) time.Duration {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0
+	}
+	h := atoiDefault(parts[0], 0)
+	m := atoiDefault(parts[1], 0)
+	sec := atoiDefault(parts[2], 0)
+	return time.Duration(h)*time.Hour + time.Duration(m)*time.Minute + time.Duration(sec)*time.Second
+}
+
+func atoiDefault(s string, def int) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// Substitute replaces the %CMD% placeholder in a user-provided template.
+func Substitute(template, command string) string {
+	return strings.ReplaceAll(template, CmdPlaceholder, command)
+}

@@ -1,0 +1,30 @@
+package batch_test
+
+import (
+	"fmt"
+	"time"
+
+	"feam/internal/batch"
+)
+
+func ExampleGenerate() {
+	script := batch.Generate(batch.ScriptSpec{
+		Manager: batch.PBS, JobName: "feam-probe", Queue: "debug",
+		Nodes: 1, Tasks: 4, WallTime: 10 * time.Minute,
+		Command: batch.CmdPlaceholder,
+	})
+	fmt.Print(batch.Substitute(script, "mpiexec -n 4 ./hello"))
+	// Output:
+	// #!/bin/sh
+	// #PBS -N feam-probe
+	// #PBS -q debug
+	// #PBS -l nodes=1:ppn=4
+	// #PBS -l walltime=00:10:00
+	// mpiexec -n 4 ./hello
+}
+
+func ExampleParse() {
+	spec, _ := batch.Parse("#!/bin/sh\n#SBATCH --job-name=cg\n#SBATCH --partition=debug\n#SBATCH --nodes=2\n#SBATCH --ntasks-per-node=8\n#SBATCH --time=00:30:00\nmpiexec ./cg.A.16\n")
+	fmt.Println(spec.Manager, spec.JobName, spec.Nodes*spec.Tasks, spec.WallTime)
+	// Output: SLURM cg 16 30m0s
+}

@@ -1,0 +1,238 @@
+// Package elfimg builds and parses ELF images carrying exactly the metadata
+// FEAM's Binary Description Component consumes: file class and machine
+// (ISA/bitness), file type, the dynamic section (DT_NEEDED, DT_SONAME,
+// DT_RPATH), GNU symbol-version references (.gnu.version_r) and definitions
+// (.gnu.version_d), and the .comment section with build provenance.
+//
+// The builder emits genuine ELF32/ELF64 little-endian byte images with
+// program headers, section headers and correctly linked string tables; the
+// images parse with the standard library's debug/elf (used in tests as an
+// independent oracle). The parser is an independent implementation that
+// reads either the section-header view (the `objdump -p` path) or, as a
+// fallback, only the program-header view (the degraded path the paper
+// describes when tools such as ldd fail on a binary).
+package elfimg
+
+import "fmt"
+
+// Class is the ELF word size.
+type Class uint8
+
+const (
+	Class32 Class = 1
+	Class64 Class = 2
+)
+
+func (c Class) String() string {
+	switch c {
+	case Class32:
+		return "ELF32"
+	case Class64:
+		return "ELF64"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Bits returns the word size in bits.
+func (c Class) Bits() int {
+	if c == Class32 {
+		return 32
+	}
+	return 64
+}
+
+// Machine is the ELF machine architecture.
+type Machine uint16
+
+const (
+	EM386     Machine = 3
+	EMPPC     Machine = 20
+	EMPPC64   Machine = 21
+	EMX8664   Machine = 62
+	EMAARCH64 Machine = 183
+)
+
+func (m Machine) String() string {
+	switch m {
+	case EM386:
+		return "i386"
+	case EMPPC:
+		return "ppc"
+	case EMPPC64:
+		return "ppc64"
+	case EMX8664:
+		return "x86-64"
+	case EMAARCH64:
+		return "aarch64"
+	default:
+		return fmt.Sprintf("machine-%d", uint16(m))
+	}
+}
+
+// FileType is the ELF object file type.
+type FileType uint16
+
+const (
+	TypeExec FileType = 2
+	TypeDyn  FileType = 3
+)
+
+func (t FileType) String() string {
+	switch t {
+	case TypeExec:
+		return "EXEC"
+	case TypeDyn:
+		return "DYN"
+	default:
+		return fmt.Sprintf("type-%d", uint16(t))
+	}
+}
+
+// Dynamic tags used by the builder and parser.
+const (
+	dtNull       = 0
+	dtNeeded     = 1
+	dtStrtab     = 5
+	dtStrsz      = 10
+	dtSoname     = 14
+	dtRpath      = 15
+	dtRunpath    = 29
+	dtVerneed    = 0x6ffffffe
+	dtVerneednum = 0x6fffffff
+	dtVerdef     = 0x6ffffffc
+	dtVerdefnum  = 0x6ffffffd
+)
+
+// Section types.
+const (
+	shtNull       = 0
+	shtProgbits   = 1
+	shtStrtab     = 3
+	shtDynamic    = 6
+	shtNobits     = 8
+	shtDynsym     = 11
+	shtGnuVerdef  = 0x6ffffffd
+	shtGnuVerneed = 0x6ffffffe
+	shtGnuVersym  = 0x6fffffff
+)
+
+// Additional dynamic tags for the symbol table.
+const (
+	dtSymtab = 6
+	dtSyment = 11
+	dtVersym = 0x6ffffff0
+)
+
+// Special versym indices.
+const (
+	verNdxLocal  = 0
+	verNdxGlobal = 1
+)
+
+// Program header types.
+const (
+	ptLoad    = 1
+	ptDynamic = 2
+	ptInterp  = 3
+)
+
+// VerNeed records the version requirements a binary places on one of its
+// shared-library dependencies, e.g. {File: "libc.so.6",
+// Versions: ["GLIBC_2.2.5", "GLIBC_2.3.4"]}.
+type VerNeed struct {
+	File     string
+	Versions []string
+}
+
+// ImportedSymbol is an undefined dynamic symbol together with its GNU
+// version binding: the name, the version it is bound to (may be empty), and
+// the dependency file expected to provide it (from the version-needs table;
+// empty for unversioned imports).
+type ImportedSymbol struct {
+	Name    string
+	Version string
+	Library string
+}
+
+// ExportedSymbol is a defined dynamic symbol, optionally bound to one of
+// the object's version definitions.
+type ExportedSymbol struct {
+	Name    string
+	Version string
+}
+
+// Spec describes the ELF image to build.
+type Spec struct {
+	Class   Class
+	Machine Machine
+	Type    FileType
+
+	// Interp is the program-interpreter path, usually set for executables
+	// (/lib64/ld-linux-x86-64.so.2).
+	Interp string
+	// Soname is the DT_SONAME entry; set for shared libraries.
+	Soname string
+	// Needed lists DT_NEEDED dependencies in link order.
+	Needed []string
+	// RPath is an optional DT_RPATH search path (legacy semantics:
+	// searched before LD_LIBRARY_PATH and inherited by dependencies).
+	RPath string
+	// RunPath is an optional DT_RUNPATH search path (modern semantics:
+	// searched after LD_LIBRARY_PATH, not inherited; its presence disables
+	// DT_RPATH).
+	RunPath string
+	// VerNeeds are GNU version references, one per dependency that exports
+	// versioned symbols the binary uses.
+	VerNeeds []VerNeed
+	// VerDefs are GNU version definitions this object provides (libraries
+	// only); the first entry conventionally repeats the soname.
+	VerDefs []string
+	// Comments become NUL-separated strings in the .comment section, the
+	// compiler/linker provenance `readelf -p .comment` would show.
+	Comments []string
+	// Imports are undefined dynamic symbols; a non-empty Version must
+	// appear in the VerNeeds entry for the symbol's Library.
+	Imports []ImportedSymbol
+	// Exports are defined dynamic symbols; a non-empty Version must appear
+	// in VerDefs.
+	Exports []ExportedSymbol
+	// TextSize adds a synthetic .text payload of this many bytes so images
+	// have realistic sizes; content is deterministic.
+	TextSize int
+}
+
+// elfHash is the SysV ELF hash used in version tables.
+func elfHash(name string) uint32 {
+	var h uint32
+	for i := 0; i < len(name); i++ {
+		h = (h << 4) + uint32(name[i])
+		g := h & 0xf0000000
+		if g != 0 {
+			h ^= g >> 24
+		}
+		h &^= g
+	}
+	return h
+}
+
+// stringTable builds a NUL-separated string table with offset lookup.
+type stringTable struct {
+	data []byte
+	off  map[string]uint32
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{data: []byte{0}, off: map[string]uint32{"": 0}}
+}
+
+func (st *stringTable) add(s string) uint32 {
+	if o, ok := st.off[s]; ok {
+		return o
+	}
+	o := uint32(len(st.data))
+	st.data = append(st.data, s...)
+	st.data = append(st.data, 0)
+	st.off[s] = o
+	return o
+}

@@ -1,0 +1,71 @@
+package elfimg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseNeverPanicsOnMutations flips bytes across a valid image and
+// requires Parse to either error or return a parseable result — never
+// panic. Binary inspection tools face hostile inputs; the BDC must too.
+func TestParseNeverPanicsOnMutations(t *testing.T) {
+	base := MustBuild(symbolLibSpec())
+	rng := rand.New(rand.NewSource(2013))
+	for trial := 0; trial < 2000; trial++ {
+		img := append([]byte(nil), base...)
+		// Flip 1-4 bytes anywhere in the image.
+		for n := 0; n < 1+rng.Intn(4); n++ {
+			img[rng.Intn(len(img))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked on mutation trial %d: %v", trial, r)
+				}
+			}()
+			_, _ = Parse(img)
+		}()
+	}
+}
+
+// TestParseNeverPanicsOnTruncations checks every truncation point of a
+// valid image.
+func TestParseNeverPanicsOnTruncations(t *testing.T) {
+	base := MustBuild(symbolExecSpec())
+	step := 1
+	if len(base) > 4096 {
+		step = len(base) / 4096
+	}
+	for n := 0; n < len(base); n += step {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked at truncation %d: %v", n, r)
+				}
+			}()
+			_, _ = Parse(base[:n])
+		}()
+	}
+}
+
+// TestParseHeaderFieldSweep drives each ELF header field through hostile
+// values.
+func TestParseHeaderFieldSweep(t *testing.T) {
+	base := MustBuild(sampleLibSpec())
+	hostile := []byte{0x00, 0x01, 0x7f, 0x80, 0xff}
+	// Sweep every header byte (the first 64).
+	for off := 0; off < 64; off++ {
+		for _, v := range hostile {
+			img := append([]byte(nil), base...)
+			img[off] = v
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("Parse panicked with header[%d]=%#x: %v", off, v, r)
+					}
+				}()
+				_, _ = Parse(img)
+			}()
+		}
+	}
+}

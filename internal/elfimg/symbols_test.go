@@ -1,0 +1,241 @@
+package elfimg
+
+import (
+	"bytes"
+	"debug/elf"
+	"reflect"
+	"testing"
+)
+
+// symbolExecSpec is an executable importing versioned libc symbols and
+// unversioned MPI symbols — the shape real mpicc output has.
+func symbolExecSpec() Spec {
+	return Spec{
+		Class:   Class64,
+		Machine: EMX8664,
+		Type:    TypeExec,
+		Interp:  "/lib64/ld-linux-x86-64.so.2",
+		Needed:  []string{"libmpi.so.0", "libm.so.6", "libc.so.6"},
+		VerNeeds: []VerNeed{
+			{File: "libc.so.6", Versions: []string{"GLIBC_2.2.5", "GLIBC_2.3.4"}},
+			{File: "libm.so.6", Versions: []string{"GLIBC_2.2.5"}},
+		},
+		Imports: []ImportedSymbol{
+			{Name: "MPI_Init"},
+			{Name: "MPI_Comm_rank"},
+			{Name: "printf", Version: "GLIBC_2.2.5", Library: "libc.so.6"},
+			{Name: "memcpy", Version: "GLIBC_2.3.4", Library: "libc.so.6"},
+			{Name: "sqrt", Version: "GLIBC_2.2.5", Library: "libm.so.6"},
+		},
+		Exports:  []ExportedSymbol{{Name: "main"}},
+		TextSize: 512,
+	}
+}
+
+// symbolLibSpec is a shared library exporting versioned symbols.
+func symbolLibSpec() Spec {
+	return Spec{
+		Class:   Class64,
+		Machine: EMX8664,
+		Type:    TypeDyn,
+		Soname:  "libmpich.so.1",
+		Needed:  []string{"libc.so.6"},
+		VerNeeds: []VerNeed{
+			{File: "libc.so.6", Versions: []string{"GLIBC_2.2.5"}},
+		},
+		VerDefs: []string{"libmpich.so.1", "MPICH_1.2"},
+		Imports: []ImportedSymbol{
+			{Name: "malloc", Version: "GLIBC_2.2.5", Library: "libc.so.6"},
+		},
+		Exports: []ExportedSymbol{
+			{Name: "MPI_Init", Version: "MPICH_1.2"},
+			{Name: "MPI_Send", Version: "MPICH_1.2"},
+			{Name: "MPID_Internal"},
+		},
+		TextSize: 1024,
+	}
+}
+
+func TestSymbolRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"exec", symbolExecSpec()},
+		{"lib", symbolLibSpec()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			img, err := Build(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := Parse(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(f.Imports, tc.spec.Imports) {
+				t.Errorf("Imports = %+v\nwant      %+v", f.Imports, tc.spec.Imports)
+			}
+			if !reflect.DeepEqual(f.Exports, tc.spec.Exports) {
+				t.Errorf("Exports = %+v\nwant      %+v", f.Exports, tc.spec.Exports)
+			}
+			// Pre-symbol metadata is unaffected.
+			if !reflect.DeepEqual(f.Needed, tc.spec.Needed) {
+				t.Errorf("Needed = %v", f.Needed)
+			}
+			if !reflect.DeepEqual(f.VerNeeds, tc.spec.VerNeeds) {
+				t.Errorf("VerNeeds = %+v", f.VerNeeds)
+			}
+		})
+	}
+}
+
+func TestSymbolRoundTrip32(t *testing.T) {
+	spec := symbolExecSpec()
+	spec.Class = Class32
+	spec.Machine = EM386
+	spec.Interp = "/lib/ld-linux.so.2"
+	img, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f.Imports, spec.Imports) {
+		t.Errorf("Imports = %+v", f.Imports)
+	}
+	if !reflect.DeepEqual(f.Exports, spec.Exports) {
+		t.Errorf("Exports = %+v", f.Exports)
+	}
+}
+
+// TestDebugElfImportedSymbols validates symbol+version encoding against the
+// standard library's independent implementation.
+func TestDebugElfImportedSymbols(t *testing.T) {
+	img := MustBuild(symbolExecSpec())
+	ef, err := elf.NewFile(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	syms, err := ef.ImportedSymbols()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][2]string{
+		"MPI_Init":      {"", ""},
+		"MPI_Comm_rank": {"", ""},
+		"printf":        {"GLIBC_2.2.5", "libc.so.6"},
+		"memcpy":        {"GLIBC_2.3.4", "libc.so.6"},
+		"sqrt":          {"GLIBC_2.2.5", "libm.so.6"},
+	}
+	if len(syms) != len(want) {
+		t.Fatalf("debug/elf sees %d imports: %+v", len(syms), syms)
+	}
+	for _, s := range syms {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected import %q", s.Name)
+			continue
+		}
+		if s.Version != w[0] || s.Library != w[1] {
+			t.Errorf("%s: version=%q library=%q, want %q %q", s.Name, s.Version, s.Library, w[0], w[1])
+		}
+	}
+	// DynamicSymbols sees both imports and exports.
+	dyn, err := ef.DynamicSymbols()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dyn) != 6 { // 5 imports + main
+		t.Errorf("DynamicSymbols = %d", len(dyn))
+	}
+}
+
+func TestSymbolValidation(t *testing.T) {
+	spec := symbolExecSpec()
+	spec.Imports = append(spec.Imports, ImportedSymbol{
+		Name: "bogus", Version: "GLIBC_9.9", Library: "libc.so.6",
+	})
+	if _, err := Build(spec); err == nil {
+		t.Error("import with unknown version accepted")
+	}
+	lib := symbolLibSpec()
+	lib.Exports = append(lib.Exports, ExportedSymbol{Name: "x", Version: "NOPE_1.0"})
+	if _, err := Build(lib); err == nil {
+		t.Error("export with unknown version accepted")
+	}
+}
+
+func TestSymbolFreeImagesUnchanged(t *testing.T) {
+	// Images without symbols must not grow symbol sections.
+	img := MustBuild(sampleExecSpec())
+	ef, err := elf.NewFile(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	if sec := ef.Section(".dynsym"); sec != nil {
+		t.Error("symbol-free image has a .dynsym section")
+	}
+	f, err := Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Imports) != 0 || len(f.Exports) != 0 {
+		t.Error("phantom symbols parsed")
+	}
+}
+
+func TestVersymIndicesUniqueAcrossFiles(t *testing.T) {
+	// Two dependencies with identically named versions must get distinct
+	// indices (the historical vna_other collision bug).
+	spec := Spec{
+		Class: Class64, Machine: EMX8664, Type: TypeExec,
+		Interp: "/lib64/ld-linux-x86-64.so.2",
+		Needed: []string{"liba.so.1", "libb.so.1", "libc.so.6"},
+		VerNeeds: []VerNeed{
+			{File: "liba.so.1", Versions: []string{"V_1.0"}},
+			{File: "libb.so.1", Versions: []string{"V_1.0"}},
+		},
+		Imports: []ImportedSymbol{
+			{Name: "a_fn", Version: "V_1.0", Library: "liba.so.1"},
+			{Name: "b_fn", Version: "V_1.0", Library: "libb.so.1"},
+		},
+	}
+	img := MustBuild(spec)
+	f, err := Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Imports) != 2 {
+		t.Fatalf("Imports = %+v", f.Imports)
+	}
+	if f.Imports[0].Library != "liba.so.1" || f.Imports[1].Library != "libb.so.1" {
+		t.Errorf("library bindings collided: %+v", f.Imports)
+	}
+	// And debug/elf agrees.
+	ef, err := elf.NewFile(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	syms, err := ef.ImportedSymbols()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range syms {
+		switch s.Name {
+		case "a_fn":
+			if s.Library != "liba.so.1" {
+				t.Errorf("a_fn bound to %q", s.Library)
+			}
+		case "b_fn":
+			if s.Library != "libb.so.1" {
+				t.Errorf("b_fn bound to %q", s.Library)
+			}
+		}
+	}
+}

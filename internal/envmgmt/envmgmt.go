@@ -1,0 +1,367 @@
+// Package envmgmt simulates the user-environment management tools FEAM's
+// Environment Discovery Component consults to enumerate MPI stacks:
+// Environment Modules (modulefiles, `module avail`, `module list`,
+// `module load`) and SoftEnv (a softenv database with keys added via
+// `soft add`). Both operate on a site's virtual filesystem and environment
+// variables exactly where a real installation would keep its state, so
+// discovery code must find them the same way it would on a live system.
+package envmgmt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"feam/internal/vfs"
+)
+
+// Environment is the site surface the tools manipulate: a filesystem plus
+// process-style environment variables.
+type Environment interface {
+	FS() *vfs.FS
+	Getenv(key string) string
+	Setenv(key, value string)
+}
+
+// Tool is a user-environment management system present at a site.
+type Tool interface {
+	// Name identifies the tool ("modules" or "softenv").
+	Name() string
+	// Avail lists every package key the tool can configure.
+	Avail() ([]string, error)
+	// Loaded lists the currently active package keys.
+	Loaded() []string
+	// Load activates a package, mutating PATH/LD_LIBRARY_PATH and friends.
+	Load(key string) error
+	// Unload deactivates a previously loaded package.
+	Unload(key string) error
+}
+
+// ----------------------------------------------------------------------------
+// Environment Modules
+
+// ModulesRoot is the conventional modulefile directory.
+const ModulesRoot = "/usr/share/Modules/modulefiles"
+
+// loadedModulesVar mirrors the real Modules implementation, which tracks
+// state in the LOADEDMODULES environment variable.
+const loadedModulesVar = "LOADEDMODULES"
+
+// Modules simulates Environment Modules over a site environment.
+type Modules struct {
+	env Environment
+}
+
+// NewModules returns a Modules tool bound to env. The modulefile root is
+// created on first AddModulefile.
+func NewModules(env Environment) *Modules { return &Modules{env: env} }
+
+// Detect reports whether an Environment Modules installation is present at
+// the site (a modulefiles directory exists).
+func DetectModules(env Environment) *Modules {
+	if env.FS().IsDir(ModulesRoot) {
+		return NewModules(env)
+	}
+	return nil
+}
+
+func (m *Modules) Name() string { return "modules" }
+
+// AddModulefile installs a modulefile under the conventional root. The body
+// uses the real modulefile directive syntax subset FEAM understands:
+// prepend-path, setenv, and comment lines.
+func (m *Modules) AddModulefile(key, body string) error {
+	if !strings.HasPrefix(body, "#%Module") {
+		body = "#%Module1.0\n" + body
+	}
+	return m.env.FS().WriteString(ModulesRoot+"/"+key, body)
+}
+
+// Avail walks the modulefile tree, as `module avail` does.
+func (m *Modules) Avail() ([]string, error) {
+	fs := m.env.FS()
+	if !fs.IsDir(ModulesRoot) {
+		return nil, fmt.Errorf("envmgmt: no modulefiles directory")
+	}
+	var keys []string
+	err := fs.Walk(ModulesRoot, func(p string, info vfs.FileInfo) error {
+		if info.Kind == vfs.KindFile {
+			keys = append(keys, strings.TrimPrefix(p, ModulesRoot+"/"))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Loaded parses LOADEDMODULES, the same state `module list` prints.
+func (m *Modules) Loaded() []string {
+	v := m.env.Getenv(loadedModulesVar)
+	if v == "" {
+		return nil
+	}
+	return strings.Split(v, ":")
+}
+
+// Load interprets the modulefile and applies its directives.
+func (m *Modules) Load(key string) error {
+	for _, l := range m.Loaded() {
+		if l == key {
+			return nil // already loaded
+		}
+	}
+	body, err := m.env.FS().ReadFile(ModulesRoot + "/" + key)
+	if err != nil {
+		return fmt.Errorf("envmgmt: module %q not found: %v", key, err)
+	}
+	if err := applyModulefile(m.env, string(body), false); err != nil {
+		return fmt.Errorf("envmgmt: module %q: %v", key, err)
+	}
+	loaded := append(m.Loaded(), key)
+	m.env.Setenv(loadedModulesVar, strings.Join(loaded, ":"))
+	return nil
+}
+
+// Unload reverses the modulefile's path directives.
+func (m *Modules) Unload(key string) error {
+	found := false
+	var remaining []string
+	for _, l := range m.Loaded() {
+		if l == key {
+			found = true
+			continue
+		}
+		remaining = append(remaining, l)
+	}
+	if !found {
+		return fmt.Errorf("envmgmt: module %q is not loaded", key)
+	}
+	body, err := m.env.FS().ReadFile(ModulesRoot + "/" + key)
+	if err != nil {
+		return err
+	}
+	if err := applyModulefile(m.env, string(body), true); err != nil {
+		return err
+	}
+	m.env.Setenv(loadedModulesVar, strings.Join(remaining, ":"))
+	return nil
+}
+
+// applyModulefile executes the directive subset. With reverse set, path
+// prepends are removed and setenvs cleared.
+func applyModulefile(env Environment, body string, reverse bool) error {
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "prepend-path":
+			if len(fields) != 3 {
+				return fmt.Errorf("malformed prepend-path: %q", line)
+			}
+			if reverse {
+				RemovePathEntry(env, fields[1], fields[2])
+			} else {
+				PrependPathEntry(env, fields[1], fields[2])
+			}
+		case "setenv":
+			if len(fields) != 3 {
+				return fmt.Errorf("malformed setenv: %q", line)
+			}
+			if reverse {
+				env.Setenv(fields[1], "")
+			} else {
+				env.Setenv(fields[1], fields[2])
+			}
+		case "module-whatis", "conflict":
+			// informational; ignored
+		default:
+			return fmt.Errorf("unsupported modulefile directive %q", fields[0])
+		}
+	}
+	return nil
+}
+
+// ----------------------------------------------------------------------------
+// SoftEnv
+
+// SoftEnvDB is the conventional softenv database path.
+const SoftEnvDB = "/etc/softenv.db"
+
+// softEnvVar tracks active keys, as the real SoftEnv does via SOFTENVLOADED
+// style variables.
+const softEnvVar = "SOFTENV_LOADED"
+
+// SoftEnv simulates the MCS SoftEnv system: a flat database mapping keys to
+// environment amendments.
+type SoftEnv struct {
+	env Environment
+}
+
+// NewSoftEnv returns a SoftEnv tool bound to env.
+func NewSoftEnv(env Environment) *SoftEnv { return &SoftEnv{env: env} }
+
+// DetectSoftEnv reports whether a SoftEnv database is present.
+func DetectSoftEnv(env Environment) *SoftEnv {
+	if env.FS().Exists(SoftEnvDB) {
+		return NewSoftEnv(env)
+	}
+	return nil
+}
+
+func (s *SoftEnv) Name() string { return "softenv" }
+
+// AddKey appends a key to the database. Each amendment has the form
+// VAR+=value (path-style prepend) or VAR=value.
+func (s *SoftEnv) AddKey(key string, amendments ...string) error {
+	fs := s.env.FS()
+	var existing string
+	if data, err := fs.ReadFile(SoftEnvDB); err == nil {
+		existing = string(data)
+	}
+	line := key + " " + strings.Join(amendments, " ") + "\n"
+	return fs.WriteString(SoftEnvDB, existing+line)
+}
+
+func (s *SoftEnv) readDB() (map[string][]string, []string, error) {
+	data, err := s.env.FS().ReadFile(SoftEnvDB)
+	if err != nil {
+		return nil, nil, fmt.Errorf("envmgmt: no softenv database: %v", err)
+	}
+	db := map[string][]string{}
+	var order []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if _, ok := db[fields[0]]; !ok {
+			order = append(order, fields[0])
+		}
+		db[fields[0]] = fields[1:]
+	}
+	return db, order, nil
+}
+
+// Avail lists database keys in definition order.
+func (s *SoftEnv) Avail() ([]string, error) {
+	_, order, err := s.readDB()
+	return order, err
+}
+
+// Loaded lists active keys.
+func (s *SoftEnv) Loaded() []string {
+	v := s.env.Getenv(softEnvVar)
+	if v == "" {
+		return nil
+	}
+	return strings.Split(v, ":")
+}
+
+// Load applies a key's amendments (`soft add +key`).
+func (s *SoftEnv) Load(key string) error {
+	for _, l := range s.Loaded() {
+		if l == key {
+			return nil
+		}
+	}
+	db, _, err := s.readDB()
+	if err != nil {
+		return err
+	}
+	amendments, ok := db[key]
+	if !ok {
+		return fmt.Errorf("envmgmt: softenv key %q not found", key)
+	}
+	for _, a := range amendments {
+		if i := strings.Index(a, "+="); i > 0 {
+			PrependPathEntry(s.env, a[:i], a[i+2:])
+		} else if i := strings.IndexByte(a, '='); i > 0 {
+			s.env.Setenv(a[:i], a[i+1:])
+		} else {
+			return fmt.Errorf("envmgmt: malformed softenv amendment %q", a)
+		}
+	}
+	s.env.Setenv(softEnvVar, strings.Join(append(s.Loaded(), key), ":"))
+	return nil
+}
+
+// Unload reverses a key's path amendments (`soft delete +key`).
+func (s *SoftEnv) Unload(key string) error {
+	found := false
+	var remaining []string
+	for _, l := range s.Loaded() {
+		if l == key {
+			found = true
+			continue
+		}
+		remaining = append(remaining, l)
+	}
+	if !found {
+		return fmt.Errorf("envmgmt: softenv key %q is not loaded", key)
+	}
+	db, _, err := s.readDB()
+	if err != nil {
+		return err
+	}
+	for _, a := range db[key] {
+		if i := strings.Index(a, "+="); i > 0 {
+			RemovePathEntry(s.env, a[:i], a[i+2:])
+		} else if i := strings.IndexByte(a, '='); i > 0 {
+			s.env.Setenv(a[:i], "")
+		}
+	}
+	s.env.Setenv(softEnvVar, strings.Join(remaining, ":"))
+	return nil
+}
+
+// ----------------------------------------------------------------------------
+// Path-variable helpers shared by both tools (and by FEAM's own
+// configuration scripts).
+
+// PrependPathEntry adds dir to the front of a colon-separated path variable,
+// removing any existing occurrence first.
+func PrependPathEntry(env Environment, key, dir string) {
+	RemovePathEntry(env, key, dir)
+	cur := env.Getenv(key)
+	if cur == "" {
+		env.Setenv(key, dir)
+		return
+	}
+	env.Setenv(key, dir+":"+cur)
+}
+
+// RemovePathEntry removes dir from a colon-separated path variable.
+func RemovePathEntry(env Environment, key, dir string) {
+	cur := env.Getenv(key)
+	if cur == "" {
+		return
+	}
+	var kept []string
+	for _, d := range strings.Split(cur, ":") {
+		if d != dir && d != "" {
+			kept = append(kept, d)
+		}
+	}
+	env.Setenv(key, strings.Join(kept, ":"))
+}
+
+// SplitPathVar splits a colon-separated path variable, dropping empties.
+func SplitPathVar(v string) []string {
+	if v == "" {
+		return nil
+	}
+	var out []string
+	for _, d := range strings.Split(v, ":") {
+		if d != "" {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package envmgmt
+
+import (
+	"reflect"
+	"testing"
+
+	"feam/internal/vfs"
+)
+
+// fakeEnv is a minimal Environment for tests.
+type fakeEnv struct {
+	fs  *vfs.FS
+	env map[string]string
+}
+
+func newFakeEnv() *fakeEnv {
+	return &fakeEnv{fs: vfs.New(), env: map[string]string{}}
+}
+
+func (f *fakeEnv) FS() *vfs.FS            { return f.fs }
+func (f *fakeEnv) Getenv(k string) string { return f.env[k] }
+func (f *fakeEnv) Setenv(k, v string)     { f.env[k] = v }
+
+func TestModulesAvailLoadedLoad(t *testing.T) {
+	env := newFakeEnv()
+	m := NewModules(env)
+	err := m.AddModulefile("mpi/openmpi-1.4.3-intel", `
+module-whatis "Open MPI 1.4.3 with Intel compilers"
+prepend-path PATH /opt/openmpi-1.4.3-intel/bin
+prepend-path LD_LIBRARY_PATH /opt/openmpi-1.4.3-intel/lib
+setenv MPI_HOME /opt/openmpi-1.4.3-intel
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddModulefile("mpi/mvapich2-1.7a2-gnu", "prepend-path PATH /opt/mvapich2-1.7a2-gnu/bin\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	avail, err := m.Avail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"mpi/mvapich2-1.7a2-gnu", "mpi/openmpi-1.4.3-intel"}
+	if !reflect.DeepEqual(avail, want) {
+		t.Errorf("Avail = %v", avail)
+	}
+
+	if got := m.Loaded(); len(got) != 0 {
+		t.Errorf("Loaded before load = %v", got)
+	}
+	if err := m.Load("mpi/openmpi-1.4.3-intel"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Loaded(); !reflect.DeepEqual(got, []string{"mpi/openmpi-1.4.3-intel"}) {
+		t.Errorf("Loaded = %v", got)
+	}
+	if env.Getenv("PATH") != "/opt/openmpi-1.4.3-intel/bin" {
+		t.Errorf("PATH = %q", env.Getenv("PATH"))
+	}
+	if env.Getenv("LD_LIBRARY_PATH") != "/opt/openmpi-1.4.3-intel/lib" {
+		t.Errorf("LD_LIBRARY_PATH = %q", env.Getenv("LD_LIBRARY_PATH"))
+	}
+	if env.Getenv("MPI_HOME") != "/opt/openmpi-1.4.3-intel" {
+		t.Errorf("MPI_HOME = %q", env.Getenv("MPI_HOME"))
+	}
+
+	// Loading a second module prepends ahead of the first.
+	if err := m.Load("mpi/mvapich2-1.7a2-gnu"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Getenv("PATH") != "/opt/mvapich2-1.7a2-gnu/bin:/opt/openmpi-1.4.3-intel/bin" {
+		t.Errorf("PATH after second load = %q", env.Getenv("PATH"))
+	}
+
+	// Idempotent re-load.
+	if err := m.Load("mpi/mvapich2-1.7a2-gnu"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Loaded(); len(got) != 2 {
+		t.Errorf("Loaded after re-load = %v", got)
+	}
+}
+
+func TestModulesUnload(t *testing.T) {
+	env := newFakeEnv()
+	m := NewModules(env)
+	if err := m.AddModulefile("mpi/a", "prepend-path PATH /opt/a/bin\nsetenv A_HOME /opt/a\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load("mpi/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unload("mpi/a"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Getenv("PATH") != "" {
+		t.Errorf("PATH after unload = %q", env.Getenv("PATH"))
+	}
+	if got := m.Loaded(); len(got) != 0 {
+		t.Errorf("Loaded after unload = %v", got)
+	}
+	if err := m.Unload("mpi/a"); err == nil {
+		t.Error("unloading an unloaded module should fail")
+	}
+}
+
+func TestModulesErrors(t *testing.T) {
+	env := newFakeEnv()
+	m := NewModules(env)
+	if _, err := m.Avail(); err == nil {
+		t.Error("Avail without modulefiles dir should fail")
+	}
+	if err := m.Load("missing"); err == nil {
+		t.Error("loading a missing module should fail")
+	}
+	if err := m.AddModulefile("bad", "frobnicate X Y\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load("bad"); err == nil {
+		t.Error("unknown directive should fail")
+	}
+	if err := m.AddModulefile("bad2", "prepend-path PATH\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load("bad2"); err == nil {
+		t.Error("malformed prepend-path should fail")
+	}
+}
+
+func TestDetectModules(t *testing.T) {
+	env := newFakeEnv()
+	if DetectModules(env) != nil {
+		t.Error("detected modules on empty site")
+	}
+	m := NewModules(env)
+	if err := m.AddModulefile("mpi/x", "prepend-path PATH /x\n"); err != nil {
+		t.Fatal(err)
+	}
+	if DetectModules(env) == nil {
+		t.Error("failed to detect installed modules")
+	}
+}
+
+func TestSoftEnv(t *testing.T) {
+	env := newFakeEnv()
+	s := NewSoftEnv(env)
+	if DetectSoftEnv(env) != nil {
+		t.Error("detected softenv on empty site")
+	}
+	if err := s.AddKey("+mpich2-1.4-gnu", "PATH+=/opt/mpich2-1.4-gnu/bin", "LD_LIBRARY_PATH+=/opt/mpich2-1.4-gnu/lib"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddKey("+intel-11.1", "PATH+=/opt/intel/11.1/bin", "INTEL_LICENSE=/opt/intel/license"); err != nil {
+		t.Fatal(err)
+	}
+	if DetectSoftEnv(env) == nil {
+		t.Error("failed to detect softenv")
+	}
+	avail, err := s.Avail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(avail, []string{"+mpich2-1.4-gnu", "+intel-11.1"}) {
+		t.Errorf("Avail = %v", avail)
+	}
+	if err := s.Load("+mpich2-1.4-gnu"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Getenv("PATH") != "/opt/mpich2-1.4-gnu/bin" {
+		t.Errorf("PATH = %q", env.Getenv("PATH"))
+	}
+	if err := s.Load("+intel-11.1"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Getenv("INTEL_LICENSE") != "/opt/intel/license" {
+		t.Errorf("INTEL_LICENSE = %q", env.Getenv("INTEL_LICENSE"))
+	}
+	if got := s.Loaded(); !reflect.DeepEqual(got, []string{"+mpich2-1.4-gnu", "+intel-11.1"}) {
+		t.Errorf("Loaded = %v", got)
+	}
+	if err := s.Unload("+mpich2-1.4-gnu"); err != nil {
+		t.Fatal(err)
+	}
+	if env.Getenv("PATH") != "/opt/intel/11.1/bin" {
+		t.Errorf("PATH after unload = %q", env.Getenv("PATH"))
+	}
+	if err := s.Load("+nope"); err == nil {
+		t.Error("loading a missing key should fail")
+	}
+	if err := s.Unload("+nope"); err == nil {
+		t.Error("unloading a missing key should fail")
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	env := newFakeEnv()
+	PrependPathEntry(env, "PATH", "/a")
+	PrependPathEntry(env, "PATH", "/b")
+	if env.Getenv("PATH") != "/b:/a" {
+		t.Errorf("PATH = %q", env.Getenv("PATH"))
+	}
+	// Re-prepending an existing entry moves it to the front.
+	PrependPathEntry(env, "PATH", "/a")
+	if env.Getenv("PATH") != "/a:/b" {
+		t.Errorf("PATH = %q", env.Getenv("PATH"))
+	}
+	RemovePathEntry(env, "PATH", "/b")
+	if env.Getenv("PATH") != "/a" {
+		t.Errorf("PATH = %q", env.Getenv("PATH"))
+	}
+	RemovePathEntry(env, "EMPTY", "/x") // no-op on empty
+	if got := SplitPathVar("/a::/b:"); !reflect.DeepEqual(got, []string{"/a", "/b"}) {
+		t.Errorf("SplitPathVar = %v", got)
+	}
+	if SplitPathVar("") != nil {
+		t.Error("SplitPathVar(\"\") should be nil")
+	}
+}

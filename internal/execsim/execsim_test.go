@@ -1,0 +1,420 @@
+package execsim
+
+import (
+	"strings"
+	"testing"
+
+	"feam/internal/elfimg"
+	"feam/internal/libver"
+	"feam/internal/mpistack"
+	"feam/internal/sitemodel"
+	"feam/internal/toolchain"
+	"feam/internal/workload"
+)
+
+// buildSite creates a fully provisioned site: glibc, GNU compiler, Open MPI
+// 1.4 stack with its module-style environment loaded.
+func buildSite(t *testing.T, name string, glibc libver.Version, featureLevel int) (*sitemodel.Site, *sitemodel.StackRecord) {
+	t.Helper()
+	site := sitemodel.New(name,
+		sitemodel.Arch{Machine: elfimg.EMX8664, Class: elfimg.Class64, CPUName: "Xeon", FeatureLevel: featureLevel},
+		sitemodel.OSInfo{Distro: "CentOS", Version: "5.6", Kernel: "2.6.18", ReleaseFile: "/etc/redhat-release"},
+		glibc)
+	if err := site.InstallCLibrary(); err != nil {
+		t.Fatal(err)
+	}
+	gnu := &toolchain.CompilerInstall{Compiler: toolchain.Compiler{Family: toolchain.GNU, Version: "4.1.2"}}
+	if err := gnu.Materialize(site); err != nil {
+		t.Fatal(err)
+	}
+	inst := &mpistack.Install{
+		Release:        mpistack.Release{Impl: mpistack.OpenMPI, Version: "1.4"},
+		CompilerFamily: "gnu", CompilerVersion: "4.1.2",
+		Interconnect: "ethernet", WithFortran: true,
+	}
+	rec, err := inst.Materialize(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load the stack into the environment like `module load` would.
+	site.Setenv("LD_LIBRARY_PATH", rec.Prefix+"/lib")
+	site.Setenv("PATH", rec.Prefix+"/bin:"+site.Getenv("PATH"))
+	return site, rec
+}
+
+func compileOn(t *testing.T, code string, site *sitemodel.Site, rec *sitemodel.StackRecord) *toolchain.Artifact {
+	t.Helper()
+	art, err := toolchain.Compile(workload.Find(code), rec, site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art
+}
+
+func TestRunSuccessAtBuildSite(t *testing.T) {
+	site, rec := buildSite(t, "india", libver.V(2, 5), 2)
+	art := compileOn(t, "cg", site, rec)
+	sim := NewSimulator(7)
+	sim.SuiteSysErrWeight = nil // disable stochastic failures for this test
+	site.SysErrRate = 0
+	res := sim.Run(Request{Art: art, Site: site, Stack: rec})
+	if !res.Success() {
+		t.Fatalf("run failed: %v %s", res.Class, res.Detail)
+	}
+	if res.Resolution == nil || !res.Resolution.OK() {
+		t.Error("no loader evidence")
+	}
+}
+
+func TestISAFailure(t *testing.T) {
+	site, rec := buildSite(t, "india", libver.V(2, 5), 2)
+	art := compileOn(t, "cg", site, rec)
+	ppc := sitemodel.New("bluegene",
+		sitemodel.Arch{Machine: elfimg.EMPPC64, Class: elfimg.Class64, CPUName: "PPC970", FeatureLevel: 1},
+		sitemodel.OSInfo{Distro: "SLES", Version: "10", Kernel: "2.6.16", ReleaseFile: "/etc/SuSE-release"},
+		libver.V(2, 4))
+	res := NewSimulator(1).Run(Request{Art: art, Site: ppc, Stack: nil})
+	if res.Class != FailISA {
+		t.Errorf("Class = %v", res.Class)
+	}
+	if !strings.Contains(res.Detail, "cannot execute") {
+		t.Errorf("Detail = %q", res.Detail)
+	}
+}
+
+func TestMissingLibraryFailure(t *testing.T) {
+	src, srcRec := buildSite(t, "src", libver.V(2, 5), 1)
+	art := compileOn(t, "bt", src, srcRec) // Fortran: needs libgfortran.so.1
+	// Target has the same MPI stack but a GCC 4.4 toolchain (libgfortran.so.3).
+	dst, dstRec := buildSite(t, "dst", libver.V(2, 5), 1)
+	// Replace the Fortran runtime with the 4.4 flavor.
+	for _, f := range []string{"/lib64/libgfortran.so.1", "/lib64/libgfortran.so.1.0.0", "/lib64/libgfortran.so"} {
+		if err := dst.FS().Remove(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := NewSimulator(1).Run(Request{Art: art, Site: dst, Stack: dstRec})
+	if res.Class != FailMissingLib {
+		t.Fatalf("Class = %v (%s)", res.Class, res.Detail)
+	}
+	if !strings.Contains(res.Detail, "libgfortran.so.1") {
+		t.Errorf("Detail = %q", res.Detail)
+	}
+	// FEAM-staged copies fix it (ExtraLibDirs path).
+	libData, err := src.FS().ReadFile("/lib64/libgfortran.so.1.0.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.FS().WriteFile("/feam/staged/libgfortran.so.1", libData); err != nil {
+		t.Fatal(err)
+	}
+	res = NewSimulator(1).Run(Request{Art: art, Site: dst, Stack: dstRec, ExtraLibDirs: []string{"/feam/staged"}})
+	if !res.Success() {
+		t.Errorf("staged run failed: %v %s", res.Class, res.Detail)
+	}
+}
+
+func TestGlibcVersionFailure(t *testing.T) {
+	src, srcRec := buildSite(t, "forge", libver.V(2, 12), 1)
+	art := compileOn(t, "lu", src, srcRec) // uncapped code tracks build glibc
+	dst, dstRec := buildSite(t, "ranger", libver.V(2, 3, 4), 1)
+	res := NewSimulator(1).Run(Request{Art: art, Site: dst, Stack: dstRec})
+	if res.Class != FailGlibcVersion {
+		t.Fatalf("Class = %v (%s)", res.Class, res.Detail)
+	}
+	if !strings.Contains(res.Detail, "GLIBC_2.12") {
+		t.Errorf("Detail = %q", res.Detail)
+	}
+}
+
+func TestMPIMismatchAndBrokenStack(t *testing.T) {
+	site, rec := buildSite(t, "india", libver.V(2, 5), 2)
+	art := compileOn(t, "is", site, rec)
+	// No stack selected.
+	res := NewSimulator(1).Run(Request{Art: art, Site: site, Stack: nil})
+	if res.Class != FailMPIMismatch {
+		t.Errorf("no-stack Class = %v", res.Class)
+	}
+	// Wrong implementation selected.
+	wrong := &sitemodel.StackRecord{Key: "mpich2-1.4-gnu", Impl: "mpich2"}
+	res = NewSimulator(1).Run(Request{Art: art, Site: site, Stack: wrong})
+	if res.Class != FailMPIMismatch {
+		t.Errorf("mismatch Class = %v", res.Class)
+	}
+	// Broken stack.
+	broken := &sitemodel.StackRecord{Key: rec.Key, Impl: rec.Impl, Broken: true}
+	res = NewSimulator(1).Run(Request{Art: art, Site: site, Stack: broken})
+	if res.Class != FailStackBroken {
+		t.Errorf("broken Class = %v", res.Class)
+	}
+}
+
+func TestRuntimeABIFailure(t *testing.T) {
+	// Build with PGI 11.5 at the source; the target carries the old PGI
+	// 7.2 runtime generation, whose libpgc lacks the new entry points.
+	src, _ := buildSite(t, "fir", libver.V(2, 5), 1)
+	pgiNew := &toolchain.CompilerInstall{Compiler: toolchain.Compiler{Family: toolchain.PGI, Version: "11.5"}}
+	if err := pgiNew.Materialize(src); err != nil {
+		t.Fatal(err)
+	}
+	instSrc := &mpistack.Install{
+		Release:        mpistack.Release{Impl: mpistack.OpenMPI, Version: "1.4"},
+		CompilerFamily: "pgi", CompilerVersion: "11.5",
+		Interconnect: "ethernet", WithFortran: true,
+	}
+	srcRec, err := instSrc.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := compileOn(t, "104.milc", src, srcRec)
+
+	dst, _ := buildSite(t, "ranger", libver.V(2, 5), 1)
+	pgiOld := &toolchain.CompilerInstall{Compiler: toolchain.Compiler{Family: toolchain.PGI, Version: "7.2"}}
+	if err := pgiOld.Materialize(dst); err != nil {
+		t.Fatal(err)
+	}
+	instDst := &mpistack.Install{
+		Release:        mpistack.Release{Impl: mpistack.OpenMPI, Version: "1.4"},
+		CompilerFamily: "pgi", CompilerVersion: "7.2",
+		Interconnect: "ethernet", WithFortran: true,
+	}
+	dstRec, err := instDst.Materialize(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.Setenv("LD_LIBRARY_PATH", dstRec.Prefix+"/lib")
+	sim := NewSimulator(1)
+	dst.SysErrRate = 0
+	res := sim.Run(Request{Art: art, Site: dst, Stack: dstRec})
+	if res.Class != FailABI {
+		t.Fatalf("Class = %v (%s)", res.Class, res.Detail)
+	}
+	if !strings.Contains(res.Detail, "libpgc.so") {
+		t.Errorf("Detail = %q", res.Detail)
+	}
+	// The reverse direction (old binary, new runtime) works: vendors keep
+	// newer runtimes backward compatible.
+	artOld, err := toolchain.Compile(workload.Find("104.milc"), dstRec, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Setenv("LD_LIBRARY_PATH", srcRec.Prefix+"/lib")
+	src.SysErrRate = 0
+	res = sim.Run(Request{Art: artOld, Site: src, Stack: srcRec})
+	if res.Class == FailABI {
+		t.Errorf("backward-compatible run failed: %s", res.Detail)
+	}
+}
+
+func TestMPIABIEpochFailure(t *testing.T) {
+	// lu uses advanced MPI (level 3); built against Open MPI 1.4, run on 1.3.
+	src, srcRec := buildSite(t, "forge", libver.V(2, 5), 1)
+	art := compileOn(t, "lu", src, srcRec)
+
+	dst := sitemodel.New("ranger",
+		sitemodel.Arch{Machine: elfimg.EMX8664, Class: elfimg.Class64, CPUName: "Opteron", FeatureLevel: 2},
+		sitemodel.OSInfo{Distro: "CentOS", Version: "4.9", Kernel: "2.6.9", ReleaseFile: "/etc/redhat-release"},
+		libver.V(2, 5))
+	if err := dst.InstallCLibrary(); err != nil {
+		t.Fatal(err)
+	}
+	gnu := &toolchain.CompilerInstall{Compiler: toolchain.Compiler{Family: toolchain.GNU, Version: "4.1.2"}}
+	if err := gnu.Materialize(dst); err != nil {
+		t.Fatal(err)
+	}
+	inst := &mpistack.Install{
+		Release:        mpistack.Release{Impl: mpistack.OpenMPI, Version: "1.3"},
+		CompilerFamily: "gnu", CompilerVersion: "4.1.2",
+		Interconnect: "ethernet", WithFortran: true,
+	}
+	dstRec, err := inst.Materialize(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.Setenv("LD_LIBRARY_PATH", dstRec.Prefix+"/lib")
+	dst.SysErrRate = 0
+	res := NewSimulator(1).Run(Request{Art: art, Site: dst, Stack: dstRec})
+	if res.Class != FailABI {
+		t.Fatalf("Class = %v (%s)", res.Class, res.Detail)
+	}
+	// A level-1 code built the same way survives (ABI drift only bites
+	// advanced MPI usage).
+	art2 := compileOn(t, "ep", src, srcRec)
+	res = NewSimulator(1).Run(Request{Art: art2, Site: dst, Stack: dstRec})
+	if res.Class == FailABI {
+		t.Errorf("basic MPI code hit ABI failure: %s", res.Detail)
+	}
+}
+
+func TestFPEFailure(t *testing.T) {
+	// Intel-built code on a high-feature CPU fails on a low-feature CPU.
+	src, _ := buildSite(t, "forge", libver.V(2, 5), 3)
+	intel := &toolchain.CompilerInstall{Compiler: toolchain.Compiler{Family: toolchain.Intel, Version: "12"}}
+	if err := intel.Materialize(src); err != nil {
+		t.Fatal(err)
+	}
+	inst := &mpistack.Install{
+		Release:        mpistack.Release{Impl: mpistack.OpenMPI, Version: "1.4"},
+		CompilerFamily: "intel", CompilerVersion: "12",
+		Interconnect: "ethernet", WithFortran: true,
+	}
+	srcRec, err := inst.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := compileOn(t, "104.milc", src, srcRec)
+	if art.Truth.FeatureLevel != 3 {
+		t.Fatalf("FeatureLevel = %d", art.Truth.FeatureLevel)
+	}
+
+	dst, _ := buildSite(t, "fir", libver.V(2, 5), 1)
+	intelDst := &toolchain.CompilerInstall{Compiler: toolchain.Compiler{Family: toolchain.Intel, Version: "12"}}
+	if err := intelDst.Materialize(dst); err != nil {
+		t.Fatal(err)
+	}
+	instDst := &mpistack.Install{
+		Release:        mpistack.Release{Impl: mpistack.OpenMPI, Version: "1.4"},
+		CompilerFamily: "intel", CompilerVersion: "12",
+		Interconnect: "ethernet", WithFortran: true,
+	}
+	dstRec, err := instDst.Materialize(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.Setenv("LD_LIBRARY_PATH", dstRec.Prefix+"/lib")
+	dst.SysErrRate = 0
+	res := NewSimulator(1).Run(Request{Art: art, Site: dst, Stack: dstRec})
+	if res.Class != FailFPE {
+		t.Fatalf("Class = %v (%s)", res.Class, res.Detail)
+	}
+	// The MPI hello world built at the source site detects the same issue —
+	// the mechanism behind the paper's extended prediction.
+	hello, err := toolchain.CompileHello(srcRec, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = NewSimulator(1).Run(Request{Art: hello, Site: dst, Stack: dstRec})
+	if res.Class != FailFPE {
+		t.Errorf("hello-world missed the FPE: %v (%s)", res.Class, res.Detail)
+	}
+}
+
+func TestSystemErrorsDeterministicAndRetried(t *testing.T) {
+	site, rec := buildSite(t, "india", libver.V(2, 5), 2)
+	site.SysErrRate = 1.0 // every job hits the persistent failure
+	art := compileOn(t, "cg", site, rec)
+	sim := NewSimulator(3)
+	sim.SuiteSysErrWeight = nil // weight 1.0: the rate applies unscaled
+	res1 := sim.Run(Request{Art: art, Site: site, Stack: rec})
+	res2 := sim.Run(Request{Art: art, Site: site, Stack: rec})
+	if res1.Class != FailSystem || res2.Class != FailSystem {
+		t.Fatalf("Classes = %v, %v", res1.Class, res2.Class)
+	}
+	if res1.Detail != res2.Detail {
+		t.Error("system errors are not deterministic")
+	}
+	// Transient-only config: retries recover.
+	site.SysErrRate = 0
+	sim.TransientRate = 0.9999999 // force transient on (almost) every attempt
+	res := sim.Run(Request{Art: art, Site: site, Stack: rec})
+	if res.Attempts != sim.MaxAttempts {
+		t.Errorf("Attempts = %d", res.Attempts)
+	}
+	sim.TransientRate = 0
+	res = sim.Run(Request{Art: art, Site: site, Stack: rec})
+	if !res.Success() || res.Attempts != 1 {
+		t.Errorf("clean run: %+v", res)
+	}
+}
+
+func TestHelloAndSerialSkipSystemErrors(t *testing.T) {
+	site, rec := buildSite(t, "india", libver.V(2, 5), 2)
+	site.SysErrRate = 1.0
+	hello, err := toolchain.CompileHello(rec, site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NewSimulator(1).Run(Request{Art: hello, Site: site, Stack: rec})
+	if !res.Success() {
+		t.Errorf("hello failed: %v %s", res.Class, res.Detail)
+	}
+	serial, err := toolchain.CompileSerialHello(toolchain.Compiler{Family: toolchain.GNU, Version: "4.1.2"}, site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = NewSimulator(1).Run(Request{Art: serial, Site: site})
+	if !res.Success() {
+		t.Errorf("serial hello failed: %v %s", res.Class, res.Detail)
+	}
+}
+
+func TestFailureClassStrings(t *testing.T) {
+	for c, want := range map[FailureClass]string{
+		OK: "success", FailISA: "incompatible ISA", FailMissingLib: "missing shared library",
+		FailGlibcVersion: "C library version", FailSystem: "system error",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+}
+
+func TestRunTimes(t *testing.T) {
+	site, rec := buildSite(t, "india", libver.V(2, 5), 2)
+	site.SysErrRate = 0
+	npb := compileOn(t, "cg", site, rec)
+	spec := compileOn(t, "104.milc", site, rec)
+	sim := NewSimulator(1)
+	sim.TransientRate = 0
+	rn := sim.Run(Request{Art: npb, Site: site, Stack: rec})
+	rs := sim.Run(Request{Art: spec, Site: site, Stack: rec})
+	if rn.RunTime >= rs.RunTime {
+		t.Errorf("NPB %v should run shorter than SPEC %v", rn.RunTime, rs.RunTime)
+	}
+}
+
+func TestStaticBinaryExecution(t *testing.T) {
+	site, rec := buildSite(t, "india", libver.V(2, 5), 2)
+	site.SysErrRate = 0
+	// Reinstall the stack with static archives and build a static binary.
+	inst := &mpistack.Install{
+		Release:        mpistack.Release{Impl: mpistack.OpenMPI, Version: "1.4"},
+		CompilerFamily: "gnu", CompilerVersion: "4.1.2",
+		Interconnect: "ethernet", WithFortran: true, WithStaticLibs: true,
+		Prefix: "/opt/openmpi-static",
+	}
+	srec, err := inst.Materialize(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := toolchain.CompileStatic(workload.Find("is"), srec, site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(1)
+	sim.TransientRate = 0
+	// Runs with a matching stack even with no library path at all.
+	site.Setenv("LD_LIBRARY_PATH", "")
+	res := sim.Run(Request{Art: art, Site: site, Stack: srec})
+	if !res.Success() {
+		t.Fatalf("static run failed: %v %s", res.Class, res.Detail)
+	}
+	// Still launch-protocol bound: a mismatched implementation fails.
+	wrong := &sitemodel.StackRecord{Key: "mpich2-1.4-gnu", Impl: "mpich2"}
+	res = sim.Run(Request{Art: art, Site: site, Stack: wrong})
+	if res.Class != FailMPIMismatch {
+		t.Errorf("Class = %v", res.Class)
+	}
+	_ = rec
+}
+
+func TestResultString(t *testing.T) {
+	ok := Result{Class: OK}
+	if ok.String() != "success" {
+		t.Errorf("String = %q", ok.String())
+	}
+	bad := Result{Class: FailMissingLib, Detail: "libx.so.1 => not found"}
+	if bad.String() != "missing shared library: libx.so.1 => not found" {
+		t.Errorf("String = %q", bad.String())
+	}
+}

@@ -1,0 +1,166 @@
+package experiment
+
+import (
+	"testing"
+
+	"feam/internal/execsim"
+	"feam/internal/testbed"
+	"feam/internal/workload"
+)
+
+// smallTestbed builds a two-site world (ranger + india) so the ablation
+// matrix stays cheap.
+func smallTestbed(t *testing.T) *testbed.Testbed {
+	t.Helper()
+	specs := testbed.DefaultSpecs()
+	var picked []testbed.SiteSpec
+	for _, s := range specs {
+		if s.Name == "ranger" || s.Name == "india" {
+			picked = append(picked, s)
+		}
+	}
+	tb, err := testbed.BuildFrom(picked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestRunAblations(t *testing.T) {
+	tb := smallTestbed(t)
+	sim := execsim.NewSimulator(5)
+	sim.TransientRate = 0
+	ts, err := BuildTestSet(tb, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Binaries) == 0 {
+		t.Fatal("empty test set")
+	}
+	results, err := RunAblations(tb, ts, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("configs = %d", len(results))
+	}
+	byName := map[string]AblationResult{}
+	for _, r := range results {
+		byName[r.Config.Name] = r
+	}
+	total := func(r AblationResult, f func(workload.Suite) float64) float64 {
+		return f(workload.NPB) + f(workload.SPECMPI)
+	}
+	successOf := func(r AblationResult) float64 {
+		return total(r, func(s workload.Suite) float64 { return float64(r.Success[s].Num) })
+	}
+	full, noRes := byName["full"], byName["no-resolution"]
+	shallow, noProbes := byName["shallow-resolution"], byName["no-probes"]
+
+	// Resolution drives successes: disabling it must lose executions.
+	if successOf(noRes) >= successOf(full) {
+		t.Errorf("no-resolution successes %v >= full %v", successOf(noRes), successOf(full))
+	}
+	// Shallow resolution can stage at most what recursive staging does.
+	if successOf(shallow) > successOf(full) {
+		t.Errorf("shallow successes %v > full %v", successOf(shallow), successOf(full))
+	}
+	// Probes protect accuracy: without them, broken stacks and
+	// cross-compatibility crashes go unpredicted. (ranger+india include a
+	// broken PGI stack, so this must cost at least a little.)
+	accOf := func(r AblationResult) float64 {
+		c := 0.0
+		n := 0.0
+		for _, s := range []workload.Suite{workload.NPB, workload.SPECMPI} {
+			c += float64(r.Accuracy[s].Correct())
+			n += float64(r.Accuracy[s].Total())
+		}
+		return c / n
+	}
+	if accOf(noProbes) > accOf(full) {
+		t.Errorf("no-probes accuracy %.3f > full %.3f", accOf(noProbes), accOf(full))
+	}
+	t.Logf("ablation: full acc=%.3f succ=%v; no-resolution acc=%.3f succ=%v; shallow succ=%v; no-probes acc=%.3f",
+		accOf(full), successOf(full), accOf(noRes), successOf(noRes), successOf(shallow), accOf(noProbes))
+}
+
+// TestSeedStability: the evaluation shape is robust to the stochastic
+// system-error seed — prediction accuracy stays high and resolution keeps
+// helping across seeds.
+func TestSeedStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed evaluation is slow")
+	}
+	for _, seed := range []int64{1, 99, 20130610} {
+		tb := smallTestbed(t) // fresh sites per seed: staging dirs differ
+		sim := execsim.NewSimulator(seed)
+		ts, err := BuildTestSet(tb, sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := Run(tb, ts, sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t3, t4 := ev.Table3(), ev.Table4()
+		for _, suite := range []workload.Suite{workload.NPB, workload.SPECMPI} {
+			if acc := t3.Extended[suite].Accuracy(); acc < 0.88 {
+				t.Errorf("seed %d %v: extended accuracy %.2f", seed, suite, acc)
+			}
+			before, after := t4.Before[suite], t4.After[suite]
+			if after.Num < before.Num {
+				t.Errorf("seed %d %v: resolution lost successes (%d -> %d)",
+					seed, suite, before.Num, after.Num)
+			}
+		}
+		t.Logf("seed %d: NAS ext %s, SPEC ext %s", seed,
+			t3.Extended[workload.NPB], t3.Extended[workload.SPECMPI])
+	}
+}
+
+// TestRunConcurrencyEquivalence: the parallel driver produces exactly the
+// sequential results — per-pair predictions and outcomes included.
+func TestRunConcurrencyEquivalence(t *testing.T) {
+	runOnce := func(workers int) *Evaluation {
+		tb := smallTestbed(t)
+		sim := execsim.NewSimulator(7)
+		ts, err := BuildTestSet(tb, sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := RunWithConcurrency(tb, ts, sim, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev
+	}
+	seq := runOnce(1)
+	par := runOnce(4)
+	if len(seq.Pairs) != len(par.Pairs) {
+		t.Fatalf("pair counts differ: %d vs %d", len(seq.Pairs), len(par.Pairs))
+	}
+	for i := range seq.Pairs {
+		a, b := seq.Pairs[i], par.Pairs[i]
+		if a.Bin.ID() != b.Bin.ID() || a.Target != b.Target {
+			t.Fatalf("pair %d identity differs: %s@%s vs %s@%s",
+				i, a.Bin.ID(), a.Target, b.Bin.ID(), b.Target)
+		}
+		if a.Basic.Ready != b.Basic.Ready || a.Extended.Ready != b.Extended.Ready {
+			t.Errorf("pair %d predictions differ", i)
+		}
+		if a.ActualBefore.Class != b.ActualBefore.Class || a.ActualAfter.Class != b.ActualAfter.Class {
+			t.Errorf("pair %d outcomes differ: %v/%v vs %v/%v", i,
+				a.ActualBefore.Class, a.ActualAfter.Class, b.ActualBefore.Class, b.ActualAfter.Class)
+		}
+		if a.StackUsed != b.StackUsed {
+			t.Errorf("pair %d stacks differ: %q vs %q", i, a.StackUsed, b.StackUsed)
+		}
+	}
+	// Aggregate tables agree exactly.
+	s3, p3 := seq.Table3(), par.Table3()
+	for _, suite := range []workload.Suite{workload.NPB, workload.SPECMPI} {
+		if *s3.Extended[suite] != *p3.Extended[suite] || *s3.Basic[suite] != *p3.Basic[suite] {
+			t.Errorf("%v confusion differs", suite)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"feam/internal/batch"
+	"feam/internal/execsim"
+	"feam/internal/feam"
+	"feam/internal/metrics"
+	"feam/internal/sitemodel"
+	"feam/internal/testbed"
+	"feam/internal/usereffort"
+	"feam/internal/workload"
+)
+
+// PairOutcome is the complete record for one migration pair.
+type PairOutcome struct {
+	Migration
+	// Basic and Extended are FEAM's predictions without/with the source
+	// phase.
+	Basic    *feam.Prediction
+	Extended *feam.Prediction
+	// ActualBefore/ActualAfter are the ground-truth executions without and
+	// with the resolution model's staged libraries.
+	ActualBefore execsim.Result
+	ActualAfter  execsim.Result
+	// StackUsed is the stack key the actual executions selected.
+	StackUsed string
+}
+
+// Evaluation aggregates a full experiment run.
+type Evaluation struct {
+	Set   *TestSet
+	Pairs []*PairOutcome
+
+	// Bundles maps binary ID to its source-phase bundle.
+	Bundles map[string]*feam.Bundle
+	// SourceDurations/TargetDurations are simulated FEAM phase times.
+	SourceDurations []time.Duration
+	TargetDurations []time.Duration
+	// ProbeCPUHours is, per site, the allocation hours FEAM's probe jobs
+	// consumed through the batch system (§VI.C accounting).
+	ProbeCPUHours map[string]float64
+}
+
+// Run executes the entire evaluation pipeline. FEAM's probe jobs are
+// submitted through each site's batch system so allocation-hour accounting
+// accrues. Work is spread across CPUs with one worker per site: everything
+// that touches a given site's filesystem, environment, or batch cluster is
+// serialized by that site's lock, and results land at deterministic
+// indices, so the outcome is identical to a sequential run.
+func Run(tb *testbed.Testbed, ts *TestSet, sim *execsim.Simulator) (*Evaluation, error) {
+	return RunWithConcurrency(tb, ts, sim, len(tb.Sites))
+}
+
+// RunWithConcurrency is Run with an explicit worker count (1 = sequential).
+func RunWithConcurrency(tb *testbed.Testbed, ts *TestSet, sim *execsim.Simulator, workers int) (*Evaluation, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	runner := NewBatchRunner(sim, tb)
+	ev := &Evaluation{Set: ts, Bundles: map[string]*feam.Bundle{}}
+
+	locks := map[string]*sync.Mutex{}
+	for _, site := range tb.Sites {
+		locks[site.Name] = &sync.Mutex{}
+	}
+
+	// Phase I at every binary's guaranteed execution environment.
+	bundles := make([]*feam.Bundle, len(ts.Binaries))
+	sourceDur := make([]time.Duration, len(ts.Binaries))
+	if err := forEach(len(ts.Binaries), workers, func(i int) error {
+		bin := ts.Binaries[i]
+		site := tb.ByName[bin.BuildSite]
+		lock := locks[bin.BuildSite]
+		lock.Lock()
+		defer lock.Unlock()
+		snap := site.SnapshotEnv()
+		if err := testbed.ActivateStack(site, bin.StackKey); err != nil {
+			site.RestoreEnv(snap)
+			return err
+		}
+		cfg := configFor(tb, bin.BuildSite, "source", bin.Path)
+		bundle, report, err := feam.RunSourcePhase(cfg, site, runner)
+		site.RestoreEnv(snap)
+		if err != nil {
+			return fmt.Errorf("experiment: source phase for %s: %v", bin.ID(), err)
+		}
+		bundles[i] = bundle
+		sourceDur[i] = report.Total()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, bin := range ts.Binaries {
+		ev.Bundles[bin.ID()] = bundles[i]
+		ev.SourceDurations = append(ev.SourceDurations, sourceDur[i])
+	}
+
+	// Phase II at every target, plus ground-truth executions.
+	migs := Migrations(tb, ts)
+	pairs := make([]*PairOutcome, len(migs))
+	targetDur := make([][2]time.Duration, len(migs))
+	if err := forEach(len(migs), workers, func(i int) error {
+		mig := migs[i]
+		target := tb.ByName[mig.Target]
+		bin := mig.Bin
+		lock := locks[mig.Target]
+		lock.Lock()
+		defer lock.Unlock()
+		if err := target.FS().WriteFile(bin.Path, bin.Artifact.Bytes); err != nil {
+			return err
+		}
+		cfg := configFor(tb, mig.Target, "target", bin.Path)
+
+		basic, reportB, err := feam.RunTargetPhase(cfg, target, nil, runner)
+		if err != nil {
+			return fmt.Errorf("experiment: basic target phase %s@%s: %v", bin.ID(), mig.Target, err)
+		}
+		bundle := ev.Bundles[bin.ID()]
+		extended, reportE, err := feam.RunTargetPhase(cfg, target, bundle, runner)
+		if err != nil {
+			return fmt.Errorf("experiment: extended target phase %s@%s: %v", bin.ID(), mig.Target, err)
+		}
+		targetDur[i] = [2]time.Duration{reportB.Total(), reportE.Total()}
+
+		// Ground truth: the user launches with the best matching stack (the
+		// one FEAM selected when it selected one).
+		stackKey := extended.StackKey()
+		if stackKey == "" {
+			stackKey = basic.StackKey()
+		}
+		if stackKey == "" {
+			stackKey = defaultStackChoice(target, bin)
+		}
+		rec := target.FindStack(stackKey)
+		before := runAtSiteClass(sim, bin.Artifact, target, rec, nil)
+		after := runAtSiteClass(sim, bin.Artifact, target, rec, extended.ExtraLibDirs())
+
+		pairs[i] = &PairOutcome{
+			Migration: mig, Basic: basic, Extended: extended,
+			ActualBefore: before, ActualAfter: after, StackUsed: stackKey,
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	ev.Pairs = pairs
+	for _, d := range targetDur {
+		ev.TargetDurations = append(ev.TargetDurations, d[0], d[1])
+	}
+	ev.ProbeCPUHours = map[string]float64{}
+	for name, cluster := range tb.Clusters {
+		ev.ProbeCPUHours[name] = cluster.CPUHoursUsed()
+	}
+	return ev, nil
+}
+
+// forEach runs fn(0..n-1) across the given number of workers, returning the
+// first error (remaining items still run; indices are dispatched through a
+// channel so per-site locking provides the only ordering constraint).
+func forEach(n, workers int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	indices := make(chan int)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var firstErr error
+			for i := range indices {
+				if err := fn(i); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			errs <- firstErr
+		}()
+	}
+	for i := 0; i < n; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// defaultStackChoice picks the stack a user would select by hand: the first
+// advertised stack with the binary's implementation, preferring the build
+// compiler family.
+func defaultStackChoice(site *sitemodel.Site, bin *TestBinary) string {
+	family := bin.Artifact.Truth.CompilerFamily
+	var fallback string
+	for _, rec := range site.Stacks {
+		if rec.Impl != bin.Impl {
+			continue
+		}
+		if rec.CompilerFamily == family {
+			return rec.Key
+		}
+		if fallback == "" {
+			fallback = rec.Key
+		}
+	}
+	return fallback
+}
+
+// configFor builds the per-site FEAM configuration: submission scripts in
+// the site's native batch dialect with the %CMD% placeholder, and the
+// standard launch commands.
+func configFor(tb *testbed.Testbed, siteName, phase, binaryPath string) *feam.Config {
+	spec := tb.Specs[siteName]
+	serial := batch.Generate(batch.ScriptSpec{
+		Manager: spec.Manager, JobName: "feam-serial", Queue: "debug",
+		Nodes: 1, Tasks: 1, WallTime: 10 * time.Minute, Command: batch.CmdPlaceholder,
+	})
+	parallel := batch.Generate(batch.ScriptSpec{
+		Manager: spec.Manager, JobName: "feam-parallel", Queue: "debug",
+		Nodes: 1, Tasks: 4, WallTime: 15 * time.Minute, Command: batch.CmdPlaceholder,
+	})
+	return &feam.Config{
+		Phase:          phase,
+		BinaryPath:     binaryPath,
+		SerialScript:   serial,
+		ParallelScript: parallel,
+		MpiexecByImpl:  map[string]string{"mvapich2": "mpirun_rsh"},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table III — prediction accuracy.
+
+// Table3 holds prediction-accuracy confusion matrices per suite and mode.
+type Table3 struct {
+	Basic    map[workload.Suite]*metrics.Confusion
+	Extended map[workload.Suite]*metrics.Confusion
+}
+
+// Table3 compares predictions against actual executions: basic predictions
+// against runs without resolution, extended predictions against runs with
+// the resolution configuration applied.
+func (ev *Evaluation) Table3() *Table3 {
+	t := &Table3{
+		Basic:    map[workload.Suite]*metrics.Confusion{workload.NPB: {}, workload.SPECMPI: {}},
+		Extended: map[workload.Suite]*metrics.Confusion{workload.NPB: {}, workload.SPECMPI: {}},
+	}
+	for _, p := range ev.Pairs {
+		suite := p.Bin.Code.Suite
+		t.Basic[suite].Add(p.Basic.Ready, p.ActualBefore.Success())
+		t.Extended[suite].Add(p.Extended.Ready, p.ActualAfter.Success())
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Table IV — resolution impact.
+
+// Table4 holds before/after success rates and the relative increase.
+type Table4 struct {
+	Before map[workload.Suite]*metrics.Rate
+	After  map[workload.Suite]*metrics.Rate
+}
+
+// Increase returns the relative improvement for a suite.
+func (t *Table4) Increase(s workload.Suite) float64 {
+	return metrics.RelativeIncrease(*t.Before[s], *t.After[s])
+}
+
+// Table4 computes actual execution success before and after resolution.
+func (ev *Evaluation) Table4() *Table4 {
+	t := &Table4{
+		Before: map[workload.Suite]*metrics.Rate{workload.NPB: {}, workload.SPECMPI: {}},
+		After:  map[workload.Suite]*metrics.Rate{workload.NPB: {}, workload.SPECMPI: {}},
+	}
+	for _, p := range ev.Pairs {
+		suite := p.Bin.Code.Suite
+		t.Before[suite].Add(p.ActualBefore.Success())
+		t.After[suite].Add(p.ActualAfter.Success())
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// §VI.C statistics.
+
+// Stats summarizes runtimes, bundle sizes, and the failure breakdown.
+type Stats struct {
+	// MaxSource/MaxTarget are the worst simulated FEAM phase durations —
+	// the paper's "<5 minutes" claim.
+	MaxSource time.Duration
+	MaxTarget time.Duration
+	// SiteBundleBytes is, per build site, the size of the union of all
+	// library copies gathered for that site's binaries (the paper's ~45 MB
+	// per-site bundle).
+	SiteBundleBytes map[string]int
+	// FailureBreakdown tallies pre-resolution failure classes.
+	FailureBreakdown metrics.Tally
+	// ResolvedPairs counts migrations where resolution staged libraries.
+	ResolvedPairs int
+}
+
+// Stats computes the §VI.C statistics.
+func (ev *Evaluation) Stats() *Stats {
+	st := &Stats{SiteBundleBytes: map[string]int{}, FailureBreakdown: metrics.Tally{}}
+	for _, d := range ev.SourceDurations {
+		if d > st.MaxSource {
+			st.MaxSource = d
+		}
+	}
+	for _, d := range ev.TargetDurations {
+		if d > st.MaxTarget {
+			st.MaxTarget = d
+		}
+	}
+	// Per-site union of gathered library copies.
+	type key struct{ site, lib string }
+	seen := map[key]bool{}
+	for _, bin := range ev.Set.Binaries {
+		bundle := ev.Bundles[bin.ID()]
+		if bundle == nil {
+			continue
+		}
+		for _, lc := range bundle.Libs {
+			k := key{bin.BuildSite, lc.Name}
+			if !seen[k] {
+				seen[k] = true
+				st.SiteBundleBytes[bin.BuildSite] += len(lc.Data)
+			}
+		}
+	}
+	for _, p := range ev.Pairs {
+		if !p.ActualBefore.Success() {
+			st.FailureBreakdown.Add(p.ActualBefore.Class.String())
+		}
+		if len(p.Extended.ResolvedLibs) > 0 {
+			st.ResolvedPairs++
+		}
+	}
+	return st
+}
+
+// EffortProfiles derives the user-effort model inputs (the paper's §VII
+// future work) from the evaluation: one profile per migration pair,
+// reflecting how much site preparation that pair would have demanded by
+// hand.
+func (ev *Evaluation) EffortProfiles(tb *testbed.Testbed) []usereffort.MigrationProfile {
+	seenSite := map[string]bool{}
+	var out []usereffort.MigrationProfile
+	for _, p := range ev.Pairs {
+		target := tb.ByName[p.Target]
+		candidates := 0
+		for _, rec := range target.Stacks {
+			if rec.Impl == p.Bin.Impl {
+				candidates++
+			}
+		}
+		out = append(out, usereffort.MigrationProfile{
+			Stacks:           len(target.Stacks),
+			CandidateStacks:  candidates,
+			MissingLibraries: len(p.Basic.MissingLibs),
+			HasEnvTool:       target.EnvTool() != nil,
+			FirstVisit:       !seenSite[p.Target],
+		})
+		seenSite[p.Target] = true
+	}
+	return out
+}
+
+// SiteRow is one target site's slice of the evaluation.
+type SiteRow struct {
+	Site string
+	// Pairs is the number of migrations targeting the site.
+	Pairs int
+	// Extended is the extended-prediction confusion at the site.
+	Extended metrics.Confusion
+	// After is the post-resolution execution success at the site.
+	After metrics.Rate
+}
+
+// BySite breaks the evaluation down per target site, ordered by site name.
+func (ev *Evaluation) BySite() []SiteRow {
+	idx := map[string]int{}
+	var rows []SiteRow
+	for _, p := range ev.Pairs {
+		i, ok := idx[p.Target]
+		if !ok {
+			i = len(rows)
+			idx[p.Target] = i
+			rows = append(rows, SiteRow{Site: p.Target})
+		}
+		rows[i].Pairs++
+		rows[i].Extended.Add(p.Extended.Ready, p.ActualAfter.Success())
+		rows[i].After.Add(p.ActualAfter.Success())
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Site < rows[j].Site })
+	return rows
+}

@@ -1,0 +1,224 @@
+package experiment
+
+import (
+	"sync"
+	"testing"
+
+	"feam/internal/execsim"
+	"feam/internal/testbed"
+	"feam/internal/workload"
+)
+
+// The full evaluation is expensive (hundreds of migrations, thousands of
+// ELF builds); run it once and share across tests.
+var (
+	evalOnce sync.Once
+	evalTB   *testbed.Testbed
+	evalTS   *TestSet
+	evalEV   *Evaluation
+	evalErr  error
+)
+
+func sharedEval(t *testing.T) (*testbed.Testbed, *TestSet, *Evaluation) {
+	t.Helper()
+	evalOnce.Do(func() {
+		evalTB, evalErr = testbed.Build()
+		if evalErr != nil {
+			return
+		}
+		sim := execsim.NewSimulator(2013)
+		evalTS, evalErr = BuildTestSet(evalTB, sim)
+		if evalErr != nil {
+			return
+		}
+		evalEV, evalErr = Run(evalTB, evalTS, sim)
+	})
+	if evalErr != nil {
+		t.Fatal(evalErr)
+	}
+	return evalTB, evalTS, evalEV
+}
+
+func TestTestSetShape(t *testing.T) {
+	_, ts, _ := sharedEval(t)
+	nas := ts.CountBySuite(workload.NPB)
+	spec := ts.CountBySuite(workload.SPECMPI)
+	t.Logf("test set: %d NAS binaries, %d SPEC binaries", nas, spec)
+	t.Logf("compile failures: %d, compile-site failures: %d",
+		len(ts.CompileFailures), len(ts.CompileSiteFailures))
+	// The paper's test set: 110 NPB and 147 SPEC binaries out of a
+	// possible 182 each. The simulated attrition must land in the same
+	// regime: meaningfully fewer than the maximum, with three-digit counts.
+	if nas < 90 || nas > 160 {
+		t.Errorf("NAS binaries = %d, want in the paper's regime (~110)", nas)
+	}
+	if spec < 110 || spec > 170 {
+		t.Errorf("SPEC binaries = %d, want in the paper's regime (~147)", spec)
+	}
+	if len(ts.CompileFailures) == 0 {
+		t.Error("expected some compile failures")
+	}
+	if len(ts.CompileSiteFailures) == 0 {
+		t.Error("expected some compile-site execution failures")
+	}
+}
+
+func TestMigrationsOnlyMatchingImpl(t *testing.T) {
+	tb, ts, _ := sharedEval(t)
+	migs := Migrations(tb, ts)
+	if len(migs) == 0 {
+		t.Fatal("no migrations")
+	}
+	for _, m := range migs {
+		if m.Target == m.Bin.BuildSite {
+			t.Fatalf("migration to build site: %s", m.Bin.ID())
+		}
+		site := tb.ByName[m.Target]
+		found := false
+		for _, rec := range site.Stacks {
+			if rec.Impl == m.Bin.Impl {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s migrated to %s without a matching implementation", m.Bin.ID(), m.Target)
+		}
+	}
+	// MPICH2 binaries only flow between india and fir.
+	for _, m := range migs {
+		if m.Bin.Impl == "mpich2" && m.Target != "india" && m.Target != "fir" {
+			t.Errorf("mpich2 binary migrated to %s", m.Target)
+		}
+	}
+	t.Logf("migration pairs: %d", len(migs))
+}
+
+func TestTable3Shape(t *testing.T) {
+	_, _, ev := sharedEval(t)
+	t3 := ev.Table3()
+	for suite, name := range map[workload.Suite]string{workload.NPB: "NAS", workload.SPECMPI: "SPEC"} {
+		b := t3.Basic[suite]
+		e := t3.Extended[suite]
+		t.Logf("Table III %s: basic %s, extended %s", name, b, e)
+		// The paper: both modes above 90%.
+		if b.Accuracy() < 0.88 {
+			t.Errorf("%s basic accuracy = %.1f%%, want >= 90%%", name, 100*b.Accuracy())
+		}
+		if e.Accuracy() < 0.90 {
+			t.Errorf("%s extended accuracy = %.1f%%, want >= 90%%", name, 100*e.Accuracy())
+		}
+		// Extended must not be worse than basic.
+		if e.Accuracy()+0.02 < b.Accuracy() {
+			t.Errorf("%s extended (%.1f%%) worse than basic (%.1f%%)",
+				name, 100*e.Accuracy(), 100*b.Accuracy())
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	_, _, ev := sharedEval(t)
+	t4 := ev.Table4()
+	for suite, name := range map[workload.Suite]string{workload.NPB: "NAS", workload.SPECMPI: "SPEC"} {
+		before := t4.Before[suite]
+		after := t4.After[suite]
+		t.Logf("Table IV %s: before %s, after %s, increase %.0f%%",
+			name, before, after, t4.Increase(suite))
+		// The paper: roughly half execute before resolution (58%/47%), and
+		// resolution adds roughly a third more successes (33%/39%).
+		if before.Pct() < 35 || before.Pct() > 72 {
+			t.Errorf("%s before-resolution success = %.0f%%, want roughly half", name, before.Pct())
+		}
+		if after.Pct() <= before.Pct() {
+			t.Errorf("%s resolution did not help: %.0f%% -> %.0f%%", name, before.Pct(), after.Pct())
+		}
+		if inc := t4.Increase(suite); inc < 12 || inc > 60 {
+			t.Errorf("%s resolution increase = %.0f%%, want roughly a third", name, inc)
+		}
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	_, _, ev := sharedEval(t)
+	st := ev.Stats()
+	t.Logf("max source phase %v, max target phase %v", st.MaxSource, st.MaxTarget)
+	t.Logf("site bundles: %v", st.SiteBundleBytes)
+	t.Logf("failure breakdown: %v", st.FailureBreakdown)
+	t.Logf("pairs with resolution staging: %d", st.ResolvedPairs)
+	// The paper: both phases < 5 minutes.
+	if st.MaxSource.Minutes() >= 5 || st.MaxTarget.Minutes() >= 5 {
+		t.Errorf("phase durations exceed five minutes: %v / %v", st.MaxSource, st.MaxTarget)
+	}
+	// Per-site bundles are tens of megabytes (paper: ~45 MB).
+	for site, size := range st.SiteBundleBytes {
+		if size < 4<<20 || size > 400<<20 {
+			t.Errorf("%s bundle = %d bytes, want tens of MB", site, size)
+		}
+	}
+	// Missing shared libraries dominate the failure classes (the paper:
+	// "of the failing jobs, more than half were missing shared libraries").
+	missing := st.FailureBreakdown["missing shared library"]
+	total := st.FailureBreakdown.Total()
+	if total == 0 || float64(missing)/float64(total) < 0.35 {
+		t.Errorf("missing-library failures = %d of %d, want the dominant class", missing, total)
+	}
+	if st.ResolvedPairs == 0 {
+		t.Error("resolution never staged anything")
+	}
+}
+
+func TestBySite(t *testing.T) {
+	tb, _, ev := sharedEval(t)
+	rows := ev.BySite()
+	if len(rows) != len(tb.Sites) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(tb.Sites))
+	}
+	totalPairs := 0
+	for i, row := range rows {
+		if i > 0 && rows[i-1].Site >= row.Site {
+			t.Error("rows not sorted")
+		}
+		if row.Pairs != row.Extended.Total() || row.Pairs != row.After.Den {
+			t.Errorf("%s: inconsistent counts %d/%d/%d", row.Site, row.Pairs, row.Extended.Total(), row.After.Den)
+		}
+		totalPairs += row.Pairs
+		t.Logf("%-12s pairs=%-4d accuracy=%s success=%s", row.Site, row.Pairs, row.Extended, row.After)
+	}
+	if totalPairs != len(ev.Pairs) {
+		t.Errorf("pairs sum %d != %d", totalPairs, len(ev.Pairs))
+	}
+	// forge hosts the broken MVAPICH2 stack: its success rate must trail
+	// the best site.
+	var best, forge float64
+	for _, row := range rows {
+		if row.After.Fraction() > best {
+			best = row.After.Fraction()
+		}
+		if row.Site == "forge" {
+			forge = row.After.Fraction()
+		}
+	}
+	if forge >= best {
+		t.Errorf("forge success %.2f should trail the best site %.2f", forge, best)
+	}
+}
+
+func TestProbeCPUHoursAccounted(t *testing.T) {
+	_, _, ev := sharedEval(t)
+	if len(ev.ProbeCPUHours) != 5 {
+		t.Fatalf("ProbeCPUHours = %v", ev.ProbeCPUHours)
+	}
+	total := 0.0
+	for site, h := range ev.ProbeCPUHours {
+		if h <= 0 {
+			t.Errorf("%s: no probe accounting", site)
+		}
+		total += h
+	}
+	t.Logf("probe CPU hours: %v (total %.1f)", ev.ProbeCPUHours, total)
+	// Probes are tiny debug-queue jobs: per-migration cost stays small
+	// (the paper's point about debug-queue suitability).
+	perPair := total / float64(len(ev.Pairs))
+	if perPair > 0.2 {
+		t.Errorf("probe cost per migration = %.3f CPU-hours, want small", perPair)
+	}
+}

@@ -1,0 +1,31 @@
+package experiment
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"feam/internal/execsim"
+)
+
+func TestForEachRace(t *testing.T) {
+	var count int64
+	err := forEach(1000, 8, func(i int) error {
+		atomic.AddInt64(&count, 1)
+		return nil
+	})
+	if err != nil || count != 1000 {
+		t.Fatalf("count=%d err=%v", count, err)
+	}
+}
+
+func TestParallelRunRaceSmall(t *testing.T) {
+	tb := smallTestbed(t)
+	sim := execsim.NewSimulator(7)
+	ts, err := BuildTestSet(tb, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWithConcurrency(tb, ts, sim, 4); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+// Package experiment drives the paper's evaluation: it compiles the NPB and
+// SPEC MPI2007 test set across the five-site testbed (Table II), migrates
+// every binary to every target site with a matching MPI implementation,
+// forms basic and extended FEAM predictions, executes the binaries with and
+// without the resolution model, and tallies the prediction-accuracy
+// (Table III) and resolution-impact (Table IV) results plus the §VI.C
+// runtime and bundle-size statistics.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"feam/internal/batch"
+	"feam/internal/execsim"
+	"feam/internal/feam"
+	"feam/internal/sitemodel"
+	"feam/internal/testbed"
+	"feam/internal/toolchain"
+)
+
+// NewSimRunner adapts the ground-truth execution simulator to FEAM's
+// ProgramRunner interface: it activates the named stack the way a user
+// would, launches the probe, and reports the outcome text FEAM would read
+// from the job's output.
+func NewSimRunner(sim *execsim.Simulator) feam.RunnerFunc {
+	return func(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
+		var rec *sitemodel.StackRecord
+		snap := site.SnapshotEnv()
+		defer site.RestoreEnv(snap)
+		if stackKey != "" {
+			rec = site.FindStack(stackKey)
+			if rec == nil {
+				return false, fmt.Sprintf("stack %s not installed", stackKey)
+			}
+			if err := testbed.ActivateStack(site, stackKey); err != nil {
+				return false, err.Error()
+			}
+		}
+		res := sim.Run(execsim.Request{
+			Art: art, Site: site, Stack: rec, ExtraLibDirs: extraLibDirs,
+		})
+		return res.Success(), res.Detail
+	}
+}
+
+// NewBatchRunner is NewSimRunner routed through each site's batch system:
+// probe programs are submitted to the debug queue with the paper's retry
+// policy, so queue waits and CPU-hour accounting accrue on the site's
+// cluster — the §VI.C "running on compute nodes does use allocation hours"
+// measurement.
+func NewBatchRunner(sim *execsim.Simulator, tb *testbed.Testbed) feam.RunnerFunc {
+	return func(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
+		cluster := tb.Clusters[site.Name]
+		if cluster == nil {
+			return NewSimRunner(sim)(art, site, stackKey, extraLibDirs)
+		}
+		var rec *sitemodel.StackRecord
+		snap := site.SnapshotEnv()
+		defer site.RestoreEnv(snap)
+		if stackKey != "" {
+			rec = site.FindStack(stackKey)
+			if rec == nil {
+				return false, fmt.Sprintf("stack %s not installed", stackKey)
+			}
+			if err := testbed.ActivateStack(site, stackKey); err != nil {
+				return false, err.Error()
+			}
+		}
+		// Per-attempt simulator: the batch layer owns the retry loop.
+		oneShot := *sim
+		oneShot.MaxAttempts = 1
+		spec := batch.ScriptSpec{
+			Manager: cluster.Manager, JobName: "feam-probe", Queue: "debug",
+			Nodes: 1, Tasks: 4, WallTime: 10 * time.Minute,
+			Command: "mpiexec -n 4 " + art.Name,
+		}
+		result, err := cluster.Submit(spec, func(attempt int) (bool, string, time.Duration) {
+			res := oneShot.Run(execsim.Request{
+				Art: art, Site: site, Stack: rec, ExtraLibDirs: extraLibDirs,
+			})
+			return res.Success(), res.Detail, res.RunTime
+		}, 5, 5*time.Minute)
+		if err != nil {
+			return false, err.Error()
+		}
+		return result.Success, result.Output
+	}
+}

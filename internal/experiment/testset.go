@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"fmt"
+
+	"feam/internal/execsim"
+	"feam/internal/sitemodel"
+	"feam/internal/testbed"
+	"feam/internal/toolchain"
+	"feam/internal/workload"
+)
+
+// TestBinary is one compiled application in the evaluation test set.
+type TestBinary struct {
+	Code      *workload.Code
+	BuildSite string
+	StackKey  string
+	Impl      string
+	Artifact  *toolchain.Artifact
+	// Path is the conventional location of the binary on site filesystems.
+	Path string
+}
+
+// ID identifies the binary.
+func (b *TestBinary) ID() string { return b.Artifact.Name }
+
+// TestSet is the paper's evaluation corpus: every (code, stack, site)
+// combination that compiled AND executed at its compile site, mirroring the
+// paper's attrition ("some benchmarks would not compile with certain MPI
+// stack combinations while other binaries would not run at the site where
+// they were compiled").
+type TestSet struct {
+	Binaries []*TestBinary
+	// CompileFailures lists combinations rejected at build time.
+	CompileFailures []string
+	// CompileSiteFailures lists binaries that built but failed to run in
+	// their own build environment.
+	CompileSiteFailures []string
+}
+
+// CountBySuite returns the binary count for a suite.
+func (ts *TestSet) CountBySuite(suite workload.Suite) int {
+	n := 0
+	for _, b := range ts.Binaries {
+		if b.Code.Suite == suite {
+			n++
+		}
+	}
+	return n
+}
+
+// BuildTestSet compiles all fourteen codes with every stack at every site
+// and verifies each binary at its compile site with the ground-truth
+// simulator (stack activated, five retries).
+func BuildTestSet(tb *testbed.Testbed, sim *execsim.Simulator) (*TestSet, error) {
+	ts := &TestSet{}
+	for _, site := range tb.Sites {
+		for _, rec := range site.Stacks {
+			for _, code := range workload.All() {
+				art, err := toolchain.Compile(code, rec, site)
+				if err != nil {
+					ts.CompileFailures = append(ts.CompileFailures,
+						fmt.Sprintf("%s @ %s/%s: %v", code.Name, site.Name, rec.Key, err))
+					continue
+				}
+				ok, detail := runAtSite(sim, art, site, rec, nil)
+				if !ok {
+					ts.CompileSiteFailures = append(ts.CompileSiteFailures,
+						fmt.Sprintf("%s: %s", art.Name, detail))
+					continue
+				}
+				bin := &TestBinary{
+					Code: code, BuildSite: site.Name, StackKey: rec.Key,
+					Impl: rec.Impl, Artifact: art,
+					Path: "/home/user/apps/" + art.Name,
+				}
+				if err := site.FS().WriteFile(bin.Path, art.Bytes); err != nil {
+					return nil, err
+				}
+				ts.Binaries = append(ts.Binaries, bin)
+			}
+		}
+	}
+	return ts, nil
+}
+
+// runAtSite executes an artifact at a site under a stack with the site env
+// activated for the run and restored afterwards.
+func runAtSite(sim *execsim.Simulator, art *toolchain.Artifact, site *sitemodel.Site, rec *sitemodel.StackRecord, extraDirs []string) (bool, string) {
+	snap := site.SnapshotEnv()
+	defer site.RestoreEnv(snap)
+	if rec != nil {
+		if err := testbed.ActivateStack(site, rec.Key); err != nil {
+			return false, err.Error()
+		}
+	}
+	res := sim.Run(execsim.Request{Art: art, Site: site, Stack: rec, ExtraLibDirs: extraDirs})
+	return res.Success(), res.Detail
+}
+
+// runAtSiteClass is runAtSite but returns the failure class for tallies.
+func runAtSiteClass(sim *execsim.Simulator, art *toolchain.Artifact, site *sitemodel.Site, rec *sitemodel.StackRecord, extraDirs []string) execsim.Result {
+	snap := site.SnapshotEnv()
+	defer site.RestoreEnv(snap)
+	if rec != nil {
+		if err := testbed.ActivateStack(site, rec.Key); err != nil {
+			return execsim.Result{Class: execsim.FailSystem, Detail: err.Error()}
+		}
+	}
+	return sim.Run(execsim.Request{Art: art, Site: site, Stack: rec, ExtraLibDirs: extraDirs})
+}
+
+// Migration is one (binary, target site) evaluation pair. Only sites with a
+// matching MPI implementation are targets — as in the paper, only those
+// have any potential for successful execution.
+type Migration struct {
+	Bin    *TestBinary
+	Target string
+}
+
+// Migrations enumerates the evaluation pairs.
+func Migrations(tb *testbed.Testbed, ts *TestSet) []Migration {
+	var out []Migration
+	for _, bin := range ts.Binaries {
+		for _, site := range tb.Sites {
+			if site.Name == bin.BuildSite {
+				continue
+			}
+			hasImpl := false
+			for _, rec := range site.Stacks {
+				if rec.Impl == bin.Impl {
+					hasImpl = true
+					break
+				}
+			}
+			if hasImpl {
+				out = append(out, Migration{Bin: bin, Target: site.Name})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package feam
+
+import (
+	"fmt"
+	"strings"
+
+	"feam/internal/batch"
+)
+
+// Config is the user-supplied configuration file. The paper keeps FEAM's
+// required user input minimal: a serial and a parallel submission script for
+// the site (the only site knowledge FEAM does not discover itself), which
+// phase to run, the binary location when applicable, and optional per-MPI
+// launch command overrides (mpiexec is the default).
+type Config struct {
+	// Phase is "source" or "target".
+	Phase string
+	// BinaryPath locates the application binary (optional in a target
+	// phase when a bundle is supplied).
+	BinaryPath string
+	// BundlePath locates a source-phase bundle to use (optional).
+	BundlePath string
+	// SerialScript and ParallelScript are submission script templates
+	// containing the %CMD% placeholder.
+	SerialScript   string
+	ParallelScript string
+	// MpiexecByImpl overrides the launch command per implementation key.
+	MpiexecByImpl map[string]string
+}
+
+// DefaultLaunchCommand is used when no override is configured (§V.C).
+const DefaultLaunchCommand = "mpiexec"
+
+// LaunchCommand returns the launch command for an implementation.
+func (c *Config) LaunchCommand(impl string) string {
+	if cmd, ok := c.MpiexecByImpl[impl]; ok && cmd != "" {
+		return cmd
+	}
+	return DefaultLaunchCommand
+}
+
+// Validate checks the configuration for a runnable phase.
+func (c *Config) Validate() error {
+	switch c.Phase {
+	case "source":
+		if c.BinaryPath == "" {
+			return fmt.Errorf("feam: source phase requires a binary location")
+		}
+	case "target":
+		if c.BinaryPath == "" && c.BundlePath == "" {
+			return fmt.Errorf("feam: target phase requires a binary or a bundle")
+		}
+	default:
+		return fmt.Errorf("feam: phase must be \"source\" or \"target\", got %q", c.Phase)
+	}
+	if c.SerialScript == "" || c.ParallelScript == "" {
+		return fmt.Errorf("feam: serial and parallel submission scripts are required")
+	}
+	if !strings.Contains(c.SerialScript, batch.CmdPlaceholder) ||
+		!strings.Contains(c.ParallelScript, batch.CmdPlaceholder) {
+		return fmt.Errorf("feam: submission scripts must contain the %s placeholder", batch.CmdPlaceholder)
+	}
+	// The scripts must parse under a known resource manager.
+	if _, err := batch.Parse(c.SerialScript); err != nil {
+		return fmt.Errorf("feam: serial script: %v", err)
+	}
+	if _, err := batch.Parse(c.ParallelScript); err != nil {
+		return fmt.Errorf("feam: parallel script: %v", err)
+	}
+	return nil
+}
+
+// ParseConfig reads the key = value configuration format:
+//
+//	phase = target
+//	binary = /home/user/bt.A.4
+//	serial_script = <<EOF ... EOF   (heredoc blocks for scripts)
+//	mpiexec.mvapich2 = mpirun_rsh
+func ParseConfig(text string) (*Config, error) {
+	cfg := &Config{MpiexecByImpl: map[string]string{}}
+	lines := strings.Split(text, "\n")
+	for i := 0; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("feam: config line %d: missing '=': %q", i+1, line)
+		}
+		key := strings.TrimSpace(line[:eq])
+		val := strings.TrimSpace(line[eq+1:])
+		// Heredoc blocks for multi-line script values.
+		if strings.HasPrefix(val, "<<") {
+			marker := strings.TrimSpace(strings.TrimPrefix(val, "<<"))
+			if marker == "" {
+				return nil, fmt.Errorf("feam: config line %d: empty heredoc marker", i+1)
+			}
+			var body []string
+			j := i + 1
+			for ; j < len(lines); j++ {
+				if strings.TrimSpace(lines[j]) == marker {
+					break
+				}
+				body = append(body, lines[j])
+			}
+			if j == len(lines) {
+				return nil, fmt.Errorf("feam: config line %d: unterminated heredoc %q", i+1, marker)
+			}
+			val = strings.Join(body, "\n")
+			i = j
+		}
+		switch {
+		case key == "phase":
+			cfg.Phase = val
+		case key == "binary":
+			cfg.BinaryPath = val
+		case key == "bundle":
+			cfg.BundlePath = val
+		case key == "serial_script":
+			cfg.SerialScript = val
+		case key == "parallel_script":
+			cfg.ParallelScript = val
+		case strings.HasPrefix(key, "mpiexec."):
+			cfg.MpiexecByImpl[strings.TrimPrefix(key, "mpiexec.")] = val
+		default:
+			return nil, fmt.Errorf("feam: config: unknown key %q", key)
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,178 @@
+package feam
+
+import (
+	"strings"
+	"testing"
+)
+
+const validSerial = "#!/bin/sh\n#PBS -N s\n#PBS -l nodes=1:ppn=1\n#PBS -l walltime=00:05:00\n%CMD%\n"
+const validParallel = "#!/bin/sh\n#PBS -N p\n#PBS -l nodes=1:ppn=4\n#PBS -l walltime=00:10:00\n%CMD%\n"
+
+func TestParseConfig(t *testing.T) {
+	text := `
+# FEAM configuration
+phase = target
+binary = /home/user/bt.A.4
+bundle = /home/user/bt.bundle
+mpiexec.mvapich2 = mpirun_rsh
+serial_script = <<EOS
+` + strings.TrimSuffix(validSerial, "\n") + `
+EOS
+parallel_script = <<EOS
+` + strings.TrimSuffix(validParallel, "\n") + `
+EOS
+`
+	cfg, err := ParseConfig(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Phase != "target" || cfg.BinaryPath != "/home/user/bt.A.4" || cfg.BundlePath != "/home/user/bt.bundle" {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.LaunchCommand("mvapich2") != "mpirun_rsh" {
+		t.Errorf("mvapich2 launch = %q", cfg.LaunchCommand("mvapich2"))
+	}
+	if cfg.LaunchCommand("openmpi") != DefaultLaunchCommand {
+		t.Errorf("openmpi launch = %q", cfg.LaunchCommand("openmpi"))
+	}
+	if !strings.Contains(cfg.SerialScript, "#PBS") {
+		t.Errorf("SerialScript = %q", cfg.SerialScript)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing equals":       "phase target\n",
+		"unknown key":          "frobnicate = yes\n",
+		"unterminated heredoc": "serial_script = <<EOS\nnever closed\n",
+		"empty heredoc marker": "serial_script = <<\nx\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseConfig(text); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := func() *Config {
+		return &Config{
+			Phase: "target", BinaryPath: "/b",
+			SerialScript: validSerial, ParallelScript: validParallel,
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	c := base()
+	c.Phase = "weird"
+	if err := c.Validate(); err == nil {
+		t.Error("bad phase accepted")
+	}
+	c = base()
+	c.Phase = "source"
+	c.BinaryPath = ""
+	if err := c.Validate(); err == nil {
+		t.Error("source phase without binary accepted")
+	}
+	c = base()
+	c.BinaryPath = ""
+	if err := c.Validate(); err == nil {
+		t.Error("target phase without binary or bundle accepted")
+	}
+	c = base()
+	c.BinaryPath = ""
+	c.BundlePath = "/bundle"
+	if err := c.Validate(); err != nil {
+		t.Errorf("bundle-only target rejected: %v", err)
+	}
+	c = base()
+	c.SerialScript = "#!/bin/sh\n#PBS -N x\necho fixed\n" // no placeholder
+	if err := c.Validate(); err == nil {
+		t.Error("script without placeholder accepted")
+	}
+	c = base()
+	c.SerialScript = "echo %CMD%\n" // no scheduler directives
+	if err := c.Validate(); err == nil {
+		t.Error("script without directives accepted")
+	}
+}
+
+func TestDeterminantAndOutcomeStrings(t *testing.T) {
+	if len(Determinants()) != 4 {
+		t.Fatal("the model has four determinants")
+	}
+	for d, want := range map[Determinant]string{
+		DetISA: "ISA compatibility", DetCLibrary: "C library compatibility",
+		DetMPIStack: "MPI stack compatibility", DetSharedLibs: "shared library compatibility",
+	} {
+		if d.String() != want {
+			t.Errorf("%d = %q", d, d.String())
+		}
+	}
+	for o, want := range map[Outcome]string{
+		Unknown: "not evaluated", Pass: "pass", Fail: "fail", Resolved: "resolved",
+	} {
+		if o.String() != want {
+			t.Errorf("%d = %q", o, o.String())
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{Phase: "target", Site: "india"}
+	r.step("discovery", 25e9)
+	r.step("probes", 50e9)
+	r.note("prediction: READY")
+	if r.Total() != 75e9 {
+		t.Errorf("Total = %v", r.Total())
+	}
+	out := r.String()
+	for _, want := range []string{"target phase at india", "discovery", "probes", "READY"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPredictionRender(t *testing.T) {
+	p := &Prediction{
+		Binary: "/home/user/cg.bin", Site: "india", Extended: true, Ready: true,
+		Determinants: map[Determinant]DeterminantResult{
+			DetISA:        {Outcome: Pass, Detail: "x86-64 matches"},
+			DetCLibrary:   {Outcome: Pass, Detail: "2.5 >= 2.3.4"},
+			DetMPIStack:   {Outcome: Pass, Detail: "stack selected"},
+			DetSharedLibs: {Outcome: Resolved, Detail: "2 resolved"},
+		},
+		SelectedStack: &StackInfo{Key: "mvapich2-1.7a2-gnu", Impl: "mvapich2",
+			ImplVersion: "1.7a2", CompilerFamily: "gnu", CompilerVersion: "4.1.2",
+			DiscoveredVia: "modules"},
+		MissingLibs:    []string{"libmpich.so.1.0"},
+		ResolvedLibs:   []string{"libmpich.so.1.0"},
+		StageDir:       "/home/user/feam/staged/cg.bin",
+		UnresolvedLibs: map[string]string{},
+		ConfigScript:   "#!/bin/sh\nmodule load mvapich2-1.7a2-gnu\n",
+	}
+	out := p.Render()
+	for _, want := range []string{
+		"READY", "extended", "resolved", "mvapich2-1.7a2-gnu",
+		"libmpich.so.1.0", "staged",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	// Not-ready rendering includes reasons and unresolvables.
+	p.Ready = false
+	p.Reasons = []string{"shared library compatibility: unresolvable"}
+	p.UnresolvedLibs["libmpich.so.1.2"] = "copy requires glibc 2.5"
+	out = p.Render()
+	for _, want := range []string{"NOT READY", "unresolvable", "copy requires glibc 2.5", "reason:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}

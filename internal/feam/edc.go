@@ -1,0 +1,318 @@
+package feam
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"feam/internal/elfimg"
+	"feam/internal/envmgmt"
+	"feam/internal/ldso"
+	"feam/internal/libver"
+	"feam/internal/sitemodel"
+)
+
+// StackInfo is one MPI stack the EDC discovered at a site. Everything here
+// is learned from the discovery surface (module keys, path names, wrapper
+// banners) — never from the site's ground-truth registry.
+type StackInfo struct {
+	// Key is the canonical name, e.g. "openmpi-1.4-intel".
+	Key string
+	// Impl is the implementation key ("openmpi", "mpich2", "mvapich2").
+	Impl string
+	// ImplVersion is the release parsed from the key/path.
+	ImplVersion string
+	// CompilerFamily/CompilerVersion come from the key and the wrapper's
+	// version banner.
+	CompilerFamily  string
+	CompilerVersion string
+	// Prefix is the installation root.
+	Prefix string
+	// DiscoveredVia records the mechanism: "modules", "softenv", or
+	// "path-search".
+	DiscoveredVia string
+}
+
+// EnvironmentDescription is the EDC's output — the information Figure 4
+// lists.
+type EnvironmentDescription struct {
+	SiteName string
+
+	// ISA and Bits describe the hardware architecture (uname -p).
+	ISA  elfimg.Machine
+	Bits int
+	// UnameProcessor is the raw processor string.
+	UnameProcessor string
+
+	// OSType/OSVersion come from /proc/version; Distro from /etc/*release.
+	OSType    string
+	OSVersion string
+	Distro    string
+
+	// Glibc is the C library version; GlibcSource records how it was
+	// learned ("exec-banner" by running the C library, "api" from the
+	// library's version definitions).
+	Glibc       libver.Version
+	GlibcSource string
+
+	// EnvTool names the user-environment management tool found ("modules",
+	// "softenv", or "" when none).
+	EnvTool string
+	// Available lists every discovered MPI stack.
+	Available []StackInfo
+	// Loaded is the currently selected stack, when one is active.
+	Loaded *StackInfo
+}
+
+// FindStacks returns the available stacks using the given implementation.
+func (e *EnvironmentDescription) FindStacks(impl string) []StackInfo {
+	var out []StackInfo
+	for _, s := range e.Available {
+		if s.Impl == impl {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Discover runs the Environment Discovery Component at a site.
+func Discover(site *sitemodel.Site) (*EnvironmentDescription, error) {
+	env := &EnvironmentDescription{SiteName: site.Name}
+	if err := discoverSystem(site, env); err != nil {
+		return nil, err
+	}
+	discoverGlibc(site, env)
+	discoverStacks(site, env)
+	return env, nil
+}
+
+// discoverSystem reads the uname surface, /proc/version and /etc/*release.
+func discoverSystem(site *sitemodel.Site, env *EnvironmentDescription) error {
+	raw, err := site.FS().ReadFile("/proc/sys/kernel/uname")
+	if err != nil {
+		return fmt.Errorf("feam: uname unavailable: %v", err)
+	}
+	fields := strings.Fields(string(raw))
+	if len(fields) > 0 {
+		env.UnameProcessor = fields[0]
+	}
+	switch env.UnameProcessor {
+	case "x86_64":
+		env.ISA, env.Bits = elfimg.EMX8664, 64
+	case "i686", "i586", "i386":
+		env.ISA, env.Bits = elfimg.EM386, 32
+	case "ppc64":
+		env.ISA, env.Bits = elfimg.EMPPC64, 64
+	case "ppc":
+		env.ISA, env.Bits = elfimg.EMPPC, 32
+	default:
+		return fmt.Errorf("feam: unrecognized processor %q", env.UnameProcessor)
+	}
+	if data, err := site.FS().ReadFile("/proc/version"); err == nil {
+		f := strings.Fields(string(data))
+		if len(f) >= 3 && f[0] == "Linux" && f[1] == "version" {
+			env.OSType = "Linux"
+			env.OSVersion = f[2]
+		}
+	}
+	// Confirm distribution from /etc/*release files.
+	for _, rel := range []string{"/etc/redhat-release", "/etc/centos-release", "/etc/SuSE-release", "/etc/lsb-release"} {
+		if data, err := site.FS().ReadFile(rel); err == nil {
+			env.Distro = strings.TrimSpace(strings.Split(string(data), "\n")[0])
+			break
+		}
+	}
+	return nil
+}
+
+// discoverGlibc determines the C library version: first by "executing" the
+// C library binary and parsing its banner, then by falling back to the
+// library's own version-definition table (the C library API path).
+func discoverGlibc(site *sitemodel.Site, env *EnvironmentDescription) {
+	libcPath, ok := searchLibrary(site, "libc.so.6")
+	if !ok {
+		return
+	}
+	if banner, ok := site.FS().Attr(libcPath, sitemodel.AttrExecOutput); ok {
+		if v, ok := parseGlibcBanner(banner); ok {
+			env.Glibc, env.GlibcSource = v, "exec-banner"
+			return
+		}
+	}
+	// Fallback: read the version definitions out of the library image.
+	if data, err := site.FS().ReadFileShared(libcPath); err == nil {
+		if f, err := elfimg.Parse(data); err == nil {
+			if v := libver.HighestGlibc(f.VerDefs); !v.IsZero() {
+				env.Glibc, env.GlibcSource = v, "api"
+			}
+		}
+	}
+}
+
+// parseGlibcBanner extracts "2.5" from "GNU C Library stable release
+// version 2.5, by ...".
+func parseGlibcBanner(banner string) (libver.Version, bool) {
+	fields := strings.Fields(banner)
+	for i, f := range fields {
+		if f == "version" && i+1 < len(fields) {
+			vs := strings.TrimSuffix(fields[i+1], ",")
+			if v, err := libver.ParseVersion(vs); err == nil {
+				return v, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// discoverStacks enumerates MPI stacks via user-environment management
+// tools, falling back to filesystem searches for MPI libraries and compiler
+// wrappers.
+func discoverStacks(site *sitemodel.Site, env *EnvironmentDescription) {
+	tool := site.EnvTool()
+	if tool != nil {
+		env.EnvTool = tool.Name()
+		if keys, err := tool.Avail(); err == nil {
+			for _, key := range keys {
+				if info, ok := stackFromKey(site, key, tool.Name()); ok {
+					env.Available = append(env.Available, info)
+				}
+			}
+		}
+		for _, key := range tool.Loaded() {
+			if info, ok := stackFromKey(site, key, tool.Name()); ok {
+				loaded := info
+				env.Loaded = &loaded
+				break
+			}
+		}
+		if len(env.Available) > 0 {
+			return
+		}
+	}
+	// Path search: find MPI libraries and wrappers, parse the installation
+	// path naming scheme, and confirm compiler versions from wrapper
+	// banners.
+	prefixes := map[string]bool{}
+	for _, pattern := range []string{"libmpi.so*", "libmpich.so*"} {
+		hits, err := site.FS().Glob("/opt", pattern)
+		if err != nil {
+			continue
+		}
+		for _, h := range hits {
+			if i := strings.Index(h, "/lib/"); i > 0 {
+				prefixes[h[:i]] = true
+			}
+		}
+	}
+	// Wrappers reachable via PATH also reveal installations.
+	for _, dir := range envmgmt.SplitPathVar(site.Getenv("PATH")) {
+		if site.FS().Exists(dir + "/mpicc") {
+			prefixes[strings.TrimSuffix(dir, "/bin")] = true
+		}
+	}
+	keys := make([]string, 0, len(prefixes))
+	for p := range prefixes {
+		keys = append(keys, p)
+	}
+	sort.Strings(keys)
+	for _, prefix := range keys {
+		base := prefix[strings.LastIndexByte(prefix, '/')+1:]
+		if info, ok := stackFromKey(site, base, "path-search"); ok {
+			info.Prefix = prefix
+			env.Available = append(env.Available, info)
+		}
+	}
+	// Loaded stack: an mpicc on PATH identifies the active installation.
+	for _, dir := range envmgmt.SplitPathVar(site.Getenv("PATH")) {
+		if !site.FS().Exists(dir + "/mpicc") {
+			continue
+		}
+		prefix := strings.TrimSuffix(dir, "/bin")
+		base := prefix[strings.LastIndexByte(prefix, '/')+1:]
+		if info, ok := stackFromKey(site, base, "path-search"); ok {
+			info.Prefix = prefix
+			env.Loaded = &info
+			break
+		}
+	}
+}
+
+// stackFromKey parses a stack name of the form <impl>-<version>-<compiler>
+// (the naming scheme used by module keys, softenv keys, and installation
+// paths, e.g. "openmpi-1.4.3-intel"), then confirms the compiler version by
+// reading the mpicc wrapper's banner.
+func stackFromKey(site *sitemodel.Site, key, via string) (StackInfo, bool) {
+	key = strings.TrimPrefix(key, "mpi/")
+	key = strings.TrimPrefix(key, "+")
+	parts := strings.Split(key, "-")
+	if len(parts) < 3 {
+		return StackInfo{}, false
+	}
+	impl := parts[0]
+	switch impl {
+	case "openmpi", "mpich2", "mvapich2":
+	default:
+		return StackInfo{}, false
+	}
+	family := parts[len(parts)-1]
+	switch family {
+	case "gnu", "intel", "pgi":
+	default:
+		return StackInfo{}, false
+	}
+	version := strings.Join(parts[1:len(parts)-1], "-")
+	info := StackInfo{
+		Key: key, Impl: impl, ImplVersion: version,
+		CompilerFamily: family, DiscoveredVia: via,
+		Prefix: "/opt/" + key,
+	}
+	// Wrapper version banner reveals the compiler release (the paper's
+	// `mpicc -V` technique).
+	if banner, ok := site.FS().Attr(info.Prefix+"/bin/mpicc", sitemodel.AttrExecOutput); ok {
+		for _, line := range strings.Split(banner, "\n") {
+			if strings.Contains(line, "cc") || strings.Contains(line, "CC") {
+				if v, ok := parseCompilerVersionField(line); ok {
+					info.CompilerVersion = v
+				}
+			}
+		}
+	}
+	return info, true
+}
+
+// parseCompilerVersionField pulls a plausible release number out of a
+// compiler banner line.
+func parseCompilerVersionField(line string) (string, bool) {
+	for _, f := range strings.Fields(line) {
+		v, err := libver.ParseVersion(f)
+		if err != nil {
+			continue
+		}
+		ok := true
+		for _, n := range v {
+			if n > 99 {
+				ok = false
+			}
+		}
+		if ok {
+			return v.String(), true
+		}
+	}
+	return "", false
+}
+
+// MissingLibraries runs the EDC's ldd-equivalent check for a described
+// binary under the site's current environment (plus optional staged
+// directories), returning the DT_NEEDED names that cannot be resolved.
+func MissingLibraries(site *sitemodel.Site, binary []byte, name string, extraDirs []string) ([]string, error) {
+	resolution, err := ldso.ResolveBytes(binary, name, ldso.Options{
+		FS:              site.FS(),
+		LibraryPath:     envmgmt.SplitPathVar(site.Getenv("LD_LIBRARY_PATH")),
+		DefaultDirs:     site.DefaultLibDirs(),
+		ExtraSearchDirs: extraDirs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resolution.MissingNames(), nil
+}

@@ -1,0 +1,44 @@
+package feam_test
+
+import (
+	"fmt"
+
+	"feam/internal/elfimg"
+	"feam/internal/feam"
+	"feam/internal/mpistack"
+)
+
+// ExampleDescribeBytes shows the Binary Description Component on a
+// hand-built MPI binary image.
+func ExampleDescribeBytes() {
+	img := elfimg.MustBuild(elfimg.Spec{
+		Class:   elfimg.Class64,
+		Machine: elfimg.EMX8664,
+		Type:    elfimg.TypeExec,
+		Interp:  "/lib64/ld-linux-x86-64.so.2",
+		Needed: []string{"libmpich.so.1.2", "libibverbs.so.1", "libibumad.so.3",
+			"libm.so.6", "libc.so.6"},
+		VerNeeds: []elfimg.VerNeed{
+			{File: "libc.so.6", Versions: []string{"GLIBC_2.0", "GLIBC_2.5"}},
+		},
+		Comments: []string{"Intel(R) C Compiler 11.1"},
+	})
+	desc, _ := feam.DescribeBytes(img, "milc.bin")
+	fmt.Println(desc.Format)
+	fmt.Println(desc.MPIImpl)
+	fmt.Println(desc.RequiredGlibc)
+	fmt.Println(desc.BuildComment)
+	// Output:
+	// elf64-x86-64
+	// mvapich2
+	// 2.5
+	// Intel(R) C Compiler 11.1
+}
+
+// ExampleIdentify demonstrates the paper's Table I identification scheme.
+func ExampleIdentify() {
+	needed := []string{"libmpi.so.0", "libnsl.so.1", "libutil.so.1", "libc.so.6"}
+	impl, ok := mpistack.Identify(needed)
+	fmt.Println(impl, ok)
+	// Output: Open MPI true
+}

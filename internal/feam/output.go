@@ -1,0 +1,85 @@
+package feam
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+
+	"feam/internal/sitemodel"
+)
+
+// OutputDir is where FEAM's target phase writes its user-facing output
+// files at a site.
+const OutputDir = "/home/user/feam-output"
+
+// Render produces the user-facing prediction report the paper's TEC writes
+// ("if at any point we determine that execution cannot occur, the reasons
+// are detailed to the user via an output file").
+func (p *Prediction) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FEAM prediction for %s at %s\n", p.Binary, p.Site)
+	mode := "basic (target phase only)"
+	if p.Extended {
+		mode = "extended (source + target phases)"
+	}
+	fmt.Fprintf(&b, "mode: %s\n", mode)
+	if p.Ready {
+		b.WriteString("verdict: READY — execution is predicted to succeed\n")
+	} else {
+		b.WriteString("verdict: NOT READY\n")
+	}
+	b.WriteString("\ndeterminants:\n")
+	for _, d := range Determinants() {
+		res := p.Determinants[d]
+		fmt.Fprintf(&b, "  %-30s %-13s %s\n", d.String()+":", res.Outcome, res.Detail)
+	}
+	if p.SelectedStack != nil {
+		s := p.SelectedStack
+		fmt.Fprintf(&b, "\nselected MPI stack: %s (%s %s, %s %s, via %s)\n",
+			s.Key, s.Impl, s.ImplVersion, s.CompilerFamily, s.CompilerVersion, s.DiscoveredVia)
+	}
+	if len(p.MissingLibs) > 0 {
+		fmt.Fprintf(&b, "\nmissing shared libraries: %s\n", strings.Join(p.MissingLibs, ", "))
+	}
+	if len(p.ResolvedLibs) > 0 {
+		fmt.Fprintf(&b, "resolved from bundle (staged at %s): %s\n",
+			p.StageDir, strings.Join(p.ResolvedLibs, ", "))
+	}
+	if len(p.UnresolvedLibs) > 0 {
+		b.WriteString("unresolvable:\n")
+		names := make([]string, 0, len(p.UnresolvedLibs))
+		for n := range p.UnresolvedLibs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %s: %s\n", n, p.UnresolvedLibs[n])
+		}
+	}
+	for _, r := range p.Reasons {
+		fmt.Fprintf(&b, "reason: %s\n", r)
+	}
+	return b.String()
+}
+
+// WriteOutputFiles writes the prediction report (and, when ready, the
+// configuration script) into the site's FEAM output directory, returning
+// the paths written.
+func (p *Prediction) WriteOutputFiles(site *sitemodel.Site) ([]string, error) {
+	base := path.Join(OutputDir, path.Base(p.Binary))
+	var written []string
+	reportPath := base + ".prediction"
+	if err := site.FS().WriteString(reportPath, p.Render()); err != nil {
+		return nil, err
+	}
+	written = append(written, reportPath)
+	if p.Ready && p.ConfigScript != "" {
+		scriptPath := base + ".configure.sh"
+		if err := site.FS().WriteString(scriptPath, p.ConfigScript); err != nil {
+			return nil, err
+		}
+		written = append(written, scriptPath)
+	}
+	return written, nil
+}

@@ -1,0 +1,74 @@
+package feam
+
+import (
+	"sort"
+
+	"feam/internal/sitemodel"
+)
+
+// SiteAssessment is one site's evaluation in a multi-site survey.
+type SiteAssessment struct {
+	Site       string
+	Prediction *Prediction
+	// Err records a discovery/evaluation failure at the site.
+	Err error
+}
+
+// RankSites runs the Target Evaluation Component against every candidate
+// site and orders the results best-first — the paper's headline use case:
+// "For scientists who do not have much experience, time, or support to
+// explore new computing sites ... an efficient automated solution for
+// quickly assessing many new computing sites."
+//
+// Ordering: ready sites first (those needing no resolution ahead of those
+// needing staged libraries), then not-ready sites by how far they got
+// through the determinant ladder, then failed surveys.
+func RankSites(desc *BinaryDescription, appBytes []byte, sites []*sitemodel.Site, opts EvalOptions) []SiteAssessment {
+	out := make([]SiteAssessment, 0, len(sites))
+	for _, site := range sites {
+		a := SiteAssessment{Site: site.Name}
+		env, err := Discover(site)
+		if err != nil {
+			a.Err = err
+			out = append(out, a)
+			continue
+		}
+		pred, err := Evaluate(desc, appBytes, env, site, opts)
+		if err != nil {
+			a.Err = err
+			out = append(out, a)
+			continue
+		}
+		a.Prediction = pred
+		out = append(out, a)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return assessmentScore(out[i]) > assessmentScore(out[j])
+	})
+	return out
+}
+
+// assessmentScore orders assessments: higher is better.
+func assessmentScore(a SiteAssessment) int {
+	if a.Err != nil || a.Prediction == nil {
+		return -1
+	}
+	p := a.Prediction
+	if p.Ready {
+		if len(p.ResolvedLibs) == 0 {
+			return 100 // runs as-is
+		}
+		return 90 // runs with staged libraries
+	}
+	// Credit for every determinant passed before the failure.
+	score := 0
+	for _, d := range Determinants() {
+		switch p.Determinants[d].Outcome {
+		case Pass, Resolved:
+			score += 10
+		case Fail:
+			return score
+		}
+	}
+	return score
+}

@@ -1,0 +1,487 @@
+package feam
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+
+	"feam/internal/elfimg"
+	"feam/internal/envmgmt"
+	"feam/internal/sitemodel"
+	"feam/internal/toolchain"
+)
+
+// EvalOptions configures a Target Evaluation Component run.
+type EvalOptions struct {
+	// Bundle enables the extended compatibility tests and the resolution
+	// model (nil = basic prediction).
+	Bundle *Bundle
+	// Runner executes probe programs; without it, stack usability tests
+	// are skipped and stack presence alone decides the MPI determinant.
+	Runner ProgramRunner
+	// Resolve applies the resolution model to missing shared libraries
+	// (requires Bundle).
+	Resolve bool
+	// StageDir is where library copies are staged on the target
+	// filesystem; derived from the binary name when empty.
+	StageDir string
+	// Config supplies launch-command overrides.
+	Config *Config
+	// ShallowResolution disables the recursive part of the resolution
+	// model: copies are staged without checking or resolving their own
+	// dependencies. This exists for the ablation study — the paper's model
+	// is recursive (§IV) — and is never set in normal operation.
+	ShallowResolution bool
+}
+
+// Prediction is the TEC's verdict for one binary at one target site.
+type Prediction struct {
+	// Binary and Site identify the evaluation.
+	Binary string
+	Site   string
+	// Extended records whether source-phase information was available.
+	Extended bool
+
+	// Ready is the headline answer: is the site ready to execute the
+	// binary without recompilation?
+	Ready bool
+	// Determinants holds the per-question outcomes.
+	Determinants map[Determinant]DeterminantResult
+	// Reasons lists human-readable failure explanations.
+	Reasons []string
+
+	// SelectedStack is the compatible, functioning stack the TEC chose.
+	SelectedStack *StackInfo
+	// MissingLibs lists shared libraries absent at the target before
+	// resolution.
+	MissingLibs []string
+	// ResolvedLibs lists libraries fixed by staging bundle copies;
+	// UnresolvedLibs maps still-missing names to the reason resolution
+	// could not use a copy.
+	ResolvedLibs   []string
+	UnresolvedLibs map[string]string
+	// StageDir is where resolved copies were placed.
+	StageDir string
+
+	// ConfigScript is the emitted site-configuration script that sets up
+	// the environment for execution.
+	ConfigScript string
+}
+
+// ExtraLibDirs returns the loader directories execution must add (the
+// staged copies), if any.
+func (p *Prediction) ExtraLibDirs() []string {
+	if len(p.ResolvedLibs) == 0 {
+		return nil
+	}
+	return []string{p.StageDir}
+}
+
+// StackKey returns the selected stack's key, or "".
+func (p *Prediction) StackKey() string {
+	if p.SelectedStack == nil {
+		return ""
+	}
+	return p.SelectedStack.Key
+}
+
+func (p *Prediction) fail(d Determinant, reason string) {
+	p.Determinants[d] = DeterminantResult{Outcome: Fail, Detail: reason}
+	p.Reasons = append(p.Reasons, fmt.Sprintf("%s: %s", d, reason))
+	p.Ready = false
+}
+
+func (p *Prediction) pass(d Determinant, detail string) {
+	p.Determinants[d] = DeterminantResult{Outcome: Pass, Detail: detail}
+}
+
+// Evaluate runs the Target Evaluation Component: it matches a binary
+// description against an environment description per the prediction model,
+// tests candidate MPI stacks with probe programs, and optionally applies
+// the resolution model. appBytes may be nil when a bundle carries the
+// description (the paper's "binary not present at target" mode); a
+// synthetic probe image is reconstructed from the description for the
+// loader checks.
+func Evaluate(desc *BinaryDescription, appBytes []byte, env *EnvironmentDescription, site *sitemodel.Site, opts EvalOptions) (*Prediction, error) {
+	if desc == nil || env == nil || site == nil {
+		return nil, fmt.Errorf("feam: Evaluate requires a description, environment, and site")
+	}
+	pred := &Prediction{
+		Binary:         desc.Name,
+		Site:           env.SiteName,
+		Extended:       opts.Bundle != nil,
+		Ready:          true,
+		Determinants:   map[Determinant]DeterminantResult{},
+		UnresolvedLibs: map[string]string{},
+	}
+	for _, d := range Determinants() {
+		pred.Determinants[d] = DeterminantResult{Outcome: Unknown}
+	}
+
+	// 1. ISA compatibility (architecture and word size).
+	if desc.ISA != env.ISA || desc.Bits != env.Bits {
+		pred.fail(DetISA, fmt.Sprintf("binary is %s but site is %s (%d-bit)",
+			desc.Format, env.UnameProcessor, env.Bits))
+		return pred, nil
+	}
+	pred.pass(DetISA, fmt.Sprintf("%s matches site processor %s", desc.Format, env.UnameProcessor))
+
+	// 2. C library compatibility: site version must be >= the binary's
+	// required version.
+	switch {
+	case desc.RequiredGlibc.IsZero():
+		pred.pass(DetCLibrary, "binary has no C library version requirement")
+	case env.Glibc.IsZero():
+		pred.pass(DetCLibrary, "site C library version undetermined; assuming compatible")
+	case env.Glibc.AtLeast(desc.RequiredGlibc):
+		pred.pass(DetCLibrary, fmt.Sprintf("site glibc %s >= required %s", env.Glibc, desc.RequiredGlibc))
+	default:
+		pred.fail(DetCLibrary, fmt.Sprintf("site glibc %s < required %s", env.Glibc, desc.RequiredGlibc))
+		return pred, nil
+	}
+
+	// 3. MPI stack compatibility: an available stack of the same
+	// implementation that demonstrably functions.
+	if !desc.UsesMPI() {
+		pred.pass(DetMPIStack, "not an MPI application")
+	} else {
+		selected, detail := selectStack(desc, env, site, opts)
+		if selected == nil {
+			pred.fail(DetMPIStack, detail)
+			return pred, nil
+		}
+		pred.SelectedStack = selected
+		pred.pass(DetMPIStack, detail)
+	}
+
+	// 4. Shared library compatibility under the selected stack's
+	// environment.
+	probe := appBytes
+	if probe == nil {
+		img, err := syntheticImage(desc)
+		if err != nil {
+			return nil, err
+		}
+		probe = img
+	}
+	snap := site.SnapshotEnv()
+	loadStackEnv(site, pred.SelectedStack)
+	missing, err := MissingLibraries(site, probe, desc.Name, nil)
+	site.RestoreEnv(snap)
+	if err != nil {
+		return nil, err
+	}
+	pred.MissingLibs = missing
+	if len(missing) == 0 {
+		pred.pass(DetSharedLibs, "all required shared libraries present")
+	} else if opts.Resolve && opts.Bundle != nil {
+		resolveMissing(pred, missing, env, site, opts)
+		if len(pred.UnresolvedLibs) == 0 {
+			pred.Determinants[DetSharedLibs] = DeterminantResult{
+				Outcome: Resolved,
+				Detail:  fmt.Sprintf("%d missing libraries resolved from bundle", len(pred.ResolvedLibs)),
+			}
+		} else {
+			var parts []string
+			for name, why := range pred.UnresolvedLibs {
+				parts = append(parts, name+" ("+why+")")
+			}
+			sort.Strings(parts)
+			pred.fail(DetSharedLibs, "unresolvable: "+strings.Join(parts, ", "))
+			return pred, nil
+		}
+	} else {
+		pred.fail(DetSharedLibs, "missing: "+strings.Join(missing, ", "))
+		return pred, nil
+	}
+
+	pred.ConfigScript = configScript(pred, desc, opts.Config)
+	return pred, nil
+}
+
+// syntheticImage reconstructs a loader-probe ELF image from a description
+// (used when the application binary is not present at the target site).
+func syntheticImage(desc *BinaryDescription) ([]byte, error) {
+	cls := elfimg.Class64
+	if desc.Bits == 32 {
+		cls = elfimg.Class32
+	}
+	return elfimg.Build(elfimg.Spec{
+		Class:    cls,
+		Machine:  desc.ISA,
+		Type:     elfimg.TypeExec,
+		Interp:   "/lib64/ld-linux-x86-64.so.2",
+		Needed:   desc.Needed,
+		VerNeeds: desc.VerNeeds,
+	})
+}
+
+// selectStack finds a compatible, functioning MPI stack. Candidates share
+// the binary's implementation; those matching the build compiler family are
+// preferred. Each candidate is validated with probe programs: a natively
+// compiled hello world when the site has the stack's compiler, plus the
+// bundle's source-site hello world for extended cross-compatibility tests.
+func selectStack(desc *BinaryDescription, env *EnvironmentDescription, site *sitemodel.Site, opts EvalOptions) (*StackInfo, string) {
+	candidates := env.FindStacks(desc.MPIImpl)
+	if len(candidates) == 0 {
+		return nil, fmt.Sprintf("no %s installation available at site", desc.MPIImpl)
+	}
+	sort.SliceStable(candidates, func(i, j int) bool {
+		pi := compilerFamilyOf(desc.BuildComment) == candidates[i].CompilerFamily
+		pj := compilerFamilyOf(desc.BuildComment) == candidates[j].CompilerFamily
+		return pi && !pj
+	})
+	var failures []string
+	for i := range candidates {
+		cand := &candidates[i]
+		ok, detail := testStack(cand, site, opts)
+		if ok {
+			return cand, fmt.Sprintf("stack %s selected (%s)", cand.Key, detail)
+		}
+		failures = append(failures, fmt.Sprintf("%s: %s", cand.Key, detail))
+	}
+	return nil, "no functioning compatible stack: " + strings.Join(failures, "; ")
+}
+
+// compilerFamilyOf extracts the compiler family from a .comment provenance
+// string.
+func compilerFamilyOf(comment string) string {
+	switch {
+	case strings.HasPrefix(comment, "GCC:"):
+		return "gnu"
+	case strings.HasPrefix(comment, "Intel"):
+		return "intel"
+	case strings.HasPrefix(comment, "PGI"):
+		return "pgi"
+	default:
+		return ""
+	}
+}
+
+// testStack checks that a candidate stack actually functions by running
+// hello-world probes under it (§III.B: advertised stacks can be
+// misconfigured and unusable).
+func testStack(cand *StackInfo, site *sitemodel.Site, opts EvalOptions) (bool, string) {
+	if opts.Runner == nil {
+		return true, "presence only (no probe runner)"
+	}
+	snap := site.SnapshotEnv()
+	defer site.RestoreEnv(snap)
+	loadStackEnv(site, cand)
+
+	tested := false
+	// Native compile test: possible when the stack's compiler is present.
+	if family, ok := toolchain.FamilyFromKey(cand.CompilerFamily); ok {
+		if _, found := toolchain.FindCompiler(site, family); found {
+			rec := stackRecordFromInfo(cand)
+			hello, err := toolchain.CompileHello(rec, site)
+			if err == nil {
+				okRun, detail := opts.Runner.RunProgram(hello, site, cand.Key, nil)
+				if !okRun {
+					return false, "native hello world failed: " + detail
+				}
+				tested = true
+			}
+		}
+	}
+	// Extended test: the source site's hello world under this stack. A
+	// failure whose output shows a missing shared library does not condemn
+	// the stack — missing libraries are the shared-library determinant's
+	// business and the resolution model may still fix them; crashes and
+	// launch failures (ABI breaks, floating point errors, misconfigured
+	// stacks) do.
+	if opts.Bundle != nil && opts.Bundle.MPIHello != nil {
+		okRun, detail := opts.Runner.RunProgram(opts.Bundle.MPIHello, site, cand.Key, nil)
+		if !okRun && !strings.Contains(detail, "not found") {
+			return false, "source-site hello world failed: " + detail
+		}
+		tested = true
+	}
+	if !tested {
+		return true, "presence only (no testable probe)"
+	}
+	if opts.Bundle != nil {
+		return true, "native and source hello worlds pass"
+	}
+	return true, "native hello world passes"
+}
+
+// stackRecordFromInfo converts discovered stack information into the record
+// form the toolchain consumes. Every field is EDC-discoverable; no ground
+// truth is involved.
+func stackRecordFromInfo(info *StackInfo) *sitemodel.StackRecord {
+	return &sitemodel.StackRecord{
+		Key:             info.Key,
+		Impl:            info.Impl,
+		ImplVersion:     info.ImplVersion,
+		CompilerFamily:  info.CompilerFamily,
+		CompilerVersion: info.CompilerVersion,
+		Prefix:          info.Prefix,
+	}
+}
+
+// loadStackEnv activates a stack in the site environment the way `module
+// load` (or a manual PATH/LD_LIBRARY_PATH export) would.
+func loadStackEnv(site *sitemodel.Site, stack *StackInfo) {
+	if stack == nil {
+		return
+	}
+	envmgmt.PrependPathEntry(site, "PATH", stack.Prefix+"/bin")
+	envmgmt.PrependPathEntry(site, "LD_LIBRARY_PATH", stack.Prefix+"/lib")
+}
+
+// resolveMissing applies the resolution model (§IV): for every missing
+// shared library, the prediction model is applied recursively to the
+// bundled copy — ISA, C library requirement, and the copy's own shared
+// library dependencies (which may recursively require further copies).
+// Usable copies are staged at the target and exposed via the loader path.
+func resolveMissing(pred *Prediction, missing []string, env *EnvironmentDescription, site *sitemodel.Site, opts EvalOptions) {
+	stageDir := opts.StageDir
+	if stageDir == "" {
+		stageDir = "/home/user/feam/staged/" + path.Base(pred.Binary)
+	}
+	pred.StageDir = stageDir
+
+	snap := site.SnapshotEnv()
+	loadStackEnv(site, pred.SelectedStack)
+	defer site.RestoreEnv(snap)
+
+	planned := map[string]*LibraryCopy{}
+	pending := append([]string(nil), missing...)
+	const maxPlanned = 256
+	for len(pending) > 0 {
+		name := pending[0]
+		pending = pending[1:]
+		if _, done := planned[name]; done {
+			continue
+		}
+		if _, bad := pred.UnresolvedLibs[name]; bad {
+			continue
+		}
+		copyLib := opts.Bundle.FindLibrary(name)
+		if copyLib == nil {
+			pred.UnresolvedLibs[name] = "no copy in bundle"
+			continue
+		}
+		// Recursive prediction on the copy: ISA determinant.
+		if copyLib.Desc.ISA != env.ISA || copyLib.Desc.Bits != env.Bits {
+			pred.UnresolvedLibs[name] = fmt.Sprintf("copy is %s, site is %d-bit %s",
+				copyLib.Desc.Format, env.Bits, env.UnameProcessor)
+			continue
+		}
+		// C library determinant.
+		if !copyLib.Desc.RequiredGlibc.IsZero() && !env.Glibc.IsZero() &&
+			env.Glibc.Less(copyLib.Desc.RequiredGlibc) {
+			pred.UnresolvedLibs[name] = fmt.Sprintf("copy requires glibc %s, site has %s",
+				copyLib.Desc.RequiredGlibc, env.Glibc)
+			continue
+		}
+		if len(planned) >= maxPlanned {
+			pred.UnresolvedLibs[name] = "resolution plan too large"
+			continue
+		}
+		planned[name] = copyLib
+		if opts.ShallowResolution {
+			continue
+		}
+		// Shared library determinant, recursively: the copy's own
+		// dependencies must be present at the target or resolvable too.
+		for _, dep := range copyLib.Desc.Needed {
+			if dep == name {
+				continue
+			}
+			if _, already := planned[dep]; already {
+				continue
+			}
+			if targetHasLibrary(site, dep, copyLib.Desc) {
+				continue
+			}
+			pending = append(pending, dep)
+		}
+	}
+
+	// Any unresolved dependency poisons the libraries that needed it; the
+	// remaining plan is staged.
+	if len(pred.UnresolvedLibs) > 0 {
+		// Keep the partial stage anyway — FEAM reports the determinant as
+		// failed; staged files are harmless.
+		for name := range pred.UnresolvedLibs {
+			delete(planned, name)
+		}
+	}
+	names := make([]string, 0, len(planned))
+	for n := range planned {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		lc := planned[name]
+		dst := stageDir + "/" + name
+		if err := site.FS().WriteFile(dst, lc.Data); err != nil {
+			pred.UnresolvedLibs[name] = "staging failed: " + err.Error()
+			continue
+		}
+		for k, v := range lc.Attrs {
+			if err := site.FS().SetAttr(dst, k, v); err != nil {
+				pred.UnresolvedLibs[name] = "staging failed: " + err.Error()
+				break
+			}
+		}
+		pred.ResolvedLibs = append(pred.ResolvedLibs, name)
+	}
+}
+
+// targetHasLibrary checks whether a NEEDED name resolves at the target
+// under the current environment, with the loader's class filtering.
+func targetHasLibrary(site *sitemodel.Site, name string, requester *BinaryDescription) bool {
+	dirs := append(envmgmt.SplitPathVar(site.Getenv("LD_LIBRARY_PATH")), site.DefaultLibDirs()...)
+	for _, dir := range dirs {
+		p := dir + "/" + name
+		data, err := site.FS().ReadFileShared(p)
+		if err != nil {
+			continue
+		}
+		f, err := elfimg.Parse(data)
+		if err != nil {
+			continue
+		}
+		if f.Machine == requester.ISA && f.Class.Bits() == requester.Bits {
+			return true
+		}
+	}
+	return false
+}
+
+// configScript emits the site-configuration script FEAM hands the user: the
+// environment settings that make the predicted-ready execution happen.
+func configScript(pred *Prediction, desc *BinaryDescription, cfg *Config) string {
+	var b strings.Builder
+	b.WriteString("#!/bin/sh\n")
+	fmt.Fprintf(&b, "# FEAM site configuration for %s at %s\n", pred.Binary, pred.Site)
+	if pred.SelectedStack != nil {
+		s := pred.SelectedStack
+		if s.DiscoveredVia == "modules" {
+			fmt.Fprintf(&b, "module load %s\n", s.Key)
+		} else if s.DiscoveredVia == "softenv" {
+			fmt.Fprintf(&b, "soft add +%s\n", s.Key)
+		} else {
+			fmt.Fprintf(&b, "export PATH=%s/bin:$PATH\n", s.Prefix)
+			fmt.Fprintf(&b, "export LD_LIBRARY_PATH=%s/lib:$LD_LIBRARY_PATH\n", s.Prefix)
+		}
+	}
+	if len(pred.ResolvedLibs) > 0 {
+		fmt.Fprintf(&b, "# %d shared libraries staged by the FEAM resolution model\n", len(pred.ResolvedLibs))
+		fmt.Fprintf(&b, "export LD_LIBRARY_PATH=%s:$LD_LIBRARY_PATH\n", pred.StageDir)
+	}
+	launch := DefaultLaunchCommand
+	if cfg != nil && desc.MPIImpl != "" {
+		launch = cfg.LaunchCommand(desc.MPIImpl)
+	}
+	if desc.MPIImpl != "" {
+		fmt.Fprintf(&b, "exec %s -n \"${NP:-4}\" %s\n", launch, pred.Binary)
+	} else {
+		fmt.Fprintf(&b, "exec %s\n", pred.Binary)
+	}
+	return b.String()
+}

@@ -1,0 +1,259 @@
+package ldso
+
+import (
+	"strings"
+	"testing"
+
+	"feam/internal/elfimg"
+	"feam/internal/sitemodel"
+)
+
+func TestRunPathSearchedAfterLibraryPath(t *testing.T) {
+	s := buildSite(t)
+	// Same soname in the RUNPATH dir and in LD_LIBRARY_PATH: the
+	// LD_LIBRARY_PATH copy must win (unlike RPATH).
+	if _, err := s.InstallLibrary("/opt/app/lib", sitemodel.Library{FileName: "libq.so.1.0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InstallLibrary("/override/lib", sitemodel.Library{FileName: "libq.so.1.9"}); err != nil {
+		t.Fatal(err)
+	}
+	bin := elfimg.MustBuild(elfimg.Spec{
+		Class: elfimg.Class64, Machine: elfimg.EMX8664, Type: elfimg.TypeExec,
+		Interp:  "/lib64/ld-linux-x86-64.so.2",
+		Needed:  []string{"libq.so.1", "libc.so.6"},
+		RunPath: "/opt/app/lib",
+	})
+	opts := optsFor(s)
+	opts.LibraryPath = []string{"/override/lib"}
+	res, err := ResolveBytes(bin, "app", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Objects["libq.so.1"].RealPath; got != "/override/lib/libq.so.1.9" {
+		t.Errorf("RUNPATH beat LD_LIBRARY_PATH: %q", got)
+	}
+	// Without LD_LIBRARY_PATH the RUNPATH copy is found.
+	opts.LibraryPath = nil
+	res, err = ResolveBytes(bin, "app", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Objects["libq.so.1"].RealPath; got != "/opt/app/lib/libq.so.1.0" {
+		t.Errorf("RUNPATH lookup failed: %q", got)
+	}
+}
+
+func TestRunPathDisablesRPath(t *testing.T) {
+	s := buildSite(t)
+	if _, err := s.InstallLibrary("/rpath/lib", sitemodel.Library{FileName: "libr.so.1.0"}); err != nil {
+		t.Fatal(err)
+	}
+	// Binary with both RPATH (pointing at the copy) and RUNPATH (pointing
+	// nowhere useful): RPATH must be ignored.
+	bin := elfimg.MustBuild(elfimg.Spec{
+		Class: elfimg.Class64, Machine: elfimg.EMX8664, Type: elfimg.TypeExec,
+		Interp:  "/lib64/ld-linux-x86-64.so.2",
+		Needed:  []string{"libr.so.1", "libc.so.6"},
+		RPath:   "/rpath/lib",
+		RunPath: "/elsewhere",
+	})
+	res, err := ResolveBytes(bin, "app", optsFor(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Error("RPATH should have been disabled by RUNPATH")
+	}
+}
+
+func TestRunPathNotInherited(t *testing.T) {
+	s := buildSite(t)
+	// libdep needs libsub; libsub lives only in the ROOT's runpath dir.
+	// RUNPATH is not inherited, so resolution of libsub must fail.
+	if _, err := s.InstallLibrary("/usr/lib64", sitemodel.Library{
+		FileName: "libdep.so.1.0", Needed: []string{"libsub.so.1", "libc.so.6"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InstallLibrary("/approot/lib", sitemodel.Library{FileName: "libsub.so.1.0"}); err != nil {
+		t.Fatal(err)
+	}
+	bin := elfimg.MustBuild(elfimg.Spec{
+		Class: elfimg.Class64, Machine: elfimg.EMX8664, Type: elfimg.TypeExec,
+		Interp:  "/lib64/ld-linux-x86-64.so.2",
+		Needed:  []string{"libdep.so.1", "libc.so.6"},
+		RunPath: "/approot/lib",
+	})
+	res, err := ResolveBytes(bin, "app", optsFor(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Error("RUNPATH leaked to a dependency")
+	}
+	if len(res.Missing) != 1 || res.Missing[0].Name != "libsub.so.1" {
+		t.Errorf("Missing = %v", res.Missing)
+	}
+}
+
+func TestPreload(t *testing.T) {
+	s := buildSite(t)
+	if _, err := s.InstallLibrary("/opt/trace/lib", sitemodel.Library{
+		FileName: "libtrace.so.1.0", Needed: []string{"libdl.so.2", "libc.so.6"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bin := appBinary([]string{"libc.so.6"}, nil)
+	opts := optsFor(s)
+	opts.Preload = []string{"/opt/trace/lib/libtrace.so.1"}
+	res, err := ResolveBytes(bin, "app", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("preload resolution failed: %s", res.Summary())
+	}
+	// The preloaded object loads first and its deps join the closure.
+	if res.Order[0] != "libtrace.so.1" {
+		t.Errorf("Order = %v", res.Order)
+	}
+	if res.Objects["libdl.so.2"] == nil {
+		t.Error("preload dependency not resolved")
+	}
+	if res.Objects["libtrace.so.1"].RequestedBy != "LD_PRELOAD" {
+		t.Errorf("RequestedBy = %q", res.Objects["libtrace.so.1"].RequestedBy)
+	}
+	// A missing preload object is reported.
+	opts.Preload = []string{"/nope/libghost.so"}
+	res, err = ResolveBytes(bin, "app", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || res.Missing[0].RequestedBy != "LD_PRELOAD" {
+		t.Errorf("missing preload not reported: %+v", res.Missing)
+	}
+}
+
+func TestCheckSymbolsEagerBinding(t *testing.T) {
+	s := buildSite(t)
+	// A library exporting a versioned symbol set.
+	if _, err := s.InstallLibrary("/usr/lib64", sitemodel.Library{
+		FileName: "libmpi.so.0.0.3",
+		Needed:   []string{"libc.so.6"},
+		VerDefs:  []string{"libmpi.so.0"},
+		Exports: []elfimg.ExportedSymbol{
+			{Name: "MPI_Init"}, {Name: "MPI_Send"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Binary importing one exported and one missing symbol.
+	bin := elfimg.MustBuild(elfimg.Spec{
+		Class: elfimg.Class64, Machine: elfimg.EMX8664, Type: elfimg.TypeExec,
+		Interp: "/lib64/ld-linux-x86-64.so.2",
+		Needed: []string{"libmpi.so.0", "libc.so.6"},
+		Imports: []elfimg.ImportedSymbol{
+			{Name: "MPI_Init"},
+			{Name: "MPI_Win_create"}, // not exported by this Open MPI build
+		},
+	})
+	// Lazy binding (default): loads fine.
+	res, err := ResolveBytes(bin, "app", optsFor(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("lazy binding failed: %s", res.Summary())
+	}
+	// Eager binding: the missing entry point surfaces.
+	opts := optsFor(s)
+	opts.CheckSymbols = true
+	res, err = ResolveBytes(bin, "app", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("eager binding missed the undefined symbol")
+	}
+	if len(res.UndefinedSymbols) != 1 || res.UndefinedSymbols[0].Symbol != "MPI_Win_create" {
+		t.Errorf("UndefinedSymbols = %+v", res.UndefinedSymbols)
+	}
+	if !strings.Contains(res.UndefinedSymbols[0].String(), "undefined symbol") {
+		t.Errorf("String = %q", res.UndefinedSymbols[0].String())
+	}
+}
+
+func TestCheckSymbolsVersionBound(t *testing.T) {
+	s := buildSite(t) // glibc 2.5: exports printf@GLIBC_2.0 and memcpy at every ladder entry
+	// printf@GLIBC_2.0 and memcpy@GLIBC_2.3.4 resolve (historical
+	// compatibility symbols persist); qsort@GLIBC_2.3.4 does not — the
+	// version exists, the entry point does not.
+	bin := elfimg.MustBuild(elfimg.Spec{
+		Class: elfimg.Class64, Machine: elfimg.EMX8664, Type: elfimg.TypeExec,
+		Interp: "/lib64/ld-linux-x86-64.so.2",
+		Needed: []string{"libc.so.6"},
+		VerNeeds: []elfimg.VerNeed{
+			{File: "libc.so.6", Versions: []string{"GLIBC_2.0", "GLIBC_2.3.4"}},
+		},
+		Imports: []elfimg.ImportedSymbol{
+			{Name: "printf", Version: "GLIBC_2.0", Library: "libc.so.6"},
+			{Name: "memcpy", Version: "GLIBC_2.3.4", Library: "libc.so.6"},
+			{Name: "qsort", Version: "GLIBC_2.3.4", Library: "libc.so.6"},
+		},
+	})
+	opts := optsFor(s)
+	opts.CheckSymbols = true
+	res, err := ResolveBytes(bin, "app", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UndefinedSymbols) != 1 {
+		t.Fatalf("UndefinedSymbols = %+v", res.UndefinedSymbols)
+	}
+	if !strings.HasPrefix(res.UndefinedSymbols[0].Symbol, "qsort@") {
+		t.Errorf("unexpected undefined symbol: %+v", res.UndefinedSymbols[0])
+	}
+}
+
+// TestResolutionDeterministic: identical inputs produce identical
+// resolutions — load order, chosen paths, and failure lists.
+func TestResolutionDeterministic(t *testing.T) {
+	s := buildSite(t)
+	if _, err := s.InstallLibrary("/usr/lib64", sitemodel.Library{
+		FileName: "libalpha.so.1.0", Needed: []string{"libbeta.so.1", "libc.so.6"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InstallLibrary("/usr/lib64", sitemodel.Library{
+		FileName: "libbeta.so.1.0", Needed: []string{"libm.so.6", "libc.so.6"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bin := appBinary([]string{"libalpha.so.1", "libmissing.so.9", "libc.so.6"}, nil)
+	opts := optsFor(s)
+	var firstOrder []string
+	var firstSummary string
+	for trial := 0; trial < 20; trial++ {
+		res, err := ResolveBytes(bin, "app", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			firstOrder = res.Order
+			firstSummary = res.Summary()
+			continue
+		}
+		if len(res.Order) != len(firstOrder) {
+			t.Fatalf("order length changed: %v vs %v", res.Order, firstOrder)
+		}
+		for i := range res.Order {
+			if res.Order[i] != firstOrder[i] {
+				t.Fatalf("order changed at %d: %v vs %v", i, res.Order, firstOrder)
+			}
+		}
+		if res.Summary() != firstSummary {
+			t.Fatal("summary changed between runs")
+		}
+	}
+}

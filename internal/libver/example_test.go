@@ -1,0 +1,34 @@
+package libver_test
+
+import (
+	"fmt"
+
+	"feam/internal/libver"
+)
+
+func ExampleParseSoname() {
+	sn, _ := libver.ParseSoname("/usr/lib64/libmpich.so.1.2")
+	fmt.Println(sn.Stem, sn.Version, sn.LinkName())
+	// Output: mpich 1.2 libmpich.so.1
+}
+
+func ExampleSoname_CompatibleWith() {
+	a, _ := libver.ParseSoname("libgfortran.so.3.0.0")
+	b, _ := libver.ParseSoname("libgfortran.so.3")
+	c, _ := libver.ParseSoname("libgfortran.so.1")
+	fmt.Println(a.CompatibleWith(b), a.CompatibleWith(c))
+	// Output: true false
+}
+
+func ExampleHighestGlibc() {
+	refs := []string{"GLIBC_2.2.5", "GLIBC_2.12", "GCC_3.0"}
+	fmt.Println(libver.HighestGlibc(refs))
+	// Output: 2.12
+}
+
+func ExampleVersion_AtLeast() {
+	site := libver.MustParseVersion("2.11.1")
+	required := libver.MustParseVersion("2.5")
+	fmt.Println(site.AtLeast(required))
+	// Output: true
+}

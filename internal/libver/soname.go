@@ -1,0 +1,115 @@
+package libver
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Soname describes a shared-object name following the Unix convention
+// lib<stem>.so.<major>[.<minor>[.<release>...]]. The soname recorded in
+// DT_SONAME usually carries only the major version; the installed file name
+// often carries the full version.
+type Soname struct {
+	// Stem is the library name without the "lib" prefix and ".so" suffix,
+	// e.g. "mpich" for libmpich.so.1.2.
+	Stem string
+	// Version holds the numeric components after ".so.". It may be empty
+	// for unversioned objects such as plain "libdl.so".
+	Version Version
+}
+
+// ParseSoname parses a shared-object file or soname string. It accepts
+// "libfoo.so", "libfoo.so.1", and "libfoo.so.1.2.3" forms, with or without a
+// leading directory.
+func ParseSoname(name string) (Soname, error) {
+	base := name
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if !strings.HasPrefix(base, "lib") {
+		return Soname{}, fmt.Errorf("libver: %q does not follow the lib<name>.so convention", name)
+	}
+	idx := strings.Index(base, ".so")
+	if idx < 0 {
+		return Soname{}, fmt.Errorf("libver: %q has no .so suffix", name)
+	}
+	stem := base[len("lib"):idx]
+	if stem == "" {
+		return Soname{}, fmt.Errorf("libver: %q has an empty library stem", name)
+	}
+	rest := base[idx+len(".so"):]
+	if rest == "" {
+		return Soname{Stem: stem}, nil
+	}
+	if !strings.HasPrefix(rest, ".") {
+		return Soname{}, fmt.Errorf("libver: %q has malformed version suffix %q", name, rest)
+	}
+	v, err := ParseVersion(rest[1:])
+	if err != nil {
+		return Soname{}, fmt.Errorf("libver: %q: %v", name, err)
+	}
+	return Soname{Stem: stem, Version: v}, nil
+}
+
+// String renders the soname in canonical form.
+func (s Soname) String() string {
+	if s.Version.IsZero() {
+		return "lib" + s.Stem + ".so"
+	}
+	return "lib" + s.Stem + ".so." + s.Version.String()
+}
+
+// Major returns the major version component (0 when unversioned).
+func (s Soname) Major() int { return s.Version.Major() }
+
+// LinkName returns the soname truncated to the major version, the form that
+// appears in DT_SONAME and DT_NEEDED entries: libfoo.so.1.
+func (s Soname) LinkName() string {
+	if s.Version.IsZero() {
+		return "lib" + s.Stem + ".so"
+	}
+	return fmt.Sprintf("lib%s.so.%d", s.Stem, s.Version.Major())
+}
+
+// CompatibleWith implements the paper's shared-library compatibility rule:
+// two shared objects are API-compatible when they share the stem and the
+// major version number. Minor and release components are ignored.
+func (s Soname) CompatibleWith(o Soname) bool {
+	return s.Stem == o.Stem && s.Major() == o.Major()
+}
+
+// SatisfiesNeeded reports whether an installed object named by s (possibly
+// fully versioned, e.g. libmpich.so.1.2) satisfies a DT_NEEDED reference
+// (usually major-only, e.g. libmpich.so.1). An unversioned reference is
+// satisfied by any version of the same stem.
+func (s Soname) SatisfiesNeeded(needed Soname) bool {
+	if s.Stem != needed.Stem {
+		return false
+	}
+	if needed.Version.IsZero() {
+		return true
+	}
+	return s.Major() == needed.Major()
+}
+
+// IsCLibrary reports whether the soname names the system C library.
+func (s Soname) IsCLibrary() bool { return s.Stem == "c" }
+
+// IsDynamicLoaderName reports whether a file or NEEDED name refers to the
+// dynamic loader (ld-linux*.so*, ld.so*), which does not follow the
+// lib<name>.so convention and is never copied by the resolution model.
+func IsDynamicLoaderName(name string) bool {
+	base := name
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	return strings.HasPrefix(base, "ld-linux") || strings.HasPrefix(base, "ld.so") ||
+		strings.HasPrefix(base, "ld64.so")
+}
+
+// IsCLibraryName reports whether a file or NEEDED name refers to the system
+// C library (libc.so*).
+func IsCLibraryName(name string) bool {
+	s, err := ParseSoname(name)
+	return err == nil && s.IsCLibrary()
+}

@@ -1,0 +1,123 @@
+package libver
+
+import "testing"
+
+func TestParseSoname(t *testing.T) {
+	cases := []struct {
+		in      string
+		stem    string
+		version Version
+		ok      bool
+	}{
+		{"libmpich.so.1.2", "mpich", V(1, 2), true},
+		{"libmpi.so.0", "mpi", V(0), true},
+		{"libc.so.6", "c", V(6), true},
+		{"libdl.so", "dl", nil, true},
+		{"/usr/lib64/libgfortran.so.3.0.0", "gfortran", V(3, 0, 0), true},
+		{"libstdc++.so.6", "stdc++", V(6), true},
+		{"libopen-rte.so.0", "open-rte", V(0), true},
+		{"notalib.so.1", "", nil, false},
+		{"libfoo", "", nil, false},
+		{"lib.so.1", "", nil, false},
+		{"libfoo.so.x", "", nil, false},
+		{"libfoo.soup", "", nil, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSoname(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseSoname(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if got.Stem != c.stem || got.Version.Compare(c.version) != 0 {
+			t.Errorf("ParseSoname(%q) = %+v, want stem=%q version=%v", c.in, got, c.stem, c.version)
+		}
+	}
+}
+
+func TestSonameString(t *testing.T) {
+	s, err := ParseSoname("libmpich.so.1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "libmpich.so.1.2" {
+		t.Errorf("String = %q", s.String())
+	}
+	if s.LinkName() != "libmpich.so.1" {
+		t.Errorf("LinkName = %q", s.LinkName())
+	}
+	u := Soname{Stem: "dl"}
+	if u.String() != "libdl.so" || u.LinkName() != "libdl.so" {
+		t.Errorf("unversioned soname forms: %q %q", u.String(), u.LinkName())
+	}
+}
+
+func TestSonameCompatibility(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"libmpich.so.1.2", "libmpich.so.1.0", true},  // same major
+		{"libmpich.so.1.2", "libmpich.so.2.0", false}, // different major
+		{"libmpich.so.1.2", "libmpi.so.1.2", false},   // different stem
+		{"libgfortran.so.3.0.0", "libgfortran.so.3", true},
+		{"libstdc++.so.5", "libstdc++.so.6", false},
+	}
+	for _, c := range cases {
+		a, b := mustSoname(t, c.a), mustSoname(t, c.b)
+		if got := a.CompatibleWith(b); got != c.want {
+			t.Errorf("CompatibleWith(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := b.CompatibleWith(a); got != c.want {
+			t.Errorf("CompatibleWith is not symmetric for (%s, %s)", c.a, c.b)
+		}
+	}
+}
+
+func TestSatisfiesNeeded(t *testing.T) {
+	cases := []struct {
+		installed, needed string
+		want              bool
+	}{
+		{"libmpich.so.1.2", "libmpich.so.1", true},
+		{"libmpich.so.1.2", "libmpich.so.2", false},
+		{"libmpich.so.1.2", "libmpich.so", true}, // unversioned reference
+		{"libm.so.6", "libc.so.6", false},
+		{"libimf.so", "libimf.so", true},
+	}
+	for _, c := range cases {
+		inst, need := mustSoname(t, c.installed), mustSoname(t, c.needed)
+		if got := inst.SatisfiesNeeded(need); got != c.want {
+			t.Errorf("SatisfiesNeeded(%s, %s) = %v, want %v", c.installed, c.needed, got, c.want)
+		}
+	}
+}
+
+func TestSpecialNames(t *testing.T) {
+	if !IsCLibraryName("libc.so.6") {
+		t.Error("libc.so.6 should be the C library")
+	}
+	if IsCLibraryName("libcrypt.so.1") {
+		t.Error("libcrypt.so.1 is not the C library")
+	}
+	if !IsDynamicLoaderName("ld-linux-x86-64.so.2") {
+		t.Error("ld-linux-x86-64.so.2 should be the loader")
+	}
+	if !IsDynamicLoaderName("/lib64/ld-linux-x86-64.so.2") {
+		t.Error("loader detection should ignore directories")
+	}
+	if IsDynamicLoaderName("libldap.so.2") {
+		t.Error("libldap is not the loader")
+	}
+}
+
+func mustSoname(t *testing.T, s string) Soname {
+	t.Helper()
+	sn, err := ParseSoname(s)
+	if err != nil {
+		t.Fatalf("ParseSoname(%q): %v", s, err)
+	}
+	return sn
+}

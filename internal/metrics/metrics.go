@@ -1,0 +1,102 @@
+// Package metrics provides the accuracy and rate bookkeeping used to
+// reproduce the paper's evaluation tables: prediction-vs-actual confusion
+// counting (Table III) and before/after success rates with relative
+// improvement (Table IV).
+package metrics
+
+import "fmt"
+
+// Confusion counts prediction-vs-actual outcomes. "Positive" means
+// predicted ready / actually executed.
+type Confusion struct {
+	TP int // predicted ready, executed
+	TN int // predicted not ready, failed
+	FP int // predicted ready, failed
+	FN int // predicted not ready, executed
+}
+
+// Add records one comparison.
+func (c *Confusion) Add(predictedReady, actuallyRan bool) {
+	switch {
+	case predictedReady && actuallyRan:
+		c.TP++
+	case !predictedReady && !actuallyRan:
+		c.TN++
+	case predictedReady && !actuallyRan:
+		c.FP++
+	default:
+		c.FN++
+	}
+}
+
+// Total is the number of comparisons.
+func (c Confusion) Total() int { return c.TP + c.TN + c.FP + c.FN }
+
+// Correct is the number of correct predictions.
+func (c Confusion) Correct() int { return c.TP + c.TN }
+
+// Accuracy is the fraction of correct predictions (0 when empty).
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.Correct()) / float64(c.Total())
+}
+
+// String renders "correct/total (pct)".
+func (c Confusion) String() string {
+	return fmt.Sprintf("%d/%d (%.0f%%)", c.Correct(), c.Total(), 100*c.Accuracy())
+}
+
+// Rate is a simple numerator/denominator percentage.
+type Rate struct {
+	Num, Den int
+}
+
+// Add increments the denominator, and the numerator when hit is true.
+func (r *Rate) Add(hit bool) {
+	r.Den++
+	if hit {
+		r.Num++
+	}
+}
+
+// Fraction returns Num/Den (0 when empty).
+func (r Rate) Fraction() float64 {
+	if r.Den == 0 {
+		return 0
+	}
+	return float64(r.Num) / float64(r.Den)
+}
+
+// Pct returns the percentage.
+func (r Rate) Pct() float64 { return 100 * r.Fraction() }
+
+// String renders "num/den (pct)".
+func (r Rate) String() string {
+	return fmt.Sprintf("%d/%d (%.0f%%)", r.Num, r.Den, r.Pct())
+}
+
+// RelativeIncrease returns (after-before)/before as a percentage — the
+// paper's "increase in successful executions due to resolution".
+func RelativeIncrease(before, after Rate) float64 {
+	if before.Num == 0 {
+		return 0
+	}
+	return 100 * float64(after.Num-before.Num) / float64(before.Num)
+}
+
+// Tally counts occurrences by string key.
+type Tally map[string]int
+
+// Add increments a key.
+func (t Tally) Add(key string) { t[key]++ }
+
+// Total sums all counts.
+func (t Tally) Total() int {
+	n := 0
+	for _, v := range t {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusion(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, true)   // TP
+	c.Add(false, false) // TN
+	c.Add(true, false)  // FP
+	c.Add(false, true)  // FN
+	if c.TP != 2 || c.TN != 1 || c.FP != 1 || c.FN != 1 {
+		t.Errorf("counts = %+v", c)
+	}
+	if c.Total() != 5 || c.Correct() != 3 {
+		t.Errorf("total/correct = %d/%d", c.Total(), c.Correct())
+	}
+	if math.Abs(c.Accuracy()-0.6) > 1e-9 {
+		t.Errorf("accuracy = %f", c.Accuracy())
+	}
+	if !strings.Contains(c.String(), "3/5") {
+		t.Errorf("String = %q", c.String())
+	}
+	var empty Confusion
+	if empty.Accuracy() != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestConfusionInvariant(t *testing.T) {
+	// Property: Total always equals the number of Adds, and accuracy stays
+	// in [0,1].
+	f := func(events []bool) bool {
+		var c Confusion
+		for i, p := range events {
+			c.Add(p, i%2 == 0)
+		}
+		return c.Total() == len(events) && c.Accuracy() >= 0 && c.Accuracy() <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRate(t *testing.T) {
+	var r Rate
+	for i := 0; i < 10; i++ {
+		r.Add(i < 4)
+	}
+	if r.Num != 4 || r.Den != 10 {
+		t.Errorf("rate = %+v", r)
+	}
+	if math.Abs(r.Pct()-40) > 1e-9 {
+		t.Errorf("pct = %f", r.Pct())
+	}
+	if (Rate{}).Fraction() != 0 {
+		t.Error("empty fraction should be 0")
+	}
+}
+
+func TestRelativeIncrease(t *testing.T) {
+	before := Rate{Num: 60, Den: 100}
+	after := Rate{Num: 80, Den: 100}
+	got := RelativeIncrease(before, after)
+	if math.Abs(got-33.333333) > 0.001 {
+		t.Errorf("increase = %f", got)
+	}
+	if RelativeIncrease(Rate{}, after) != 0 {
+		t.Error("zero baseline should give 0")
+	}
+}
+
+func TestTally(t *testing.T) {
+	tl := Tally{}
+	tl.Add("missing shared library")
+	tl.Add("missing shared library")
+	tl.Add("system error")
+	if tl["missing shared library"] != 2 || tl.Total() != 3 {
+		t.Errorf("tally = %v", tl)
+	}
+}

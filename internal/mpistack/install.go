@@ -1,0 +1,127 @@
+package mpistack
+
+import (
+	"fmt"
+
+	"feam/internal/sitemodel"
+)
+
+// indexOfSo returns the index of the ".so" suffix in a library file name,
+// or -1.
+func indexOfSo(name string) int {
+	for i := 0; i+3 <= len(name); i++ {
+		if name[i:i+3] == ".so" {
+			return i
+		}
+	}
+	return -1
+}
+
+// Install describes one MPI stack installation at a site: the release, the
+// compiler it was built with and wraps, the interconnect it was built for,
+// and where it lives.
+type Install struct {
+	Release
+	// CompilerFamily is "gnu", "intel", or "pgi"; CompilerVersion its
+	// release string.
+	CompilerFamily  string
+	CompilerVersion string
+	// Interconnect is "ethernet" or "infiniband".
+	Interconnect string
+	// Prefix is the installation root; derived from the key when empty.
+	Prefix string
+	// Broken marks a misconfigured stack that cannot run any program.
+	Broken bool
+	// WithFortran controls whether Fortran bindings and wrappers are
+	// installed (true for every stack in the paper's testbed).
+	WithFortran bool
+	// WithStaticLibs additionally installs static archives (.a files),
+	// enabling statically linked application builds.
+	WithStaticLibs bool
+}
+
+// Key returns the canonical stack name, e.g. "openmpi-1.4-intel".
+func (in *Install) Key() string {
+	return fmt.Sprintf("%s-%s-%s", in.Impl.Key(), in.Version, in.CompilerFamily)
+}
+
+// DefaultPrefix returns the conventional installation root.
+func (in *Install) DefaultPrefix() string { return "/opt/" + in.Key() }
+
+// WrapperVersionOutput is the text `mpicc -V`-style queries print: it
+// reveals the underlying compiler, the way the paper's EDC learns which
+// compiler a wrapper is associated with.
+func (in *Install) WrapperVersionOutput() string {
+	var cc string
+	switch in.CompilerFamily {
+	case "intel":
+		cc = fmt.Sprintf("icc (ICC) %s", in.CompilerVersion)
+	case "pgi":
+		cc = fmt.Sprintf("pgcc %s", in.CompilerVersion)
+	default:
+		cc = fmt.Sprintf("gcc (GCC) %s", in.CompilerVersion)
+	}
+	return fmt.Sprintf("%s for %s version %s\n%s\n", "mpicc", in.Impl, in.Version, cc)
+}
+
+// Materialize installs the stack onto a site: library files under
+// <prefix>/lib, compiler wrappers and launchers under <prefix>/bin, and a
+// ground-truth StackRecord in the site registry. It does NOT create
+// modulefiles or softenv keys — environment-management wiring is a site
+// configuration decision made by the testbed layer.
+func (in *Install) Materialize(site *sitemodel.Site) (*sitemodel.StackRecord, error) {
+	if in.Prefix == "" {
+		in.Prefix = in.DefaultPrefix()
+	}
+	libDir := in.Prefix + "/lib"
+	binDir := in.Prefix + "/bin"
+	for _, lib := range in.Release.LibraryFiles(in.WithFortran, in.Interconnect, site.Glibc) {
+		if _, err := site.InstallLibrary(libDir, lib); err != nil {
+			return nil, fmt.Errorf("mpistack: %s: %v", in.Key(), err)
+		}
+	}
+
+	wrappers := []string{"mpicc", "mpiexec", "mpirun"}
+	if in.WithFortran {
+		wrappers = append(wrappers, "mpif77", "mpif90")
+	}
+	for _, w := range wrappers {
+		p := binDir + "/" + w
+		body := fmt.Sprintf("#!/bin/sh\n# %s wrapper for %s %s (%s %s)\n",
+			w, in.Impl, in.Version, in.CompilerFamily, in.CompilerVersion)
+		if err := site.FS().WriteString(p, body); err != nil {
+			return nil, err
+		}
+		if err := site.FS().SetAttr(p, sitemodel.AttrExecOutput, in.WrapperVersionOutput()); err != nil {
+			return nil, err
+		}
+	}
+
+	if in.WithStaticLibs {
+		for _, lib := range in.Release.LibraryFiles(in.WithFortran, in.Interconnect, site.Glibc) {
+			base := lib.FileName
+			if dot := indexOfSo(base); dot > 0 {
+				base = base[:dot]
+			}
+			archive := libDir + "/" + base + ".a"
+			if err := site.FS().WriteString(archive, "!<arch>\n// static archive stub for "+lib.FileName+"\n"); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	rec := &sitemodel.StackRecord{
+		Key:             in.Key(),
+		Impl:            in.Impl.Key(),
+		ImplVersion:     in.Version,
+		CompilerFamily:  in.CompilerFamily,
+		CompilerVersion: in.CompilerVersion,
+		Prefix:          in.Prefix,
+		Interconnect:    in.Interconnect,
+		ABIEpoch:        in.ABIEpoch(),
+		Broken:          in.Broken,
+		StaticLibs:      in.WithStaticLibs,
+	}
+	site.RegisterStack(rec)
+	return rec, nil
+}

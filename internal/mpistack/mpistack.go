@@ -1,0 +1,285 @@
+// Package mpistack models the three open-source MPI implementations the
+// paper targets — Open MPI, MPICH2, and MVAPICH2 — at the level FEAM cares
+// about: the shared libraries each implementation's compiler wrappers link
+// into application binaries (the Table I identification fingerprints), the
+// library files an installation places under its prefix, the compiler
+// wrappers it ships, and the hidden ABI epoch that makes binaries built
+// against one release misbehave on another even though the MPI standard's
+// interface is unchanged (MPI is not a link-level specification).
+package mpistack
+
+import (
+	"fmt"
+	"strings"
+
+	"feam/internal/elfimg"
+	"feam/internal/libver"
+	"feam/internal/sitemodel"
+)
+
+// Impl is an MPI implementation.
+type Impl int
+
+const (
+	OpenMPI Impl = iota
+	MPICH2
+	MVAPICH2
+)
+
+// String returns the display name used in the paper.
+func (i Impl) String() string {
+	switch i {
+	case OpenMPI:
+		return "Open MPI"
+	case MPICH2:
+		return "MPICH2"
+	case MVAPICH2:
+		return "MVAPICH2"
+	default:
+		return fmt.Sprintf("Impl(%d)", int(i))
+	}
+}
+
+// Key returns the lower-case identifier used in paths and stack keys.
+func (i Impl) Key() string {
+	switch i {
+	case OpenMPI:
+		return "openmpi"
+	case MPICH2:
+		return "mpich2"
+	case MVAPICH2:
+		return "mvapich2"
+	default:
+		return "unknown"
+	}
+}
+
+// ImplFromKey parses a lower-case implementation key.
+func ImplFromKey(key string) (Impl, bool) {
+	switch key {
+	case "openmpi":
+		return OpenMPI, true
+	case "mpich2":
+		return MPICH2, true
+	case "mvapich2":
+		return MVAPICH2, true
+	}
+	return 0, false
+}
+
+// Identify implements the paper's Table I identification scheme: MPI
+// implementations are recognized by the link-level dependencies their
+// wrappers embed in application binaries.
+//
+//	MVAPICH2:  libmpich/libmpichf90 together with libibverbs/libibumad
+//	Open MPI:  libmpi plus libnsl and libutil
+//	MPICH2:    libmpich/libmpichf90 without the InfiniBand identifiers
+func Identify(needed []string) (Impl, bool) {
+	var hasMpich, hasIB, hasMpi, hasNsl, hasUtil bool
+	for _, n := range needed {
+		sn, err := libver.ParseSoname(n)
+		if err != nil {
+			continue
+		}
+		switch sn.Stem {
+		case "mpich", "mpichf90":
+			hasMpich = true
+		case "ibverbs", "ibumad":
+			hasIB = true
+		case "mpi", "mpi_f77", "mpi_f90":
+			hasMpi = true
+		case "nsl":
+			hasNsl = true
+		case "util":
+			hasUtil = true
+		}
+	}
+	switch {
+	case hasMpich && hasIB:
+		return MVAPICH2, true
+	case hasMpich:
+		return MPICH2, true
+	case hasMpi && hasNsl && hasUtil:
+		return OpenMPI, true
+	case hasMpi:
+		// Open MPI linked statically against its helpers still identifies.
+		return OpenMPI, true
+	}
+	return 0, false
+}
+
+// FingerprintTable returns the rows of Table I for reporting.
+func FingerprintTable() [][2]string {
+	return [][2]string{
+		{"MVAPICH2", "libmpich/libmpichf90, libibverbs, libibumad"},
+		{"Open MPI", "libnsl, libutil"},
+		{"MPICH2", "libmpich/libmpichf90 (and not other identifiers)"},
+	}
+}
+
+// Release is a specific version of an implementation.
+type Release struct {
+	Impl    Impl
+	Version string
+}
+
+// String renders "Open MPI v1.4".
+func (r Release) String() string { return fmt.Sprintf("%s v%s", r.Impl, r.Version) }
+
+// ABIEpoch is the ground-truth binary-interface generation of the release.
+// Binaries built against epoch E need epoch >= E at run time when they use
+// advanced MPI features (workload.MPILevel >= 3); the paper observed exactly
+// this with Open MPI 1.4 binaries on Open MPI 1.3 systems.
+func (r Release) ABIEpoch() int {
+	major := libver.MustParseVersion(r.Version)
+	switch r.Impl {
+	case OpenMPI:
+		return 10*major.Major() + minor(major)
+	case MVAPICH2:
+		return 10*major.Major() + minor(major)
+	case MPICH2:
+		// MPICH2 1.3 and 1.4 kept a stable ABI.
+		return 13
+	}
+	return 0
+}
+
+func minor(v libver.Version) int {
+	if len(v) > 1 {
+		return v[1]
+	}
+	return 0
+}
+
+// MPISonames returns the sonames the compiler wrappers embed into
+// application binaries (DT_NEEDED), excluding system libraries: the MPI
+// libraries themselves plus the implementation's identifying dependencies.
+func (r Release) MPISonames(fortran bool, interconnect string) []string {
+	switch r.Impl {
+	case OpenMPI:
+		out := []string{"libmpi.so.0"}
+		if fortran {
+			out = append(out, "libmpi_f77.so.0", "libmpi_f90.so.0")
+		}
+		out = append(out, "libopen-rte.so.0", "libopen-pal.so.0", "libnsl.so.1", "libutil.so.1")
+		return out
+	case MVAPICH2:
+		so := r.mpichSoname()
+		out := []string{so}
+		if fortran {
+			out = append(out, strings.Replace(so, "libmpich", "libmpichf90", 1))
+		}
+		out = append(out, "libibverbs.so.1", "libibumad.so.3")
+		return out
+	case MPICH2:
+		so := r.mpichSoname()
+		out := []string{so}
+		if fortran {
+			out = append(out, strings.Replace(so, "libmpich", "libmpichf90", 1))
+		}
+		out = append(out, "libmpl.so.1", "libopa.so.1")
+		return out
+	}
+	return nil
+}
+
+// mpichSoname returns the libmpich DT_SONAME for MPICH-derived releases.
+// MVAPICH2 bumped the minor soname between 1.2 and the 1.7 series, which is
+// why binaries built against one release go missing-library on sites that
+// carry only the other.
+func (r Release) mpichSoname() string {
+	v := libver.MustParseVersion(r.Version)
+	if r.Impl == MVAPICH2 && v.Less(libver.V(1, 7)) {
+		return "libmpich.so.1.0"
+	}
+	return "libmpich.so.1.2"
+}
+
+// LibraryFiles returns the shared objects an installation of this release
+// places in <prefix>/lib, with their dependency and version metadata.
+// interconnect selects whether the transport libraries are linked.
+func (r Release) LibraryFiles(fortran bool, interconnect string, glibc libver.Version) []sitemodel.Library {
+	// MPI libraries are compiled from source at their site, so like any
+	// locally built code they reference symbols up to the build glibc —
+	// which is why library copies taken from a newer-glibc site cannot be
+	// used at an older one (§VI.C's unresolvable copies).
+	ladder := libver.GlibcSymbolVersions(glibc)
+	refs := ladder
+	if len(ladder) > 1 {
+		refs = []string{ladder[0], ladder[len(ladder)-1]}
+	}
+	libcNeed := []elfimg.VerNeed{{File: "libc.so.6", Versions: refs}}
+	epoch := r.ABIEpoch()
+	comment := fmt.Sprintf("%s %s", r.Impl, r.Version)
+	// The MPI entry points every implementation exports (unversioned — the
+	// implementations of this era did not version their symbols).
+	mpiExports := []elfimg.ExportedSymbol{
+		{Name: "MPI_Init"}, {Name: "MPI_Comm_rank"}, {Name: "MPI_Comm_size"},
+		{Name: "MPI_Send"}, {Name: "MPI_Recv"}, {Name: "MPI_Finalize"},
+		{Name: "MPI_Allreduce"}, {Name: "MPI_Bcast"}, {Name: "MPI_Alltoall"},
+		{Name: "MPI_Put"}, {Name: "MPI_Win_create"}, {Name: "MPI_Type_create_struct"},
+	}
+
+	switch r.Impl {
+	case OpenMPI:
+		needed := []string{"libopen-rte.so.0", "libopen-pal.so.0", "libnsl.so.1", "libutil.so.1", "libm.so.6", "libpthread.so.0", "libc.so.6"}
+		if interconnect == "infiniband" {
+			needed = append([]string{"libibverbs.so.1"}, needed...)
+		}
+		libs := []sitemodel.Library{
+			{FileName: "libmpi.so.0.0." + fmt.Sprint(minor(libver.MustParseVersion(r.Version))),
+				Soname: "libmpi.so.0", Needed: needed, VerNeeds: libcNeed,
+				Exports:  mpiExports,
+				Comments: []string{comment}, ABIEpoch: epoch, TextSize: 1800 << 10},
+			{FileName: "libopen-rte.so.0.0.0", Needed: []string{"libopen-pal.so.0", "libnsl.so.1", "libutil.so.1", "libc.so.6"},
+				VerNeeds: libcNeed, Comments: []string{comment}, ABIEpoch: epoch, TextSize: 700 << 10},
+			{FileName: "libopen-pal.so.0.0.0", Needed: []string{"libnsl.so.1", "libutil.so.1", "libc.so.6"},
+				VerNeeds: libcNeed, Comments: []string{comment}, ABIEpoch: epoch, TextSize: 500 << 10},
+		}
+		if fortran {
+			libs = append(libs,
+				sitemodel.Library{FileName: "libmpi_f77.so.0.0.0", Needed: []string{"libmpi.so.0", "libc.so.6"},
+					VerNeeds: libcNeed, Comments: []string{comment}, ABIEpoch: epoch, TextSize: 200 << 10},
+				sitemodel.Library{FileName: "libmpi_f90.so.0.0.0", Needed: []string{"libmpi.so.0", "libc.so.6"},
+					VerNeeds: libcNeed, Comments: []string{comment}, ABIEpoch: epoch, TextSize: 120 << 10})
+		}
+		return libs
+
+	case MVAPICH2:
+		so := r.mpichSoname()
+		needed := []string{"libibverbs.so.1", "libibumad.so.3", "librdmacm.so.1", "libpthread.so.0", "librt.so.1", "libc.so.6"}
+		libs := []sitemodel.Library{
+			{FileName: so + ".0", Soname: so, Needed: needed, VerNeeds: libcNeed,
+				Exports:  mpiExports,
+				Comments: []string{comment}, ABIEpoch: epoch, TextSize: 2600 << 10},
+		}
+		if fortran {
+			f90 := strings.Replace(so, "libmpich", "libmpichf90", 1)
+			libs = append(libs, sitemodel.Library{FileName: f90 + ".0", Soname: f90,
+				Needed: append([]string{so}, "libc.so.6"), VerNeeds: libcNeed,
+				Comments: []string{comment}, ABIEpoch: epoch, TextSize: 300 << 10})
+		}
+		return libs
+
+	case MPICH2:
+		so := r.mpichSoname()
+		libs := []sitemodel.Library{
+			{FileName: so + ".0", Soname: so,
+				Needed:   []string{"libmpl.so.1", "libopa.so.1", "libpthread.so.0", "librt.so.1", "libc.so.6"},
+				VerNeeds: libcNeed, Exports: mpiExports,
+				Comments: []string{comment}, ABIEpoch: epoch, TextSize: 2200 << 10},
+			{FileName: "libmpl.so.1.0.0", Needed: []string{"libc.so.6"}, VerNeeds: libcNeed,
+				Comments: []string{comment}, TextSize: 60 << 10},
+			{FileName: "libopa.so.1.0.0", Needed: []string{"libpthread.so.0", "libc.so.6"}, VerNeeds: libcNeed,
+				Comments: []string{comment}, TextSize: 40 << 10},
+		}
+		if fortran {
+			f90 := strings.Replace(so, "libmpich", "libmpichf90", 1)
+			libs = append(libs, sitemodel.Library{FileName: f90 + ".0", Soname: f90,
+				Needed: []string{so, "libc.so.6"}, VerNeeds: libcNeed,
+				Comments: []string{comment}, ABIEpoch: r.ABIEpoch(), TextSize: 280 << 10})
+		}
+		return libs
+	}
+	return nil
+}

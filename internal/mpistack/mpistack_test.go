@@ -1,0 +1,230 @@
+package mpistack
+
+import (
+	"strings"
+	"testing"
+
+	"feam/internal/elfimg"
+	"feam/internal/libver"
+	"feam/internal/sitemodel"
+)
+
+func TestImplNames(t *testing.T) {
+	for impl, key := range map[Impl]string{OpenMPI: "openmpi", MPICH2: "mpich2", MVAPICH2: "mvapich2"} {
+		if impl.Key() != key {
+			t.Errorf("%v.Key() = %q", impl, impl.Key())
+		}
+		got, ok := ImplFromKey(key)
+		if !ok || got != impl {
+			t.Errorf("ImplFromKey(%q) = %v, %v", key, got, ok)
+		}
+	}
+	if _, ok := ImplFromKey("lam"); ok {
+		t.Error("ImplFromKey accepted junk")
+	}
+	if OpenMPI.String() != "Open MPI" || MPICH2.String() != "MPICH2" || MVAPICH2.String() != "MVAPICH2" {
+		t.Error("display names wrong")
+	}
+}
+
+// TestIdentifyTable1 checks the identification scheme against the paper's
+// Table I fingerprints.
+func TestIdentifyTable1(t *testing.T) {
+	cases := []struct {
+		name   string
+		needed []string
+		want   Impl
+		ok     bool
+	}{
+		{"openmpi C", []string{"libmpi.so.0", "libopen-rte.so.0", "libopen-pal.so.0", "libnsl.so.1", "libutil.so.1", "libm.so.6", "libc.so.6"}, OpenMPI, true},
+		{"openmpi fortran", []string{"libmpi_f77.so.0", "libmpi.so.0", "libnsl.so.1", "libutil.so.1", "libc.so.6"}, OpenMPI, true},
+		{"mvapich2", []string{"libmpich.so.1.2", "libibverbs.so.1", "libibumad.so.3", "libc.so.6"}, MVAPICH2, true},
+		{"mvapich2 fortran", []string{"libmpichf90.so.1.0", "libmpich.so.1.0", "libibverbs.so.1", "libibumad.so.3", "libc.so.6"}, MVAPICH2, true},
+		{"mpich2", []string{"libmpich.so.1.2", "libmpl.so.1", "libopa.so.1", "libc.so.6"}, MPICH2, true},
+		{"serial", []string{"libm.so.6", "libc.so.6"}, 0, false},
+		{"empty", nil, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := Identify(c.needed)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("%s: Identify = %v, %v (want %v, %v)", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestFingerprintTable(t *testing.T) {
+	rows := FingerprintTable()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "MVAPICH2" || !strings.Contains(rows[0][1], "libibverbs") {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+}
+
+func TestABIEpoch(t *testing.T) {
+	if e13, e14 := (Release{OpenMPI, "1.3"}).ABIEpoch(), (Release{OpenMPI, "1.4"}).ABIEpoch(); e13 >= e14 {
+		t.Errorf("Open MPI epochs: 1.3=%d 1.4=%d", e13, e14)
+	}
+	// MPICH2 1.3 and 1.4 are ABI compatible.
+	if (Release{MPICH2, "1.3"}).ABIEpoch() != (Release{MPICH2, "1.4"}).ABIEpoch() {
+		t.Error("MPICH2 1.3/1.4 should share an epoch")
+	}
+	if (Release{MVAPICH2, "1.2"}).ABIEpoch() >= (Release{MVAPICH2, "1.7a2"}).ABIEpoch() {
+		t.Error("MVAPICH2 1.7 should be newer than 1.2")
+	}
+}
+
+func TestMPISonames(t *testing.T) {
+	// Open MPI keeps the same soname across 1.3/1.4.
+	s13 := (Release{OpenMPI, "1.3"}).MPISonames(false, "infiniband")
+	s14 := (Release{OpenMPI, "1.4"}).MPISonames(false, "ethernet")
+	if s13[0] != "libmpi.so.0" || s14[0] != "libmpi.so.0" {
+		t.Errorf("Open MPI sonames: %v vs %v", s13, s14)
+	}
+	// The Table I identifiers are present.
+	joined := strings.Join(s14, ",")
+	if !strings.Contains(joined, "libnsl.so.1") || !strings.Contains(joined, "libutil.so.1") {
+		t.Errorf("Open MPI link set lacks identifiers: %v", s14)
+	}
+	// Fortran adds the binding libraries.
+	sf := (Release{OpenMPI, "1.4"}).MPISonames(true, "ethernet")
+	if !strings.Contains(strings.Join(sf, ","), "libmpi_f90.so.0") {
+		t.Errorf("fortran link set = %v", sf)
+	}
+	// MVAPICH2 changed sonames between 1.2 and 1.7.
+	mv12 := (Release{MVAPICH2, "1.2"}).MPISonames(false, "infiniband")
+	mv17 := (Release{MVAPICH2, "1.7a2"}).MPISonames(false, "infiniband")
+	if mv12[0] != "libmpich.so.1.0" || mv17[0] != "libmpich.so.1.2" {
+		t.Errorf("MVAPICH2 sonames: %v vs %v", mv12[0], mv17[0])
+	}
+	if !strings.Contains(strings.Join(mv17, ","), "libibverbs.so.1") {
+		t.Errorf("MVAPICH2 link set lacks IB identifiers: %v", mv17)
+	}
+	// MPICH2 has no IB identifiers.
+	mp := (Release{MPICH2, "1.4"}).MPISonames(true, "ethernet")
+	if strings.Contains(strings.Join(mp, ","), "ibverbs") {
+		t.Errorf("MPICH2 link set has IB libs: %v", mp)
+	}
+	// Identification round-trips for every release.
+	for _, r := range []Release{{OpenMPI, "1.3"}, {OpenMPI, "1.4"}, {MPICH2, "1.4"}, {MVAPICH2, "1.2"}, {MVAPICH2, "1.7a2"}} {
+		needed := append(r.MPISonames(true, "infiniband"), "libm.so.6", "libc.so.6")
+		got, ok := Identify(needed)
+		if !ok || got != r.Impl {
+			t.Errorf("Identify(%v link set) = %v, %v", r, got, ok)
+		}
+	}
+}
+
+func newTestSite() *sitemodel.Site {
+	s := sitemodel.New("india",
+		sitemodel.Arch{Machine: elfimg.EMX8664, Class: elfimg.Class64, CPUName: "Xeon X5570", FeatureLevel: 2},
+		sitemodel.OSInfo{Distro: "Red Hat Enterprise Linux Server", Version: "5.6", Kernel: "2.6.18-238.el5", ReleaseFile: "/etc/redhat-release"},
+		libver.V(2, 5))
+	if err := s.InstallCLibrary(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestMaterialize(t *testing.T) {
+	site := newTestSite()
+	inst := &Install{
+		Release:         Release{OpenMPI, "1.4"},
+		CompilerFamily:  "intel",
+		CompilerVersion: "11.1",
+		Interconnect:    "infiniband",
+		WithFortran:     true,
+	}
+	rec, err := inst.Materialize(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Key != "openmpi-1.4-intel" {
+		t.Errorf("Key = %q", rec.Key)
+	}
+	if rec.Prefix != "/opt/openmpi-1.4-intel" {
+		t.Errorf("Prefix = %q", rec.Prefix)
+	}
+	// Libraries are genuine ELF images in the prefix.
+	data, err := site.FS().ReadFile("/opt/openmpi-1.4-intel/lib/libmpi.so.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := elfimg.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Soname != "libmpi.so.0" {
+		t.Errorf("soname = %q", f.Soname)
+	}
+	// IB-built libmpi depends on libibverbs.
+	hasIB := false
+	for _, n := range f.Needed {
+		if n == "libibverbs.so.1" {
+			hasIB = true
+		}
+	}
+	if !hasIB {
+		t.Errorf("IB build lacks libibverbs: %v", f.Needed)
+	}
+	// Wrappers exist with version output.
+	for _, w := range []string{"mpicc", "mpif90", "mpiexec"} {
+		p := "/opt/openmpi-1.4-intel/bin/" + w
+		if !site.FS().Exists(p) {
+			t.Errorf("missing wrapper %s", p)
+			continue
+		}
+	}
+	out, ok := site.FS().Attr("/opt/openmpi-1.4-intel/bin/mpicc", sitemodel.AttrExecOutput)
+	if !ok || !strings.Contains(out, "icc (ICC) 11.1") {
+		t.Errorf("wrapper version output = %q", out)
+	}
+	// Registry entry is queryable.
+	if site.FindStack("openmpi-1.4-intel") != rec {
+		t.Error("stack not registered")
+	}
+	// Fortran bindings present.
+	if !site.FS().Exists("/opt/openmpi-1.4-intel/lib/libmpi_f90.so.0") {
+		t.Error("missing Fortran binding library")
+	}
+}
+
+func TestMaterializeMVAPICH2AndMPICH2(t *testing.T) {
+	site := newTestSite()
+	mv := &Install{Release: Release{MVAPICH2, "1.7a2"}, CompilerFamily: "gnu", CompilerVersion: "4.1.2",
+		Interconnect: "infiniband", WithFortran: true}
+	if _, err := mv.Materialize(site); err != nil {
+		t.Fatal(err)
+	}
+	if !site.FS().Exists("/opt/mvapich2-1.7a2-gnu/lib/libmpich.so.1.2") {
+		t.Error("MVAPICH2 1.7 library missing")
+	}
+	mp := &Install{Release: Release{MPICH2, "1.4"}, CompilerFamily: "gnu", CompilerVersion: "4.1.2",
+		Interconnect: "ethernet", WithFortran: true}
+	if _, err := mp.Materialize(site); err != nil {
+		t.Fatal(err)
+	}
+	for _, lib := range []string{"libmpich.so.1.2", "libmpl.so.1", "libopa.so.1"} {
+		if !site.FS().Exists("/opt/mpich2-1.4-gnu/lib/" + lib) {
+			t.Errorf("MPICH2 library missing: %s", lib)
+		}
+	}
+	// ABI epochs recorded on the installed files.
+	if got := site.LibraryABIEpoch("/opt/mvapich2-1.7a2-gnu/lib/libmpich.so.1.2"); got != 17 {
+		t.Errorf("MVAPICH2 epoch = %d", got)
+	}
+}
+
+func TestWrapperVersionOutput(t *testing.T) {
+	for family, want := range map[string]string{
+		"intel": "icc (ICC)",
+		"gnu":   "gcc (GCC)",
+		"pgi":   "pgcc",
+	} {
+		in := &Install{Release: Release{OpenMPI, "1.4"}, CompilerFamily: family, CompilerVersion: "1.0"}
+		if !strings.Contains(in.WrapperVersionOutput(), want) {
+			t.Errorf("%s output = %q", family, in.WrapperVersionOutput())
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package report renders the reproduction's tables in the layout of the
+// paper: Table I (MPI identification fingerprints), Table II (target site
+// characteristics), Table III (prediction accuracy), Table IV (resolution
+// impact), and the §VI.C statistics.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"feam/internal/experiment"
+	"feam/internal/mpistack"
+	"feam/internal/testbed"
+	"feam/internal/usereffort"
+	"feam/internal/workload"
+)
+
+// Table1 renders the MPI implementation identification fingerprints.
+func Table1() string {
+	var b strings.Builder
+	b.WriteString("TABLE I. IDENTIFYING LIBRARIES OF MPI IMPLEMENTATIONS\n\n")
+	fmt.Fprintf(&b, "%-16s %s\n", "MPI Implementation", "Library Dependencies")
+	for _, row := range mpistack.FingerprintTable() {
+		fmt.Fprintf(&b, "%-16s %s\n", row[0], row[1])
+	}
+	return b.String()
+}
+
+// Table2 renders the five-site characteristics from the built testbed.
+func Table2(tb *testbed.Testbed) string {
+	var b strings.Builder
+	b.WriteString("TABLE II. TARGET SITE CHARACTERISTICS\n\n")
+	for _, site := range tb.Sites {
+		spec := tb.Specs[site.Name]
+		fmt.Fprintf(&b, "%s (%s - %d cores)\n", site.Description, site.SystemType, site.Cores)
+		fmt.Fprintf(&b, "  OS: %s %s (kernel %s)\n", site.OS.Distro, site.OS.Version, site.OS.Kernel)
+		fmt.Fprintf(&b, "  C library: %s\n", site.Glibc)
+		var comps []string
+		for _, c := range spec.Compilers {
+			comps = append(comps, c.String())
+		}
+		fmt.Fprintf(&b, "  Compilers: %s\n", strings.Join(comps, ", "))
+		fmt.Fprintf(&b, "  Batch: %s; Env tool: %s; Interconnects: %s\n",
+			spec.Manager, orNone(spec.EnvTool), strings.Join(site.Interconnects, ", "))
+		b.WriteString("  MPI stacks:\n")
+		for _, rec := range site.Stacks {
+			note := ""
+			if rec.Broken {
+				note = "  [misconfigured]"
+			}
+			fmt.Fprintf(&b, "    %-24s (%s %s, %s %s)%s\n",
+				rec.Key, rec.Impl, rec.ImplVersion, rec.CompilerFamily, rec.CompilerVersion, note)
+		}
+	}
+	return b.String()
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none (path search)"
+	}
+	return s
+}
+
+// Table3 renders prediction accuracy next to the paper's reported values.
+func Table3(ev *experiment.Evaluation) string {
+	t3 := ev.Table3()
+	var b strings.Builder
+	b.WriteString("TABLE III. ACCURACY OF PREDICTION MODEL\n\n")
+	fmt.Fprintf(&b, "%-22s %-18s %-18s\n", "", "NAS", "SPEC")
+	fmt.Fprintf(&b, "%-22s %-18s %-18s\n", "Basic Prediction",
+		pct(t3.Basic[workload.NPB].Accuracy()), pct(t3.Basic[workload.SPECMPI].Accuracy()))
+	fmt.Fprintf(&b, "%-22s %-18s %-18s\n", "Extended Prediction",
+		pct(t3.Extended[workload.NPB].Accuracy()), pct(t3.Extended[workload.SPECMPI].Accuracy()))
+	fmt.Fprintf(&b, "\n%-22s %-18s %-18s\n", "(paper: basic)", "94%", "92%")
+	fmt.Fprintf(&b, "%-22s %-18s %-18s\n", "(paper: extended)", "99%", "93%")
+	fmt.Fprintf(&b, "\nDetail: basic NAS %s, SPEC %s; extended NAS %s, SPEC %s\n",
+		t3.Basic[workload.NPB], t3.Basic[workload.SPECMPI],
+		t3.Extended[workload.NPB], t3.Extended[workload.SPECMPI])
+	return b.String()
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.0f%%", 100*f) }
+
+// Table4 renders the resolution-model impact next to the paper's values.
+func Table4(ev *experiment.Evaluation) string {
+	t4 := ev.Table4()
+	var b strings.Builder
+	b.WriteString("TABLE IV. IMPACT OF RESOLUTION MODEL\n\n")
+	fmt.Fprintf(&b, "%-28s %-10s %-10s\n", "", "NAS", "SPEC")
+	fmt.Fprintf(&b, "%-28s %-10s %-10s\n", "Before Resolution",
+		fmt.Sprintf("%.0f%%", t4.Before[workload.NPB].Pct()),
+		fmt.Sprintf("%.0f%%", t4.Before[workload.SPECMPI].Pct()))
+	fmt.Fprintf(&b, "%-28s %-10s %-10s\n", "After Resolution",
+		fmt.Sprintf("%.0f%%", t4.After[workload.NPB].Pct()),
+		fmt.Sprintf("%.0f%%", t4.After[workload.SPECMPI].Pct()))
+	fmt.Fprintf(&b, "%-28s %-10s %-10s\n", "Increase due to Resolution",
+		fmt.Sprintf("%.0f%%", t4.Increase(workload.NPB)),
+		fmt.Sprintf("%.0f%%", t4.Increase(workload.SPECMPI)))
+	fmt.Fprintf(&b, "\n%-28s %-10s %-10s\n", "(paper: before)", "58%", "47%")
+	fmt.Fprintf(&b, "%-28s %-10s %-10s\n", "(paper: after)", "78%", "66%")
+	fmt.Fprintf(&b, "%-28s %-10s %-10s\n", "(paper: increase)", "33%", "39%")
+	fmt.Fprintf(&b, "\nDetail: before NAS %s, SPEC %s; after NAS %s, SPEC %s\n",
+		t4.Before[workload.NPB], t4.Before[workload.SPECMPI],
+		t4.After[workload.NPB], t4.After[workload.SPECMPI])
+	return b.String()
+}
+
+// Stats renders the §VI.C statistics.
+func Stats(ev *experiment.Evaluation) string {
+	st := ev.Stats()
+	var b strings.Builder
+	b.WriteString("EVALUATION STATISTICS (§VI.C)\n\n")
+	fmt.Fprintf(&b, "Test set: %d NAS binaries, %d SPEC binaries (paper: 110 / 147)\n",
+		ev.Set.CountBySuite(workload.NPB), ev.Set.CountBySuite(workload.SPECMPI))
+	fmt.Fprintf(&b, "Migration pairs evaluated: %d\n", len(ev.Pairs))
+	fmt.Fprintf(&b, "Longest source phase: %v; longest target phase: %v (paper: both < 5 min)\n",
+		st.MaxSource, st.MaxTarget)
+	b.WriteString("Per-site library bundles (paper: avg ~45 MB):\n")
+	var sites []string
+	for s := range st.SiteBundleBytes {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	for _, s := range sites {
+		fmt.Fprintf(&b, "  %-12s %5.1f MB\n", s, float64(st.SiteBundleBytes[s])/(1<<20))
+	}
+	b.WriteString("Failure classes before resolution:\n")
+	var classes []string
+	for c := range st.FailureBreakdown {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		return st.FailureBreakdown[classes[i]] > st.FailureBreakdown[classes[j]]
+	})
+	total := st.FailureBreakdown.Total()
+	for _, c := range classes {
+		n := st.FailureBreakdown[c]
+		fmt.Fprintf(&b, "  %-36s %4d (%4.1f%%)\n", c, n, 100*float64(n)/float64(total))
+	}
+	fmt.Fprintf(&b, "Migrations with staged library copies: %d\n", st.ResolvedPairs)
+	if len(ev.ProbeCPUHours) > 0 {
+		b.WriteString("FEAM probe-job allocation hours per site (debug queue):\n")
+		var names []string
+		for n := range ev.ProbeCPUHours {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %-12s %7.1f CPU-hours\n", n, ev.ProbeCPUHours[n])
+		}
+	}
+	b.WriteString("\n")
+	b.WriteString(BySite(ev))
+	return b.String()
+}
+
+// Effort renders the user-effort comparison (the paper's §VII future work,
+// implemented here): manual site preparation vs FEAM across the whole
+// migration matrix.
+func Effort(ev *experiment.Evaluation, tb *testbed.Testbed) string {
+	profiles := ev.EffortProfiles(tb)
+	c := usereffort.Aggregate(profiles)
+	var b strings.Builder
+	b.WriteString("USER EFFORT MODEL (paper §VII future work)\n\n")
+	b.WriteString(c.String())
+	if len(profiles) > 0 {
+		b.WriteString("\nrepresentative single migration:\n")
+		b.WriteString(usereffort.Manual(profiles[0]).String())
+		b.WriteString(usereffort.WithFEAM(profiles[0]).String())
+	}
+	return b.String()
+}
+
+// Ablations renders the mechanism-ablation comparison.
+func Ablations(results []experiment.AblationResult) string {
+	var b strings.Builder
+	b.WriteString("MECHANISM ABLATIONS (extended prediction + configured execution)\n\n")
+	fmt.Fprintf(&b, "%-20s %-22s %-22s\n", "configuration", "accuracy (NAS/SPEC)", "success (NAS/SPEC)")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-20s %-22s %-22s\n", r.Config.Name,
+			fmt.Sprintf("%.0f%% / %.0f%%",
+				100*r.Accuracy[workload.NPB].Accuracy(), 100*r.Accuracy[workload.SPECMPI].Accuracy()),
+			fmt.Sprintf("%.0f%% / %.0f%%",
+				r.Success[workload.NPB].Pct(), r.Success[workload.SPECMPI].Pct()))
+	}
+	return b.String()
+}
+
+// BySite renders the per-target-site breakdown.
+func BySite(ev *experiment.Evaluation) string {
+	var b strings.Builder
+	b.WriteString("PER-SITE BREAKDOWN (extended prediction, after resolution)\n\n")
+	fmt.Fprintf(&b, "%-12s %-8s %-22s %-18s\n", "site", "pairs", "prediction accuracy", "execution success")
+	for _, row := range ev.BySite() {
+		fmt.Fprintf(&b, "%-12s %-8d %-22s %-18s\n",
+			row.Site, row.Pairs, row.Extended.String(), row.After.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"feam/internal/execsim"
+	"feam/internal/experiment"
+	"feam/internal/metrics"
+	"feam/internal/testbed"
+	"feam/internal/workload"
+)
+
+var (
+	once sync.Once
+	tb   *testbed.Testbed
+	ev   *experiment.Evaluation
+	err  error
+)
+
+func setup(t *testing.T) (*testbed.Testbed, *experiment.Evaluation) {
+	t.Helper()
+	once.Do(func() {
+		tb, err = testbed.Build()
+		if err != nil {
+			return
+		}
+		sim := execsim.NewSimulator(2013)
+		var ts *experiment.TestSet
+		ts, err = experiment.BuildTestSet(tb, sim)
+		if err != nil {
+			return
+		}
+		ev, err = experiment.Run(tb, ts, sim)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, ev
+}
+
+func TestTable1(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"TABLE I", "MVAPICH2", "libibverbs", "Open MPI", "libnsl", "MPICH2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tb, _ := setup(t)
+	out := Table2(tb)
+	for _, want := range []string{
+		"TABLE II", "Ranger", "Forge", "Blacklight", "India", "Fir",
+		"CentOS 4.9", "2.3.4", "SUSE Linux Enterprise Server", "misconfigured",
+		"openmpi-1.3-intel", "mpich2-1.3-pgi",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q", want)
+		}
+	}
+}
+
+func TestTable3And4(t *testing.T) {
+	_, ev := setup(t)
+	out3 := Table3(ev)
+	for _, want := range []string{"TABLE III", "Basic Prediction", "Extended Prediction", "NAS", "SPEC", "paper"} {
+		if !strings.Contains(out3, want) {
+			t.Errorf("Table3 missing %q", want)
+		}
+	}
+	out4 := Table4(ev)
+	for _, want := range []string{"TABLE IV", "Before Resolution", "After Resolution", "Increase"} {
+		if !strings.Contains(out4, want) {
+			t.Errorf("Table4 missing %q", want)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, ev := setup(t)
+	out := Stats(ev)
+	for _, want := range []string{"Test set", "Migration pairs", "bundles", "Failure classes", "missing shared library"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Stats missing %q", want)
+		}
+	}
+}
+
+func TestEffort(t *testing.T) {
+	tb, ev := setup(t)
+	out := Effort(ev, tb)
+	for _, want := range []string{"USER EFFORT", "manual:", "with FEAM:", "savings:", "hello world"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Effort missing %q", want)
+		}
+	}
+}
+
+func TestAblationsRendering(t *testing.T) {
+	results := []experiment.AblationResult{}
+	// Rendering works on whatever RunAblations produces; use a synthetic
+	// result to keep this test fast.
+	r := experiment.AblationResult{
+		Config:   experiment.AblationConfig{Name: "full"},
+		Accuracy: map[workload.Suite]*metrics.Confusion{workload.NPB: {TP: 9, TN: 1}, workload.SPECMPI: {TP: 8, TN: 1, FP: 1}},
+		Success:  map[workload.Suite]*metrics.Rate{workload.NPB: {Num: 6, Den: 10}, workload.SPECMPI: {Num: 5, Den: 10}},
+	}
+	results = append(results, r)
+	out := Ablations(results)
+	for _, want := range []string{"ABLATIONS", "full", "90%", "60% / 50%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Ablations missing %q:\n%s", want, out)
+		}
+	}
+}

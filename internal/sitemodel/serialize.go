@@ -1,0 +1,360 @@
+package sitemodel
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+
+	"feam/internal/elfimg"
+	"feam/internal/libver"
+	"feam/internal/vfs"
+)
+
+// Site image wire format: a self-contained snapshot of a simulated
+// computing site — metadata, ground-truth stack registry, environment
+// variables, and the complete filesystem tree with extended attributes.
+//
+//	magic "FEAMSITE" | version u16 | section count u32
+//	per section: tag u8 | name length u16 | name | body length u32 | body
+//	trailer: CRC-32 (IEEE)
+//
+// Tags: 'M' metadata, 'S' stack record, 'D' directory, 'F' file (body =
+// attrs block length u32 | attrs | contents), 'L' symlink (body = target).
+const (
+	siteMagic   = "FEAMSITE"
+	siteVersion = 1
+)
+
+const (
+	siteSecMeta    = 'M'
+	siteSecStack   = 'S'
+	siteSecDir     = 'D'
+	siteSecFile    = 'F'
+	siteSecSymlink = 'L'
+)
+
+// EncodeSite serializes a site snapshot.
+func EncodeSite(s *Site) ([]byte, error) {
+	var sections []siteSection
+
+	var meta bytes.Buffer
+	fmt.Fprintf(&meta, "name=%s\n", s.Name)
+	fmt.Fprintf(&meta, "description=%s\n", s.Description)
+	fmt.Fprintf(&meta, "system-type=%s\n", s.SystemType)
+	fmt.Fprintf(&meta, "cores=%d\n", s.Cores)
+	fmt.Fprintf(&meta, "machine=%d\n", s.Arch.Machine)
+	fmt.Fprintf(&meta, "class=%d\n", s.Arch.Class)
+	fmt.Fprintf(&meta, "cpu=%s\n", s.Arch.CPUName)
+	fmt.Fprintf(&meta, "feature-level=%d\n", s.Arch.FeatureLevel)
+	fmt.Fprintf(&meta, "distro=%s\n", s.OS.Distro)
+	fmt.Fprintf(&meta, "os-version=%s\n", s.OS.Version)
+	fmt.Fprintf(&meta, "kernel=%s\n", s.OS.Kernel)
+	fmt.Fprintf(&meta, "release-file=%s\n", s.OS.ReleaseFile)
+	fmt.Fprintf(&meta, "glibc=%s\n", s.Glibc)
+	fmt.Fprintf(&meta, "sys-err-rate=%g\n", s.SysErrRate)
+	for _, ic := range s.Interconnects {
+		fmt.Fprintf(&meta, "interconnect=%s\n", ic)
+	}
+	env := s.Environ()
+	keys := make([]string, 0, len(env))
+	for k := range env {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&meta, "env=%s=%s\n", k, env[k])
+	}
+	sections = append(sections, siteSection{tag: siteSecMeta, name: "meta", body: meta.Bytes()})
+
+	for _, rec := range s.Stacks {
+		var body bytes.Buffer
+		fmt.Fprintf(&body, "impl=%s\nimpl-version=%s\ncompiler=%s/%s\nprefix=%s\ninterconnect=%s\nabi-epoch=%d\nbroken=%v\nstatic-libs=%v\n",
+			rec.Impl, rec.ImplVersion, rec.CompilerFamily, rec.CompilerVersion,
+			rec.Prefix, rec.Interconnect, rec.ABIEpoch, rec.Broken, rec.StaticLibs)
+		sections = append(sections, siteSection{tag: siteSecStack, name: rec.Key, body: body.Bytes()})
+	}
+
+	err := s.fs.Walk("/", func(p string, info vfs.FileInfo) error {
+		if p == "/" {
+			return nil
+		}
+		li, err := s.fs.Lstat(p)
+		if err != nil {
+			return err
+		}
+		switch li.Kind {
+		case vfs.KindDir:
+			sections = append(sections, siteSection{tag: siteSecDir, name: p})
+		case vfs.KindSymlink:
+			sections = append(sections, siteSection{tag: siteSecSymlink, name: p, body: []byte(li.Target)})
+		case vfs.KindFile:
+			data, err := s.fs.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			var attrs bytes.Buffer
+			am := s.fs.Attrs(p)
+			akeys := make([]string, 0, len(am))
+			for k := range am {
+				akeys = append(akeys, k)
+			}
+			sort.Strings(akeys)
+			for _, k := range akeys {
+				// Values may contain newlines (exec banners); quote them.
+				fmt.Fprintf(&attrs, "%s=%s\n", k, strconv.Quote(am[k]))
+			}
+			var body bytes.Buffer
+			var lenBuf [4]byte
+			binary.LittleEndian.PutUint32(lenBuf[:], uint32(attrs.Len()))
+			body.Write(lenBuf[:])
+			body.Write(attrs.Bytes())
+			body.Write(data)
+			sections = append(sections, siteSection{tag: siteSecFile, name: p, body: body.Bytes()})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var out bytes.Buffer
+	out.WriteString(siteMagic)
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], siteVersion)
+	out.Write(u16[:])
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(sections)))
+	out.Write(u32[:])
+	for _, sec := range sections {
+		out.WriteByte(sec.tag)
+		if len(sec.name) > 0xffff {
+			return nil, fmt.Errorf("sitemodel: path too long: %q", sec.name)
+		}
+		binary.LittleEndian.PutUint16(u16[:], uint16(len(sec.name)))
+		out.Write(u16[:])
+		out.WriteString(sec.name)
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(sec.body)))
+		out.Write(u32[:])
+		out.Write(sec.body)
+	}
+	binary.LittleEndian.PutUint32(u32[:], crc32.ChecksumIEEE(out.Bytes()))
+	out.Write(u32[:])
+	return out.Bytes(), nil
+}
+
+type siteSection struct {
+	tag  byte
+	name string
+	body []byte
+}
+
+// DecodeSite reconstructs a site from its snapshot.
+func DecodeSite(data []byte) (*Site, error) {
+	if len(data) < len(siteMagic)+2+4+4 {
+		return nil, fmt.Errorf("sitemodel: site image too short")
+	}
+	if string(data[:len(siteMagic)]) != siteMagic {
+		return nil, fmt.Errorf("sitemodel: not a FEAM site image")
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("sitemodel: site image checksum mismatch")
+	}
+	off := len(siteMagic)
+	readU16 := func() (uint16, error) {
+		if off+2 > len(body) {
+			return 0, fmt.Errorf("sitemodel: truncated site image at %d", off)
+		}
+		v := binary.LittleEndian.Uint16(body[off:])
+		off += 2
+		return v, nil
+	}
+	readU32 := func() (uint32, error) {
+		if off+4 > len(body) {
+			return 0, fmt.Errorf("sitemodel: truncated site image at %d", off)
+		}
+		v := binary.LittleEndian.Uint32(body[off:])
+		off += 4
+		return v, nil
+	}
+	readN := func(n int) ([]byte, error) {
+		if n < 0 || off+n > len(body) {
+			return nil, fmt.Errorf("sitemodel: truncated site image at %d", off)
+		}
+		b := body[off : off+n]
+		off += n
+		return b, nil
+	}
+
+	version, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	if version != siteVersion {
+		return nil, fmt.Errorf("sitemodel: unsupported site image version %d", version)
+	}
+	count, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Site{fs: vfs.New(), env: map[string]string{}}
+	for i := 0; i < int(count); i++ {
+		tagB, err := readN(1)
+		if err != nil {
+			return nil, err
+		}
+		nameLen, err := readU16()
+		if err != nil {
+			return nil, err
+		}
+		nameB, err := readN(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		bodyLen, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		secBody, err := readN(int(bodyLen))
+		if err != nil {
+			return nil, err
+		}
+		name := string(nameB)
+		switch tagB[0] {
+		case siteSecMeta:
+			if err := decodeSiteMeta(s, string(secBody)); err != nil {
+				return nil, err
+			}
+		case siteSecStack:
+			rec := &StackRecord{Key: name}
+			decodeStackRecord(rec, string(secBody))
+			s.Stacks = append(s.Stacks, rec)
+		case siteSecDir:
+			if err := s.fs.MkdirAll(name); err != nil {
+				return nil, err
+			}
+		case siteSecSymlink:
+			if err := s.fs.Symlink(string(secBody), name); err != nil {
+				return nil, err
+			}
+		case siteSecFile:
+			if len(secBody) < 4 {
+				return nil, fmt.Errorf("sitemodel: corrupt file section %q", name)
+			}
+			attrLen := int(binary.LittleEndian.Uint32(secBody))
+			if 4+attrLen > len(secBody) {
+				return nil, fmt.Errorf("sitemodel: corrupt file section %q", name)
+			}
+			if err := s.fs.WriteFile(name, secBody[4+attrLen:]); err != nil {
+				return nil, err
+			}
+			for _, line := range strings.Split(string(secBody[4:4+attrLen]), "\n") {
+				eq := strings.Index(line, "=")
+				if eq <= 0 {
+					continue
+				}
+				val, err := strconv.Unquote(line[eq+1:])
+				if err != nil {
+					return nil, fmt.Errorf("sitemodel: corrupt attribute on %q: %v", name, err)
+				}
+				if err := s.fs.SetAttr(name, line[:eq], val); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("sitemodel: unknown site section tag %q", tagB[0])
+		}
+	}
+	if s.Name == "" {
+		return nil, fmt.Errorf("sitemodel: site image lacks metadata")
+	}
+	return s, nil
+}
+
+func decodeSiteMeta(s *Site, meta string) error {
+	for _, line := range strings.Split(meta, "\n") {
+		eq := strings.Index(line, "=")
+		if eq <= 0 {
+			continue
+		}
+		key, val := line[:eq], line[eq+1:]
+		switch key {
+		case "name":
+			s.Name = val
+		case "description":
+			s.Description = val
+		case "system-type":
+			s.SystemType = val
+		case "cores":
+			s.Cores, _ = strconv.Atoi(val)
+		case "machine":
+			n, _ := strconv.Atoi(val)
+			s.Arch.Machine = elfimg.Machine(n)
+		case "class":
+			n, _ := strconv.Atoi(val)
+			s.Arch.Class = elfimg.Class(n)
+		case "cpu":
+			s.Arch.CPUName = val
+		case "feature-level":
+			s.Arch.FeatureLevel, _ = strconv.Atoi(val)
+		case "distro":
+			s.OS.Distro = val
+		case "os-version":
+			s.OS.Version = val
+		case "kernel":
+			s.OS.Kernel = val
+		case "release-file":
+			s.OS.ReleaseFile = val
+		case "glibc":
+			v, err := libver.ParseVersion(val)
+			if err != nil {
+				return fmt.Errorf("sitemodel: site image glibc: %v", err)
+			}
+			s.Glibc = v
+		case "sys-err-rate":
+			s.SysErrRate, _ = strconv.ParseFloat(val, 64)
+		case "interconnect":
+			s.Interconnects = append(s.Interconnects, val)
+		case "env":
+			if eq2 := strings.Index(val, "="); eq2 > 0 {
+				s.env[val[:eq2]] = val[eq2+1:]
+			}
+		}
+	}
+	return nil
+}
+
+func decodeStackRecord(rec *StackRecord, body string) {
+	for _, line := range strings.Split(body, "\n") {
+		eq := strings.Index(line, "=")
+		if eq <= 0 {
+			continue
+		}
+		key, val := line[:eq], line[eq+1:]
+		switch key {
+		case "impl":
+			rec.Impl = val
+		case "impl-version":
+			rec.ImplVersion = val
+		case "compiler":
+			if i := strings.Index(val, "/"); i > 0 {
+				rec.CompilerFamily, rec.CompilerVersion = val[:i], val[i+1:]
+			}
+		case "prefix":
+			rec.Prefix = val
+		case "interconnect":
+			rec.Interconnect = val
+		case "abi-epoch":
+			rec.ABIEpoch, _ = strconv.Atoi(val)
+		case "broken":
+			rec.Broken = val == "true"
+		case "static-libs":
+			rec.StaticLibs = val == "true"
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package sitemodel
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"feam/internal/elfimg"
+	"feam/internal/libver"
+	"feam/internal/vfs"
+)
+
+func richSite(t *testing.T) *Site {
+	t.Helper()
+	s := testSite()
+	if err := s.InstallCLibrary(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InstallLibrary("/opt/x/lib", Library{
+		FileName: "libx.so.1.2", ABIEpoch: 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Setenv("LD_LIBRARY_PATH", "/opt/x/lib")
+	s.Interconnects = []string{"ethernet", "infiniband"}
+	s.SysErrRate = 0.04
+	s.Description = "Test Cluster, Testing University"
+	s.SystemType = "Cluster"
+	s.Cores = 128
+	s.RegisterStack(&StackRecord{
+		Key: "openmpi-1.4-gnu", Impl: "openmpi", ImplVersion: "1.4",
+		CompilerFamily: "gnu", CompilerVersion: "4.1.2",
+		Prefix: "/opt/openmpi-1.4-gnu", Interconnect: "infiniband",
+		ABIEpoch: 14, StaticLibs: true,
+	})
+	s.RegisterStack(&StackRecord{
+		Key: "mpich2-1.4-gnu", Impl: "mpich2", Broken: true,
+	})
+	return s
+}
+
+func TestSiteEncodeDecodeRoundTrip(t *testing.T) {
+	s := richSite(t)
+	data, err := EncodeSite(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSite(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Metadata.
+	if got.Name != s.Name || got.Description != s.Description ||
+		got.SystemType != s.SystemType || got.Cores != s.Cores {
+		t.Errorf("identity: %+v", got)
+	}
+	if got.Arch != s.Arch {
+		t.Errorf("arch: %+v vs %+v", got.Arch, s.Arch)
+	}
+	if got.OS != s.OS {
+		t.Errorf("os: %+v vs %+v", got.OS, s.OS)
+	}
+	if !got.Glibc.Equal(s.Glibc) || got.SysErrRate != s.SysErrRate {
+		t.Errorf("glibc/rate: %v %v", got.Glibc, got.SysErrRate)
+	}
+	if len(got.Interconnects) != 2 {
+		t.Errorf("interconnects: %v", got.Interconnects)
+	}
+	// Environment.
+	if got.Getenv("LD_LIBRARY_PATH") != "/opt/x/lib" {
+		t.Errorf("env: %q", got.Getenv("LD_LIBRARY_PATH"))
+	}
+	// Stack registry.
+	if len(got.Stacks) != 2 {
+		t.Fatalf("stacks: %d", len(got.Stacks))
+	}
+	rec := got.FindStack("openmpi-1.4-gnu")
+	if rec == nil || rec.ABIEpoch != 14 || !rec.StaticLibs || rec.CompilerVersion != "4.1.2" {
+		t.Errorf("stack: %+v", rec)
+	}
+	if br := got.FindStack("mpich2-1.4-gnu"); br == nil || !br.Broken {
+		t.Errorf("broken stack: %+v", br)
+	}
+	// Filesystem: files byte-identical, symlinks and attrs preserved.
+	orig, err := s.FS().ReadFile("/lib64/libc.so.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := got.FS().ReadFile("/lib64/libc.so.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, decoded) {
+		t.Error("libc bytes differ")
+	}
+	li, err := got.FS().Lstat("/lib64/libc.so.6")
+	if err != nil || li.Kind != vfs.KindSymlink {
+		t.Errorf("libc.so.6 symlink: %+v, %v", li, err)
+	}
+	if got.LibraryABIEpoch("/opt/x/lib/libx.so.1.2") != 7 {
+		t.Error("attrs lost")
+	}
+	if v, ok := got.FS().Attr("/lib64/libc.so.6", AttrExecOutput); !ok || v == "" {
+		t.Error("exec banner lost")
+	}
+	// The round trip is a fixed point.
+	data2, err := EncodeSite(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("encode(decode(x)) != x")
+	}
+}
+
+func TestSiteDecodeRejectsCorruption(t *testing.T) {
+	data, err := EncodeSite(richSite(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/3] ^= 0x55
+	if _, err := DecodeSite(bad); err == nil {
+		t.Error("corruption accepted")
+	}
+	if _, err := DecodeSite(data[:10]); err == nil {
+		t.Error("truncation accepted")
+	}
+	if _, err := DecodeSite([]byte("FEAMBNDLxxxxxxxxxx")); err == nil {
+		t.Error("wrong magic accepted")
+	}
+}
+
+func TestSiteDecodeGarbageQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				panic(r)
+			}
+		}()
+		_, _ = DecodeSite(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSiteImageSupportsExecution: a decoded site is a fully working world —
+// the loader resolves binaries against it exactly as against the original.
+func TestSiteImageSupportsExecution(t *testing.T) {
+	s := richSite(t)
+	data, err := EncodeSite(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSite(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decoded filesystem carries valid ELF images.
+	raw, err := got.FS().ReadFile("/opt/x/lib/libx.so.1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := elfimg.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Soname != "libx.so.1" {
+		t.Errorf("soname = %q", f.Soname)
+	}
+	if !got.Glibc.Equal(libver.V(2, 5)) {
+		t.Errorf("glibc = %v", got.Glibc)
+	}
+}

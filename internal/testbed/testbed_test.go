@@ -1,0 +1,220 @@
+package testbed
+
+import (
+	"sync"
+	"testing"
+
+	"feam/internal/libver"
+	"feam/internal/toolchain"
+	"feam/internal/workload"
+)
+
+var (
+	sharedOnce sync.Once
+	sharedTB   *Testbed
+	sharedErr  error
+)
+
+// build returns a process-wide shared testbed; construction is expensive
+// (five sites, dozens of ELF images) and the read-only tests can share it.
+// Tests that mutate site state take care to snapshot/restore.
+func build(t *testing.T) *Testbed {
+	t.Helper()
+	sharedOnce.Do(func() { sharedTB, sharedErr = Build() })
+	if sharedErr != nil {
+		t.Fatal(sharedErr)
+	}
+	return sharedTB
+}
+
+func TestFiveSites(t *testing.T) {
+	tb := build(t)
+	if len(tb.Sites) != 5 {
+		t.Fatalf("sites = %d", len(tb.Sites))
+	}
+	for _, name := range []string{"ranger", "forge", "blacklight", "india", "fir"} {
+		if tb.ByName[name] == nil {
+			t.Errorf("missing site %s", name)
+		}
+		if tb.Clusters[name] == nil {
+			t.Errorf("missing cluster for %s", name)
+		}
+	}
+}
+
+func TestTable2Characteristics(t *testing.T) {
+	tb := build(t)
+	cases := []struct {
+		site   string
+		glibc  libver.Version
+		distro string
+	}{
+		{"ranger", libver.V(2, 3, 4), "CentOS"},
+		{"forge", libver.V(2, 12), "Red Hat Enterprise Linux Server"},
+		{"blacklight", libver.V(2, 11, 1), "SUSE Linux Enterprise Server"},
+		{"india", libver.V(2, 5), "Red Hat Enterprise Linux Server"},
+		{"fir", libver.V(2, 5), "CentOS"},
+	}
+	for _, c := range cases {
+		s := tb.ByName[c.site]
+		if !s.Glibc.Equal(c.glibc) {
+			t.Errorf("%s glibc = %v, want %v", c.site, s.Glibc, c.glibc)
+		}
+		if s.OS.Distro != c.distro {
+			t.Errorf("%s distro = %q", c.site, s.OS.Distro)
+		}
+	}
+}
+
+func TestStackMatrix(t *testing.T) {
+	tb := build(t)
+	counts := map[string]int{"ranger": 6, "forge": 3, "blacklight": 2, "india": 6, "fir": 9}
+	total := 0
+	for name, want := range counts {
+		got := len(tb.ByName[name].Stacks)
+		if got != want {
+			t.Errorf("%s stacks = %d, want %d", name, got, want)
+		}
+		total += got
+	}
+	if total != 26 {
+		t.Errorf("total stacks = %d, want 26", total)
+	}
+	// Availability per the paper: Open MPI at 5 sites, MVAPICH2 at 4,
+	// MPICH2 at 2.
+	implSites := map[string]map[string]bool{}
+	for _, site := range tb.Sites {
+		for _, rec := range site.Stacks {
+			if implSites[rec.Impl] == nil {
+				implSites[rec.Impl] = map[string]bool{}
+			}
+			implSites[rec.Impl][site.Name] = true
+		}
+	}
+	if len(implSites["openmpi"]) != 5 || len(implSites["mvapich2"]) != 4 || len(implSites["mpich2"]) != 2 {
+		t.Errorf("impl site counts: openmpi=%d mvapich2=%d mpich2=%d",
+			len(implSites["openmpi"]), len(implSites["mvapich2"]), len(implSites["mpich2"]))
+	}
+}
+
+func TestCompilersInstalled(t *testing.T) {
+	tb := build(t)
+	for name, fams := range map[string][]toolchain.Family{
+		"ranger":     {toolchain.GNU, toolchain.Intel, toolchain.PGI},
+		"forge":      {toolchain.GNU, toolchain.Intel},
+		"blacklight": {toolchain.GNU, toolchain.Intel},
+		"india":      {toolchain.GNU, toolchain.Intel},
+		"fir":        {toolchain.GNU, toolchain.Intel, toolchain.PGI},
+	} {
+		site := tb.ByName[name]
+		for _, fam := range fams {
+			if _, ok := toolchain.FindCompiler(site, fam); !ok {
+				t.Errorf("%s: %v compiler not discoverable", name, fam)
+			}
+		}
+	}
+	// Ranger's GNU compiler is the F90-less 3.4.6.
+	c, _ := toolchain.FindCompiler(tb.ByName["ranger"], toolchain.GNU)
+	if c.HasFortran90() {
+		t.Errorf("ranger GCC = %s should lack Fortran 90", c.Version)
+	}
+}
+
+func TestEnvToolsPerSite(t *testing.T) {
+	tb := build(t)
+	for name, want := range map[string]string{
+		"ranger": "modules", "forge": "modules", "blacklight": "softenv",
+		"india": "modules", "fir": "",
+	} {
+		tool := tb.ByName[name].EnvTool()
+		got := ""
+		if tool != nil {
+			got = tool.Name()
+		}
+		if got != want {
+			t.Errorf("%s env tool = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestBrokenStacks(t *testing.T) {
+	tb := build(t)
+	if rec := tb.ByName["ranger"].FindStack("openmpi-1.3-pgi"); rec == nil || !rec.Broken {
+		t.Error("ranger openmpi-1.3-pgi should be broken")
+	}
+	if rec := tb.ByName["forge"].FindStack("mvapich2-1.7rc1-intel"); rec == nil || !rec.Broken {
+		t.Error("forge mvapich2-1.7rc1-intel should be broken")
+	}
+	if rec := tb.ByName["india"].FindStack("openmpi-1.4-gnu"); rec == nil || rec.Broken {
+		t.Error("india openmpi-1.4-gnu should work")
+	}
+}
+
+func TestActivateStack(t *testing.T) {
+	tb := build(t)
+	// Modules site.
+	india := tb.ByName["india"]
+	snap := india.SnapshotEnv()
+	if err := ActivateStack(india, "openmpi-1.4-intel"); err != nil {
+		t.Fatal(err)
+	}
+	if got := india.Getenv("LD_LIBRARY_PATH"); got != "/opt/openmpi-1.4-intel/lib" {
+		t.Errorf("india LD_LIBRARY_PATH = %q", got)
+	}
+	india.RestoreEnv(snap)
+
+	// SoftEnv site.
+	bl := tb.ByName["blacklight"]
+	if err := ActivateStack(bl, "openmpi-1.4-gnu"); err != nil {
+		t.Fatal(err)
+	}
+	if got := bl.Getenv("LD_LIBRARY_PATH"); got != "/opt/openmpi-1.4-gnu/lib" {
+		t.Errorf("blacklight LD_LIBRARY_PATH = %q", got)
+	}
+
+	// Path-search site (no tool).
+	fir := tb.ByName["fir"]
+	if err := ActivateStack(fir, "mpich2-1.3-gnu"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fir.Getenv("LD_LIBRARY_PATH"); got != "/opt/mpich2-1.3-gnu/lib" {
+		t.Errorf("fir LD_LIBRARY_PATH = %q", got)
+	}
+
+	if err := ActivateStack(fir, "nonexistent-1.0-gnu"); err == nil {
+		t.Error("activating a ghost stack should fail")
+	}
+}
+
+func TestIBLibraries(t *testing.T) {
+	tb := build(t)
+	if !tb.ByName["ranger"].FS().Exists("/usr/lib64/libibverbs.so.1") {
+		t.Error("ranger lacks libibverbs")
+	}
+	if tb.ByName["blacklight"].FS().Exists("/usr/lib64/libibverbs.so.1") {
+		t.Error("blacklight should not have IB libraries")
+	}
+}
+
+// TestCompileAcrossTestbed compiles one code with every stack at every site
+// that supports it, confirming the compile path works testbed-wide.
+func TestCompileAcrossTestbed(t *testing.T) {
+	tb := build(t)
+	compiled := 0
+	for _, site := range tb.Sites {
+		for _, rec := range site.Stacks {
+			art, err := toolchain.Compile(workload.Find("is"), rec, site)
+			if err != nil {
+				t.Errorf("%s/%s: %v", site.Name, rec.Key, err)
+				continue
+			}
+			if art.Truth.BuildSite != site.Name {
+				t.Errorf("truth build site = %q", art.Truth.BuildSite)
+			}
+			compiled++
+		}
+	}
+	if compiled != 26 {
+		t.Errorf("compiled %d IS binaries, want 26", compiled)
+	}
+}

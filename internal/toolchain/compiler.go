@@ -1,0 +1,257 @@
+// Package toolchain simulates the compiler side of an MPI stack: the GNU,
+// Intel and PGI compiler families, the runtime libraries each family links
+// into application binaries (libg2c/libgfortran for GNU Fortran, libimf and
+// friends for Intel, libpgc for PGI, libstdc++ with GLIBCXX symbol versions
+// for C++), compiler installations at sites, and the Compile operation that
+// turns a workload code plus an MPI stack into a genuine ELF application
+// binary with faithful link-level metadata and hidden ground-truth
+// attributes for the execution simulator.
+package toolchain
+
+import (
+	"fmt"
+
+	"feam/internal/libver"
+	"feam/internal/workload"
+)
+
+// Family is a compiler vendor family.
+type Family int
+
+const (
+	GNU Family = iota
+	Intel
+	PGI
+)
+
+// String returns the display name.
+func (f Family) String() string {
+	switch f {
+	case GNU:
+		return "GNU"
+	case Intel:
+		return "Intel"
+	case PGI:
+		return "PGI"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// Key returns the lower-case identifier used in stack keys.
+func (f Family) Key() string {
+	switch f {
+	case GNU:
+		return "gnu"
+	case Intel:
+		return "intel"
+	case PGI:
+		return "pgi"
+	default:
+		return "unknown"
+	}
+}
+
+// FamilyFromKey parses a lower-case family key.
+func FamilyFromKey(key string) (Family, bool) {
+	switch key {
+	case "gnu":
+		return GNU, true
+	case "intel":
+		return Intel, true
+	case "pgi":
+		return PGI, true
+	}
+	return 0, false
+}
+
+// Compiler is a specific compiler release.
+type Compiler struct {
+	Family  Family
+	Version string
+}
+
+// String renders "Intel 11.1".
+func (c Compiler) String() string { return fmt.Sprintf("%s %s", c.Family, c.Version) }
+
+// major returns the leading version component.
+func (c Compiler) major() int { return libver.MustParseVersion(c.Version).Major() }
+
+// minor returns the second version component (0 when absent).
+func (c Compiler) minor() int {
+	v := libver.MustParseVersion(c.Version)
+	if len(v) > 1 {
+		return v[1]
+	}
+	return 0
+}
+
+// RuntimeEpoch is the hidden ABI generation of the family's unversioned
+// runtime libraries. A binary built against epoch E runs correctly only when
+// the runtime present at execution time has epoch >= E. Intel kept its math
+// runtimes interface-stable across the 10.x-12.x era, so every Intel release
+// shares one generation; PGI broke its runtime interface at release 10.
+func (c Compiler) RuntimeEpoch() int {
+	switch c.Family {
+	case PGI:
+		if c.major() >= 10 {
+			return 2
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// gfortranSoname returns the Fortran runtime soname for a GNU release:
+// g77's libg2c before GCC 4, libgfortran.so.1 through GCC 4.3,
+// libgfortran.so.3 from GCC 4.4.
+func (c Compiler) gfortranSoname() string {
+	switch {
+	case c.major() < 4:
+		return "libg2c.so.0"
+	case c.major() == 4 && c.minor() < 4:
+		return "libgfortran.so.1"
+	default:
+		return "libgfortran.so.3"
+	}
+}
+
+// HasFortran90 reports whether the release can compile Fortran 90 sources;
+// GNU releases before GCC 4 ship only g77.
+func (c Compiler) HasFortran90() bool {
+	return c.Family != GNU || c.major() >= 4
+}
+
+// glibcxxLadder returns the GLIBCXX version definitions the release's
+// libstdc++.so.6 provides (and the newest entry is what C++ objects built by
+// the release reference).
+func (c Compiler) glibcxxLadder() []string {
+	full := []string{
+		"GLIBCXX_3.4", "GLIBCXX_3.4.1", "GLIBCXX_3.4.2", "GLIBCXX_3.4.3",
+		"GLIBCXX_3.4.4", "GLIBCXX_3.4.5", "GLIBCXX_3.4.6", "GLIBCXX_3.4.7",
+		"GLIBCXX_3.4.8", "GLIBCXX_3.4.9", "GLIBCXX_3.4.10", "GLIBCXX_3.4.11",
+		"GLIBCXX_3.4.12", "GLIBCXX_3.4.13",
+	}
+	var n int
+	switch {
+	case c.Family != GNU:
+		// Intel and PGI target the baseline GNU C++ ABI.
+		n = 1
+	case c.major() < 4:
+		n = 1 // GCC 3.4: GLIBCXX_3.4 only
+	case c.major() == 4 && c.minor() == 1:
+		n = 9 // GCC 4.1: through GLIBCXX_3.4.8
+	case c.major() == 4 && c.minor() < 4:
+		n = 10
+	default:
+		n = 14 // GCC 4.4: through GLIBCXX_3.4.13
+	}
+	return full[:n]
+}
+
+// RuntimeDep is one runtime-library link dependency of a compiled binary.
+type RuntimeDep struct {
+	// Soname is the DT_NEEDED entry.
+	Soname string
+	// Versions are symbol versions referenced against the library.
+	Versions []string
+	// Symbols are representative entry points the binary imports from the
+	// library (bound to the last entry of Versions when present).
+	Symbols []string
+	// Epoch is the required hidden ABI generation (0 = no requirement).
+	Epoch int
+}
+
+// RuntimeDeps returns the runtime libraries a binary in the given language
+// links when built by the compiler, excluding the universal base set
+// (libm/libpthread/libc).
+func (c Compiler) RuntimeDeps(lang workload.Language) []RuntimeDep {
+	var deps []RuntimeDep
+	switch c.Family {
+	case GNU:
+		if lang.UsesFortran() {
+			fso := c.gfortranSoname()
+			syms := []string{"_gfortran_st_write", "_gfortran_transfer_real"}
+			if fso == "libg2c.so.0" {
+				syms = []string{"s_wsfe", "do_fio", "e_wsfe"}
+			}
+			deps = append(deps, RuntimeDep{Soname: fso, Symbols: syms})
+		}
+	case Intel:
+		epoch := c.RuntimeEpoch()
+		deps = append(deps,
+			RuntimeDep{Soname: "libimf.so", Epoch: epoch, Symbols: []string{"__libimf_exp", "__libimf_pow"}},
+			RuntimeDep{Soname: "libsvml.so", Epoch: epoch, Symbols: []string{"__svml_sin2", "__svml_cos2"}},
+			RuntimeDep{Soname: "libintlc.so.5", Epoch: epoch, Symbols: []string{"__intel_new_proc_init"}},
+		)
+		if lang.UsesFortran() {
+			deps = append(deps,
+				RuntimeDep{Soname: "libifcore.so.5", Epoch: epoch, Symbols: []string{"for_write_seq_lis", "for_read_seq_fmt"}},
+				RuntimeDep{Soname: "libifport.so.5", Epoch: epoch, Symbols: []string{"for_date", "for_getenv"}},
+			)
+		}
+	case PGI:
+		epoch := c.RuntimeEpoch()
+		deps = append(deps, RuntimeDep{Soname: "libpgc.so", Epoch: epoch, Symbols: []string{"__pgio_init", "__c_mcopy8"}})
+		if lang.UsesFortran() {
+			deps = append(deps,
+				RuntimeDep{Soname: "libpgf90.so", Epoch: epoch, Symbols: []string{"pgf90_alloc", "pgf90_io_init"}},
+				RuntimeDep{Soname: "libpgftnrtl.so", Epoch: epoch, Symbols: []string{"ftn_str_copy"}},
+			)
+		}
+	}
+	if lang.UsesCPlusPlus() {
+		ladder := c.glibcxxLadder()
+		deps = append(deps, RuntimeDep{
+			Soname:   "libstdc++.so.6",
+			Versions: []string{ladder[len(ladder)-1]},
+			Symbols:  []string{"_ZNSt8ios_base4InitC1Ev", "_Znwm"},
+		})
+	}
+	return deps
+}
+
+// FeatureLevel returns the CPU ISA extension level binaries built by this
+// compiler at a site require at run time. The Intel compiler vectorizes for
+// the host CPU (-xHost style), PGI targets a middle baseline, GNU stays
+// conservative. Running on a CPU below the requirement traps with
+// floating-point/illegal-instruction errors.
+func (c Compiler) FeatureLevel(buildCPULevel int) int {
+	switch c.Family {
+	case Intel:
+		return buildCPULevel
+	case PGI:
+		if buildCPULevel > 2 {
+			return 2
+		}
+		return buildCPULevel
+	default:
+		return 1
+	}
+}
+
+// VersionBanner returns the -V/--version output of the compiler driver.
+func (c Compiler) VersionBanner() string {
+	switch c.Family {
+	case Intel:
+		return fmt.Sprintf("icc (ICC) %s 20100414", c.Version)
+	case PGI:
+		return fmt.Sprintf("pgcc %s-0 64-bit target", c.Version)
+	default:
+		return fmt.Sprintf("gcc (GCC) %s", c.Version)
+	}
+}
+
+// CommentString returns the .comment provenance a binary built by this
+// compiler carries, in the style readelf -p .comment shows.
+func (c Compiler) CommentString() string {
+	switch c.Family {
+	case Intel:
+		return fmt.Sprintf("Intel(R) C Compiler %s", c.Version)
+	case PGI:
+		return fmt.Sprintf("PGI Compilers %s", c.Version)
+	default:
+		return fmt.Sprintf("GCC: (GNU) %s", c.Version)
+	}
+}

@@ -1,0 +1,76 @@
+package toolchain
+
+import (
+	"strings"
+	"testing"
+
+	"feam/internal/elfimg"
+	"feam/internal/libver"
+	"feam/internal/mpistack"
+	"feam/internal/workload"
+)
+
+func TestCompileStaticRequiresArchives(t *testing.T) {
+	site := newSite("india", libver.V(2, 5), 2)
+	gnu := &CompilerInstall{Compiler: Compiler{Family: GNU, Version: "4.1.2"}}
+	if err := gnu.Materialize(site); err != nil {
+		t.Fatal(err)
+	}
+	// Without static libraries installed, static compilation is impossible
+	// (the paper's §VI.C constraint).
+	noStatic := &mpistack.Install{
+		Release:        mpistack.Release{Impl: mpistack.OpenMPI, Version: "1.4"},
+		CompilerFamily: "gnu", CompilerVersion: "4.1.2",
+		Interconnect: "ethernet", WithFortran: true,
+	}
+	rec, err := noStatic.Materialize(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileStatic(workload.Find("is"), rec, site); err == nil {
+		t.Fatal("static compile without archives accepted")
+	} else if !strings.Contains(err.Error(), "static libraries") {
+		t.Errorf("err = %v", err)
+	}
+
+	withStatic := &mpistack.Install{
+		Release:        mpistack.Release{Impl: mpistack.MPICH2, Version: "1.4"},
+		CompilerFamily: "gnu", CompilerVersion: "4.1.2",
+		Interconnect: "ethernet", WithFortran: true, WithStaticLibs: true,
+	}
+	rec2, err := withStatic.Materialize(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Archives exist on disk.
+	if !site.FS().Exists("/opt/mpich2-1.4-gnu/lib/libmpich.a") {
+		t.Error("static archive not installed")
+	}
+	art, err := CompileStatic(workload.Find("is"), rec2, site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !art.Truth.Static {
+		t.Error("artifact not marked static")
+	}
+	f, err := elfimg.Parse(art.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Needed) != 0 || f.Interp != "" {
+		t.Errorf("static binary has dynamic metadata: needed=%v interp=%q", f.Needed, f.Interp)
+	}
+	// The Table I identification cannot classify it — the paper's scheme
+	// needs dynamic dependencies.
+	if _, ok := mpistack.Identify(f.Needed); ok {
+		t.Error("static binary identified as MPI from link-level deps")
+	}
+	// Static images are much larger than dynamic ones.
+	dyn, err := Compile(workload.Find("is"), rec2, site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Size() <= dyn.Size() {
+		t.Errorf("static %d <= dynamic %d", art.Size(), dyn.Size())
+	}
+}

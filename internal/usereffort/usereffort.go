@@ -1,0 +1,190 @@
+// Package usereffort implements the paper's stated future work:
+// "quantifying the amount of user effort required to perform migration
+// tasks so that we can more concretely compute the efficiency gains of
+// using our methods" (§VII).
+//
+// The model decomposes a manual migration into the concrete site-
+// preparation tasks FEAM automates — discovering the architecture and OS,
+// determining the C library version, enumerating MPI stacks and their
+// compilers, test-driving candidate stacks through the batch queue,
+// running ldd and interpreting its output, hunting down and staging each
+// missing shared library, and composing the environment configuration —
+// and attaches per-task time estimates for two personas: an experienced
+// HPC user and the novice scientist the paper's introduction is written
+// for. FEAM's cost is what remains manual: supplying the submission-script
+// templates once per site and reading the prediction report.
+package usereffort
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Persona selects whose time is being estimated.
+type Persona int
+
+const (
+	// Expert is an experienced HPC user who knows module systems, ldd,
+	// and batch schedulers.
+	Expert Persona = iota
+	// Novice is a domain scientist encountering the site for the first
+	// time — the paper's target audience.
+	Novice
+)
+
+func (p Persona) String() string {
+	if p == Expert {
+		return "expert"
+	}
+	return "novice"
+}
+
+// Task is one manual step with per-persona durations and a repetition
+// count.
+type Task struct {
+	Name   string
+	Expert time.Duration
+	Novice time.Duration
+	Count  int
+}
+
+// Total returns the task's total time for a persona.
+func (t Task) Total(p Persona) time.Duration {
+	d := t.Expert
+	if p == Novice {
+		d = t.Novice
+	}
+	return time.Duration(t.Count) * d
+}
+
+// Estimate is a set of tasks.
+type Estimate struct {
+	Label string
+	Tasks []Task
+}
+
+// Total sums the estimate for a persona.
+func (e Estimate) Total(p Persona) time.Duration {
+	var total time.Duration
+	for _, t := range e.Tasks {
+		total += t.Total(p)
+	}
+	return total
+}
+
+// String renders the estimate as a table.
+func (e Estimate) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", e.Label)
+	for _, t := range e.Tasks {
+		fmt.Fprintf(&b, "  %-44s x%-3d expert %-8s novice %s\n",
+			t.Name, t.Count, t.Total(Expert), t.Total(Novice))
+	}
+	fmt.Fprintf(&b, "  %-44s      expert %-8s novice %s\n", "TOTAL",
+		e.Total(Expert), e.Total(Novice))
+	return b.String()
+}
+
+// MigrationProfile describes one migration's site-preparation workload —
+// the quantities that drive manual effort.
+type MigrationProfile struct {
+	// Stacks is the number of MPI installations advertised at the target.
+	Stacks int
+	// CandidateStacks is how many share the binary's implementation and
+	// would be test-driven.
+	CandidateStacks int
+	// MissingLibraries is how many shared libraries ldd reports missing
+	// under the chosen stack.
+	MissingLibraries int
+	// HasEnvTool reports whether a module system exists (its absence makes
+	// discovery slower).
+	HasEnvTool bool
+	// FirstVisit marks the user's first migration to this site (account
+	// setup, documentation reading).
+	FirstVisit bool
+}
+
+// Manual estimates the effort of preparing the site by hand.
+func Manual(p MigrationProfile) Estimate {
+	e := Estimate{Label: "manual migration"}
+	add := func(name string, expert, novice time.Duration, count int) {
+		if count > 0 {
+			e.Tasks = append(e.Tasks, Task{Name: name, Expert: expert, Novice: novice, Count: count})
+		}
+	}
+	if p.FirstVisit {
+		add("read site documentation, locate login/scratch", 10*time.Minute, 45*time.Minute, 1)
+	}
+	add("determine architecture and OS", 1*time.Minute, 10*time.Minute, 1)
+	add("determine C library version", 2*time.Minute, 20*time.Minute, 1)
+	if p.HasEnvTool {
+		add("enumerate MPI stacks via module/softenv", 3*time.Minute, 15*time.Minute, 1)
+	} else {
+		add("hunt MPI installations across the filesystem", 15*time.Minute, 60*time.Minute, 1)
+	}
+	add("identify compiler behind each wrapper", 2*time.Minute, 10*time.Minute, p.Stacks)
+	add("compile+submit hello world per candidate stack", 10*time.Minute, 30*time.Minute, p.CandidateStacks)
+	add("run ldd, interpret missing dependencies", 3*time.Minute, 25*time.Minute, 1)
+	add("locate, transfer, and stage a missing library", 15*time.Minute, 60*time.Minute, p.MissingLibraries)
+	add("compose environment configuration (paths, launcher)", 5*time.Minute, 30*time.Minute, 1)
+	return e
+}
+
+// WithFEAM estimates the effort of the same migration using FEAM: the only
+// manual inputs are the per-site submission scripts (once) and reading the
+// prediction output.
+func WithFEAM(p MigrationProfile) Estimate {
+	e := Estimate{Label: "migration with FEAM"}
+	if p.FirstVisit {
+		e.Tasks = append(e.Tasks, Task{
+			Name: "write serial+parallel submission scripts", Expert: 5 * time.Minute,
+			Novice: 20 * time.Minute, Count: 1,
+		})
+	}
+	e.Tasks = append(e.Tasks,
+		Task{Name: "launch FEAM phases via debug queue", Expert: 2 * time.Minute, Novice: 5 * time.Minute, Count: 1},
+		Task{Name: "read prediction report, run config script", Expert: 2 * time.Minute, Novice: 5 * time.Minute, Count: 1},
+	)
+	return e
+}
+
+// Savings compares the two approaches for a persona.
+func Savings(p MigrationProfile, persona Persona) time.Duration {
+	return Manual(p).Total(persona) - WithFEAM(p).Total(persona)
+}
+
+// Comparison aggregates effort over a set of migrations.
+type Comparison struct {
+	Migrations   int
+	ManualExpert time.Duration
+	ManualNovice time.Duration
+	FEAMExpert   time.Duration
+	FEAMNovice   time.Duration
+}
+
+// Aggregate sums profiles.
+func Aggregate(profiles []MigrationProfile) Comparison {
+	c := Comparison{Migrations: len(profiles)}
+	for _, p := range profiles {
+		c.ManualExpert += Manual(p).Total(Expert)
+		c.ManualNovice += Manual(p).Total(Novice)
+		c.FEAMExpert += WithFEAM(p).Total(Expert)
+		c.FEAMNovice += WithFEAM(p).Total(Novice)
+	}
+	return c
+}
+
+// String renders the aggregate comparison.
+func (c Comparison) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "user effort across %d migrations:\n", c.Migrations)
+	fmt.Fprintf(&b, "  manual:    expert %v, novice %v\n", c.ManualExpert, c.ManualNovice)
+	fmt.Fprintf(&b, "  with FEAM: expert %v, novice %v\n", c.FEAMExpert, c.FEAMNovice)
+	if c.ManualExpert > 0 {
+		fmt.Fprintf(&b, "  savings:   expert %.0f%%, novice %.0f%%\n",
+			100*(1-float64(c.FEAMExpert)/float64(c.ManualExpert)),
+			100*(1-float64(c.FEAMNovice)/float64(c.ManualNovice)))
+	}
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package usereffort
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func profile() MigrationProfile {
+	return MigrationProfile{
+		Stacks: 6, CandidateStacks: 2, MissingLibraries: 3,
+		HasEnvTool: true, FirstVisit: true,
+	}
+}
+
+func TestManualEstimate(t *testing.T) {
+	e := Manual(profile())
+	if e.Total(Expert) <= 0 || e.Total(Novice) <= e.Total(Expert) {
+		t.Errorf("totals: expert %v novice %v", e.Total(Expert), e.Total(Novice))
+	}
+	// Missing libraries dominate manual effort: three hunts at 15 min
+	// each is 45 expert minutes.
+	found := false
+	for _, task := range e.Tasks {
+		if strings.Contains(task.Name, "missing library") {
+			found = true
+			if task.Count != 3 || task.Total(Expert) != 45*time.Minute {
+				t.Errorf("library task = %+v", task)
+			}
+		}
+	}
+	if !found {
+		t.Error("no library-hunting task")
+	}
+}
+
+func TestEnvToolAffectsDiscovery(t *testing.T) {
+	withTool := profile()
+	withoutTool := profile()
+	withoutTool.HasEnvTool = false
+	if Manual(withoutTool).Total(Expert) <= Manual(withTool).Total(Expert) {
+		t.Error("missing env tool should increase manual effort")
+	}
+}
+
+func TestFEAMEffortSmallAndMostlyFirstVisit(t *testing.T) {
+	first := WithFEAM(profile())
+	repeat := profile()
+	repeat.FirstVisit = false
+	again := WithFEAM(repeat)
+	if first.Total(Expert) <= again.Total(Expert) {
+		t.Error("first visit should cost more (script writing)")
+	}
+	if again.Total(Novice) > 15*time.Minute {
+		t.Errorf("repeat FEAM novice effort = %v", again.Total(Novice))
+	}
+}
+
+func TestSavingsPositive(t *testing.T) {
+	for _, persona := range []Persona{Expert, Novice} {
+		if Savings(profile(), persona) <= 0 {
+			t.Errorf("%v savings not positive", persona)
+		}
+	}
+	// Property: savings grow monotonically with missing libraries.
+	f := func(n uint8) bool {
+		p := profile()
+		p.MissingLibraries = int(n % 20)
+		q := p
+		q.MissingLibraries = p.MissingLibraries + 1
+		return Savings(q, Novice) > Savings(p, Novice)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	profiles := []MigrationProfile{profile(), profile(), {Stacks: 2, CandidateStacks: 1, HasEnvTool: true}}
+	c := Aggregate(profiles)
+	if c.Migrations != 3 {
+		t.Errorf("Migrations = %d", c.Migrations)
+	}
+	if c.ManualNovice <= c.ManualExpert || c.FEAMExpert >= c.ManualExpert {
+		t.Errorf("comparison = %+v", c)
+	}
+	out := c.String()
+	for _, want := range []string{"3 migrations", "manual:", "with FEAM:", "savings:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	out := Manual(profile()).String()
+	if !strings.Contains(out, "TOTAL") || !strings.Contains(out, "hello world") {
+		t.Errorf("estimate rendering:\n%s", out)
+	}
+	if Expert.String() != "expert" || Novice.String() != "novice" {
+		t.Error("persona names")
+	}
+}
+
+func TestZeroProfile(t *testing.T) {
+	var p MigrationProfile
+	m := Manual(p)
+	// Even an empty profile has the fixed discovery tasks.
+	if m.Total(Expert) <= 0 {
+		t.Error("zero profile should still cost something")
+	}
+	// Tasks with zero counts are omitted.
+	for _, task := range m.Tasks {
+		if task.Count == 0 {
+			t.Errorf("zero-count task present: %+v", task)
+		}
+	}
+}

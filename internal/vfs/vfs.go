@@ -1,0 +1,539 @@
+// Package vfs implements the in-memory POSIX-style filesystem that backs
+// every simulated computing site. FEAM's discovery components exercise the
+// same operations they would on a real system — reading files under /proc
+// and /etc, walking library directories, following symlinks, glob-searching
+// for shared objects — so the filesystem supports directories, regular files
+// with extended attributes, symbolic links, and path-based lookup with link
+// resolution.
+//
+// Extended attributes carry simulation-side metadata (for example a shared
+// library's hidden ABI epoch) that is invisible to FEAM's prediction model
+// but consumed by the ground-truth execution simulator.
+package vfs
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+)
+
+// FileKind distinguishes node types.
+type FileKind int
+
+const (
+	KindDir FileKind = iota
+	KindFile
+	KindSymlink
+)
+
+func (k FileKind) String() string {
+	switch k {
+	case KindDir:
+		return "dir"
+	case KindFile:
+		return "file"
+	case KindSymlink:
+		return "symlink"
+	default:
+		return fmt.Sprintf("FileKind(%d)", int(k))
+	}
+}
+
+// node is a single filesystem entry.
+type node struct {
+	kind     FileKind
+	children map[string]*node // KindDir
+	data     []byte           // KindFile
+	target   string           // KindSymlink
+	mode     uint32           // permission bits; 0755 dirs, 0644 files by default
+	attrs    map[string]string
+}
+
+// FS is an in-memory filesystem rooted at "/". The zero value is not usable;
+// call New.
+type FS struct {
+	root *node
+}
+
+// New returns an empty filesystem containing only the root directory.
+func New() *FS {
+	return &FS{root: &node{kind: KindDir, children: map[string]*node{}, mode: 0o755}}
+}
+
+// PathError describes a failed filesystem operation.
+type PathError struct {
+	Op   string
+	Path string
+	Err  error
+}
+
+func (e *PathError) Error() string { return e.Op + " " + e.Path + ": " + e.Err.Error() }
+func (e *PathError) Unwrap() error { return e.Err }
+
+// Sentinel errors.
+var (
+	ErrNotExist    = fmt.Errorf("no such file or directory")
+	ErrExist       = fmt.Errorf("file exists")
+	ErrNotDir      = fmt.Errorf("not a directory")
+	ErrIsDir       = fmt.Errorf("is a directory")
+	ErrLinkLoop    = fmt.Errorf("too many levels of symbolic links")
+	ErrInvalidPath = fmt.Errorf("invalid path")
+)
+
+const maxLinkDepth = 40
+
+// clean canonicalizes a path to an absolute, slash-separated form.
+func clean(p string) (string, error) {
+	if p == "" {
+		return "", ErrInvalidPath
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return path.Clean(p), nil
+}
+
+// splitPath returns the path components of a cleaned absolute path.
+func splitPath(p string) []string {
+	p = strings.Trim(p, "/")
+	if p == "" {
+		return nil
+	}
+	return strings.Split(p, "/")
+}
+
+// lookup walks to the node for p. When followLast is true, a symlink in the
+// final position is resolved; intermediate symlinks are always resolved.
+func (fs *FS) lookup(p string, followLast bool) (*node, string, error) {
+	cp, err := clean(p)
+	if err != nil {
+		return nil, "", err
+	}
+	return fs.lookupFrom(fs.root, "/", splitPath(cp), followLast, 0)
+}
+
+func (fs *FS) lookupFrom(cur *node, curPath string, parts []string, followLast bool, depth int) (*node, string, error) {
+	if depth > maxLinkDepth {
+		return nil, "", ErrLinkLoop
+	}
+	for i, name := range parts {
+		if cur.kind != KindDir {
+			return nil, "", ErrNotDir
+		}
+		child, ok := cur.children[name]
+		if !ok {
+			return nil, "", ErrNotExist
+		}
+		childPath := path.Join(curPath, name)
+		last := i == len(parts)-1
+		if child.kind == KindSymlink && (!last || followLast) {
+			targetPath := child.target
+			if !strings.HasPrefix(targetPath, "/") {
+				targetPath = path.Join(curPath, targetPath)
+			}
+			resolved, rp, err := fs.lookupFrom(fs.root, "/", splitPath(path.Clean(targetPath)), true, depth+1)
+			if err != nil {
+				return nil, "", err
+			}
+			if last {
+				return resolved, rp, nil
+			}
+			cur, curPath = resolved, rp
+			continue
+		}
+		cur, curPath = child, childPath
+	}
+	return cur, curPath, nil
+}
+
+// parentOf returns the directory node that should contain the final element
+// of p, along with that element's name.
+func (fs *FS) parentOf(p string) (*node, string, error) {
+	cp, err := clean(p)
+	if err != nil {
+		return nil, "", err
+	}
+	if cp == "/" {
+		return nil, "", &PathError{Op: "create", Path: p, Err: ErrExist}
+	}
+	dir, base := path.Split(cp)
+	parent, _, err := fs.lookup(dir, true)
+	if err != nil {
+		return nil, "", &PathError{Op: "create", Path: p, Err: err}
+	}
+	if parent.kind != KindDir {
+		return nil, "", &PathError{Op: "create", Path: p, Err: ErrNotDir}
+	}
+	return parent, base, nil
+}
+
+// Mkdir creates a single directory. The parent must exist.
+func (fs *FS) Mkdir(p string) error {
+	parent, base, err := fs.parentOf(p)
+	if err != nil {
+		return err
+	}
+	if _, ok := parent.children[base]; ok {
+		return &PathError{Op: "mkdir", Path: p, Err: ErrExist}
+	}
+	parent.children[base] = &node{kind: KindDir, children: map[string]*node{}, mode: 0o755}
+	return nil
+}
+
+// MkdirAll creates a directory and any missing parents. Existing directories
+// are left untouched.
+func (fs *FS) MkdirAll(p string) error {
+	cp, err := clean(p)
+	if err != nil {
+		return &PathError{Op: "mkdir", Path: p, Err: err}
+	}
+	cur := fs.root
+	for _, name := range splitPath(cp) {
+		child, ok := cur.children[name]
+		if !ok {
+			child = &node{kind: KindDir, children: map[string]*node{}, mode: 0o755}
+			cur.children[name] = child
+		} else if child.kind == KindSymlink {
+			resolved, _, err := fs.lookup(path.Join("/", name), true)
+			if err != nil {
+				return &PathError{Op: "mkdir", Path: p, Err: err}
+			}
+			child = resolved
+		}
+		if child.kind != KindDir {
+			return &PathError{Op: "mkdir", Path: p, Err: ErrNotDir}
+		}
+		cur = child
+	}
+	return nil
+}
+
+// WriteFile creates or replaces a regular file, creating parents as needed.
+func (fs *FS) WriteFile(p string, data []byte) error {
+	cp, err := clean(p)
+	if err != nil {
+		return &PathError{Op: "write", Path: p, Err: err}
+	}
+	if err := fs.MkdirAll(path.Dir(cp)); err != nil {
+		return err
+	}
+	parent, base, err := fs.parentOf(cp)
+	if err != nil {
+		return err
+	}
+	if existing, ok := parent.children[base]; ok && existing.kind == KindDir {
+		return &PathError{Op: "write", Path: p, Err: ErrIsDir}
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	parent.children[base] = &node{kind: KindFile, data: buf, mode: 0o644}
+	return nil
+}
+
+// WriteString is WriteFile for string content.
+func (fs *FS) WriteString(p, content string) error { return fs.WriteFile(p, []byte(content)) }
+
+// ReadFileShared returns the file's contents WITHOUT copying. The returned
+// slice aliases the stored data: callers must treat it as read-only. It
+// exists for hot read-mostly paths (the dynamic-loader simulation parses
+// multi-megabyte libraries thousands of times); everything else should use
+// ReadFile.
+func (fs *FS) ReadFileShared(p string) ([]byte, error) {
+	n, _, err := fs.lookup(p, true)
+	if err != nil {
+		return nil, &PathError{Op: "read", Path: p, Err: err}
+	}
+	if n.kind != KindFile {
+		return nil, &PathError{Op: "read", Path: p, Err: ErrIsDir}
+	}
+	return n.data, nil
+}
+
+// ReadFile returns the contents of the file at p, following symlinks.
+func (fs *FS) ReadFile(p string) ([]byte, error) {
+	n, _, err := fs.lookup(p, true)
+	if err != nil {
+		return nil, &PathError{Op: "read", Path: p, Err: err}
+	}
+	if n.kind != KindFile {
+		return nil, &PathError{Op: "read", Path: p, Err: ErrIsDir}
+	}
+	out := make([]byte, len(n.data))
+	copy(out, n.data)
+	return out, nil
+}
+
+// Symlink creates a symbolic link at linkPath pointing to target. The target
+// need not exist.
+func (fs *FS) Symlink(target, linkPath string) error {
+	if err := fs.MkdirAll(path.Dir(mustClean(linkPath))); err != nil {
+		return err
+	}
+	parent, base, err := fs.parentOf(linkPath)
+	if err != nil {
+		return err
+	}
+	if _, ok := parent.children[base]; ok {
+		return &PathError{Op: "symlink", Path: linkPath, Err: ErrExist}
+	}
+	parent.children[base] = &node{kind: KindSymlink, target: target, mode: 0o777}
+	return nil
+}
+
+func mustClean(p string) string {
+	cp, err := clean(p)
+	if err != nil {
+		return "/"
+	}
+	return cp
+}
+
+// Remove deletes the entry at p (without following a final symlink).
+// Directories must be empty.
+func (fs *FS) Remove(p string) error {
+	parent, base, err := fs.parentOf(p)
+	if err != nil {
+		return err
+	}
+	child, ok := parent.children[base]
+	if !ok {
+		return &PathError{Op: "remove", Path: p, Err: ErrNotExist}
+	}
+	if child.kind == KindDir && len(child.children) > 0 {
+		return &PathError{Op: "remove", Path: p, Err: fmt.Errorf("directory not empty")}
+	}
+	delete(parent.children, base)
+	return nil
+}
+
+// FileInfo describes a filesystem entry.
+type FileInfo struct {
+	Name string
+	Path string
+	Kind FileKind
+	Size int
+	// Target is the link destination for symlinks.
+	Target string
+}
+
+// Stat returns information about the entry at p, following symlinks.
+func (fs *FS) Stat(p string) (FileInfo, error) {
+	n, rp, err := fs.lookup(p, true)
+	if err != nil {
+		return FileInfo{}, &PathError{Op: "stat", Path: p, Err: err}
+	}
+	return infoFor(n, rp), nil
+}
+
+// Lstat returns information about the entry at p without following a final
+// symlink.
+func (fs *FS) Lstat(p string) (FileInfo, error) {
+	n, rp, err := fs.lookup(p, false)
+	if err != nil {
+		return FileInfo{}, &PathError{Op: "lstat", Path: p, Err: err}
+	}
+	return infoFor(n, rp), nil
+}
+
+func infoFor(n *node, p string) FileInfo {
+	fi := FileInfo{Name: path.Base(p), Path: p, Kind: n.kind, Target: n.target}
+	if n.kind == KindFile {
+		fi.Size = len(n.data)
+	}
+	return fi
+}
+
+// Exists reports whether p resolves to an existing entry.
+func (fs *FS) Exists(p string) bool {
+	_, _, err := fs.lookup(p, true)
+	return err == nil
+}
+
+// IsDir reports whether p resolves to a directory.
+func (fs *FS) IsDir(p string) bool {
+	n, _, err := fs.lookup(p, true)
+	return err == nil && n.kind == KindDir
+}
+
+// ReadDir lists a directory's entries sorted by name.
+func (fs *FS) ReadDir(p string) ([]FileInfo, error) {
+	n, rp, err := fs.lookup(p, true)
+	if err != nil {
+		return nil, &PathError{Op: "readdir", Path: p, Err: err}
+	}
+	if n.kind != KindDir {
+		return nil, &PathError{Op: "readdir", Path: p, Err: ErrNotDir}
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]FileInfo, 0, len(names))
+	for _, name := range names {
+		out = append(out, infoFor(n.children[name], path.Join(rp, name)))
+	}
+	return out, nil
+}
+
+// ResolvePath returns the canonical path p resolves to after following all
+// symlinks (the realpath).
+func (fs *FS) ResolvePath(p string) (string, error) {
+	_, rp, err := fs.lookup(p, true)
+	if err != nil {
+		return "", &PathError{Op: "resolve", Path: p, Err: err}
+	}
+	return rp, nil
+}
+
+// SetAttr attaches an extended attribute to the entry at p (following
+// symlinks). Attributes carry simulation-side metadata.
+func (fs *FS) SetAttr(p, key, value string) error {
+	n, _, err := fs.lookup(p, true)
+	if err != nil {
+		return &PathError{Op: "setattr", Path: p, Err: err}
+	}
+	if n.attrs == nil {
+		n.attrs = map[string]string{}
+	}
+	n.attrs[key] = value
+	return nil
+}
+
+// Attrs returns a copy of all extended attributes on the entry at p
+// (following symlinks); nil when the entry is missing or has none.
+func (fs *FS) Attrs(p string) map[string]string {
+	n, _, err := fs.lookup(p, true)
+	if err != nil || len(n.attrs) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(n.attrs))
+	for k, v := range n.attrs {
+		out[k] = v
+	}
+	return out
+}
+
+// Attr reads an extended attribute; ok is false when absent.
+func (fs *FS) Attr(p, key string) (value string, ok bool) {
+	n, _, err := fs.lookup(p, true)
+	if err != nil || n.attrs == nil {
+		return "", false
+	}
+	value, ok = n.attrs[key]
+	return value, ok
+}
+
+// WalkFunc visits an entry during Walk. Returning SkipDir for a directory
+// prunes its subtree.
+type WalkFunc func(p string, info FileInfo) error
+
+// SkipDir prunes a directory subtree during Walk.
+var SkipDir = fmt.Errorf("skip this directory")
+
+// Walk traverses the tree rooted at p depth-first in sorted order, calling
+// fn for every entry (symlinks are reported, not followed).
+func (fs *FS) Walk(p string, fn WalkFunc) error {
+	n, rp, err := fs.lookup(p, true)
+	if err != nil {
+		return &PathError{Op: "walk", Path: p, Err: err}
+	}
+	return walk(n, rp, fn)
+}
+
+func walk(n *node, p string, fn WalkFunc) error {
+	if err := fn(p, infoFor(n, p)); err != nil {
+		if err == SkipDir && n.kind == KindDir {
+			return nil
+		}
+		return err
+	}
+	if n.kind != KindDir {
+		return nil
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := walk(n.children[name], path.Join(p, name), fn); err != nil {
+			if err == SkipDir {
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Glob returns the paths of all files whose base name matches pattern
+// (path.Match syntax) anywhere under root, emulating the `locate`/`find
+// -name` searches FEAM performs. Results are sorted.
+func (fs *FS) Glob(root, pattern string) ([]string, error) {
+	if _, err := path.Match(pattern, ""); err != nil {
+		return nil, err
+	}
+	var out []string
+	err := fs.Walk(root, func(p string, info FileInfo) error {
+		if info.Kind == KindDir {
+			return nil
+		}
+		if ok, _ := path.Match(pattern, info.Name); ok {
+			out = append(out, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// CopyFile copies a regular file within the filesystem.
+func (fs *FS) CopyFile(src, dst string) error {
+	data, err := fs.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return fs.WriteFile(dst, data)
+}
+
+// CopyFileTo copies a regular file from this filesystem into another one,
+// the vfs equivalent of staging a shared-library copy at a target site.
+func (fs *FS) CopyFileTo(other *FS, src, dst string) error {
+	data, err := fs.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	if err := other.WriteFile(dst, data); err != nil {
+		return err
+	}
+	// Extended attributes travel with the file: the hidden ground-truth
+	// metadata of a shared library is a property of its bytes.
+	if n, _, err := fs.lookup(src, true); err == nil && n.attrs != nil {
+		for k, v := range n.attrs {
+			if err := other.SetAttr(dst, k, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TreeSize returns the total byte size of all regular files under root.
+func (fs *FS) TreeSize(root string) (int, error) {
+	total := 0
+	err := fs.Walk(root, func(p string, info FileInfo) error {
+		if info.Kind == KindFile {
+			total += info.Size
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}

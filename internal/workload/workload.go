@@ -1,0 +1,231 @@
+// Package workload defines the MPI application codes the paper's test set
+// is built from: the NAS Parallel Benchmarks 2.4 MPI reference
+// implementation and the SPEC MPI2007 suite. Each code carries the
+// properties that shape its compiled binary — implementation language
+// (which runtime libraries get linked), how aggressively it exercises the C
+// library (which symbol versions its objects reference), how advanced its
+// MPI usage is (which determines sensitivity to MPI ABI drift between
+// releases of the same implementation), and a typical binary size.
+package workload
+
+import "feam/internal/libver"
+
+// Language of a code's implementation; determines linked runtimes.
+type Language int
+
+const (
+	C Language = iota
+	Fortran77
+	Fortran90
+	CPlusPlus
+	// MixedCF is combined C and Fortran (127.GAPgeofem).
+	MixedCF
+)
+
+func (l Language) String() string {
+	switch l {
+	case C:
+		return "C"
+	case Fortran77:
+		return "Fortran77"
+	case Fortran90:
+		return "Fortran90"
+	case CPlusPlus:
+		return "C++"
+	case MixedCF:
+		return "C+Fortran"
+	default:
+		return "unknown"
+	}
+}
+
+// UsesFortran reports whether Fortran runtime libraries are linked.
+func (l Language) UsesFortran() bool {
+	return l == Fortran77 || l == Fortran90 || l == MixedCF
+}
+
+// UsesCPlusPlus reports whether the C++ runtime is linked.
+func (l Language) UsesCPlusPlus() bool { return l == CPlusPlus }
+
+// Suite identifies a benchmark suite.
+type Suite int
+
+const (
+	NPB Suite = iota
+	SPECMPI
+)
+
+func (s Suite) String() string {
+	switch s {
+	case NPB:
+		return "NAS"
+	case SPECMPI:
+		return "SPEC"
+	}
+	return "unknown"
+}
+
+// Code is one benchmark application.
+type Code struct {
+	Suite Suite
+	// Name is the short identifier ("cg", "126.lammps").
+	Name string
+	// FullName is the descriptive title.
+	FullName string
+	// Domain is the application area from the paper's description.
+	Domain string
+	Lang   Language
+	// GlibcDemandCap caps the newest GLIBC_* symbol version the code's
+	// compiled objects reference; zero means the code references the
+	// newest symbols of whatever glibc it is built against (large codes
+	// touch recent interfaces; tiny kernels do not).
+	GlibcDemandCap libver.Version
+	// MPILevel grades MPI feature usage: 1 = basic point-to-point and
+	// collectives only, 2 = heavier collective/datatype usage, 3 =
+	// advanced features whose ABI shifted between implementation releases.
+	MPILevel int
+	// TextKB is the approximate binary text size in KiB.
+	TextKB int
+}
+
+// ID returns "suite/name".
+func (c *Code) ID() string { return c.Suite.String() + "/" + c.Name }
+
+// NPBCodes returns the seven NPB 2.4 codes in the paper's test set: four
+// kernels (IS, EP, CG, MG) and three pseudo-applications (BT, SP, LU).
+func NPBCodes() []*Code {
+	return []*Code{
+		{Suite: NPB, Name: "is", FullName: "Integer Sort", Domain: "bucket sort kernel",
+			Lang: C, GlibcDemandCap: libver.V(2, 3, 4), MPILevel: 1, TextKB: 90},
+		{Suite: NPB, Name: "ep", FullName: "Embarrassingly Parallel", Domain: "random-number kernel",
+			Lang: Fortran77, GlibcDemandCap: libver.V(2, 2, 5), MPILevel: 1, TextKB: 110},
+		{Suite: NPB, Name: "cg", FullName: "Conjugate Gradient", Domain: "sparse linear algebra kernel",
+			Lang: Fortran77, GlibcDemandCap: libver.V(2, 3, 4), MPILevel: 2, TextKB: 140},
+		{Suite: NPB, Name: "mg", FullName: "Multi-Grid", Domain: "multigrid mesh kernel",
+			Lang: Fortran77, GlibcDemandCap: libver.V(2, 3, 4), MPILevel: 2, TextKB: 160},
+		{Suite: NPB, Name: "bt", FullName: "Block Tridiagonal", Domain: "CFD pseudo-application",
+			Lang: Fortran77, GlibcDemandCap: libver.V(2, 5), MPILevel: 2, TextKB: 340},
+		{Suite: NPB, Name: "sp", FullName: "Scalar Penta-diagonal", Domain: "CFD pseudo-application",
+			Lang: Fortran77, GlibcDemandCap: libver.V(2, 5), MPILevel: 2, TextKB: 310},
+		{Suite: NPB, Name: "lu", FullName: "Lower-Upper Gauss-Seidel", Domain: "CFD pseudo-application",
+			Lang: Fortran77, MPILevel: 3, TextKB: 330},
+	}
+}
+
+// SPECMPICodes returns the seven SPEC MPI2007 codes in the paper's test set.
+func SPECMPICodes() []*Code {
+	return []*Code{
+		{Suite: SPECMPI, Name: "104.milc", FullName: "MILC", Domain: "quantum chromodynamics",
+			Lang: C, MPILevel: 2, TextKB: 1100},
+		{Suite: SPECMPI, Name: "107.leslie3d", FullName: "LESlie3d", Domain: "computational fluid dynamics",
+			Lang: Fortran90, MPILevel: 2, TextKB: 900},
+		{Suite: SPECMPI, Name: "115.fds4", FullName: "FDS4", Domain: "computational fluid dynamics (fire)",
+			Lang: Fortran90, MPILevel: 3, TextKB: 1600},
+		{Suite: SPECMPI, Name: "122.tachyon", FullName: "Tachyon", Domain: "parallel ray tracing",
+			Lang: C, GlibcDemandCap: libver.V(2, 3, 4), MPILevel: 1, TextKB: 500},
+		{Suite: SPECMPI, Name: "126.lammps", FullName: "LAMMPS", Domain: "molecular dynamics",
+			Lang: CPlusPlus, MPILevel: 3, TextKB: 2600},
+		{Suite: SPECMPI, Name: "127.GAPgeofem", FullName: "GAPgeofem", Domain: "geophysical FEM (weather)",
+			Lang: MixedCF, GlibcDemandCap: libver.V(2, 5), MPILevel: 2, TextKB: 1400},
+		{Suite: SPECMPI, Name: "129.tera_tf", FullName: "Tera_TF", Domain: "3D Eulerian hydrodynamics",
+			Lang: Fortran90, GlibcDemandCap: libver.V(2, 5), MPILevel: 2, TextKB: 800},
+	}
+}
+
+// All returns both suites' codes, NPB first.
+func All() []*Code {
+	return append(NPBCodes(), SPECMPICodes()...)
+}
+
+// Find returns the code with the given name from either suite, or nil.
+func Find(name string) *Code {
+	for _, c := range All() {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// GlibcDemand resolves the glibc symbol versions a binary of this code
+// references when built against a C library of release buildGlibc: the
+// newest ladder entry not exceeding both the build glibc and the code's
+// demand cap, together with the base entry.
+func (c *Code) GlibcDemand(buildGlibc libver.Version) []string {
+	cap := c.GlibcDemandCap
+	effective := buildGlibc
+	if !cap.IsZero() && cap.Less(buildGlibc) {
+		effective = cap
+	}
+	ladder := libver.GlibcSymbolVersions(effective)
+	if len(ladder) == 0 {
+		return nil
+	}
+	if len(ladder) == 1 {
+		return ladder
+	}
+	return []string{ladder[0], ladder[len(ladder)-1]}
+}
+
+// Class is an NPB problem class (S, W, A, B, C): the same source compiled
+// with different problem sizes. The paper's test set is built from
+// per-class binaries (e.g. cg.A.4); class does not change the dependency
+// fingerprint, only the image size and run time.
+type Class string
+
+// Problem classes in increasing size.
+const (
+	ClassS Class = "S"
+	ClassW Class = "W"
+	ClassA Class = "A"
+	ClassB Class = "B"
+	ClassC Class = "C"
+)
+
+// Classes lists the supported problem classes, smallest first.
+func Classes() []Class { return []Class{ClassS, ClassW, ClassA, ClassB, ClassC} }
+
+// SizeFactor scales binary text size and run time relative to class A.
+func (c Class) SizeFactor() float64 {
+	switch c {
+	case ClassS:
+		return 0.1
+	case ClassW:
+		return 0.25
+	case ClassA:
+		return 1
+	case ClassB:
+		return 4
+	case ClassC:
+		return 16
+	default:
+		return 1
+	}
+}
+
+// Valid reports whether the class is one of the supported sizes.
+func (c Class) Valid() bool {
+	for _, k := range Classes() {
+		if c == k {
+			return true
+		}
+	}
+	return false
+}
+
+// WithClass returns a copy of the code sized for a problem class: the name
+// gains the NPB-style class suffix and the text size scales. Dependency
+// properties (language, MPI level, glibc demand) are unchanged — class is a
+// compile-time constant, not a different program.
+func (c *Code) WithClass(class Class) *Code {
+	if !class.Valid() {
+		class = ClassA
+	}
+	sized := *c
+	sized.Name = c.Name + "." + string(class)
+	sized.TextKB = int(float64(c.TextKB) * class.SizeFactor())
+	if sized.TextKB < 8 {
+		sized.TextKB = 8
+	}
+	return &sized
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"testing"
+
+	"feam/internal/libver"
+)
+
+func TestSuiteContents(t *testing.T) {
+	npb := NPBCodes()
+	if len(npb) != 7 {
+		t.Fatalf("NPB codes = %d, want 7", len(npb))
+	}
+	spec := SPECMPICodes()
+	if len(spec) != 7 {
+		t.Fatalf("SPEC codes = %d, want 7", len(spec))
+	}
+	if len(All()) != 14 {
+		t.Errorf("All = %d", len(All()))
+	}
+	// The paper's named kernels and pseudo-applications are present.
+	for _, name := range []string{"is", "ep", "cg", "mg", "bt", "sp", "lu"} {
+		c := Find(name)
+		if c == nil || c.Suite != NPB {
+			t.Errorf("NPB code %q missing", name)
+		}
+	}
+	for _, name := range []string{"104.milc", "107.leslie3d", "115.fds4", "122.tachyon", "126.lammps", "127.GAPgeofem", "129.tera_tf"} {
+		c := Find(name)
+		if c == nil || c.Suite != SPECMPI {
+			t.Errorf("SPEC code %q missing", name)
+		}
+	}
+	if Find("nonexistent") != nil {
+		t.Error("Find invented a code")
+	}
+}
+
+func TestCodeProperties(t *testing.T) {
+	is := Find("is")
+	if is.Lang != C || is.Lang.UsesFortran() {
+		t.Error("IS should be a C code")
+	}
+	bt := Find("bt")
+	if bt.Lang != Fortran77 || !bt.Lang.UsesFortran() {
+		t.Error("BT should be Fortran 77")
+	}
+	lammps := Find("126.lammps")
+	if lammps.Lang != CPlusPlus || !lammps.Lang.UsesCPlusPlus() {
+		t.Error("LAMMPS should be C++")
+	}
+	gap := Find("127.GAPgeofem")
+	if gap.Lang != MixedCF || !gap.Lang.UsesFortran() {
+		t.Error("GAPgeofem should be mixed C/Fortran")
+	}
+	if is.ID() != "NAS/is" || lammps.ID() != "SPEC/126.lammps" {
+		t.Errorf("IDs = %q, %q", is.ID(), lammps.ID())
+	}
+	for _, c := range All() {
+		if c.MPILevel < 1 || c.MPILevel > 3 {
+			t.Errorf("%s has MPILevel %d", c.Name, c.MPILevel)
+		}
+		if c.TextKB <= 0 {
+			t.Errorf("%s has no size", c.Name)
+		}
+		if c.Domain == "" || c.FullName == "" {
+			t.Errorf("%s lacks description", c.Name)
+		}
+	}
+}
+
+func TestLanguageString(t *testing.T) {
+	for l, want := range map[Language]string{
+		C: "C", Fortran77: "Fortran77", Fortran90: "Fortran90",
+		CPlusPlus: "C++", MixedCF: "C+Fortran", Language(99): "unknown",
+	} {
+		if l.String() != want {
+			t.Errorf("Language(%d) = %q, want %q", l, l.String(), want)
+		}
+	}
+	if NPB.String() != "NAS" || SPECMPI.String() != "SPEC" || Suite(9).String() != "unknown" {
+		t.Error("Suite.String broken")
+	}
+}
+
+func TestGlibcDemand(t *testing.T) {
+	// A capped code built on a new glibc references only up to its cap.
+	ep := Find("ep") // cap 2.2.5
+	refs := ep.GlibcDemand(libver.V(2, 12))
+	if len(refs) == 0 {
+		t.Fatal("no refs")
+	}
+	top := libver.HighestGlibc(refs)
+	if !top.Equal(libver.V(2, 2, 5)) {
+		t.Errorf("ep demand on 2.12 = %v", top)
+	}
+	// An uncapped code tracks the build glibc.
+	lu := Find("lu")
+	top = libver.HighestGlibc(lu.GlibcDemand(libver.V(2, 12)))
+	if !top.Equal(libver.V(2, 12)) {
+		t.Errorf("lu demand on 2.12 = %v", top)
+	}
+	// Built on an old glibc, demand cannot exceed the build environment.
+	top = libver.HighestGlibc(lu.GlibcDemand(libver.V(2, 3, 4)))
+	if !top.Equal(libver.V(2, 3, 4)) {
+		t.Errorf("lu demand on 2.3.4 = %v", top)
+	}
+	// A mid-capped code stops at its cap.
+	bt := Find("bt")
+	top = libver.HighestGlibc(bt.GlibcDemand(libver.V(2, 12)))
+	if !top.Equal(libver.V(2, 5)) {
+		t.Errorf("bt demand on 2.12 = %v", top)
+	}
+	// Demands always include a base version that old systems satisfy.
+	refs = lu.GlibcDemand(libver.V(2, 12))
+	if refs[0] != "GLIBC_2.0" {
+		t.Errorf("base ref = %q", refs[0])
+	}
+}
+
+func TestProblemClasses(t *testing.T) {
+	if len(Classes()) != 5 {
+		t.Fatalf("classes = %v", Classes())
+	}
+	cg := Find("cg")
+	a := cg.WithClass(ClassA)
+	if a.Name != "cg.A" || a.TextKB != cg.TextKB {
+		t.Errorf("class A = %+v", a)
+	}
+	cc := cg.WithClass(ClassC)
+	if cc.TextKB != cg.TextKB*16 {
+		t.Errorf("class C TextKB = %d", cc.TextKB)
+	}
+	s := cg.WithClass(ClassS)
+	if s.TextKB >= cg.TextKB || s.TextKB < 8 {
+		t.Errorf("class S TextKB = %d", s.TextKB)
+	}
+	// Dependency-relevant fields are untouched.
+	if cc.Lang != cg.Lang || cc.MPILevel != cg.MPILevel ||
+		!cc.GlibcDemandCap.Equal(cg.GlibcDemandCap) {
+		t.Error("class changed dependency properties")
+	}
+	// The original is not mutated.
+	if cg.Name != "cg" {
+		t.Errorf("original mutated: %q", cg.Name)
+	}
+	// Invalid classes normalize to A.
+	if got := cg.WithClass(Class("Z")); got.Name != "cg.A" {
+		t.Errorf("invalid class = %q", got.Name)
+	}
+	if !ClassB.Valid() || Class("Q").Valid() {
+		t.Error("Valid broken")
+	}
+	// Ordering of size factors.
+	last := 0.0
+	for _, k := range Classes() {
+		if k.SizeFactor() <= last {
+			t.Errorf("size factors not increasing at %s", k)
+		}
+		last = k.SizeFactor()
+	}
+}
