@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build vet test race bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 40m ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .

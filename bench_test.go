@@ -5,6 +5,8 @@
 package feam_bench
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -366,6 +368,72 @@ func BenchmarkAblationVersionPolicy(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkEngineDiscoveryCache compares a cold EDC survey (fresh engine
+// every iteration) against the engine's memoized path (one engine, warm
+// cache). The warm path is the common case inside an experiment, where the
+// same site is consulted for every binary that targets it.
+func BenchmarkEngineDiscoveryCache(b *testing.B) {
+	tb := benchTestbed(b)
+	ctx := context.Background()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := feam.NewEngine()
+			for _, site := range tb.Sites {
+				env, err := eng.Discover(ctx, site)
+				if err != nil || len(env.Available) == 0 {
+					b.Fatalf("discovery failed: %v", err)
+				}
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng := feam.NewEngine()
+		for _, site := range tb.Sites {
+			if _, err := eng.Discover(ctx, site); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, site := range tb.Sites {
+				env, err := eng.Discover(ctx, site)
+				if err != nil || len(env.Available) == 0 {
+					b.Fatalf("discovery failed: %v", err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkRankSitesParallel measures the full five-site ranking —
+// survey, evaluation, and probe runs per site — sequentially and with the
+// engine's bounded fan-out. A fresh engine per iteration keeps every
+// survey cold so the parallel speedup reflects real work.
+func BenchmarkRankSitesParallel(b *testing.B) {
+	tb := benchTestbed(b)
+	runner := experiment.NewSimRunner(benchSim())
+	art := compileBench(b, tb, "india", "openmpi-1.4-gnu", "cg")
+	desc, err := feam.DescribeBytes(art.Bytes, art.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := feam.EvalOptions{Runner: runner}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := feam.NewEngine()
+				ranked := eng.RankSitesParallel(ctx, desc, art.Bytes, tb.Sites, opts, workers)
+				for _, a := range ranked {
+					if a.Err != nil {
+						b.Fatal(a.Err)
+					}
+				}
+			}
+		})
+	}
 }
 
 func sourceBundle(b *testing.B, tb *testbed.Testbed, siteName, stackKey string, art *toolchain.Artifact) *feam.Bundle {

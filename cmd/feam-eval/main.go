@@ -20,17 +20,18 @@ func main() {
 		table  = flag.Int("table", 0, "print a single table (1-4); 0 prints everything")
 		stats  = flag.Bool("stats", false, "print only the evaluation statistics")
 		effort = flag.Bool("effort", false, "print only the user-effort comparison")
-		ablate = flag.Bool("ablate", false, "run the mechanism ablations (slow: four full matrices)")
-		seed   = flag.Int64("seed", 2013, "simulation seed")
+		ablate  = flag.Bool("ablate", false, "run the mechanism ablations (slow: four full matrices)")
+		seed    = flag.Int64("seed", 2013, "simulation seed")
+		workers = flag.Int("workers", 0, "evaluation workers (0 = one per site)")
 	)
 	flag.Parse()
-	if err := run(*table, *stats, *effort, *ablate, *seed); err != nil {
+	if err := run(*table, *stats, *effort, *ablate, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "feam-eval:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, statsOnly, effortOnly, ablate bool, seed int64) error {
+func run(table int, statsOnly, effortOnly, ablate bool, seed int64, workers int) error {
 	// Tables I and II need no evaluation run.
 	if table == 1 {
 		fmt.Print(report.Table1())
@@ -62,7 +63,10 @@ func run(table int, statsOnly, effortOnly, ablate bool, seed int64) error {
 	}
 	fmt.Fprintf(os.Stderr, "running evaluation over %d migration pairs...\n",
 		len(experiment.Migrations(tb, ts)))
-	ev, err := experiment.Run(tb, ts, sim)
+	if workers <= 0 {
+		workers = len(tb.Sites)
+	}
+	ev, err := experiment.RunWithConcurrency(tb, ts, sim, workers)
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -80,7 +81,7 @@ func runImport(path string) error {
 	if err != nil {
 		return err
 	}
-	env, err := feam.Discover(site)
+	env, err := feam.NewEngine().Discover(context.Background(), site)
 	if err != nil {
 		return err
 	}
@@ -95,8 +96,9 @@ func runImport(path string) error {
 }
 
 func runSurvey(tb *testbed.Testbed) {
+	eng := feam.NewEngine()
 	for _, site := range tb.Sites {
-		env, err := feam.Discover(site)
+		env, err := eng.Discover(context.Background(), site)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "discovery at %s failed: %v\n", site.Name, err)
 			continue

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"feam/internal/execsim"
 	"feam/internal/experiment"
 	"feam/internal/feam"
+	"feam/internal/metrics"
 	"feam/internal/sitemodel"
 	"feam/internal/testbed"
 	"feam/internal/toolchain"
@@ -32,16 +34,24 @@ func main() {
 		to      = flag.String("to", "india", "target site")
 		basic   = flag.Bool("basic", false, "skip the source phase (basic prediction only)")
 		seed    = flag.Int64("seed", 2013, "simulation seed")
-		verbose = flag.Bool("v", false, "print phase reports and bundle contents")
+		workers = flag.Int("workers", 4, "concurrent site surveys for -to all")
+		verbose = flag.Bool("v", false, "print phase reports, bundle contents, and engine statistics")
 	)
 	flag.Parse()
-	if err := run(*code, *class, *from, *stack, *to, *basic, *seed, *verbose); err != nil {
+	if err := run(*code, *class, *from, *stack, *to, *basic, *seed, *workers, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "feam:", err)
 		os.Exit(1)
 	}
 }
 
-func run(codeName, className, from, stackKey, to string, basic bool, seed int64, verbose bool) error {
+func run(codeName, className, from, stackKey, to string, basic bool, seed int64, workers int, verbose bool) error {
+	ctx := context.Background()
+	eng := feam.NewEngine()
+	var counters metrics.EngineCounters
+	eng.AddObserver(feam.NewCountersObserver(&counters))
+	if verbose {
+		defer func() { fmt.Printf("\nengine: %s\n", counters.String()) }()
+	}
 	code := workload.Find(codeName)
 	if code == nil {
 		return fmt.Errorf("unknown code %q", codeName)
@@ -93,7 +103,7 @@ func run(codeName, className, from, stackKey, to string, basic bool, seed int64,
 			return err
 		}
 		cfg := configFor(tb, from, "source", binPath)
-		b, report, err := feam.RunSourcePhase(cfg, src, runner)
+		b, report, err := eng.RunSourcePhase(ctx, cfg, src, runner)
 		src.RestoreEnv(snap)
 		if err != nil {
 			return err
@@ -133,7 +143,7 @@ func run(codeName, className, from, stackKey, to string, basic bool, seed int64,
 	// "-to all": rank every other site instead of a single target phase —
 	// the paper's quickly-assess-many-sites use case.
 	if to == "all" {
-		desc, err := feam.DescribeBytes(art.Bytes, art.Name)
+		desc, err := eng.Describe(ctx, art.Bytes, art.Name)
 		if err != nil {
 			return err
 		}
@@ -143,10 +153,10 @@ func run(codeName, className, from, stackKey, to string, basic bool, seed int64,
 				targets = append(targets, s)
 			}
 		}
-		fmt.Printf("\n== Ranking %d candidate sites ==\n", len(targets))
-		ranked := feam.RankSites(desc, art.Bytes, targets, feam.EvalOptions{
+		fmt.Printf("\n== Ranking %d candidate sites (%d workers) ==\n", len(targets), workers)
+		ranked := eng.RankSitesParallel(ctx, desc, art.Bytes, targets, feam.EvalOptions{
 			Bundle: bundle, Resolve: bundle != nil, Runner: runner,
-		})
+		}, workers)
 		for i, a := range ranked {
 			switch {
 			case a.Err != nil:
@@ -172,7 +182,7 @@ func run(codeName, className, from, stackKey, to string, basic bool, seed int64,
 		return err
 	}
 	cfg := configFor(tb, to, "target", binPath)
-	pred, report, err := feam.RunTargetPhase(cfg, dst, bundle, runner)
+	pred, report, err := eng.RunTargetPhase(ctx, cfg, dst, bundle, runner)
 	if err != nil {
 		return err
 	}

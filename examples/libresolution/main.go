@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -38,30 +39,31 @@ func main() {
 	}
 	sim := execsim.NewSimulator(7)
 	runner := experiment.NewSimRunner(sim)
+	eng := feam.NewEngine()
 
 	fmt.Println("=== Scenario A: resolvable (ranger -> india) ===")
-	scenarioA(tb, sim, runner)
+	scenarioA(eng, tb, sim, runner)
 	fmt.Println()
 	fmt.Println("=== Scenario B: unresolvable copy (india -> ranger) ===")
-	scenarioB(tb, runner)
+	scenarioB(eng, tb, runner)
 }
 
-func scenarioA(tb *testbed.Testbed, sim *execsim.Simulator, runner feam.RunnerFunc) {
+func scenarioA(eng *feam.Engine, tb *testbed.Testbed, sim *execsim.Simulator, runner feam.RunnerFunc) {
 	ranger, india := tb.ByName["ranger"], tb.ByName["india"]
 	art := compile(ranger, "mvapich2-1.2-gnu", "mg")
 	place(ranger, india, art)
 
 	// Source phase at the guaranteed execution environment.
-	bundle := sourcePhase(tb, ranger, "mvapich2-1.2-gnu", art, runner)
+	bundle := sourcePhase(eng, tb, ranger, "mvapich2-1.2-gnu", art, runner)
 	fmt.Printf("bundle from ranger: %d libraries, %.1f MB\n",
 		len(bundle.Libs), float64(bundle.Size())/(1<<20))
 
 	// Basic prediction at india fails on missing libraries...
-	basic := targetPhase(tb, india, art, nil, runner)
+	basic := targetPhase(eng, tb, india, art, nil, runner)
 	fmt.Printf("basic prediction: ready=%v, missing=%v\n", basic.Ready, basic.MissingLibs)
 
 	// ...and the extended prediction resolves them.
-	ext := targetPhase(tb, india, art, bundle, runner)
+	ext := targetPhase(eng, tb, india, art, bundle, runner)
 	fmt.Printf("extended prediction: ready=%v, resolved=%v\n", ext.Ready, ext.ResolvedLibs)
 
 	// Prove it with the ground-truth simulator.
@@ -77,13 +79,13 @@ func scenarioA(tb *testbed.Testbed, sim *execsim.Simulator, runner feam.RunnerFu
 	fmt.Printf("actual execution with staging:    %s\n", outcome(with))
 }
 
-func scenarioB(tb *testbed.Testbed, runner feam.RunnerFunc) {
+func scenarioB(eng *feam.Engine, tb *testbed.Testbed, runner feam.RunnerFunc) {
 	india, ranger := tb.ByName["india"], tb.ByName["ranger"]
 	art := compile(india, "mvapich2-1.7a2-gnu", "is")
 	place(india, ranger, art)
 
-	bundle := sourcePhase(tb, india, "mvapich2-1.7a2-gnu", art, runner)
-	pred := targetPhase(tb, ranger, art, bundle, runner)
+	bundle := sourcePhase(eng, tb, india, "mvapich2-1.7a2-gnu", art, runner)
+	pred := targetPhase(eng, tb, ranger, art, bundle, runner)
 	fmt.Printf("extended prediction at ranger: ready=%v\n", pred.Ready)
 	for lib, why := range pred.UnresolvedLibs {
 		fmt.Printf("  unresolvable %s: %s\n", lib, why)
@@ -107,21 +109,21 @@ func place(src, dst *sitemodel.Site, art *toolchain.Artifact) {
 	}
 }
 
-func sourcePhase(tb *testbed.Testbed, site *sitemodel.Site, stackKey string, art *toolchain.Artifact, runner feam.RunnerFunc) *feam.Bundle {
+func sourcePhase(eng *feam.Engine, tb *testbed.Testbed, site *sitemodel.Site, stackKey string, art *toolchain.Artifact, runner feam.RunnerFunc) *feam.Bundle {
 	snap := site.SnapshotEnv()
 	defer site.RestoreEnv(snap)
 	if err := testbed.ActivateStack(site, stackKey); err != nil {
 		log.Fatal(err)
 	}
-	bundle, _, err := feam.RunSourcePhase(config(tb, site.Name, "source", "/home/user/"+art.Name), site, runner)
+	bundle, _, err := eng.RunSourcePhase(context.Background(), config(tb, site.Name, "source", "/home/user/"+art.Name), site, runner)
 	if err != nil {
 		log.Fatal(err)
 	}
 	return bundle
 }
 
-func targetPhase(tb *testbed.Testbed, site *sitemodel.Site, art *toolchain.Artifact, bundle *feam.Bundle, runner feam.RunnerFunc) *feam.Prediction {
-	pred, _, err := feam.RunTargetPhase(config(tb, site.Name, "target", "/home/user/"+art.Name), site, bundle, runner)
+func targetPhase(eng *feam.Engine, tb *testbed.Testbed, site *sitemodel.Site, art *toolchain.Artifact, bundle *feam.Bundle, runner feam.RunnerFunc) *feam.Prediction {
+	pred, _, err := eng.RunTargetPhase(context.Background(), config(tb, site.Name, "target", "/home/user/"+art.Name), site, bundle, runner)
 	if err != nil {
 		log.Fatal(err)
 	}

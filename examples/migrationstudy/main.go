@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"feam/internal/execsim"
 	"feam/internal/experiment"
+	"feam/internal/feam"
+	"feam/internal/metrics"
 	"feam/internal/report"
 	"feam/internal/testbed"
 	"feam/internal/workload"
@@ -40,10 +43,17 @@ func main() {
 	migs := experiment.Migrations(tb, ts)
 	fmt.Printf("migration pairs (matching MPI implementation only): %d\n\n", len(migs))
 
-	ev, err := experiment.Run(tb, ts, sim)
+	// One engine drives the whole matrix: its caches mean each site is
+	// surveyed only when its state actually changed, and its per-site
+	// locks let one worker per site run concurrently.
+	eng := feam.NewEngine()
+	var counters metrics.EngineCounters
+	eng.AddObserver(feam.NewCountersObserver(&counters))
+	ev, err := experiment.RunWithEngine(context.Background(), eng, tb, ts, sim, len(tb.Sites))
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("engine: %s\n\n", counters.String())
 
 	fmt.Print(report.Table3(ev))
 	fmt.Println()

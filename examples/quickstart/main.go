@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,6 +32,13 @@ func main() {
 	india := tb.ByName["india"]
 	fir := tb.ByName["fir"]
 
+	// The engine owns the prediction pipeline: memoized binary and
+	// environment descriptions, the determinant registry, and per-site
+	// locks for concurrent use. One engine serves any number of
+	// evaluations.
+	ctx := context.Background()
+	eng := feam.NewEngine()
+
 	// 2. "Compile" the benchmark at india: the artifact is a genuine ELF
 	//    image whose NEEDED list, symbol versions and .comment section are
 	//    what a real mpicc would produce.
@@ -43,14 +51,14 @@ func main() {
 
 	// 3. Describe the binary (FEAM's BDC) and discover the target site
 	//    (FEAM's EDC).
-	desc, err := feam.DescribeBytes(art.Bytes, art.Name)
+	desc, err := eng.Describe(ctx, art.Bytes, art.Name)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("binary: %s, MPI implementation: %s, required glibc: %s\n",
 		desc.Format, desc.MPIImpl, desc.RequiredGlibc)
 
-	env, err := feam.Discover(fir)
+	env, err := eng.Discover(ctx, fir)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +69,7 @@ func main() {
 	//    programs through the ground-truth execution simulator, the way the
 	//    real framework submits probes through the batch system.
 	runner := experiment.NewSimRunner(execsim.NewSimulator(1))
-	pred, err := feam.Evaluate(desc, art.Bytes, env, fir, feam.EvalOptions{Runner: runner})
+	pred, err := eng.Evaluate(ctx, desc, art.Bytes, env, fir, feam.EvalOptions{Runner: runner})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"feam/internal/feam"
+	"feam/internal/metrics"
 	"feam/internal/report"
 	"feam/internal/testbed"
 )
@@ -25,10 +27,17 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Surveys run through an engine, which memoizes each site's
+	// description — repeat surveys of an unchanged site are free.
+	ctx := context.Background()
+	eng := feam.NewEngine()
+	var counters metrics.EngineCounters
+	eng.AddObserver(feam.NewCountersObserver(&counters))
+
 	fmt.Println("What the EDC discovers at each site:")
 	fmt.Println()
 	for _, site := range tb.Sites {
-		env, err := feam.Discover(site)
+		env, err := eng.Discover(ctx, site)
 		if err != nil {
 			log.Fatalf("discovery at %s: %v", site.Name, err)
 		}
@@ -47,6 +56,16 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	// A second sweep hits the engine's environment cache site for site.
+	for _, site := range tb.Sites {
+		if _, err := eng.Discover(ctx, site); err != nil {
+			log.Fatalf("re-survey at %s: %v", site.Name, err)
+		}
+	}
+	fmt.Printf("engine after re-survey: %.0f%% EDC cache hit rate (%d lookups)\n\n",
+		100*metrics.HitRate(&counters.EDCHits, &counters.EDCMisses),
+		counters.EDCHits.Load()+counters.EDCMisses.Load())
 
 	fmt.Println("Reference (testbed ground truth, Table II):")
 	fmt.Println()

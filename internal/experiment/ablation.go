@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"feam/internal/execsim"
@@ -35,6 +36,21 @@ func AblationConfigs() []AblationConfig {
 	}
 }
 
+// Evaluators builds the determinant registry this configuration runs with:
+// the full §V.C ladder, with individual evaluators reconfigured rather
+// than the evaluation special-cased.
+func (cfg AblationConfig) Evaluators() []feam.DeterminantEvaluator {
+	return []feam.DeterminantEvaluator{
+		feam.ISAEvaluator{},
+		feam.CLibraryEvaluator{},
+		feam.MPIStackEvaluator{PresenceOnly: cfg.NoProbes},
+		feam.SharedLibsEvaluator{
+			DisableResolution: cfg.DisableResolution,
+			ShallowResolution: cfg.ShallowResolution,
+		},
+	}
+}
+
 // AblationResult summarizes one configuration across the migration matrix.
 type AblationResult struct {
 	Config AblationConfig
@@ -45,9 +61,13 @@ type AblationResult struct {
 }
 
 // RunAblations evaluates every ablation configuration over the migration
-// matrix. It reuses the source-phase bundles across configurations (the
-// ablations are all target-side).
+// matrix. One engine spans all configurations: the source-phase bundles,
+// binary descriptions, and environment surveys are computed once and
+// shared (the ablations are all target-side, differing only in their
+// determinant registries).
 func RunAblations(tb *testbed.Testbed, ts *TestSet, sim *execsim.Simulator) ([]AblationResult, error) {
+	ctx := context.Background()
+	eng := feam.NewEngine()
 	runner := NewSimRunner(sim)
 
 	// Source phases once.
@@ -59,7 +79,7 @@ func RunAblations(tb *testbed.Testbed, ts *TestSet, sim *execsim.Simulator) ([]A
 			site.RestoreEnv(snap)
 			return nil, err
 		}
-		bundle, _, err := feam.RunSourcePhase(configFor(tb, bin.BuildSite, "source", bin.Path), site, runner)
+		bundle, _, err := eng.RunSourcePhase(ctx, configFor(tb, bin.BuildSite, "source", bin.Path), site, runner)
 		site.RestoreEnv(snap)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation source phase %s: %v", bin.ID(), err)
@@ -67,10 +87,12 @@ func RunAblations(tb *testbed.Testbed, ts *TestSet, sim *execsim.Simulator) ([]A
 		bundles[bin.ID()] = bundle
 	}
 
-	// Environment descriptions once per target site.
+	// Environment descriptions once per target site, before any staging
+	// mutates the sites (every configuration sees the same pristine
+	// survey).
 	envs := map[string]*feam.EnvironmentDescription{}
 	for _, site := range tb.Sites {
-		env, err := feam.Discover(site)
+		env, err := eng.Discover(ctx, site)
 		if err != nil {
 			return nil, err
 		}
@@ -85,23 +107,22 @@ func RunAblations(tb *testbed.Testbed, ts *TestSet, sim *execsim.Simulator) ([]A
 			Accuracy: map[workload.Suite]*metrics.Confusion{workload.NPB: {}, workload.SPECMPI: {}},
 			Success:  map[workload.Suite]*metrics.Rate{workload.NPB: {}, workload.SPECMPI: {}},
 		}
+		evaluators := cfg.Evaluators()
 		for _, mig := range migs {
 			target := tb.ByName[mig.Target]
 			bin := mig.Bin
-			desc, err := feam.DescribeBytes(bin.Artifact.Bytes, bin.Path)
+			desc, err := eng.Describe(ctx, bin.Artifact.Bytes, bin.Path)
 			if err != nil {
 				return nil, err
 			}
 			opts := feam.EvalOptions{
-				Bundle:            bundles[bin.ID()],
-				Resolve:           !cfg.DisableResolution,
-				ShallowResolution: cfg.ShallowResolution,
-				StageDir:          fmt.Sprintf("/home/user/feam/ablate-%s/%s", cfg.Name, bin.ID()),
+				Bundle:     bundles[bin.ID()],
+				Runner:     runner,
+				Resolve:    true,
+				Evaluators: evaluators,
+				StageDir:   fmt.Sprintf("/home/user/feam/ablate-%s/%s", cfg.Name, bin.ID()),
 			}
-			if !cfg.NoProbes {
-				opts.Runner = runner
-			}
-			pred, err := feam.Evaluate(desc, bin.Artifact.Bytes, envs[mig.Target], target, opts)
+			pred, err := eng.Evaluate(ctx, desc, bin.Artifact.Bytes, envs[mig.Target], target, opts)
 			if err != nil {
 				return nil, err
 			}

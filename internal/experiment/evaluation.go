@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -50,24 +51,29 @@ type Evaluation struct {
 // submitted through each site's batch system so allocation-hour accounting
 // accrues. Work is spread across CPUs with one worker per site: everything
 // that touches a given site's filesystem, environment, or batch cluster is
-// serialized by that site's lock, and results land at deterministic
-// indices, so the outcome is identical to a sequential run.
+// serialized by the engine's per-site lock, and results land at
+// deterministic indices, so the outcome is identical to a sequential run.
 func Run(tb *testbed.Testbed, ts *TestSet, sim *execsim.Simulator) (*Evaluation, error) {
 	return RunWithConcurrency(tb, ts, sim, len(tb.Sites))
 }
 
 // RunWithConcurrency is Run with an explicit worker count (1 = sequential).
+// Each run gets a fresh engine so cached site surveys never leak between
+// experiments.
 func RunWithConcurrency(tb *testbed.Testbed, ts *TestSet, sim *execsim.Simulator, workers int) (*Evaluation, error) {
+	return RunWithEngine(context.Background(), feam.NewEngine(), tb, ts, sim, workers)
+}
+
+// RunWithEngine is the full pipeline over a caller-supplied engine — the
+// engine's BDC/EDC caches and per-site locks are shared with any other
+// concurrent engine user (e.g. a RankSites survey running alongside the
+// experiment).
+func RunWithEngine(ctx context.Context, eng *feam.Engine, tb *testbed.Testbed, ts *TestSet, sim *execsim.Simulator, workers int) (*Evaluation, error) {
 	if workers < 1 {
 		workers = 1
 	}
 	runner := NewBatchRunner(sim, tb)
 	ev := &Evaluation{Set: ts, Bundles: map[string]*feam.Bundle{}}
-
-	locks := map[string]*sync.Mutex{}
-	for _, site := range tb.Sites {
-		locks[site.Name] = &sync.Mutex{}
-	}
 
 	// Phase I at every binary's guaranteed execution environment.
 	bundles := make([]*feam.Bundle, len(ts.Binaries))
@@ -75,7 +81,7 @@ func RunWithConcurrency(tb *testbed.Testbed, ts *TestSet, sim *execsim.Simulator
 	if err := forEach(len(ts.Binaries), workers, func(i int) error {
 		bin := ts.Binaries[i]
 		site := tb.ByName[bin.BuildSite]
-		lock := locks[bin.BuildSite]
+		lock := eng.SiteLock(bin.BuildSite)
 		lock.Lock()
 		defer lock.Unlock()
 		snap := site.SnapshotEnv()
@@ -84,7 +90,7 @@ func RunWithConcurrency(tb *testbed.Testbed, ts *TestSet, sim *execsim.Simulator
 			return err
 		}
 		cfg := configFor(tb, bin.BuildSite, "source", bin.Path)
-		bundle, report, err := feam.RunSourcePhase(cfg, site, runner)
+		bundle, report, err := eng.RunSourcePhase(ctx, cfg, site, runner)
 		site.RestoreEnv(snap)
 		if err != nil {
 			return fmt.Errorf("experiment: source phase for %s: %v", bin.ID(), err)
@@ -108,7 +114,7 @@ func RunWithConcurrency(tb *testbed.Testbed, ts *TestSet, sim *execsim.Simulator
 		mig := migs[i]
 		target := tb.ByName[mig.Target]
 		bin := mig.Bin
-		lock := locks[mig.Target]
+		lock := eng.SiteLock(mig.Target)
 		lock.Lock()
 		defer lock.Unlock()
 		if err := target.FS().WriteFile(bin.Path, bin.Artifact.Bytes); err != nil {
@@ -116,12 +122,12 @@ func RunWithConcurrency(tb *testbed.Testbed, ts *TestSet, sim *execsim.Simulator
 		}
 		cfg := configFor(tb, mig.Target, "target", bin.Path)
 
-		basic, reportB, err := feam.RunTargetPhase(cfg, target, nil, runner)
+		basic, reportB, err := eng.RunTargetPhase(ctx, cfg, target, nil, runner)
 		if err != nil {
 			return fmt.Errorf("experiment: basic target phase %s@%s: %v", bin.ID(), mig.Target, err)
 		}
 		bundle := ev.Bundles[bin.ID()]
-		extended, reportE, err := feam.RunTargetPhase(cfg, target, bundle, runner)
+		extended, reportE, err := eng.RunTargetPhase(ctx, cfg, target, bundle, runner)
 		if err != nil {
 			return fmt.Errorf("experiment: extended target phase %s@%s: %v", bin.ID(), mig.Target, err)
 		}

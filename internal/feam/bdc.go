@@ -1,6 +1,7 @@
 package feam
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,6 +19,10 @@ import (
 type BinaryDescription struct {
 	// Name is the binary's identifier (file name or supplied label).
 	Name string
+	// ContentHash is the hex SHA-256 of the described image. It keys the
+	// engine's description cache and makes derived staging directories
+	// collision-free.
+	ContentHash string
 	// Format is the objdump-style file format ("elf64-x86-64").
 	Format string
 	ISA    elfimg.Machine
@@ -58,14 +63,23 @@ func (d *BinaryDescription) IsSharedLibrary() bool {
 func (d *BinaryDescription) UsesMPI() bool { return d.MPIImpl != "" }
 
 // DescribeBytes runs the BDC's description process on a raw binary image
-// (the objdump -p / readelf -p .comment equivalent).
+// (the objdump -p / readelf -p .comment equivalent). It is memoized
+// through the package-level default engine; identical content described
+// under the same name returns a shared description.
 func DescribeBytes(data []byte, name string) (*BinaryDescription, error) {
+	return DefaultEngine().Describe(context.Background(), data, name)
+}
+
+// describeBytes is the uncached description process; hash is the image's
+// precomputed content hash.
+func describeBytes(data []byte, name, hash string) (*BinaryDescription, error) {
 	f, err := elfimg.Parse(data)
 	if err != nil {
 		return nil, fmt.Errorf("feam: cannot describe %s: %v", name, err)
 	}
 	desc := &BinaryDescription{
 		Name:          name,
+		ContentHash:   hash,
 		Format:        f.Format(),
 		ISA:           f.Machine,
 		Bits:          f.Class.Bits(),

@@ -204,6 +204,7 @@ func parseBundleMeta(b *Bundle, meta string) {
 func encodeDescription(d *BinaryDescription) ([]byte, error) {
 	var out bytes.Buffer
 	fmt.Fprintf(&out, "name=%s\n", d.Name)
+	fmt.Fprintf(&out, "content-hash=%s\n", d.ContentHash)
 	fmt.Fprintf(&out, "format=%s\n", d.Format)
 	fmt.Fprintf(&out, "isa=%d\n", d.ISA)
 	fmt.Fprintf(&out, "bits=%d\n", d.Bits)
@@ -245,6 +246,8 @@ func decodeDescription(body []byte, name string) (*BinaryDescription, error) {
 		switch key {
 		case "name":
 			d.Name = val
+		case "content-hash":
+			d.ContentHash = val
 		case "format":
 			d.Format = val
 		case "isa":

@@ -1,6 +1,7 @@
 package feam
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -75,8 +76,15 @@ func (e *EnvironmentDescription) FindStacks(impl string) []StackInfo {
 	return out
 }
 
-// Discover runs the Environment Discovery Component at a site.
+// Discover runs the Environment Discovery Component at a site. It is
+// memoized through the package-level default engine: repeat surveys of an
+// unchanged site return the cached description.
 func Discover(site *sitemodel.Site) (*EnvironmentDescription, error) {
+	return DefaultEngine().Discover(context.Background(), site)
+}
+
+// discoverSite is the uncached survey.
+func discoverSite(site *sitemodel.Site) (*EnvironmentDescription, error) {
 	env := &EnvironmentDescription{SiteName: site.Name}
 	if err := discoverSystem(site, env); err != nil {
 		return nil, err

@@ -1,0 +1,335 @@
+package feam
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"feam/internal/sitemodel"
+)
+
+// Engine is the central prediction pipeline: it owns the memoized BDC and
+// EDC caches, the determinant-evaluator registry, the per-site locks that
+// serialize site-mutating work, and the observer hooks. One engine is meant
+// to be shared across many evaluations — the paper's headline use case is
+// assessing many (binary, site) pairs, and re-running description and
+// discovery for every pair is pure waste.
+//
+// Concurrency contract: the engine's caches and lock registry are safe for
+// concurrent use. Sites themselves are NOT internally synchronized — any
+// caller running engine operations against the same site from multiple
+// goroutines must hold SiteLock(site.Name) around them. RankSites does this
+// itself; Evaluate and the phase runners leave it to the caller so a caller
+// can group several operations (stage a binary, activate a stack, evaluate)
+// into one critical section without deadlocking.
+type Engine struct {
+	evaluators []DeterminantEvaluator
+	workers    int
+
+	mu        sync.Mutex
+	observers []Observer
+	bdc       map[bdcKey]*BinaryDescription
+	edc       map[string]*edcEntry
+	siteLocks map[string]*sync.Mutex
+}
+
+// bdcKey identifies a binary description: content hash plus the name the
+// caller described it under (the name is part of the description).
+type bdcKey struct {
+	hash string
+	name string
+}
+
+// edcEntry is one cached environment description with the fingerprint it
+// was computed under and the site object it belongs to.
+type edcEntry struct {
+	site        *sitemodel.Site
+	fingerprint uint64
+	env         *EnvironmentDescription
+}
+
+// maxBDCEntries bounds the description cache; beyond it the cache resets
+// (descriptions are cheap to recompute, an eviction policy is not worth
+// the bookkeeping).
+const maxBDCEntries = 4096
+
+// NewEngine returns an engine with the paper's default determinant
+// registry (§V.C order) and a worker pool sized to the host.
+func NewEngine() *Engine {
+	return &Engine{
+		evaluators: DefaultEvaluators(),
+		workers:    defaultWorkers(),
+		bdc:        map[bdcKey]*BinaryDescription{},
+		edc:        map[string]*edcEntry{},
+		siteLocks:  map[string]*sync.Mutex{},
+	}
+}
+
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// defaultEngine backs the package-level free functions so the pre-engine
+// public surface keeps working (and transparently gains the caches).
+var (
+	defaultEngineOnce sync.Once
+	defaultEngineVal  *Engine
+)
+
+// DefaultEngine returns the shared package-level engine used by the free
+// Describe/Discover/Evaluate/phase functions.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() { defaultEngineVal = NewEngine() })
+	return defaultEngineVal
+}
+
+// SetEvaluators replaces the engine's default determinant registry. The
+// slice is used as-is; pass evaluators in the order they should gate.
+func (e *Engine) SetEvaluators(evals []DeterminantEvaluator) { e.evaluators = evals }
+
+// SetWorkers sets the default fan-out width for RankSites (minimum 1).
+func (e *Engine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// Workers returns the engine's default RankSites fan-out width.
+func (e *Engine) Workers() int { return e.workers }
+
+// AddObserver registers a hook for engine events. Observers must be safe
+// for concurrent notification; they are invoked from worker goroutines.
+func (e *Engine) AddObserver(o Observer) {
+	if o == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.observers = append(e.observers, o)
+}
+
+func (e *Engine) snapshotObservers() []Observer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.observers[:len(e.observers):len(e.observers)]
+}
+
+func (e *Engine) notifyEvalStarted(binary, site string) {
+	for _, o := range e.snapshotObservers() {
+		o.EvaluationStarted(binary, site)
+	}
+}
+
+func (e *Engine) notifyEvalFinished(binary, site string, ready bool, err error) {
+	for _, o := range e.snapshotObservers() {
+		o.EvaluationFinished(binary, site, ready, err)
+	}
+}
+
+func (e *Engine) notifyCache(component, key string, hit bool) {
+	for _, o := range e.snapshotObservers() {
+		o.CacheAccess(component, key, hit)
+	}
+}
+
+func (e *Engine) notifyProbe(site, stackKey string, success bool) {
+	for _, o := range e.snapshotObservers() {
+		o.ProbeRun(site, stackKey, success)
+	}
+}
+
+// SiteLock returns the engine's serialization lock for a site name,
+// creating it on first use. Everything that mutates a site's filesystem or
+// environment (stack activation, staging, probe runs) must run under it
+// when the engine is shared across goroutines.
+func (e *Engine) SiteLock(name string) *sync.Mutex {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	l, ok := e.siteLocks[name]
+	if !ok {
+		l = &sync.Mutex{}
+		e.siteLocks[name] = l
+	}
+	return l
+}
+
+// contentHash returns the hex SHA-256 of a binary image — the BDC cache key
+// and the unique component of derived staging directories.
+func contentHash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Describe is the memoized BDC: identical binary content described under
+// the same name returns the cached description. The returned description is
+// shared — callers must treat it as immutable.
+func (e *Engine) Describe(ctx context.Context, data []byte, name string) (*BinaryDescription, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := bdcKey{hash: contentHash(data), name: name}
+	e.mu.Lock()
+	if desc, ok := e.bdc[key]; ok {
+		e.mu.Unlock()
+		e.notifyCache("bdc", name, true)
+		return desc, nil
+	}
+	e.mu.Unlock()
+	e.notifyCache("bdc", name, false)
+	desc, err := describeBytes(data, name, key.hash)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if len(e.bdc) >= maxBDCEntries {
+		e.bdc = map[bdcKey]*BinaryDescription{}
+	}
+	e.bdc[key] = desc
+	e.mu.Unlock()
+	return desc, nil
+}
+
+// siteFingerprint condenses everything discovery depends on into a cheap
+// comparison value: the environment variables (stack activation mutates
+// PATH/LD_LIBRARY_PATH/LOADEDMODULES through envmgmt) and the filesystem
+// mutation generation (module files, installed libraries, staged copies).
+func siteFingerprint(site *sitemodel.Site) uint64 {
+	h := fnv.New64a()
+	env := site.Environ()
+	keys := make([]string, 0, len(env))
+	for k := range env {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		io.WriteString(h, k)
+		h.Write([]byte{0})
+		io.WriteString(h, env[k])
+		h.Write([]byte{1})
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], site.FS().Generation())
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// Discover is the memoized EDC: repeat surveys of an unchanged site return
+// the cached environment description. The cache invalidates whenever the
+// site's environment variables or filesystem change — loading a stack
+// through envmgmt, staging libraries, or installing software all produce a
+// fresh survey. The returned description is shared and must be treated as
+// immutable.
+func (e *Engine) Discover(ctx context.Context, site *sitemodel.Site) (*EnvironmentDescription, error) {
+	env, _, err := e.discoverCached(ctx, site)
+	return env, err
+}
+
+// discoverCached is Discover plus a cache-hit indicator (the phase runners
+// report cached surveys at a fraction of the simulated cost).
+func (e *Engine) discoverCached(ctx context.Context, site *sitemodel.Site) (*EnvironmentDescription, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	fp := siteFingerprint(site)
+	e.mu.Lock()
+	if ent, ok := e.edc[site.Name]; ok && ent.site == site && ent.fingerprint == fp {
+		e.mu.Unlock()
+		e.notifyCache("edc", site.Name, true)
+		return ent.env, true, nil
+	}
+	e.mu.Unlock()
+	e.notifyCache("edc", site.Name, false)
+	env, err := discoverSite(site)
+	if err != nil {
+		return nil, false, err
+	}
+	e.mu.Lock()
+	e.edc[site.Name] = &edcEntry{site: site, fingerprint: fp, env: env}
+	e.mu.Unlock()
+	return env, false, nil
+}
+
+// InvalidateSite drops a site's cached environment description. Normal
+// mutations are detected by fingerprint; this exists for callers that
+// manage site state outside the site's filesystem and environment.
+func (e *Engine) InvalidateSite(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.edc, name)
+}
+
+// Evaluate runs the Target Evaluation Component through the engine's
+// determinant registry (or opts.Evaluators when set): each registered
+// evaluator records its determinant's outcome on the prediction, and a Fail
+// gates off the rest — the paper's cheap-checks-first ladder. appBytes may
+// be nil when a bundle carries the description; the shared-library
+// determinant reconstructs a synthetic probe image from the description.
+//
+// The caller must hold SiteLock(site.Name) when the site is shared across
+// goroutines; Evaluate temporarily mutates the site environment while
+// testing candidate stacks and stages library copies when resolving.
+func (e *Engine) Evaluate(ctx context.Context, desc *BinaryDescription, appBytes []byte, env *EnvironmentDescription, site *sitemodel.Site, opts EvalOptions) (*Prediction, error) {
+	if desc == nil || env == nil || site == nil {
+		return nil, fmt.Errorf("feam: Evaluate requires a description, environment, and site")
+	}
+	pred := &Prediction{
+		Binary:         desc.Name,
+		Site:           env.SiteName,
+		Extended:       opts.Bundle != nil,
+		Ready:          true,
+		Determinants:   map[Determinant]DeterminantResult{},
+		UnresolvedLibs: map[string]string{},
+	}
+	for _, d := range Determinants() {
+		pred.Determinants[d] = DeterminantResult{Outcome: Unknown}
+	}
+	e.notifyEvalStarted(desc.Name, env.SiteName)
+
+	evals := opts.Evaluators
+	if evals == nil {
+		evals = e.evaluators
+	}
+	ec := &EvalContext{
+		Context:  ctx,
+		Engine:   e,
+		Desc:     desc,
+		AppBytes: appBytes,
+		Env:      env,
+		Site:     site,
+		Opts:     &opts,
+		Pred:     pred,
+	}
+	for _, de := range evals {
+		if err := ctx.Err(); err != nil {
+			e.notifyEvalFinished(desc.Name, env.SiteName, false, err)
+			return nil, err
+		}
+		if err := de.Evaluate(ec); err != nil {
+			e.notifyEvalFinished(desc.Name, env.SiteName, false, err)
+			return nil, err
+		}
+		if pred.Determinants[de.Determinant()].Outcome == Fail {
+			e.notifyEvalFinished(desc.Name, env.SiteName, false, nil)
+			return pred, nil
+		}
+	}
+
+	pred.ConfigScript = configScript(pred, desc, opts.Config)
+	e.notifyEvalFinished(desc.Name, env.SiteName, pred.Ready, nil)
+	return pred, nil
+}

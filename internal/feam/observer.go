@@ -1,0 +1,76 @@
+package feam
+
+import "feam/internal/metrics"
+
+// Observer receives engine lifecycle events: evaluations, cache lookups,
+// and probe-program executions. Implementations must be safe for
+// concurrent use — the engine notifies from whichever goroutine performed
+// the work. Register with Engine.AddObserver.
+type Observer interface {
+	// EvaluationStarted fires when the TEC begins evaluating a binary at a
+	// site; EvaluationFinished fires when it completes, with the headline
+	// readiness answer (false when err != nil or the evaluation was
+	// gated off by a failed determinant).
+	EvaluationStarted(binary, site string)
+	EvaluationFinished(binary, site string, ready bool, err error)
+	// CacheAccess fires on every memoized-component lookup. component is
+	// "bdc" (binary descriptions) or "edc" (environment descriptions); key
+	// is the binary name or site name.
+	CacheAccess(component, key string, hit bool)
+	// ProbeRun fires after each probe-program execution during stack
+	// usability testing.
+	ProbeRun(site, stackKey string, success bool)
+}
+
+// NopObserver is an Observer that ignores every event; embed it to
+// implement only the events of interest.
+type NopObserver struct{}
+
+func (NopObserver) EvaluationStarted(binary, site string)                  {}
+func (NopObserver) EvaluationFinished(binary, site string, ready bool, err error) {}
+func (NopObserver) CacheAccess(component, key string, hit bool)            {}
+func (NopObserver) ProbeRun(site, stackKey string, success bool)           {}
+
+// countersObserver adapts engine events onto metrics.EngineCounters.
+type countersObserver struct {
+	c *metrics.EngineCounters
+}
+
+// NewCountersObserver returns an Observer that tallies engine activity
+// into the given counters.
+func NewCountersObserver(c *metrics.EngineCounters) Observer {
+	return &countersObserver{c: c}
+}
+
+func (o *countersObserver) EvaluationStarted(binary, site string) {}
+
+func (o *countersObserver) EvaluationFinished(binary, site string, ready bool, err error) {
+	o.c.Evaluations.Add(1)
+	if ready {
+		o.c.ReadyPredictions.Add(1)
+	}
+}
+
+func (o *countersObserver) CacheAccess(component, key string, hit bool) {
+	switch component {
+	case "bdc":
+		if hit {
+			o.c.BDCHits.Add(1)
+		} else {
+			o.c.BDCMisses.Add(1)
+		}
+	case "edc":
+		if hit {
+			o.c.EDCHits.Add(1)
+		} else {
+			o.c.EDCMisses.Add(1)
+		}
+	}
+}
+
+func (o *countersObserver) ProbeRun(site, stackKey string, success bool) {
+	o.c.ProbeRuns.Add(1)
+	if !success {
+		o.c.ProbeFailures.Add(1)
+	}
+}

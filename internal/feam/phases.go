@@ -1,6 +1,7 @@
 package feam
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -57,20 +58,31 @@ func (r *Report) String() string {
 
 // Simulated step costs. File metadata operations are cheap; probe-program
 // executions dominate because they pass through the batch system's debug
-// queue.
+// queue. A cached environment survey is a memory lookup — it costs a
+// nominal second of bookkeeping instead of the full site sweep.
 const (
-	costDescribe   = 2 * time.Second
-	costDiscovery  = 25 * time.Second
-	costPerLibrary = 1 * time.Second
-	costProbeRun   = 50 * time.Second
-	costStaging    = 5 * time.Second
+	costDescribe        = 2 * time.Second
+	costDiscovery       = 25 * time.Second
+	costDiscoveryCached = 1 * time.Second
+	costPerLibrary      = 1 * time.Second
+	costProbeRun        = 50 * time.Second
+	costStaging         = 5 * time.Second
 )
+
+// RunSourcePhase executes FEAM's optional phase I through the package-level
+// default engine. See Engine.RunSourcePhase.
+func RunSourcePhase(cfg *Config, site *sitemodel.Site, runner ProgramRunner) (*Bundle, *Report, error) {
+	return DefaultEngine().RunSourcePhase(context.Background(), cfg, site, runner)
+}
 
 // RunSourcePhase executes FEAM's optional phase I at a guaranteed execution
 // environment: describe the binary, discover the environment, confirm the
 // loaded stack matches the binary, gather library copies, and compile the
 // probe programs. The result is a portable Bundle.
-func RunSourcePhase(cfg *Config, site *sitemodel.Site, runner ProgramRunner) (*Bundle, *Report, error) {
+//
+// The caller must hold SiteLock(site.Name) when the site is shared across
+// goroutines.
+func (e *Engine) RunSourcePhase(ctx context.Context, cfg *Config, site *sitemodel.Site, runner ProgramRunner) (*Bundle, *Report, error) {
 	report := &Report{Phase: "source", Site: site.Name}
 	if cfg.Phase != "source" {
 		return nil, nil, fmt.Errorf("feam: config requests phase %q", cfg.Phase)
@@ -83,17 +95,21 @@ func RunSourcePhase(cfg *Config, site *sitemodel.Site, runner ProgramRunner) (*B
 		return nil, nil, fmt.Errorf("feam: application binary: %v", err)
 	}
 
-	desc, err := DescribeBytes(appBytes, cfg.BinaryPath)
+	desc, err := e.Describe(ctx, appBytes, cfg.BinaryPath)
 	if err != nil {
 		return nil, nil, err
 	}
 	report.step("binary description (BDC)", costDescribe)
 
-	env, err := Discover(site)
+	env, cached, err := e.discoverCached(ctx, site)
 	if err != nil {
 		return nil, nil, err
 	}
-	report.step("environment discovery (EDC)", costDiscovery)
+	if cached {
+		report.step("environment discovery (EDC, cached)", costDiscoveryCached)
+	} else {
+		report.step("environment discovery (EDC)", costDiscovery)
+	}
 
 	// Confirm the currently selected stack matches the binary (§V.B).
 	var stackKey string
@@ -134,7 +150,9 @@ func RunSourcePhase(cfg *Config, site *sitemodel.Site, runner ProgramRunner) (*B
 		if hello, err := toolchain.CompileHello(rec, site); err == nil {
 			bundle.MPIHello = hello
 			if runner != nil {
-				if ok, detail := runner.RunProgram(hello, site, env.Loaded.Key, nil); !ok {
+				ok, detail := runner.RunProgram(hello, site, env.Loaded.Key, nil)
+				e.notifyProbe(site.Name, env.Loaded.Key, ok)
+				if !ok {
 					report.note("source-site hello world FAILED: %s", detail)
 				}
 				report.step("MPI hello world probe", costProbeRun)
@@ -152,10 +170,19 @@ func RunSourcePhase(cfg *Config, site *sitemodel.Site, runner ProgramRunner) (*B
 	return bundle, report, nil
 }
 
+// RunTargetPhase executes FEAM's required phase II through the
+// package-level default engine. See Engine.RunTargetPhase.
+func RunTargetPhase(cfg *Config, site *sitemodel.Site, bundle *Bundle, runner ProgramRunner) (*Prediction, *Report, error) {
+	return DefaultEngine().RunTargetPhase(context.Background(), cfg, site, bundle, runner)
+}
+
 // RunTargetPhase executes FEAM's required phase II at a target site,
 // producing the prediction and (when ready) the configuration script.
 // bundle may be nil (basic prediction).
-func RunTargetPhase(cfg *Config, site *sitemodel.Site, bundle *Bundle, runner ProgramRunner) (*Prediction, *Report, error) {
+//
+// The caller must hold SiteLock(site.Name) when the site is shared across
+// goroutines.
+func (e *Engine) RunTargetPhase(ctx context.Context, cfg *Config, site *sitemodel.Site, bundle *Bundle, runner ProgramRunner) (*Prediction, *Report, error) {
 	report := &Report{Phase: "target", Site: site.Name}
 	if cfg.Phase != "target" {
 		return nil, nil, fmt.Errorf("feam: config requests phase %q", cfg.Phase)
@@ -173,7 +200,7 @@ func RunTargetPhase(cfg *Config, site *sitemodel.Site, bundle *Bundle, runner Pr
 			return nil, nil, err
 		}
 		appBytes = data
-		d, err := DescribeBytes(data, cfg.BinaryPath)
+		d, err := e.Describe(ctx, data, cfg.BinaryPath)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -187,13 +214,17 @@ func RunTargetPhase(cfg *Config, site *sitemodel.Site, bundle *Bundle, runner Pr
 		return nil, nil, fmt.Errorf("feam: no binary at %q and no bundle", cfg.BinaryPath)
 	}
 
-	env, err := Discover(site)
+	env, cached, err := e.discoverCached(ctx, site)
 	if err != nil {
 		return nil, report, err
 	}
-	report.step("environment discovery (EDC)", costDiscovery)
+	if cached {
+		report.step("environment discovery (EDC, cached)", costDiscoveryCached)
+	} else {
+		report.step("environment discovery (EDC)", costDiscovery)
+	}
 
-	pred, err := Evaluate(desc, appBytes, env, site, EvalOptions{
+	pred, err := e.Evaluate(ctx, desc, appBytes, env, site, EvalOptions{
 		Bundle:  bundle,
 		Runner:  runner,
 		Resolve: bundle != nil,

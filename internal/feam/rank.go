@@ -1,7 +1,9 @@
 package feam
 
 import (
+	"context"
 	"sort"
+	"sync"
 
 	"feam/internal/sitemodel"
 )
@@ -15,37 +17,88 @@ type SiteAssessment struct {
 }
 
 // RankSites runs the Target Evaluation Component against every candidate
-// site and orders the results best-first — the paper's headline use case:
-// "For scientists who do not have much experience, time, or support to
-// explore new computing sites ... an efficient automated solution for
-// quickly assessing many new computing sites."
+// site through the package-level default engine and orders the results
+// best-first. See Engine.RankSites.
+func RankSites(desc *BinaryDescription, appBytes []byte, sites []*sitemodel.Site, opts EvalOptions) []SiteAssessment {
+	return DefaultEngine().RankSites(context.Background(), desc, appBytes, sites, opts)
+}
+
+// RankSites surveys and evaluates every candidate site with the engine's
+// default worker count and orders the results best-first — the paper's
+// headline use case: "For scientists who do not have much experience,
+// time, or support to explore new computing sites ... an efficient
+// automated solution for quickly assessing many new computing sites."
 //
 // Ordering: ready sites first (those needing no resolution ahead of those
 // needing staged libraries), then not-ready sites by how far they got
-// through the determinant ladder, then failed surveys.
-func RankSites(desc *BinaryDescription, appBytes []byte, sites []*sitemodel.Site, opts EvalOptions) []SiteAssessment {
-	out := make([]SiteAssessment, 0, len(sites))
-	for _, site := range sites {
-		a := SiteAssessment{Site: site.Name}
-		env, err := Discover(site)
-		if err != nil {
-			a.Err = err
-			out = append(out, a)
-			continue
-		}
-		pred, err := Evaluate(desc, appBytes, env, site, opts)
-		if err != nil {
-			a.Err = err
-			out = append(out, a)
-			continue
-		}
-		a.Prediction = pred
-		out = append(out, a)
+// through the determinant ladder, then failed surveys. Ties keep the
+// caller's site order.
+func (e *Engine) RankSites(ctx context.Context, desc *BinaryDescription, appBytes []byte, sites []*sitemodel.Site, opts EvalOptions) []SiteAssessment {
+	return e.RankSitesParallel(ctx, desc, appBytes, sites, opts, e.workers)
+}
+
+// RankSitesParallel is RankSites with an explicit fan-out width. Sites are
+// assessed by up to workers goroutines; work on any single site is
+// serialized through the engine's per-site locks, so the same site may
+// safely appear in concurrent surveys (or be concurrently evaluated by
+// other engine callers holding SiteLock).
+func (e *Engine) RankSitesParallel(ctx context.Context, desc *BinaryDescription, appBytes []byte, sites []*sitemodel.Site, opts EvalOptions, workers int) []SiteAssessment {
+	out := make([]SiteAssessment, len(sites))
+	if workers < 1 {
+		workers = 1
 	}
+	if workers > len(sites) {
+		workers = len(sites)
+	}
+	if workers <= 1 {
+		for i, site := range sites {
+			out[i] = e.assessSite(ctx, desc, appBytes, site, opts)
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, site := range sites {
+			wg.Add(1)
+			go func(i int, site *sitemodel.Site) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				out[i] = e.assessSite(ctx, desc, appBytes, site, opts)
+			}(i, site)
+		}
+		wg.Wait()
+	}
+	// Workers wrote results at their input index, so the stable sort
+	// preserves the caller's order on equal scores regardless of which
+	// goroutine finished first.
 	sort.SliceStable(out, func(i, j int) bool {
 		return assessmentScore(out[i]) > assessmentScore(out[j])
 	})
 	return out
+}
+
+// assessSite surveys and evaluates one site under its serialization lock.
+func (e *Engine) assessSite(ctx context.Context, desc *BinaryDescription, appBytes []byte, site *sitemodel.Site, opts EvalOptions) SiteAssessment {
+	a := SiteAssessment{Site: site.Name}
+	if err := ctx.Err(); err != nil {
+		a.Err = err
+		return a
+	}
+	lock := e.SiteLock(site.Name)
+	lock.Lock()
+	defer lock.Unlock()
+	env, err := e.Discover(ctx, site)
+	if err != nil {
+		a.Err = err
+		return a
+	}
+	pred, err := e.Evaluate(ctx, desc, appBytes, env, site, opts)
+	if err != nil {
+		a.Err = err
+		return a
+	}
+	a.Prediction = pred
+	return a
 }
 
 // assessmentScore orders assessments: higher is better.

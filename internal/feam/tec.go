@@ -1,8 +1,8 @@
 package feam
 
 import (
+	"context"
 	"fmt"
-	"path"
 	"sort"
 	"strings"
 
@@ -24,7 +24,8 @@ type EvalOptions struct {
 	// (requires Bundle).
 	Resolve bool
 	// StageDir is where library copies are staged on the target
-	// filesystem; derived from the binary name when empty.
+	// filesystem; derived from the binary content hash and site name when
+	// empty.
 	StageDir string
 	// Config supplies launch-command overrides.
 	Config *Config
@@ -33,6 +34,10 @@ type EvalOptions struct {
 	// dependencies. This exists for the ablation study — the paper's model
 	// is recursive (§IV) — and is never set in normal operation.
 	ShallowResolution bool
+	// Evaluators overrides the engine's determinant registry for this
+	// evaluation (nil = the engine's default ladder). The ablation study
+	// uses this to disable or reconfigure individual determinants.
+	Evaluators []DeterminantEvaluator
 }
 
 // Prediction is the TEC's verdict for one binary at one target site.
@@ -96,108 +101,12 @@ func (p *Prediction) pass(d Determinant, detail string) {
 	p.Determinants[d] = DeterminantResult{Outcome: Pass, Detail: detail}
 }
 
-// Evaluate runs the Target Evaluation Component: it matches a binary
-// description against an environment description per the prediction model,
-// tests candidate MPI stacks with probe programs, and optionally applies
-// the resolution model. appBytes may be nil when a bundle carries the
-// description (the paper's "binary not present at target" mode); a
-// synthetic probe image is reconstructed from the description for the
-// loader checks.
+// Evaluate runs the Target Evaluation Component through the package-level
+// default engine. See Engine.Evaluate for the semantics; new code that
+// evaluates repeatedly should hold its own Engine to share the caches
+// deliberately.
 func Evaluate(desc *BinaryDescription, appBytes []byte, env *EnvironmentDescription, site *sitemodel.Site, opts EvalOptions) (*Prediction, error) {
-	if desc == nil || env == nil || site == nil {
-		return nil, fmt.Errorf("feam: Evaluate requires a description, environment, and site")
-	}
-	pred := &Prediction{
-		Binary:         desc.Name,
-		Site:           env.SiteName,
-		Extended:       opts.Bundle != nil,
-		Ready:          true,
-		Determinants:   map[Determinant]DeterminantResult{},
-		UnresolvedLibs: map[string]string{},
-	}
-	for _, d := range Determinants() {
-		pred.Determinants[d] = DeterminantResult{Outcome: Unknown}
-	}
-
-	// 1. ISA compatibility (architecture and word size).
-	if desc.ISA != env.ISA || desc.Bits != env.Bits {
-		pred.fail(DetISA, fmt.Sprintf("binary is %s but site is %s (%d-bit)",
-			desc.Format, env.UnameProcessor, env.Bits))
-		return pred, nil
-	}
-	pred.pass(DetISA, fmt.Sprintf("%s matches site processor %s", desc.Format, env.UnameProcessor))
-
-	// 2. C library compatibility: site version must be >= the binary's
-	// required version.
-	switch {
-	case desc.RequiredGlibc.IsZero():
-		pred.pass(DetCLibrary, "binary has no C library version requirement")
-	case env.Glibc.IsZero():
-		pred.pass(DetCLibrary, "site C library version undetermined; assuming compatible")
-	case env.Glibc.AtLeast(desc.RequiredGlibc):
-		pred.pass(DetCLibrary, fmt.Sprintf("site glibc %s >= required %s", env.Glibc, desc.RequiredGlibc))
-	default:
-		pred.fail(DetCLibrary, fmt.Sprintf("site glibc %s < required %s", env.Glibc, desc.RequiredGlibc))
-		return pred, nil
-	}
-
-	// 3. MPI stack compatibility: an available stack of the same
-	// implementation that demonstrably functions.
-	if !desc.UsesMPI() {
-		pred.pass(DetMPIStack, "not an MPI application")
-	} else {
-		selected, detail := selectStack(desc, env, site, opts)
-		if selected == nil {
-			pred.fail(DetMPIStack, detail)
-			return pred, nil
-		}
-		pred.SelectedStack = selected
-		pred.pass(DetMPIStack, detail)
-	}
-
-	// 4. Shared library compatibility under the selected stack's
-	// environment.
-	probe := appBytes
-	if probe == nil {
-		img, err := syntheticImage(desc)
-		if err != nil {
-			return nil, err
-		}
-		probe = img
-	}
-	snap := site.SnapshotEnv()
-	loadStackEnv(site, pred.SelectedStack)
-	missing, err := MissingLibraries(site, probe, desc.Name, nil)
-	site.RestoreEnv(snap)
-	if err != nil {
-		return nil, err
-	}
-	pred.MissingLibs = missing
-	if len(missing) == 0 {
-		pred.pass(DetSharedLibs, "all required shared libraries present")
-	} else if opts.Resolve && opts.Bundle != nil {
-		resolveMissing(pred, missing, env, site, opts)
-		if len(pred.UnresolvedLibs) == 0 {
-			pred.Determinants[DetSharedLibs] = DeterminantResult{
-				Outcome: Resolved,
-				Detail:  fmt.Sprintf("%d missing libraries resolved from bundle", len(pred.ResolvedLibs)),
-			}
-		} else {
-			var parts []string
-			for name, why := range pred.UnresolvedLibs {
-				parts = append(parts, name+" ("+why+")")
-			}
-			sort.Strings(parts)
-			pred.fail(DetSharedLibs, "unresolvable: "+strings.Join(parts, ", "))
-			return pred, nil
-		}
-	} else {
-		pred.fail(DetSharedLibs, "missing: "+strings.Join(missing, ", "))
-		return pred, nil
-	}
-
-	pred.ConfigScript = configScript(pred, desc, opts.Config)
-	return pred, nil
+	return DefaultEngine().Evaluate(context.Background(), desc, appBytes, env, site, opts)
 }
 
 // syntheticImage reconstructs a loader-probe ELF image from a description
@@ -222,7 +131,8 @@ func syntheticImage(desc *BinaryDescription) ([]byte, error) {
 // preferred. Each candidate is validated with probe programs: a natively
 // compiled hello world when the site has the stack's compiler, plus the
 // bundle's source-site hello world for extended cross-compatibility tests.
-func selectStack(desc *BinaryDescription, env *EnvironmentDescription, site *sitemodel.Site, opts EvalOptions) (*StackInfo, string) {
+func selectStack(ec *EvalContext, presenceOnly bool) (*StackInfo, string) {
+	desc, env := ec.Desc, ec.Env
 	candidates := env.FindStacks(desc.MPIImpl)
 	if len(candidates) == 0 {
 		return nil, fmt.Sprintf("no %s installation available at site", desc.MPIImpl)
@@ -235,7 +145,7 @@ func selectStack(desc *BinaryDescription, env *EnvironmentDescription, site *sit
 	var failures []string
 	for i := range candidates {
 		cand := &candidates[i]
-		ok, detail := testStack(cand, site, opts)
+		ok, detail := testStack(ec, cand, presenceOnly)
 		if ok {
 			return cand, fmt.Sprintf("stack %s selected (%s)", cand.Key, detail)
 		}
@@ -262,8 +172,9 @@ func compilerFamilyOf(comment string) string {
 // testStack checks that a candidate stack actually functions by running
 // hello-world probes under it (§III.B: advertised stacks can be
 // misconfigured and unusable).
-func testStack(cand *StackInfo, site *sitemodel.Site, opts EvalOptions) (bool, string) {
-	if opts.Runner == nil {
+func testStack(ec *EvalContext, cand *StackInfo, presenceOnly bool) (bool, string) {
+	opts, site := ec.Opts, ec.Site
+	if presenceOnly || opts.Runner == nil {
 		return true, "presence only (no probe runner)"
 	}
 	snap := site.SnapshotEnv()
@@ -278,6 +189,7 @@ func testStack(cand *StackInfo, site *sitemodel.Site, opts EvalOptions) (bool, s
 			hello, err := toolchain.CompileHello(rec, site)
 			if err == nil {
 				okRun, detail := opts.Runner.RunProgram(hello, site, cand.Key, nil)
+				ec.Engine.notifyProbe(site.Name, cand.Key, okRun)
 				if !okRun {
 					return false, "native hello world failed: " + detail
 				}
@@ -293,6 +205,7 @@ func testStack(cand *StackInfo, site *sitemodel.Site, opts EvalOptions) (bool, s
 	// stacks) do.
 	if opts.Bundle != nil && opts.Bundle.MPIHello != nil {
 		okRun, detail := opts.Runner.RunProgram(opts.Bundle.MPIHello, site, cand.Key, nil)
+		ec.Engine.notifyProbe(site.Name, cand.Key, okRun)
 		if !okRun && !strings.Contains(detail, "not found") {
 			return false, "source-site hello world failed: " + detail
 		}
@@ -336,10 +249,11 @@ func loadStackEnv(site *sitemodel.Site, stack *StackInfo) {
 // bundled copy — ISA, C library requirement, and the copy's own shared
 // library dependencies (which may recursively require further copies).
 // Usable copies are staged at the target and exposed via the loader path.
-func resolveMissing(pred *Prediction, missing []string, env *EnvironmentDescription, site *sitemodel.Site, opts EvalOptions) {
+func resolveMissing(ec *EvalContext, missing []string, shallow bool) {
+	pred, env, site, opts := ec.Pred, ec.Env, ec.Site, ec.Opts
 	stageDir := opts.StageDir
 	if stageDir == "" {
-		stageDir = "/home/user/feam/staged/" + path.Base(pred.Binary)
+		stageDir = deriveStageDir(ec.Desc, env.SiteName)
 	}
 	pred.StageDir = stageDir
 
@@ -382,7 +296,7 @@ func resolveMissing(pred *Prediction, missing []string, env *EnvironmentDescript
 			continue
 		}
 		planned[name] = copyLib
-		if opts.ShallowResolution {
+		if shallow {
 			continue
 		}
 		// Shared library determinant, recursively: the copy's own

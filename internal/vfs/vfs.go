@@ -54,12 +54,22 @@ type node struct {
 // call New.
 type FS struct {
 	root *node
+	// gen counts mutations (writes, removes, attribute and link changes).
+	// Callers use it as a cheap change detector: equal generations mean no
+	// mutation happened in between. See Generation.
+	gen uint64
 }
 
 // New returns an empty filesystem containing only the root directory.
 func New() *FS {
 	return &FS{root: &node{kind: KindDir, children: map[string]*node{}, mode: 0o755}}
 }
+
+// Generation returns the filesystem's mutation counter. It increases on
+// every state change (file writes, directory creation, symlinks, removals,
+// attribute changes), so two equal readings bracket a mutation-free window.
+// Discovery caches key their fingerprints on it.
+func (fs *FS) Generation() uint64 { return fs.gen }
 
 // PathError describes a failed filesystem operation.
 type PathError struct {
@@ -178,6 +188,7 @@ func (fs *FS) Mkdir(p string) error {
 		return &PathError{Op: "mkdir", Path: p, Err: ErrExist}
 	}
 	parent.children[base] = &node{kind: KindDir, children: map[string]*node{}, mode: 0o755}
+	fs.gen++
 	return nil
 }
 
@@ -194,6 +205,7 @@ func (fs *FS) MkdirAll(p string) error {
 		if !ok {
 			child = &node{kind: KindDir, children: map[string]*node{}, mode: 0o755}
 			cur.children[name] = child
+			fs.gen++
 		} else if child.kind == KindSymlink {
 			resolved, _, err := fs.lookup(path.Join("/", name), true)
 			if err != nil {
@@ -228,6 +240,7 @@ func (fs *FS) WriteFile(p string, data []byte) error {
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	parent.children[base] = &node{kind: KindFile, data: buf, mode: 0o644}
+	fs.gen++
 	return nil
 }
 
@@ -278,6 +291,7 @@ func (fs *FS) Symlink(target, linkPath string) error {
 		return &PathError{Op: "symlink", Path: linkPath, Err: ErrExist}
 	}
 	parent.children[base] = &node{kind: KindSymlink, target: target, mode: 0o777}
+	fs.gen++
 	return nil
 }
 
@@ -304,6 +318,7 @@ func (fs *FS) Remove(p string) error {
 		return &PathError{Op: "remove", Path: p, Err: fmt.Errorf("directory not empty")}
 	}
 	delete(parent.children, base)
+	fs.gen++
 	return nil
 }
 
@@ -398,6 +413,7 @@ func (fs *FS) SetAttr(p, key, value string) error {
 		n.attrs = map[string]string{}
 	}
 	n.attrs[key] = value
+	fs.gen++
 	return nil
 }
 
