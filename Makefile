@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench
+.PHONY: build vet test race fault bench
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ test: build vet
 
 race:
 	$(GO) test -race -timeout 40m ./...
+
+# Fault-tolerance suite: injection, retries, transactional staging, and
+# degraded ranking, under the race detector.
+fault:
+	$(GO) test -race -run 'Fault|Staging|Probe|Retry|Poisoning|Concurrent' ./internal/fault/ ./internal/feam/
+	$(GO) run ./cmd/feam-testbed -faults -fault-rate 0.25 -fault-seed 7 >/dev/null
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

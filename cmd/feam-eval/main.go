@@ -17,9 +17,9 @@ import (
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "print a single table (1-4); 0 prints everything")
-		stats  = flag.Bool("stats", false, "print only the evaluation statistics")
-		effort = flag.Bool("effort", false, "print only the user-effort comparison")
+		table   = flag.Int("table", 0, "print a single table (1-4); 0 prints everything")
+		stats   = flag.Bool("stats", false, "print only the evaluation statistics")
+		effort  = flag.Bool("effort", false, "print only the user-effort comparison")
 		ablate  = flag.Bool("ablate", false, "run the mechanism ablations (slow: four full matrices)")
 		seed    = flag.Int64("seed", 2013, "simulation seed")
 		workers = flag.Int("workers", 0, "evaluation workers (0 = one per site)")

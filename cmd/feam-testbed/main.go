@@ -10,7 +10,11 @@ import (
 	"os"
 	"path/filepath"
 
+	"feam/internal/execsim"
+	"feam/internal/experiment"
+	"feam/internal/fault"
 	"feam/internal/feam"
+	"feam/internal/metrics"
 	"feam/internal/report"
 	"feam/internal/sitemodel"
 	"feam/internal/testbed"
@@ -24,6 +28,11 @@ func main() {
 		matrix    = flag.Bool("matrix", false, "print the (code x stack) compile matrix")
 		exportDir = flag.String("export", "", "write serialized site images (<site>.feamsite) into this directory")
 		importOne = flag.String("import", "", "load a serialized site image and survey it")
+
+		faults         = flag.Bool("faults", false, "rank all sites for a migrated binary under injected probe/staging faults")
+		faultRate      = flag.Float64("fault-rate", 0.2, "per-operation fault probability for -faults")
+		faultTransient = flag.Float64("fault-transient", 0.7, "fraction of injected faults that are transient (retryable)")
+		faultSeed      = flag.Int64("fault-seed", 1, "deterministic fault-injection seed")
 	)
 	flag.Parse()
 
@@ -44,6 +53,11 @@ func main() {
 		runSurvey(tb)
 	case *matrix:
 		runMatrix(tb)
+	case *faults:
+		if err := runFaults(tb, *faultRate, *faultTransient, *faultSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "feam-testbed:", err)
+			os.Exit(1)
+		}
 	case *exportDir != "":
 		if err := runExport(tb, *exportDir); err != nil {
 			fmt.Fprintln(os.Stderr, "feam-testbed:", err)
@@ -52,6 +66,111 @@ func main() {
 	default:
 		fmt.Print(report.Table2(tb))
 	}
+}
+
+// runFaults demonstrates the engine's fault tolerance: it builds a bundle
+// for one migrated binary, then ranks every other site while a
+// deterministic injector fails a fraction of probe runs and staging
+// filesystem operations. Transient faults are retried with backoff;
+// permanent ones roll staging back atomically or degrade the site to an
+// assessment carrying its error — the survey itself always completes.
+func runFaults(tb *testbed.Testbed, rate, transientFrac float64, seed int64) error {
+	ctx := context.Background()
+	const (
+		from     = "ranger"
+		stackKey = "mvapich2-1.2-gnu"
+	)
+	src := tb.ByName[from]
+	rec := src.FindStack(stackKey)
+	if rec == nil {
+		return fmt.Errorf("no stack %q at %s", stackKey, from)
+	}
+	sim := execsim.NewSimulator(seed)
+	sim.TransientRate = 0 // flakiness comes from the injector, deterministically
+
+	code := workload.Find("cg")
+	art, err := toolchain.Compile(code, rec, src)
+	if err != nil {
+		return err
+	}
+	binPath := "/home/user/" + art.Name
+	if err := src.FS().WriteFile(binPath, art.Bytes); err != nil {
+		return err
+	}
+
+	eng := feam.NewEngine()
+	var counters metrics.EngineCounters
+	eng.AddObserver(feam.NewCountersObserver(&counters))
+
+	// Source phase runs clean — the faults model target-site flakiness.
+	snap := src.SnapshotEnv()
+	if err := testbed.ActivateStack(src, stackKey); err != nil {
+		return err
+	}
+	serial := "#!/bin/sh\n#PBS -N feam\n#PBS -q debug\n#PBS -l nodes=1:ppn=1\n#PBS -l walltime=00:10:00\n%CMD%\n"
+	parallel := "#!/bin/sh\n#PBS -N feam\n#PBS -q debug\n#PBS -l nodes=1:ppn=4\n#PBS -l walltime=00:15:00\n%CMD%\n"
+	cfg := &feam.Config{
+		Phase: "source", BinaryPath: binPath,
+		SerialScript: serial, ParallelScript: parallel,
+	}
+	bundle, _, err := eng.RunSourcePhase(ctx, cfg, src, experiment.NewSimRunner(sim))
+	src.RestoreEnv(snap)
+	if err != nil {
+		return err
+	}
+
+	inj := &fault.Policy{
+		Rate:              rate,
+		TransientFraction: transientFrac,
+		Seed:              seed,
+		Ops:               []string{"probe", "write", "setattr", "mkdir", "rename", "removeall"},
+	}
+	runner := &fault.FaultyRunner{Inner: experiment.NewSimProbeRunner(sim), Inj: inj}
+	var targets []*sitemodel.Site
+	for _, s := range tb.Sites {
+		if s.Name == from {
+			continue
+		}
+		s.FS().SetOpHook(fault.Hook(inj))
+		defer s.FS().SetOpHook(nil)
+		targets = append(targets, s)
+	}
+
+	desc, err := eng.Describe(ctx, art.Bytes, art.Name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Ranking %d sites for %s under injected faults (rate %.0f%%, %.0f%% transient, seed %d)\n\n",
+		len(targets), art.Name, 100*rate, 100*transientFrac, seed)
+	ranked := eng.RankSites(ctx, desc, art.Bytes, targets, feam.EvalOptions{
+		Bundle: bundle, Resolve: true, Runner: runner,
+	})
+	for i, a := range ranked {
+		switch {
+		case a.Err != nil:
+			fmt.Printf("%d. %-12s survey degraded: %v\n", i+1, a.Site, a.Err)
+			if a.Prediction != nil {
+				for _, d := range feam.Determinants() {
+					res := a.Prediction.Determinants[d]
+					fmt.Printf("     %-30s %s\n", d, res.Outcome)
+				}
+			}
+		case a.Prediction.Ready && len(a.Prediction.ResolvedLibs) == 0:
+			fmt.Printf("%d. %-12s READY as-is (stack %s)\n", i+1, a.Site, a.Prediction.StackKey())
+		case a.Prediction.Ready:
+			fmt.Printf("%d. %-12s READY with %d staged libraries (stack %s)\n",
+				i+1, a.Site, len(a.Prediction.ResolvedLibs), a.Prediction.StackKey())
+		default:
+			reason := "unknown"
+			if len(a.Prediction.Reasons) > 0 {
+				reason = a.Prediction.Reasons[0]
+			}
+			fmt.Printf("%d. %-12s not ready: %s\n", i+1, a.Site, reason)
+		}
+	}
+	fmt.Printf("\nfaults injected: %d\n", inj.Injected())
+	fmt.Printf("engine: %s\n", counters.String())
+	return nil
 }
 
 func runExport(tb *testbed.Testbed, dir string) error {

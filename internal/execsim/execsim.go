@@ -98,6 +98,10 @@ type Result struct {
 // Success reports a clean run.
 func (r Result) Success() bool { return r.Class == OK }
 
+// Transient reports whether the failure was a transient system error a
+// further retry might dodge (always false on success).
+func (r Result) Transient() bool { return r.transient }
+
 // Request describes a launch.
 type Request struct {
 	// Art is the program to run.

@@ -13,6 +13,7 @@ import (
 
 	"feam/internal/batch"
 	"feam/internal/execsim"
+	"feam/internal/fault"
 	"feam/internal/feam"
 	"feam/internal/sitemodel"
 	"feam/internal/testbed"
@@ -41,6 +42,51 @@ func NewSimRunner(sim *execsim.Simulator) feam.RunnerFunc {
 			Art: art, Site: site, Stack: rec, ExtraLibDirs: extraLibDirs,
 		})
 		return res.Success(), res.Detail
+	}
+}
+
+// SimProbeRunner adapts the ground-truth simulator to FEAM's structured
+// probe interface: failures carry the simulator's failure class directly
+// (missing library, transient system error) instead of making FEAM guess
+// by matching substrings of the job output. It also satisfies the legacy
+// ProgramRunner interface for callers that only need (bool, string).
+type SimProbeRunner struct {
+	Sim *execsim.Simulator
+}
+
+// NewSimProbeRunner wraps a simulator as a structured probe runner.
+func NewSimProbeRunner(sim *execsim.Simulator) *SimProbeRunner {
+	return &SimProbeRunner{Sim: sim}
+}
+
+// RunProgram implements feam.ProgramRunner.
+func (r *SimProbeRunner) RunProgram(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
+	res := r.RunProbe(art, site, stackKey, extraLibDirs)
+	return res.Success, res.Detail
+}
+
+// RunProbe implements fault.ProbeRunner.
+func (r *SimProbeRunner) RunProbe(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) fault.ProbeResult {
+	var rec *sitemodel.StackRecord
+	snap := site.SnapshotEnv()
+	defer site.RestoreEnv(snap)
+	if stackKey != "" {
+		rec = site.FindStack(stackKey)
+		if rec == nil {
+			return fault.ProbeResult{Detail: fmt.Sprintf("stack %s not installed", stackKey)}
+		}
+		if err := testbed.ActivateStack(site, stackKey); err != nil {
+			return fault.ProbeResult{Detail: err.Error()}
+		}
+	}
+	res := r.Sim.Run(execsim.Request{
+		Art: art, Site: site, Stack: rec, ExtraLibDirs: extraLibDirs,
+	})
+	return fault.ProbeResult{
+		Success:    res.Success(),
+		Detail:     res.Detail,
+		MissingLib: res.Class == execsim.FailMissingLib,
+		Transient:  res.Transient(),
 	}
 }
 

@@ -1,0 +1,176 @@
+package fault
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Injector decides whether an operation fails. Implementations must be
+// safe for concurrent use — site filesystems and runners are exercised
+// from worker goroutines.
+type Injector interface {
+	// Fail returns nil to let the operation proceed, or a *Fault to make
+	// it fail.
+	Fail(op, path string) error
+}
+
+// Policy is a deterministic rate-based injector: each (op, path, sequence)
+// tuple is hashed to decide failure, so runs are reproducible for a given
+// seed yet behave like random site flakiness. The zero value injects
+// nothing.
+type Policy struct {
+	// Rate is the per-operation fault probability in [0, 1].
+	Rate float64
+	// TransientFraction is the share of injected faults classified
+	// transient (the rest are permanent). 1 means every fault is
+	// transient.
+	TransientFraction float64
+	// Seed drives the deterministic hash.
+	Seed int64
+	// Ops restricts injection to the named operations; empty means all.
+	Ops []string
+	// Latency is added to every injected fault (simulated slow-failure of
+	// an overloaded filesystem). Keep it small in tests.
+	Latency time.Duration
+
+	seq      atomic.Uint64
+	injected atomic.Uint64
+}
+
+// Injected returns how many faults the policy has delivered.
+func (p *Policy) Injected() uint64 { return p.injected.Load() }
+
+// Fail implements Injector.
+func (p *Policy) Fail(op, path string) error {
+	if p == nil || p.Rate <= 0 {
+		return nil
+	}
+	if len(p.Ops) > 0 {
+		found := false
+		for _, o := range p.Ops {
+			if o == op {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	n := p.seq.Add(1)
+	if p.unit("fault", op, path, n) >= p.Rate {
+		return nil
+	}
+	if p.Latency > 0 {
+		time.Sleep(p.Latency)
+	}
+	class := Permanent
+	if p.unit("class", op, path, n) < p.TransientFraction {
+		class = Transient
+	}
+	p.injected.Add(1)
+	return New(class, op, path)
+}
+
+// unit hashes the tuple deterministically to [0, 1).
+func (p *Policy) unit(kind, op, path string, n uint64) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(p.Seed >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(op))
+	h.Write([]byte{0})
+	h.Write([]byte(path))
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(n >> (8 * i))
+	}
+	h.Write(buf[:])
+	return float64(h.Sum64()%1e9) / 1e9
+}
+
+// scriptEntry is one queued decision: pass (fault == nil) or fail, for
+// operations matching op (empty = any).
+type scriptEntry struct {
+	op    string
+	fault *Fault
+}
+
+// Script is a deterministic scripted injector for tests: it fails exactly
+// the operations enqueued with FailNext, in order, matching by op name.
+// Operations with other names pass through without consuming the script —
+// including the explicit passes queued by FailNth, so interleaved
+// unrelated operations cannot shift which matching operation fails.
+type Script struct {
+	mu    sync.Mutex
+	queue []scriptEntry
+	// injected counts faults actually delivered.
+	injected int
+}
+
+// FailNext enqueues a fault: the next operation whose op matches will fail
+// with the given class. An empty op matches any operation.
+func (s *Script) FailNext(class Class, op string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue = append(s.queue, scriptEntry{op: op, fault: &Fault{Class: class, Op: op}})
+}
+
+// FailNth enqueues (n-1) passes followed by one fault for the matching op:
+// shorthand for letting a plan's first writes succeed and breaking the
+// nth. Counting is per matching operation.
+func (s *Script) FailNth(class Class, op string, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 1; i < n; i++ {
+		s.queue = append(s.queue, scriptEntry{op: op}) // explicit pass
+	}
+	s.queue = append(s.queue, scriptEntry{op: op, fault: &Fault{Class: class, Op: op}})
+}
+
+// Fail implements Injector.
+func (s *Script) Fail(op, path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 {
+		return nil
+	}
+	head := s.queue[0]
+	if head.op != "" && head.op != op {
+		return nil
+	}
+	s.queue = s.queue[:copy(s.queue, s.queue[1:])]
+	if head.fault == nil {
+		return nil
+	}
+	s.injected++
+	return &Fault{Class: head.fault.Class, Op: op, Path: path}
+}
+
+// Injected returns how many faults the script has delivered.
+func (s *Script) Injected() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.injected
+}
+
+// Remaining returns how many queue entries (passes and faults) are left.
+func (s *Script) Remaining() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Hook adapts an Injector to the vfs operation-hook signature
+// (vfs.FS.SetOpHook). A nil injector clears the hook.
+func Hook(inj Injector) func(op, path string) error {
+	if inj == nil {
+		return nil
+	}
+	return inj.Fail
+}

@@ -1,0 +1,85 @@
+package fault
+
+import (
+	"strings"
+
+	"feam/internal/sitemodel"
+	"feam/internal/toolchain"
+)
+
+// Runner is the probe-program execution interface, structurally identical
+// to feam.ProgramRunner (declared here too so this package can wrap
+// runners without importing the prediction pipeline).
+type Runner interface {
+	RunProgram(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (success bool, detail string)
+}
+
+// ProbeResult is the structured outcome of one probe-program execution.
+// It replaces substring matching on failure text: the runner that knows
+// why a probe failed says so explicitly.
+type ProbeResult struct {
+	// Success reports a clean run.
+	Success bool
+	// Detail is the human-readable outcome text (job output).
+	Detail string
+	// MissingLib marks a failure caused by an unresolvable shared library
+	// — the shared-library determinant's business, not the stack's.
+	MissingLib bool
+	// Transient marks a failure a retry may dodge (system wobble, injected
+	// transient fault).
+	Transient bool
+}
+
+// ProbeRunner is implemented by runners that can classify their own
+// failures. The prediction pipeline prefers it over RunProgram's
+// (bool, string) and falls back to ClassifyDetail otherwise.
+type ProbeRunner interface {
+	RunProbe(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) ProbeResult
+}
+
+// ClassifyDetail derives a ProbeResult from a legacy (success, detail)
+// pair. The missing-library test anchors on the loader's "=> not found"
+// arrow — a bare "not found" also appears in symbol-version errors
+// ("version `GLIBC_2.12' not found"), which are ABI breaks that must
+// condemn a stack, not be excused as resolvable.
+func ClassifyDetail(success bool, detail string) ProbeResult {
+	res := ProbeResult{Success: success, Detail: detail}
+	if success {
+		return res
+	}
+	res.MissingLib = strings.Contains(detail, "=> not found")
+	res.Transient = strings.Contains(detail, "transient")
+	return res
+}
+
+// FaultyRunner wraps a probe runner with an injector: before each probe
+// the injector may fail the run outright, simulating batch-system or
+// launch-path flakiness independent of the program under test.
+type FaultyRunner struct {
+	Inner Runner
+	Inj   Injector
+}
+
+// RunProgram implements Runner.
+func (f *FaultyRunner) RunProgram(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
+	res := f.RunProbe(art, site, stackKey, extraLibDirs)
+	return res.Success, res.Detail
+}
+
+// RunProbe implements ProbeRunner.
+func (f *FaultyRunner) RunProbe(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) ProbeResult {
+	if f.Inj != nil {
+		if err := f.Inj.Fail("probe", site.Name+"/"+stackKey); err != nil {
+			return ProbeResult{
+				Success:   false,
+				Detail:    err.Error(),
+				Transient: IsTransient(err),
+			}
+		}
+	}
+	if pr, ok := f.Inner.(ProbeRunner); ok {
+		return pr.RunProbe(art, site, stackKey, extraLibDirs)
+	}
+	ok, detail := f.Inner.RunProgram(art, site, stackKey, extraLibDirs)
+	return ClassifyDetail(ok, detail)
+}

@@ -1,0 +1,83 @@
+package fault
+
+import (
+	"context"
+	"time"
+)
+
+// RetryPolicy caps and paces retries of transient faults. The zero value
+// means "no retries" (a single attempt).
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget including the first try;
+	// values below 1 behave as 1.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (0 = no cap).
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy mirrors the paper's observation that sites wobble:
+// three attempts with a short exponential backoff. The delays are small
+// because probe pacing is dominated by the batch system, not the retry
+// loop; sites that need longer spacing configure their own policy.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+}
+
+// Backoff returns the delay before retry number retry (1-based).
+func (p RetryPolicy) Backoff(retry int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// Attempts returns the normalized attempt budget (minimum 1).
+func (p RetryPolicy) Attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Sleep waits for d or until the context is done, whichever comes first.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Retry runs fn until it succeeds, fails permanently, or the attempt
+// budget is exhausted. Only errors classified transient (IsTransient) are
+// retried; permanent faults and plain errors fail fast. It returns the
+// number of attempts made alongside fn's final error. A cancelled context
+// stops the loop between attempts.
+func Retry(ctx context.Context, p RetryPolicy, fn func() error) (attempts int, err error) {
+	max := p.Attempts()
+	for attempts = 1; ; attempts++ {
+		err = fn()
+		if err == nil || !IsTransient(err) || attempts >= max {
+			return attempts, err
+		}
+		if serr := Sleep(ctx, p.Backoff(attempts)); serr != nil {
+			return attempts, err
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 
+	"feam/internal/fault"
 	"feam/internal/sitemodel"
 )
 
@@ -30,14 +31,14 @@ import (
 // can group several operations (stage a binary, activate a stack, evaluate)
 // into one critical section without deadlocking.
 type Engine struct {
+	mu         sync.Mutex
 	evaluators []DeterminantEvaluator
 	workers    int
-
-	mu        sync.Mutex
-	observers []Observer
-	bdc       map[bdcKey]*BinaryDescription
-	edc       map[string]*edcEntry
-	siteLocks map[string]*sync.Mutex
+	retry      fault.RetryPolicy
+	observers  []Observer
+	bdc        map[bdcKey]*BinaryDescription
+	edc        map[string]*edcEntry
+	siteLocks  map[string]*sync.Mutex
 }
 
 // bdcKey identifies a binary description: content hash plus the name the
@@ -66,6 +67,7 @@ func NewEngine() *Engine {
 	return &Engine{
 		evaluators: DefaultEvaluators(),
 		workers:    defaultWorkers(),
+		retry:      fault.DefaultRetryPolicy(),
 		bdc:        map[bdcKey]*BinaryDescription{},
 		edc:        map[string]*edcEntry{},
 		siteLocks:  map[string]*sync.Mutex{},
@@ -98,19 +100,56 @@ func DefaultEngine() *Engine {
 }
 
 // SetEvaluators replaces the engine's default determinant registry. The
-// slice is used as-is; pass evaluators in the order they should gate.
-func (e *Engine) SetEvaluators(evals []DeterminantEvaluator) { e.evaluators = evals }
+// slice is captured as-is; pass evaluators in the order they should gate.
+// Safe to call while other goroutines evaluate — in-flight evaluations
+// keep the registry they started with.
+func (e *Engine) SetEvaluators(evals []DeterminantEvaluator) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.evaluators = evals
+}
+
+// defaultEvaluators snapshots the current registry.
+func (e *Engine) defaultEvaluators() []DeterminantEvaluator {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evaluators
+}
 
 // SetWorkers sets the default fan-out width for RankSites (minimum 1).
+// Safe to call concurrently with RankSites; in-flight surveys keep the
+// width they started with.
 func (e *Engine) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.workers = n
 }
 
 // Workers returns the engine's default RankSites fan-out width.
-func (e *Engine) Workers() int { return e.workers }
+func (e *Engine) Workers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.workers
+}
+
+// SetRetryPolicy replaces the engine's transient-fault retry policy, used
+// around probe-program runs and staging writes. The zero policy disables
+// retries.
+func (e *Engine) SetRetryPolicy(p fault.RetryPolicy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.retry = p
+}
+
+// RetryPolicy returns the engine's transient-fault retry policy.
+func (e *Engine) RetryPolicy() fault.RetryPolicy {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.retry
+}
 
 // AddObserver registers a hook for engine events. Observers must be safe
 // for concurrent notification; they are invoked from worker goroutines.
@@ -150,6 +189,24 @@ func (e *Engine) notifyCache(component, key string, hit bool) {
 func (e *Engine) notifyProbe(site, stackKey string, success bool) {
 	for _, o := range e.snapshotObservers() {
 		o.ProbeRun(site, stackKey, success)
+	}
+}
+
+func (e *Engine) notifyProbeRetried(site, stackKey string, attempt int) {
+	for _, o := range e.snapshotObservers() {
+		o.ProbeRetried(site, stackKey, attempt)
+	}
+}
+
+func (e *Engine) notifyStagingRetried(site, path string, attempt int) {
+	for _, o := range e.snapshotObservers() {
+		o.StagingRetried(site, path, attempt)
+	}
+}
+
+func (e *Engine) notifyStagingOutcome(site, dir string, committed bool, libs int) {
+	for _, o := range e.snapshotObservers() {
+		o.StagingOutcome(site, dir, committed, libs)
 	}
 }
 
@@ -283,6 +340,11 @@ func (e *Engine) InvalidateSite(name string) {
 // The caller must hold SiteLock(site.Name) when the site is shared across
 // goroutines; Evaluate temporarily mutates the site environment while
 // testing candidate stacks and stages library copies when resolving.
+//
+// When an evaluator errors, Evaluate returns the partial prediction built
+// so far (Ready=false, with the determinant trail up to the failure)
+// alongside the error, so callers ranking many sites can keep the trail
+// for diagnosis instead of discarding the whole assessment.
 func (e *Engine) Evaluate(ctx context.Context, desc *BinaryDescription, appBytes []byte, env *EnvironmentDescription, site *sitemodel.Site, opts EvalOptions) (*Prediction, error) {
 	if desc == nil || env == nil || site == nil {
 		return nil, fmt.Errorf("feam: Evaluate requires a description, environment, and site")
@@ -302,7 +364,7 @@ func (e *Engine) Evaluate(ctx context.Context, desc *BinaryDescription, appBytes
 
 	evals := opts.Evaluators
 	if evals == nil {
-		evals = e.evaluators
+		evals = e.defaultEvaluators()
 	}
 	ec := &EvalContext{
 		Context:  ctx,
@@ -316,12 +378,14 @@ func (e *Engine) Evaluate(ctx context.Context, desc *BinaryDescription, appBytes
 	}
 	for _, de := range evals {
 		if err := ctx.Err(); err != nil {
+			pred.Ready = false
 			e.notifyEvalFinished(desc.Name, env.SiteName, false, err)
-			return nil, err
+			return pred, err
 		}
 		if err := de.Evaluate(ec); err != nil {
+			pred.Ready = false
 			e.notifyEvalFinished(desc.Name, env.SiteName, false, err)
-			return nil, err
+			return pred, err
 		}
 		if pred.Determinants[de.Determinant()].Outcome == Fail {
 			e.notifyEvalFinished(desc.Name, env.SiteName, false, nil)

@@ -20,16 +20,30 @@ type Observer interface {
 	// ProbeRun fires after each probe-program execution during stack
 	// usability testing.
 	ProbeRun(site, stackKey string, success bool)
+	// ProbeRetried fires when a transient probe failure is retried;
+	// attempt is the attempt number that just failed (1-based).
+	ProbeRetried(site, stackKey string, attempt int)
+	// StagingRetried fires when a transient staging-write failure is
+	// retried; path is the destination being written.
+	StagingRetried(site, path string, attempt int)
+	// StagingOutcome fires when transactional library staging finishes:
+	// committed reports whether the stage directory was atomically
+	// published (true) or rolled back (false); libs is the number of
+	// library copies in the plan.
+	StagingOutcome(site, dir string, committed bool, libs int)
 }
 
 // NopObserver is an Observer that ignores every event; embed it to
 // implement only the events of interest.
 type NopObserver struct{}
 
-func (NopObserver) EvaluationStarted(binary, site string)                  {}
+func (NopObserver) EvaluationStarted(binary, site string)                         {}
 func (NopObserver) EvaluationFinished(binary, site string, ready bool, err error) {}
-func (NopObserver) CacheAccess(component, key string, hit bool)            {}
-func (NopObserver) ProbeRun(site, stackKey string, success bool)           {}
+func (NopObserver) CacheAccess(component, key string, hit bool)                   {}
+func (NopObserver) ProbeRun(site, stackKey string, success bool)                  {}
+func (NopObserver) ProbeRetried(site, stackKey string, attempt int)               {}
+func (NopObserver) StagingRetried(site, path string, attempt int)                 {}
+func (NopObserver) StagingOutcome(site, dir string, committed bool, libs int)     {}
 
 // countersObserver adapts engine events onto metrics.EngineCounters.
 type countersObserver struct {
@@ -72,5 +86,21 @@ func (o *countersObserver) ProbeRun(site, stackKey string, success bool) {
 	o.c.ProbeRuns.Add(1)
 	if !success {
 		o.c.ProbeFailures.Add(1)
+	}
+}
+
+func (o *countersObserver) ProbeRetried(site, stackKey string, attempt int) {
+	o.c.ProbeRetries.Add(1)
+}
+
+func (o *countersObserver) StagingRetried(site, path string, attempt int) {
+	o.c.StagingRetries.Add(1)
+}
+
+func (o *countersObserver) StagingOutcome(site, dir string, committed bool, libs int) {
+	if committed {
+		o.c.StagingCommits.Add(1)
+	} else {
+		o.c.StagingRollbacks.Add(1)
 	}
 }

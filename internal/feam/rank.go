@@ -2,6 +2,7 @@ package feam
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 
@@ -12,7 +13,10 @@ import (
 type SiteAssessment struct {
 	Site       string
 	Prediction *Prediction
-	// Err records a discovery/evaluation failure at the site.
+	// Err records a discovery/evaluation failure at the site. A failing
+	// site degrades to an assessment carrying Err (and, when evaluation
+	// got far enough, a partial Prediction with the determinant trail up
+	// to the fault) instead of poisoning the whole survey.
 	Err error
 }
 
@@ -34,7 +38,7 @@ func RankSites(desc *BinaryDescription, appBytes []byte, sites []*sitemodel.Site
 // through the determinant ladder, then failed surveys. Ties keep the
 // caller's site order.
 func (e *Engine) RankSites(ctx context.Context, desc *BinaryDescription, appBytes []byte, sites []*sitemodel.Site, opts EvalOptions) []SiteAssessment {
-	return e.RankSitesParallel(ctx, desc, appBytes, sites, opts, e.workers)
+	return e.RankSitesParallel(ctx, desc, appBytes, sites, opts, e.Workers())
 }
 
 // RankSitesParallel is RankSites with an explicit fan-out width. Sites are
@@ -78,8 +82,17 @@ func (e *Engine) RankSitesParallel(ctx context.Context, desc *BinaryDescription,
 }
 
 // assessSite surveys and evaluates one site under its serialization lock.
-func (e *Engine) assessSite(ctx context.Context, desc *BinaryDescription, appBytes []byte, site *sitemodel.Site, opts EvalOptions) SiteAssessment {
-	a := SiteAssessment{Site: site.Name}
+// Failures degrade gracefully: an evaluator error keeps the partial
+// prediction (the determinant trail up to the fault) beside Err, and a
+// panicking evaluator or runner is contained to this site's assessment
+// rather than taking down the whole survey.
+func (e *Engine) assessSite(ctx context.Context, desc *BinaryDescription, appBytes []byte, site *sitemodel.Site, opts EvalOptions) (a SiteAssessment) {
+	a = SiteAssessment{Site: site.Name}
+	defer func() {
+		if r := recover(); r != nil {
+			a.Err = fmt.Errorf("feam: site %s assessment panicked: %v", site.Name, r)
+		}
+	}()
 	if err := ctx.Err(); err != nil {
 		a.Err = err
 		return a
@@ -93,11 +106,8 @@ func (e *Engine) assessSite(ctx context.Context, desc *BinaryDescription, appByt
 		return a
 	}
 	pred, err := e.Evaluate(ctx, desc, appBytes, env, site, opts)
-	if err != nil {
-		a.Err = err
-		return a
-	}
 	a.Prediction = pred
+	a.Err = err
 	return a
 }
 

@@ -8,8 +8,10 @@ import (
 
 	"feam/internal/elfimg"
 	"feam/internal/envmgmt"
+	"feam/internal/fault"
 	"feam/internal/sitemodel"
 	"feam/internal/toolchain"
+	"feam/internal/vfs"
 )
 
 // EvalOptions configures a Target Evaluation Component run.
@@ -109,8 +111,33 @@ func Evaluate(desc *BinaryDescription, appBytes []byte, env *EnvironmentDescript
 	return DefaultEngine().Evaluate(context.Background(), desc, appBytes, env, site, opts)
 }
 
+// interpFor returns the conventional program-interpreter path for an
+// ISA/class pair — the value a binary built for that target would carry
+// in PT_INTERP.
+func interpFor(machine elfimg.Machine, bits int) string {
+	switch machine {
+	case elfimg.EM386:
+		return "/lib/ld-linux.so.2"
+	case elfimg.EMPPC:
+		return "/lib/ld.so.1"
+	case elfimg.EMPPC64:
+		return "/lib64/ld64.so.1"
+	case elfimg.EMAARCH64:
+		return "/lib/ld-linux-aarch64.so.1"
+	case elfimg.EMX8664:
+		return "/lib64/ld-linux-x86-64.so.2"
+	}
+	// Unknown machine: fall back on the class-conventional glibc layout.
+	if bits == 32 {
+		return "/lib/ld-linux.so.2"
+	}
+	return "/lib64/ld-linux-x86-64.so.2"
+}
+
 // syntheticImage reconstructs a loader-probe ELF image from a description
 // (used when the application binary is not present at the target site).
+// The interpreter path follows the description's ISA — a synthetic probe
+// for a 32-bit or non-x86 binary must not claim the x86-64 loader.
 func syntheticImage(desc *BinaryDescription) ([]byte, error) {
 	cls := elfimg.Class64
 	if desc.Bits == 32 {
@@ -120,7 +147,7 @@ func syntheticImage(desc *BinaryDescription) ([]byte, error) {
 		Class:    cls,
 		Machine:  desc.ISA,
 		Type:     elfimg.TypeExec,
-		Interp:   "/lib64/ld-linux-x86-64.so.2",
+		Interp:   interpFor(desc.ISA, desc.Bits),
 		Needed:   desc.Needed,
 		VerNeeds: desc.VerNeeds,
 	})
@@ -169,6 +196,39 @@ func compilerFamilyOf(comment string) string {
 	}
 }
 
+// probeOnce executes one probe-program run and returns a structured
+// result. Runners that implement fault.ProbeRunner classify their own
+// failures; legacy (bool, string) runners are classified from the output
+// text by fault.ClassifyDetail.
+func probeOnce(r ProgramRunner, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) fault.ProbeResult {
+	if pr, ok := r.(fault.ProbeRunner); ok {
+		return pr.RunProbe(art, site, stackKey, extraLibDirs)
+	}
+	ok, detail := r.RunProgram(art, site, stackKey, extraLibDirs)
+	return fault.ClassifyDetail(ok, detail)
+}
+
+// runProbe executes a probe program under the engine's retry policy:
+// transient failures (batch-system wobble, injected transient faults) are
+// retried with backoff; permanent failures and successes return
+// immediately. Every attempt is reported to observers.
+func runProbe(ec *EvalContext, art *toolchain.Artifact, stackKey string, extraLibDirs []string) fault.ProbeResult {
+	site := ec.Site
+	policy := ec.Engine.RetryPolicy()
+	var res fault.ProbeResult
+	for attempt := 1; ; attempt++ {
+		res = probeOnce(ec.Opts.Runner, art, site, stackKey, extraLibDirs)
+		ec.Engine.notifyProbe(site.Name, stackKey, res.Success)
+		if res.Success || !res.Transient || attempt >= policy.Attempts() {
+			return res
+		}
+		ec.Engine.notifyProbeRetried(site.Name, stackKey, attempt)
+		if fault.Sleep(ec.Context, policy.Backoff(attempt)) != nil {
+			return res
+		}
+	}
+}
+
 // testStack checks that a candidate stack actually functions by running
 // hello-world probes under it (§III.B: advertised stacks can be
 // misconfigured and unusable).
@@ -188,26 +248,24 @@ func testStack(ec *EvalContext, cand *StackInfo, presenceOnly bool) (bool, strin
 			rec := stackRecordFromInfo(cand)
 			hello, err := toolchain.CompileHello(rec, site)
 			if err == nil {
-				okRun, detail := opts.Runner.RunProgram(hello, site, cand.Key, nil)
-				ec.Engine.notifyProbe(site.Name, cand.Key, okRun)
-				if !okRun {
-					return false, "native hello world failed: " + detail
+				res := runProbe(ec, hello, cand.Key, nil)
+				if !res.Success {
+					return false, "native hello world failed: " + res.Detail
 				}
 				tested = true
 			}
 		}
 	}
 	// Extended test: the source site's hello world under this stack. A
-	// failure whose output shows a missing shared library does not condemn
-	// the stack — missing libraries are the shared-library determinant's
+	// failure classified as a missing shared library does not condemn the
+	// stack — missing libraries are the shared-library determinant's
 	// business and the resolution model may still fix them; crashes and
-	// launch failures (ABI breaks, floating point errors, misconfigured
+	// launch failures (ABI breaks, symbol-version mismatches, misconfigured
 	// stacks) do.
 	if opts.Bundle != nil && opts.Bundle.MPIHello != nil {
-		okRun, detail := opts.Runner.RunProgram(opts.Bundle.MPIHello, site, cand.Key, nil)
-		ec.Engine.notifyProbe(site.Name, cand.Key, okRun)
-		if !okRun && !strings.Contains(detail, "not found") {
-			return false, "source-site hello world failed: " + detail
+		res := runProbe(ec, opts.Bundle.MPIHello, cand.Key, nil)
+		if !res.Success && !res.MissingLib {
+			return false, "source-site hello world failed: " + res.Detail
 		}
 		tested = true
 	}
@@ -249,6 +307,10 @@ func loadStackEnv(site *sitemodel.Site, stack *StackInfo) {
 // bundled copy — ISA, C library requirement, and the copy's own shared
 // library dependencies (which may recursively require further copies).
 // Usable copies are staged at the target and exposed via the loader path.
+//
+// Staging is transactional: the whole plan is written into a temporary
+// directory and published into StageDir with an atomic rename, or rolled
+// back on fault — a failed run never leaves a half-populated StageDir.
 func resolveMissing(ec *EvalContext, missing []string, shallow bool) {
 	pred, env, site, opts := ec.Pred, ec.Env, ec.Site, ec.Opts
 	stageDir := opts.StageDir
@@ -262,6 +324,10 @@ func resolveMissing(ec *EvalContext, missing []string, shallow bool) {
 	defer site.RestoreEnv(snap)
 
 	planned := map[string]*LibraryCopy{}
+	// requiredBy records reverse dependency edges (dep -> planned copies
+	// that need it) so an unresolvable dependency can evict its dependents
+	// transitively.
+	requiredBy := map[string][]string{}
 	pending := append([]string(nil), missing...)
 	const maxPlanned = 256
 	for len(pending) > 0 {
@@ -306,44 +372,143 @@ func resolveMissing(ec *EvalContext, missing []string, shallow bool) {
 				continue
 			}
 			if _, already := planned[dep]; already {
+				requiredBy[dep] = append(requiredBy[dep], name)
 				continue
 			}
 			if targetHasLibrary(site, dep, copyLib.Desc) {
 				continue
 			}
+			requiredBy[dep] = append(requiredBy[dep], name)
 			pending = append(pending, dep)
 		}
 	}
 
-	// Any unresolved dependency poisons the libraries that needed it; the
-	// remaining plan is staged.
-	if len(pred.UnresolvedLibs) > 0 {
-		// Keep the partial stage anyway — FEAM reports the determinant as
-		// failed; staged files are harmless.
-		for name := range pred.UnresolvedLibs {
-			delete(planned, name)
+	// Transitive poisoning: a planned copy whose dependency chain bottoms
+	// out in an unresolvable library cannot load either. Walk the reverse
+	// edges from every unresolvable name and evict dependents recursively —
+	// staging them would publish copies the loader can never satisfy.
+	evictQueue := make([]string, 0, len(pred.UnresolvedLibs))
+	for n := range pred.UnresolvedLibs {
+		evictQueue = append(evictQueue, n)
+	}
+	sort.Strings(evictQueue)
+	for len(evictQueue) > 0 {
+		bad := evictQueue[0]
+		evictQueue = evictQueue[1:]
+		for _, parent := range requiredBy[bad] {
+			if _, isPlanned := planned[parent]; !isPlanned {
+				continue
+			}
+			delete(planned, parent)
+			pred.UnresolvedLibs[parent] = "copy depends on unresolvable " + bad
+			evictQueue = append(evictQueue, parent)
 		}
 	}
+
 	names := make([]string, 0, len(planned))
 	for n := range planned {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	for _, name := range names {
-		lc := planned[name]
-		dst := stageDir + "/" + name
-		if err := site.FS().WriteFile(dst, lc.Data); err != nil {
-			pred.UnresolvedLibs[name] = "staging failed: " + err.Error()
-			continue
-		}
-		for k, v := range lc.Attrs {
-			if err := site.FS().SetAttr(dst, k, v); err != nil {
-				pred.UnresolvedLibs[name] = "staging failed: " + err.Error()
-				break
-			}
-		}
-		pred.ResolvedLibs = append(pred.ResolvedLibs, name)
+	if len(names) == 0 {
+		return
 	}
+	stagePlan(ec, stageDir, names, planned)
+}
+
+// stagePlan writes a resolution plan to the target transactionally: every
+// copy lands in a temporary sibling directory first, then the whole set is
+// published with RemoveAll+Rename. Any permanent fault (or a transient one
+// that outlives the retry budget) rolls the transaction back, marks the
+// whole plan unresolved, and leaves no trace under StageDir.
+func stagePlan(ec *EvalContext, stageDir string, names []string, planned map[string]*LibraryCopy) {
+	pred, site := ec.Pred, ec.Site
+	fs := site.FS()
+	tmp := stageDir + ".staging"
+	// Clear debris from an earlier aborted transaction before writing.
+	if err := retryFSOp(ec, tmp, func() error { return fs.RemoveAll(tmp) }); err != nil {
+		failStaging(ec, stageDir, names, "staging setup failed: "+err.Error())
+		return
+	}
+	for _, name := range names {
+		if err := stageOne(ec, tmp, name, planned[name]); err != nil {
+			fs.RemoveAll(tmp)
+			failStaging(ec, stageDir, names,
+				fmt.Sprintf("staging rolled back (fault writing %s: %v)", name, err))
+			return
+		}
+	}
+	if err := commitStage(ec, tmp, stageDir); err != nil {
+		fs.RemoveAll(tmp)
+		failStaging(ec, stageDir, names, "staging commit failed: "+err.Error())
+		return
+	}
+	pred.ResolvedLibs = append(pred.ResolvedLibs, names...)
+	ec.Engine.notifyStagingOutcome(site.Name, stageDir, true, len(names))
+}
+
+// failStaging records a rolled-back staging transaction: every planned
+// library becomes unresolved with the shared reason.
+func failStaging(ec *EvalContext, stageDir string, names []string, reason string) {
+	for _, name := range names {
+		ec.Pred.UnresolvedLibs[name] = reason
+	}
+	ec.Engine.notifyStagingOutcome(ec.Site.Name, stageDir, false, len(names))
+}
+
+// retryFSOp runs one staging filesystem operation under the engine's
+// transient-retry policy, reporting each retry to observers.
+func retryFSOp(ec *EvalContext, path string, op func() error) error {
+	site := ec.Site
+	policy := ec.Engine.RetryPolicy()
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil || !fault.IsTransient(err) || attempt >= policy.Attempts() {
+			return err
+		}
+		ec.Engine.notifyStagingRetried(site.Name, path, attempt)
+		if fault.Sleep(ec.Context, policy.Backoff(attempt)) != nil {
+			return err
+		}
+	}
+}
+
+// stageOne writes one library copy (content plus attributes) into the
+// staging directory, retrying transient faults under the engine's policy.
+func stageOne(ec *EvalContext, tmp, name string, lc *LibraryCopy) error {
+	dst := tmp + "/" + name
+	return retryFSOp(ec, dst, func() error { return writeCopy(ec.Site.FS(), dst, lc) })
+}
+
+// writeCopy writes one library copy's data and attributes. Attributes go
+// in sorted order so fault-injection sequences are deterministic.
+func writeCopy(fs *vfs.FS, dst string, lc *LibraryCopy) error {
+	if err := fs.WriteFile(dst, lc.Data); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(lc.Attrs))
+	for k := range lc.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := fs.SetAttr(dst, k, lc.Attrs[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// commitStage atomically publishes a fully staged temporary directory as
+// StageDir, retrying transient faults under the engine's policy.
+func commitStage(ec *EvalContext, tmp, stageDir string) error {
+	fs := ec.Site.FS()
+	return retryFSOp(ec, stageDir, func() error {
+		if err := fs.RemoveAll(stageDir); err != nil {
+			return err
+		}
+		return fs.Rename(tmp, stageDir)
+	})
 }
 
 // targetHasLibrary checks whether a NEEDED name resolves at the target
@@ -365,6 +530,13 @@ func targetHasLibrary(site *sitemodel.Site, name string, requester *BinaryDescri
 		}
 	}
 	return false
+}
+
+// shellQuote wraps a string in single quotes for safe use as a shell
+// word — binary names with spaces or metacharacters must not be split or
+// expanded by the emitted configuration script.
+func shellQuote(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", `'\''`) + "'"
 }
 
 // configScript emits the site-configuration script FEAM hands the user: the
@@ -393,9 +565,9 @@ func configScript(pred *Prediction, desc *BinaryDescription, cfg *Config) string
 		launch = cfg.LaunchCommand(desc.MPIImpl)
 	}
 	if desc.MPIImpl != "" {
-		fmt.Fprintf(&b, "exec %s -n \"${NP:-4}\" %s\n", launch, pred.Binary)
+		fmt.Fprintf(&b, "exec %s -n \"${NP:-4}\" %s\n", launch, shellQuote(pred.Binary))
 	} else {
-		fmt.Fprintf(&b, "exec %s\n", pred.Binary)
+		fmt.Fprintf(&b, "exec %s\n", shellQuote(pred.Binary))
 	}
 	return b.String()
 }

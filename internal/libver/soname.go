@@ -29,7 +29,20 @@ func ParseSoname(name string) (Soname, error) {
 	if !strings.HasPrefix(base, "lib") {
 		return Soname{}, fmt.Errorf("libver: %q does not follow the lib<name>.so convention", name)
 	}
-	idx := strings.Index(base, ".so")
+	// Anchor on the LAST ".so" that ends the name or is followed by a
+	// version dot. Matching the first ".so" substring misparses stems that
+	// themselves contain ".so" — "libfoo.sock.so.1" is stem "foo.sock",
+	// not a malformed version "ck.so.1".
+	idx := -1
+	for i := len(base) - len(".so"); i >= 0; i-- {
+		if base[i:i+len(".so")] != ".so" {
+			continue
+		}
+		if i+len(".so") == len(base) || base[i+len(".so")] == '.' {
+			idx = i
+			break
+		}
+	}
 	if idx < 0 {
 		return Soname{}, fmt.Errorf("libver: %q has no .so suffix", name)
 	}
@@ -40,9 +53,6 @@ func ParseSoname(name string) (Soname, error) {
 	rest := base[idx+len(".so"):]
 	if rest == "" {
 		return Soname{Stem: stem}, nil
-	}
-	if !strings.HasPrefix(rest, ".") {
-		return Soname{}, fmt.Errorf("libver: %q has malformed version suffix %q", name, rest)
 	}
 	v, err := ParseVersion(rest[1:])
 	if err != nil {

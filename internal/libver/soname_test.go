@@ -21,6 +21,13 @@ func TestParseSoname(t *testing.T) {
 		{"lib.so.1", "", nil, false},
 		{"libfoo.so.x", "", nil, false},
 		{"libfoo.soup", "", nil, false},
+		// Stems containing ".so" must anchor on the LAST ".so" suffix; a
+		// first-substring match misparses these.
+		{"libfoo.sock.so.1", "foo.sock", V(1), true},
+		{"libfoo.sock.so", "foo.sock", nil, true},
+		{"libassorted.so.2.1", "assorted", V(2, 1), true},
+		{"libfoo.so.1.so.2", "foo.so.1", V(2), true},
+		{"libfoo.sock", "", nil, false},
 	}
 	for _, c := range cases {
 		got, err := ParseSoname(c.in)

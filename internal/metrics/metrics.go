@@ -105,6 +105,12 @@ type EngineCounters struct {
 	// ProbeRuns counts probe-program executions; ProbeFailures the subset
 	// that failed.
 	ProbeRuns, ProbeFailures atomic.Int64
+	// ProbeRetries counts probe attempts repeated after a transient
+	// failure; StagingRetries the same for staging writes.
+	ProbeRetries, StagingRetries atomic.Int64
+	// StagingCommits counts atomically published stage directories;
+	// StagingRollbacks counts staging transactions undone after a fault.
+	StagingCommits, StagingRollbacks atomic.Int64
 }
 
 // HitRate returns hits/(hits+misses) for a cache counter pair (0 when no
@@ -119,11 +125,12 @@ func HitRate(hits, misses *atomic.Int64) float64 {
 
 // String renders a one-line activity summary.
 func (c *EngineCounters) String() string {
-	return fmt.Sprintf("evaluations %d (%d ready), bdc cache %d/%d, edc cache %d/%d, probes %d (%d failed)",
+	return fmt.Sprintf("evaluations %d (%d ready), bdc cache %d/%d, edc cache %d/%d, probes %d (%d failed, %d retried), staging %d committed/%d rolled back (%d retried writes)",
 		c.Evaluations.Load(), c.ReadyPredictions.Load(),
 		c.BDCHits.Load(), c.BDCHits.Load()+c.BDCMisses.Load(),
 		c.EDCHits.Load(), c.EDCHits.Load()+c.EDCMisses.Load(),
-		c.ProbeRuns.Load(), c.ProbeFailures.Load())
+		c.ProbeRuns.Load(), c.ProbeFailures.Load(), c.ProbeRetries.Load(),
+		c.StagingCommits.Load(), c.StagingRollbacks.Load(), c.StagingRetries.Load())
 }
 
 // Tally counts occurrences by string key.

@@ -12,6 +12,7 @@
 package vfs
 
 import (
+	"errors"
 	"fmt"
 	"path"
 	"sort"
@@ -58,6 +59,12 @@ type FS struct {
 	// Callers use it as a cheap change detector: equal generations mean no
 	// mutation happened in between. See Generation.
 	gen uint64
+	// opHook, when set, runs before every public read or mutation with the
+	// operation name and target path; a non-nil return fails the operation
+	// with that error. It is the fault-injection seam: simulated sites fail
+	// the way real parallel filesystems do, without special-casing any
+	// caller. See SetOpHook.
+	opHook func(op, path string) error
 }
 
 // New returns an empty filesystem containing only the root directory.
@@ -70,6 +77,24 @@ func New() *FS {
 // attribute changes), so two equal readings bracket a mutation-free window.
 // Discovery caches key their fingerprints on it.
 func (fs *FS) Generation() uint64 { return fs.gen }
+
+// SetOpHook installs (or, with nil, clears) the fault-injection hook. The
+// hook is consulted at the top of every public read and mutation; returning
+// an error fails the operation without touching state. Hooks must be safe
+// for concurrent use when the filesystem is shared across goroutines.
+func (fs *FS) SetOpHook(h func(op, path string) error) { fs.opHook = h }
+
+// opErr consults the hook for one operation, wrapping any injected error
+// in the operation's PathError so callers see ordinary filesystem failures.
+func (fs *FS) opErr(op, path string) error {
+	if fs.opHook == nil {
+		return nil
+	}
+	if err := fs.opHook(op, path); err != nil {
+		return &PathError{Op: op, Path: path, Err: err}
+	}
+	return nil
+}
 
 // PathError describes a failed filesystem operation.
 type PathError struct {
@@ -180,6 +205,9 @@ func (fs *FS) parentOf(p string) (*node, string, error) {
 
 // Mkdir creates a single directory. The parent must exist.
 func (fs *FS) Mkdir(p string) error {
+	if err := fs.opErr("mkdir", p); err != nil {
+		return err
+	}
 	parent, base, err := fs.parentOf(p)
 	if err != nil {
 		return err
@@ -195,6 +223,15 @@ func (fs *FS) Mkdir(p string) error {
 // MkdirAll creates a directory and any missing parents. Existing directories
 // are left untouched.
 func (fs *FS) MkdirAll(p string) error {
+	if err := fs.opErr("mkdir", p); err != nil {
+		return err
+	}
+	return fs.mkdirAll(p)
+}
+
+// mkdirAll is MkdirAll without the fault hook, for internal use by
+// operations that already consulted the hook under their own name.
+func (fs *FS) mkdirAll(p string) error {
 	cp, err := clean(p)
 	if err != nil {
 		return &PathError{Op: "mkdir", Path: p, Err: err}
@@ -223,11 +260,14 @@ func (fs *FS) MkdirAll(p string) error {
 
 // WriteFile creates or replaces a regular file, creating parents as needed.
 func (fs *FS) WriteFile(p string, data []byte) error {
+	if err := fs.opErr("write", p); err != nil {
+		return err
+	}
 	cp, err := clean(p)
 	if err != nil {
 		return &PathError{Op: "write", Path: p, Err: err}
 	}
-	if err := fs.MkdirAll(path.Dir(cp)); err != nil {
+	if err := fs.mkdirAll(path.Dir(cp)); err != nil {
 		return err
 	}
 	parent, base, err := fs.parentOf(cp)
@@ -253,6 +293,9 @@ func (fs *FS) WriteString(p, content string) error { return fs.WriteFile(p, []by
 // multi-megabyte libraries thousands of times); everything else should use
 // ReadFile.
 func (fs *FS) ReadFileShared(p string) ([]byte, error) {
+	if err := fs.opErr("read", p); err != nil {
+		return nil, err
+	}
 	n, _, err := fs.lookup(p, true)
 	if err != nil {
 		return nil, &PathError{Op: "read", Path: p, Err: err}
@@ -265,6 +308,9 @@ func (fs *FS) ReadFileShared(p string) ([]byte, error) {
 
 // ReadFile returns the contents of the file at p, following symlinks.
 func (fs *FS) ReadFile(p string) ([]byte, error) {
+	if err := fs.opErr("read", p); err != nil {
+		return nil, err
+	}
 	n, _, err := fs.lookup(p, true)
 	if err != nil {
 		return nil, &PathError{Op: "read", Path: p, Err: err}
@@ -280,7 +326,10 @@ func (fs *FS) ReadFile(p string) ([]byte, error) {
 // Symlink creates a symbolic link at linkPath pointing to target. The target
 // need not exist.
 func (fs *FS) Symlink(target, linkPath string) error {
-	if err := fs.MkdirAll(path.Dir(mustClean(linkPath))); err != nil {
+	if err := fs.opErr("symlink", linkPath); err != nil {
+		return err
+	}
+	if err := fs.mkdirAll(path.Dir(mustClean(linkPath))); err != nil {
 		return err
 	}
 	parent, base, err := fs.parentOf(linkPath)
@@ -306,6 +355,9 @@ func mustClean(p string) string {
 // Remove deletes the entry at p (without following a final symlink).
 // Directories must be empty.
 func (fs *FS) Remove(p string) error {
+	if err := fs.opErr("remove", p); err != nil {
+		return err
+	}
 	parent, base, err := fs.parentOf(p)
 	if err != nil {
 		return err
@@ -320,6 +372,80 @@ func (fs *FS) Remove(p string) error {
 	delete(parent.children, base)
 	fs.gen++
 	return nil
+}
+
+// RemoveAll deletes the entry at p and, for directories, its whole subtree.
+// A missing entry is not an error (matching os.RemoveAll).
+func (fs *FS) RemoveAll(p string) error {
+	if err := fs.opErr("removeall", p); err != nil {
+		return err
+	}
+	parent, base, err := fs.parentOf(p)
+	if err != nil {
+		if errors.Is(err, ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	if _, ok := parent.children[base]; !ok {
+		return nil
+	}
+	delete(parent.children, base)
+	fs.gen++
+	return nil
+}
+
+// Rename atomically moves the entry at oldp (a file, symlink, or whole
+// directory subtree) to newp, creating newp's parents as needed. The
+// destination must not already exist — the transactional-staging commit
+// protocol removes any stale destination first, then renames, so a
+// half-written temp directory can never silently merge into live state.
+func (fs *FS) Rename(oldp, newp string) error {
+	if err := fs.opErr("rename", oldp); err != nil {
+		return err
+	}
+	oparent, obase, err := fs.parentOf(oldp)
+	if err != nil {
+		return err
+	}
+	moving, ok := oparent.children[obase]
+	if !ok {
+		return &PathError{Op: "rename", Path: oldp, Err: ErrNotExist}
+	}
+	cp, err := clean(newp)
+	if err != nil {
+		return &PathError{Op: "rename", Path: newp, Err: err}
+	}
+	if err := fs.mkdirAll(path.Dir(cp)); err != nil {
+		return err
+	}
+	nparent, nbase, err := fs.parentOf(cp)
+	if err != nil {
+		return err
+	}
+	if _, exists := nparent.children[nbase]; exists {
+		return &PathError{Op: "rename", Path: newp, Err: ErrExist}
+	}
+	if nparent == moving || subtreeContains(moving, nparent) {
+		return &PathError{Op: "rename", Path: newp, Err: ErrInvalidPath}
+	}
+	delete(oparent.children, obase)
+	nparent.children[nbase] = moving
+	fs.gen++
+	return nil
+}
+
+// subtreeContains reports whether needle is a node inside root's subtree.
+func subtreeContains(root, needle *node) bool {
+	if root.kind != KindDir {
+		return false
+	}
+	for _, child := range root.children {
+		if child == needle || subtreeContains(child, needle) {
+			return true
+		}
+	}
+	return false
 }
 
 // FileInfo describes a filesystem entry.
@@ -405,6 +531,9 @@ func (fs *FS) ResolvePath(p string) (string, error) {
 // SetAttr attaches an extended attribute to the entry at p (following
 // symlinks). Attributes carry simulation-side metadata.
 func (fs *FS) SetAttr(p, key, value string) error {
+	if err := fs.opErr("setattr", p); err != nil {
+		return err
+	}
 	n, _, err := fs.lookup(p, true)
 	if err != nil {
 		return &PathError{Op: "setattr", Path: p, Err: err}

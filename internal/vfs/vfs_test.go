@@ -482,3 +482,127 @@ func TestMkdirAllThroughDirSymlink(t *testing.T) {
 		t.Error("MkdirAll through a dangling symlink accepted")
 	}
 }
+
+func TestRenameMovesSubtree(t *testing.T) {
+	fs := New()
+	mustWrite := func(p, s string) {
+		t.Helper()
+		if err := fs.WriteFile(p, []byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustWrite("/stage/.tmp/liba.so.1", "A")
+	mustWrite("/stage/.tmp/libb.so.2", "B")
+	if err := fs.SetAttr("/stage/.tmp/liba.so.1", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/stage/.tmp", "/stage/final"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/stage/.tmp") {
+		t.Error("source still exists after rename")
+	}
+	data, err := fs.ReadFile("/stage/final/liba.so.1")
+	if err != nil || string(data) != "A" {
+		t.Errorf("moved file = %q, %v", data, err)
+	}
+	if v, ok := fs.Attr("/stage/final/liba.so.1", "k"); !ok || v != "v" {
+		t.Error("attributes lost in rename")
+	}
+	// Destination parents are created as needed.
+	if err := fs.Rename("/stage/final", "/new/deep/home"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/new/deep/home/libb.so.2") {
+		t.Error("deep rename lost the subtree")
+	}
+}
+
+func TestRenameRefusesBadTargets(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/a/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/b/f", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	// Existing destination.
+	if err := fs.Rename("/a", "/b"); !errors.Is(err, ErrExist) {
+		t.Errorf("rename onto existing = %v", err)
+	}
+	// Missing source.
+	if err := fs.Rename("/nope", "/c"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("rename of missing = %v", err)
+	}
+	// Renaming a directory into its own subtree.
+	if err := fs.Rename("/a", "/a/sub"); err == nil {
+		t.Error("rename into own subtree accepted")
+	}
+	if !fs.Exists("/a/f") || !fs.Exists("/b/f") {
+		t.Error("failed renames mutated state")
+	}
+}
+
+func TestRemoveAll(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/tree/a/b/c", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	gen := fs.Generation()
+	if err := fs.RemoveAll("/tree"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/tree") {
+		t.Error("subtree survives RemoveAll")
+	}
+	if fs.Generation() == gen {
+		t.Error("RemoveAll did not bump the generation")
+	}
+	// Missing paths are fine, and do not bump the generation.
+	gen = fs.Generation()
+	if err := fs.RemoveAll("/tree"); err != nil {
+		t.Errorf("RemoveAll of missing path = %v", err)
+	}
+	if err := fs.RemoveAll("/never/was/here"); err != nil {
+		t.Errorf("RemoveAll of missing parents = %v", err)
+	}
+	if fs.Generation() != gen {
+		t.Error("no-op RemoveAll bumped the generation")
+	}
+}
+
+func TestOpHookInjectsFailures(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/ok", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected")
+	var ops []string
+	fs.SetOpHook(func(op, path string) error {
+		ops = append(ops, op)
+		if op == "write" {
+			return boom
+		}
+		return nil
+	})
+	if err := fs.WriteFile("/fails", nil); !errors.Is(err, boom) {
+		t.Errorf("hooked write = %v", err)
+	}
+	if fs.Exists("/fails") {
+		t.Error("failed write left state behind")
+	}
+	if _, err := fs.ReadFile("/ok"); err != nil {
+		t.Errorf("hooked read should pass: %v", err)
+	}
+	fs.SetOpHook(nil)
+	if err := fs.WriteFile("/fails", nil); err != nil {
+		t.Errorf("cleared hook still failing: %v", err)
+	}
+	want := map[string]bool{"write": true, "read": true}
+	for _, op := range ops {
+		delete(want, op)
+	}
+	if len(want) > 0 {
+		t.Errorf("hook did not observe ops %v (saw %v)", want, ops)
+	}
+}
