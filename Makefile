@@ -1,6 +1,7 @@
 GO ?= go
+STATICCHECK ?= staticcheck
 
-.PHONY: build vet test race fault bench
+.PHONY: build vet test race fault obs lint bench
 
 build:
 	$(GO) build ./...
@@ -19,6 +20,21 @@ race:
 fault:
 	$(GO) test -race -run 'Fault|Staging|Probe|Retry|Poisoning|Concurrent' ./internal/fault/ ./internal/feam/
 	$(GO) run ./cmd/feam-testbed -faults -fault-rate 0.25 -fault-seed 7 >/dev/null
+
+# Observability suite: tracer/histogram/registry unit tests plus the
+# engine-level tracing and no-lost-samples tests, under the race detector.
+obs:
+	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) test -race -count=1 -run 'Tracing|Histograms|Sentinel|PredictEvaluate|FunctionalOptions|RetryWithHook' ./internal/feam/ ./internal/fault/
+
+# Static analysis: vet always; staticcheck when installed (the tree has
+# no module dependencies, so staticcheck is not fetched automatically).
+lint: vet
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		$(STATICCHECK) ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -379,7 +379,7 @@ func BenchmarkEngineDiscoveryCache(b *testing.B) {
 	ctx := context.Background()
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			eng := feam.NewEngine()
+			eng := feam.New()
 			for _, site := range tb.Sites {
 				env, err := eng.Discover(ctx, site)
 				if err != nil || len(env.Available) == 0 {
@@ -389,7 +389,7 @@ func BenchmarkEngineDiscoveryCache(b *testing.B) {
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
-		eng := feam.NewEngine()
+		eng := feam.New()
 		for _, site := range tb.Sites {
 			if _, err := eng.Discover(ctx, site); err != nil {
 				b.Fatal(err)
@@ -424,7 +424,7 @@ func BenchmarkRankSitesParallel(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				eng := feam.NewEngine()
+				eng := feam.New()
 				ranked := eng.RankSitesParallel(ctx, desc, art.Bytes, tb.Sites, opts, workers)
 				for _, a := range ranked {
 					if a.Err != nil {

@@ -2,38 +2,73 @@
 // testbed and regenerates its tables: Table I (MPI identification), Table II
 // (site characteristics), Table III (prediction accuracy), Table IV
 // (resolution impact), and the §VI.C statistics.
+//
+// Observability: -trace-out streams every pipeline span to a JSONL file,
+// -metrics-out writes the latency histograms and event counters (Prometheus
+// text exposition, or JSON when the path ends in .json), and -debug-addr
+// serves pprof/expvar plus live /metrics and /trace endpoints while the
+// evaluation runs.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strings"
 
 	"feam/internal/execsim"
 	"feam/internal/experiment"
+	"feam/internal/feam"
+	"feam/internal/obs"
 	"feam/internal/report"
 	"feam/internal/testbed"
 )
 
+type evalConfig struct {
+	table      int
+	stats      bool
+	effort     bool
+	ablate     bool
+	seed       int64
+	workers    int
+	traceOut   string
+	metricsOut string
+	debugAddr  string
+}
+
 func main() {
-	var (
-		table   = flag.Int("table", 0, "print a single table (1-4); 0 prints everything")
-		stats   = flag.Bool("stats", false, "print only the evaluation statistics")
-		effort  = flag.Bool("effort", false, "print only the user-effort comparison")
-		ablate  = flag.Bool("ablate", false, "run the mechanism ablations (slow: four full matrices)")
-		seed    = flag.Int64("seed", 2013, "simulation seed")
-		workers = flag.Int("workers", 0, "evaluation workers (0 = one per site)")
-	)
+	var cfg evalConfig
+	flag.IntVar(&cfg.table, "table", 0, "print a single table (1-4); 0 prints everything")
+	flag.BoolVar(&cfg.stats, "stats", false, "print only the evaluation statistics")
+	flag.BoolVar(&cfg.effort, "effort", false, "print only the user-effort comparison")
+	flag.BoolVar(&cfg.ablate, "ablate", false, "run the mechanism ablations (slow: four full matrices)")
+	flag.Int64Var(&cfg.seed, "seed", 2013, "simulation seed")
+	flag.IntVar(&cfg.workers, "workers", 0, "evaluation workers (0 = one per site)")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "stream pipeline spans to this file as JSON Lines")
+	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write pipeline metrics to this file (Prometheus text; JSON when it ends in .json)")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve pprof, expvar, /metrics and /trace on this address (e.g. localhost:6060)")
 	flag.Parse()
-	if err := run(*table, *stats, *effort, *ablate, *seed, *workers); err != nil {
+	if err := run(cfg); err != nil {
+		// The engine's sentinel errors say what failed without string
+		// matching; distinct exit codes let scripts branch the same way.
 		fmt.Fprintln(os.Stderr, "feam-eval:", err)
-		os.Exit(1)
+		switch {
+		case errors.Is(err, feam.ErrSiteUnavailable):
+			os.Exit(2)
+		case errors.Is(err, feam.ErrProbeFailed):
+			os.Exit(3)
+		default:
+			os.Exit(1)
+		}
 	}
 }
 
-func run(table int, statsOnly, effortOnly, ablate bool, seed int64, workers int) error {
+func run(cfg evalConfig) error {
 	// Tables I and II need no evaluation run.
-	if table == 1 {
+	if cfg.table == 1 {
 		fmt.Print(report.Table1())
 		return nil
 	}
@@ -42,17 +77,17 @@ func run(table int, statsOnly, effortOnly, ablate bool, seed int64, workers int)
 	if err != nil {
 		return err
 	}
-	if table == 2 {
+	if cfg.table == 2 {
 		fmt.Print(report.Table2(tb))
 		return nil
 	}
-	sim := execsim.NewSimulator(seed)
+	sim := execsim.NewSimulator(cfg.seed)
 	fmt.Fprintln(os.Stderr, "compiling test set (NPB + SPEC MPI2007 across 26 stacks)...")
 	ts, err := experiment.BuildTestSet(tb, sim)
 	if err != nil {
 		return err
 	}
-	if ablate {
+	if cfg.ablate {
 		fmt.Fprintln(os.Stderr, "running mechanism ablations...")
 		results, err := experiment.RunAblations(tb, ts, sim)
 		if err != nil {
@@ -61,23 +96,46 @@ func run(table int, statsOnly, effortOnly, ablate bool, seed int64, workers int)
 		fmt.Print(report.Ablations(results))
 		return nil
 	}
+
+	eng := feam.New()
+	if cfg.traceOut != "" {
+		f, err := os.Create(cfg.traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		eng.Tracer().AddSink(obs.NewJSONLSink(f))
+	}
+	if cfg.debugAddr != "" {
+		go func() {
+			handler := obs.DebugHandler(eng.Metrics(), eng.Tracer())
+			if err := http.ListenAndServe(cfg.debugAddr, handler); err != nil {
+				fmt.Fprintln(os.Stderr, "feam-eval: debug server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (pprof, expvar, /metrics, /trace)\n", cfg.debugAddr)
+	}
+
 	fmt.Fprintf(os.Stderr, "running evaluation over %d migration pairs...\n",
 		len(experiment.Migrations(tb, ts)))
+	workers := cfg.workers
 	if workers <= 0 {
 		workers = len(tb.Sites)
 	}
-	ev, err := experiment.RunWithConcurrency(tb, ts, sim, workers)
+	ev, err := experiment.RunWithEngine(context.Background(), eng, tb, ts, sim, workers)
 	if err != nil {
 		return err
 	}
 	switch {
-	case statsOnly:
+	case cfg.stats:
 		fmt.Print(report.Stats(ev))
-	case effortOnly:
+	case cfg.effort:
 		fmt.Print(report.Effort(ev, tb))
-	case table == 3:
+	case cfg.table == 3:
 		fmt.Print(report.Table3(ev))
-	case table == 4:
+		fmt.Println()
+		fmt.Print(report.Latency(eng.Metrics()))
+	case cfg.table == 4:
 		fmt.Print(report.Table4(ev))
 	default:
 		fmt.Print(report.Table1())
@@ -91,6 +149,25 @@ func run(table int, statsOnly, effortOnly, ablate bool, seed int64, workers int)
 		fmt.Print(report.Stats(ev))
 		fmt.Println()
 		fmt.Print(report.Effort(ev, tb))
+		fmt.Println()
+		fmt.Print(report.Latency(eng.Metrics()))
 	}
-	return nil
+	return writeMetrics(eng, cfg.metricsOut)
+}
+
+// writeMetrics exports the engine's metrics registry: JSON when the path
+// ends in .json, Prometheus text exposition otherwise.
+func writeMetrics(eng *feam.Engine, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return eng.Metrics().WriteJSON(f)
+	}
+	return eng.Metrics().WritePrometheus(f)
 }

@@ -5,16 +5,20 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"feam/internal/execsim"
 	"feam/internal/experiment"
 	"feam/internal/fault"
 	"feam/internal/feam"
 	"feam/internal/metrics"
+	"feam/internal/obs"
 	"feam/internal/report"
 	"feam/internal/sitemodel"
 	"feam/internal/testbed"
@@ -33,14 +37,26 @@ func main() {
 		faultRate      = flag.Float64("fault-rate", 0.2, "per-operation fault probability for -faults")
 		faultTransient = flag.Float64("fault-transient", 0.7, "fraction of injected faults that are transient (retryable)")
 		faultSeed      = flag.Int64("fault-seed", 1, "deterministic fault-injection seed")
+
+		traceOut   = flag.String("trace-out", "", "stream pipeline spans to this file as JSON Lines")
+		metricsOut = flag.String("metrics-out", "", "write pipeline metrics to this file (Prometheus text; JSON when it ends in .json)")
+		debugAddr  = flag.String("debug-addr", "", "serve pprof, expvar, /metrics and /trace on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
+	eng, cleanup, err := buildEngine(*traceOut, *debugAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "feam-testbed:", err)
+		os.Exit(1)
+	}
+	defer cleanup()
+
 	if *importOne != "" {
-		if err := runImport(*importOne); err != nil {
+		if err := runImport(eng, *importOne); err != nil {
 			fmt.Fprintln(os.Stderr, "feam-testbed:", err)
 			os.Exit(1)
 		}
+		exportMetrics(eng, *metricsOut)
 		return
 	}
 	tb, err := testbed.Build()
@@ -50,11 +66,11 @@ func main() {
 	}
 	switch {
 	case *survey:
-		runSurvey(tb)
+		runSurvey(eng, tb)
 	case *matrix:
 		runMatrix(tb)
 	case *faults:
-		if err := runFaults(tb, *faultRate, *faultTransient, *faultSeed); err != nil {
+		if err := runFaults(eng, tb, *faultRate, *faultTransient, *faultSeed); err != nil {
 			fmt.Fprintln(os.Stderr, "feam-testbed:", err)
 			os.Exit(1)
 		}
@@ -66,6 +82,55 @@ func main() {
 	default:
 		fmt.Print(report.Table2(tb))
 	}
+	exportMetrics(eng, *metricsOut)
+}
+
+// buildEngine constructs the tool's engine with the requested observability
+// wiring: a streaming span sink for -trace-out and a background debug
+// server for -debug-addr. cleanup flushes and closes the trace file.
+func buildEngine(traceOut, debugAddr string) (*feam.Engine, func(), error) {
+	eng := feam.New()
+	cleanup := func() {}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, nil, err
+		}
+		eng.Tracer().AddSink(obs.NewJSONLSink(f))
+		cleanup = func() { f.Close() }
+	}
+	if debugAddr != "" {
+		go func() {
+			handler := obs.DebugHandler(eng.Metrics(), eng.Tracer())
+			if err := http.ListenAndServe(debugAddr, handler); err != nil {
+				fmt.Fprintln(os.Stderr, "feam-testbed: debug server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (pprof, expvar, /metrics, /trace)\n", debugAddr)
+	}
+	return eng, cleanup, nil
+}
+
+// exportMetrics writes the engine's registry when -metrics-out was given:
+// JSON for .json paths, Prometheus text exposition otherwise.
+func exportMetrics(eng *feam.Engine, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "feam-testbed:", err)
+		return
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		err = eng.Metrics().WriteJSON(f)
+	} else {
+		err = eng.Metrics().WritePrometheus(f)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "feam-testbed:", err)
+	}
 }
 
 // runFaults demonstrates the engine's fault tolerance: it builds a bundle
@@ -74,7 +139,7 @@ func main() {
 // filesystem operations. Transient faults are retried with backoff;
 // permanent ones roll staging back atomically or degrade the site to an
 // assessment carrying its error — the survey itself always completes.
-func runFaults(tb *testbed.Testbed, rate, transientFrac float64, seed int64) error {
+func runFaults(eng *feam.Engine, tb *testbed.Testbed, rate, transientFrac float64, seed int64) error {
 	ctx := context.Background()
 	const (
 		from     = "ranger"
@@ -98,7 +163,6 @@ func runFaults(tb *testbed.Testbed, rate, transientFrac float64, seed int64) err
 		return err
 	}
 
-	eng := feam.NewEngine()
 	var counters metrics.EngineCounters
 	eng.AddObserver(feam.NewCountersObserver(&counters))
 
@@ -148,7 +212,15 @@ func runFaults(tb *testbed.Testbed, rate, transientFrac float64, seed int64) err
 	for i, a := range ranked {
 		switch {
 		case a.Err != nil:
-			fmt.Printf("%d. %-12s survey degraded: %v\n", i+1, a.Site, a.Err)
+			// Branch on the engine's sentinel errors, not error text.
+			kind := "assessment degraded"
+			switch {
+			case errors.Is(a.Err, feam.ErrSiteUnavailable):
+				kind = "site unavailable"
+			case errors.Is(a.Err, feam.ErrProbeFailed):
+				kind = "evaluation aborted"
+			}
+			fmt.Printf("%d. %-12s %s: %v\n", i+1, a.Site, kind, a.Err)
 			if a.Prediction != nil {
 				for _, d := range feam.Determinants() {
 					res := a.Prediction.Determinants[d]
@@ -191,7 +263,7 @@ func runExport(tb *testbed.Testbed, dir string) error {
 	return nil
 }
 
-func runImport(path string) error {
+func runImport(eng *feam.Engine, path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -200,7 +272,7 @@ func runImport(path string) error {
 	if err != nil {
 		return err
 	}
-	env, err := feam.NewEngine().Discover(context.Background(), site)
+	env, err := eng.Discover(context.Background(), site)
 	if err != nil {
 		return err
 	}
@@ -214,8 +286,7 @@ func runImport(path string) error {
 	return nil
 }
 
-func runSurvey(tb *testbed.Testbed) {
-	eng := feam.NewEngine()
+func runSurvey(eng *feam.Engine, tb *testbed.Testbed) {
 	for _, site := range tb.Sites {
 		env, err := eng.Discover(context.Background(), site)
 		if err != nil {

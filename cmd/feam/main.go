@@ -8,6 +8,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"feam/internal/experiment"
 	"feam/internal/feam"
 	"feam/internal/metrics"
+	"feam/internal/report"
 	"feam/internal/sitemodel"
 	"feam/internal/testbed"
 	"feam/internal/toolchain"
@@ -46,11 +48,13 @@ func main() {
 
 func run(codeName, className, from, stackKey, to string, basic bool, seed int64, workers int, verbose bool) error {
 	ctx := context.Background()
-	eng := feam.NewEngine()
 	var counters metrics.EngineCounters
-	eng.AddObserver(feam.NewCountersObserver(&counters))
+	eng := feam.New(feam.WithObserver(feam.NewCountersObserver(&counters)))
 	if verbose {
-		defer func() { fmt.Printf("\nengine: %s\n", counters.String()) }()
+		defer func() {
+			fmt.Printf("\n%s", report.Latency(eng.Metrics()))
+			fmt.Printf("\nengine: %s\n", counters.String())
+		}()
 	}
 	code := workload.Find(codeName)
 	if code == nil {
@@ -160,7 +164,11 @@ func run(codeName, className, from, stackKey, to string, basic bool, seed int64,
 		for i, a := range ranked {
 			switch {
 			case a.Err != nil:
-				fmt.Printf("%d. %-12s survey failed: %v\n", i+1, a.Site, a.Err)
+				kind := "assessment failed"
+				if errors.Is(a.Err, feam.ErrSiteUnavailable) {
+					kind = "survey failed"
+				}
+				fmt.Printf("%d. %-12s %s: %v\n", i+1, a.Site, kind, a.Err)
 			case a.Prediction.Ready && len(a.Prediction.ResolvedLibs) == 0:
 				fmt.Printf("%d. %-12s READY as-is (stack %s)\n", i+1, a.Site, a.Prediction.StackKey())
 			case a.Prediction.Ready:

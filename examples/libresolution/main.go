@@ -39,7 +39,7 @@ func main() {
 	}
 	sim := execsim.NewSimulator(7)
 	runner := experiment.NewSimRunner(sim)
-	eng := feam.NewEngine()
+	eng := feam.New()
 
 	fmt.Println("=== Scenario A: resolvable (ranger -> india) ===")
 	scenarioA(eng, tb, sim, runner)

@@ -46,7 +46,7 @@ func main() {
 	// One engine drives the whole matrix: its caches mean each site is
 	// surveyed only when its state actually changed, and its per-site
 	// locks let one worker per site run concurrently.
-	eng := feam.NewEngine()
+	eng := feam.New()
 	var counters metrics.EngineCounters
 	eng.AddObserver(feam.NewCountersObserver(&counters))
 	ev, err := experiment.RunWithEngine(context.Background(), eng, tb, ts, sim, len(tb.Sites))

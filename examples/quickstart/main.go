@@ -37,7 +37,7 @@ func main() {
 	// locks for concurrent use. One engine serves any number of
 	// evaluations.
 	ctx := context.Background()
-	eng := feam.NewEngine()
+	eng := feam.New()
 
 	// 2. "Compile" the benchmark at india: the artifact is a genuine ELF
 	//    image whose NEEDED list, symbol versions and .comment section are

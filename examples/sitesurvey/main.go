@@ -30,7 +30,7 @@ func main() {
 	// Surveys run through an engine, which memoizes each site's
 	// description — repeat surveys of an unchanged site are free.
 	ctx := context.Background()
-	eng := feam.NewEngine()
+	eng := feam.New()
 	var counters metrics.EngineCounters
 	eng.AddObserver(feam.NewCountersObserver(&counters))
 

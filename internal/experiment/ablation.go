@@ -67,7 +67,7 @@ type AblationResult struct {
 // determinant registries).
 func RunAblations(tb *testbed.Testbed, ts *TestSet, sim *execsim.Simulator) ([]AblationResult, error) {
 	ctx := context.Background()
-	eng := feam.NewEngine()
+	eng := feam.New()
 	runner := NewSimRunner(sim)
 
 	// Source phases once.

@@ -61,7 +61,7 @@ func Run(tb *testbed.Testbed, ts *TestSet, sim *execsim.Simulator) (*Evaluation,
 // Each run gets a fresh engine so cached site surveys never leak between
 // experiments.
 func RunWithConcurrency(tb *testbed.Testbed, ts *TestSet, sim *execsim.Simulator, workers int) (*Evaluation, error) {
-	return RunWithEngine(context.Background(), feam.NewEngine(), tb, ts, sim, workers)
+	return RunWithEngine(context.Background(), feam.New(), tb, ts, sim, workers)
 }
 
 // RunWithEngine is the full pipeline over a caller-supplied engine — the

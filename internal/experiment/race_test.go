@@ -50,7 +50,7 @@ func TestSharedEngineRace(t *testing.T) {
 	bin := ts.Binaries[0]
 
 	ctx := context.Background()
-	eng := feam.NewEngine()
+	eng := feam.New()
 	eng.AddObserver(feam.NopObserver{})
 
 	var wg sync.WaitGroup

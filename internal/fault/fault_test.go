@@ -227,3 +227,59 @@ func TestClassifyDetail(t *testing.T) {
 		}
 	}
 }
+
+func TestRetryWithHookObservesEachBackoff(t *testing.T) {
+	ctx := context.Background()
+	p := RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Microsecond, MaxDelay: 25 * time.Microsecond}
+
+	type call struct {
+		attempt int
+		backoff time.Duration
+	}
+	var calls []call
+	hook := func(attempt int, backoff time.Duration) {
+		calls = append(calls, call{attempt, backoff})
+	}
+
+	// Two transient failures, then success: the hook fires once per retry
+	// decision with the failed attempt number and that attempt's backoff.
+	n := 0
+	attempts, err := RetryWithHook(ctx, p, hook, func() error {
+		n++
+		if n < 3 {
+			return New(Transient, "probe", "x")
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("attempts=%d err=%v", attempts, err)
+	}
+	want := []call{{1, p.Backoff(1)}, {2, p.Backoff(2)}}
+	if len(calls) != len(want) {
+		t.Fatalf("hook calls = %+v, want %+v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Errorf("hook call %d = %+v, want %+v", i, calls[i], want[i])
+		}
+	}
+
+	// The hook must NOT fire for permanent failures or the final exhausted
+	// attempt — only when a retry will actually happen.
+	calls = nil
+	if _, err := RetryWithHook(ctx, p, hook, func() error {
+		return New(Permanent, "probe", "x")
+	}); err == nil {
+		t.Fatal("permanent fault did not surface")
+	}
+	if len(calls) != 0 {
+		t.Errorf("hook fired %d times on a permanent fault", len(calls))
+	}
+	calls = nil
+	attempts, _ = RetryWithHook(ctx, p, hook, func() error {
+		return New(Transient, "probe", "x")
+	})
+	if attempts != 4 || len(calls) != 3 {
+		t.Errorf("exhausted: attempts=%d hook calls=%d, want 4 and 3", attempts, len(calls))
+	}
+}

@@ -70,13 +70,28 @@ func Sleep(ctx context.Context, d time.Duration) error {
 // number of attempts made alongside fn's final error. A cancelled context
 // stops the loop between attempts.
 func Retry(ctx context.Context, p RetryPolicy, fn func() error) (attempts int, err error) {
+	return RetryWithHook(ctx, p, nil, fn)
+}
+
+// RetryHook observes retry decisions: it is called after a transient
+// failure that will be retried, with the just-failed attempt number
+// (1-based) and the backoff about to be slept. Instrumentation uses it to
+// count retries and account backoff time without owning the loop.
+type RetryHook func(attempt int, backoff time.Duration)
+
+// RetryWithHook is Retry with a per-retry observation hook (nil = none).
+func RetryWithHook(ctx context.Context, p RetryPolicy, hook RetryHook, fn func() error) (attempts int, err error) {
 	max := p.Attempts()
 	for attempts = 1; ; attempts++ {
 		err = fn()
 		if err == nil || !IsTransient(err) || attempts >= max {
 			return attempts, err
 		}
-		if serr := Sleep(ctx, p.Backoff(attempts)); serr != nil {
+		backoff := p.Backoff(attempts)
+		if hook != nil {
+			hook(attempts, backoff)
+		}
+		if serr := Sleep(ctx, backoff); serr != nil {
 			return attempts, err
 		}
 	}

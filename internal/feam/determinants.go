@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"feam/internal/obs"
 	"feam/internal/sitemodel"
 )
 
@@ -27,6 +28,11 @@ type EvalContext struct {
 	Site     *sitemodel.Site
 	Opts     *EvalOptions
 	Pred     *Prediction
+
+	// span is the current parent span — the running determinant's during
+	// ladder evaluation, the staging transaction's inside stagePlan. Probe
+	// attempts, staging operations, and retry events attach under it.
+	span *obs.Span
 }
 
 // DeterminantEvaluator answers one of the prediction model's execution

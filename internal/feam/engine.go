@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"feam/internal/fault"
+	"feam/internal/obs"
 	"feam/internal/sitemodel"
 )
 
@@ -35,10 +36,16 @@ type Engine struct {
 	evaluators []DeterminantEvaluator
 	workers    int
 	retry      fault.RetryPolicy
-	observers  []Observer
 	bdc        map[bdcKey]*BinaryDescription
 	edc        map[string]*edcEntry
 	siteLocks  map[string]*sync.Mutex
+
+	// tracer and reg are fixed at construction: every pipeline operation
+	// emits spans through tracer, and reg holds the latency histograms and
+	// event counters a registry sink derives from them. Legacy Observers
+	// are adapted onto the same span stream (see observerSink).
+	tracer *obs.Tracer
+	reg    *obs.Registry
 }
 
 // bdcKey identifies a binary description: content hash plus the name the
@@ -63,15 +70,11 @@ const maxBDCEntries = 4096
 
 // NewEngine returns an engine with the paper's default determinant
 // registry (§V.C order) and a worker pool sized to the host.
+//
+// Deprecated: use New, which takes functional options (WithEvaluators,
+// WithWorkers, WithRetryPolicy, WithObserver, WithTracer, WithRegistry).
 func NewEngine() *Engine {
-	return &Engine{
-		evaluators: DefaultEvaluators(),
-		workers:    defaultWorkers(),
-		retry:      fault.DefaultRetryPolicy(),
-		bdc:        map[bdcKey]*BinaryDescription{},
-		edc:        map[string]*edcEntry{},
-		siteLocks:  map[string]*sync.Mutex{},
-	}
+	return New()
 }
 
 func defaultWorkers() int {
@@ -95,14 +98,25 @@ var (
 // DefaultEngine returns the shared package-level engine used by the free
 // Describe/Discover/Evaluate/phase functions.
 func DefaultEngine() *Engine {
-	defaultEngineOnce.Do(func() { defaultEngineVal = NewEngine() })
+	defaultEngineOnce.Do(func() { defaultEngineVal = New() })
 	return defaultEngineVal
 }
+
+// Tracer returns the engine's span tracer (never nil). Attach sinks for
+// streaming export, or snapshot it for the ring buffer's recent history.
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// Metrics returns the engine's metrics registry (never nil): latency
+// histograms per pipeline operation plus event counters, renderable as
+// JSON or Prometheus text exposition format.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
 
 // SetEvaluators replaces the engine's default determinant registry. The
 // slice is captured as-is; pass evaluators in the order they should gate.
 // Safe to call while other goroutines evaluate — in-flight evaluations
 // keep the registry they started with.
+//
+// Deprecated: configure at construction with New(WithEvaluators(...)).
 func (e *Engine) SetEvaluators(evals []DeterminantEvaluator) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -119,6 +133,8 @@ func (e *Engine) defaultEvaluators() []DeterminantEvaluator {
 // SetWorkers sets the default fan-out width for RankSites (minimum 1).
 // Safe to call concurrently with RankSites; in-flight surveys keep the
 // width they started with.
+//
+// Deprecated: configure at construction with New(WithWorkers(n)).
 func (e *Engine) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
@@ -138,6 +154,8 @@ func (e *Engine) Workers() int {
 // SetRetryPolicy replaces the engine's transient-fault retry policy, used
 // around probe-program runs and staging writes. The zero policy disables
 // retries.
+//
+// Deprecated: configure at construction with New(WithRetryPolicy(p)).
 func (e *Engine) SetRetryPolicy(p fault.RetryPolicy) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -153,61 +171,13 @@ func (e *Engine) RetryPolicy() fault.RetryPolicy {
 
 // AddObserver registers a hook for engine events. Observers must be safe
 // for concurrent notification; they are invoked from worker goroutines.
+// The observer is adapted onto the engine's span stream, so it sees the
+// same events it did before the tracing layer existed.
 func (e *Engine) AddObserver(o Observer) {
 	if o == nil {
 		return
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.observers = append(e.observers, o)
-}
-
-func (e *Engine) snapshotObservers() []Observer {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.observers[:len(e.observers):len(e.observers)]
-}
-
-func (e *Engine) notifyEvalStarted(binary, site string) {
-	for _, o := range e.snapshotObservers() {
-		o.EvaluationStarted(binary, site)
-	}
-}
-
-func (e *Engine) notifyEvalFinished(binary, site string, ready bool, err error) {
-	for _, o := range e.snapshotObservers() {
-		o.EvaluationFinished(binary, site, ready, err)
-	}
-}
-
-func (e *Engine) notifyCache(component, key string, hit bool) {
-	for _, o := range e.snapshotObservers() {
-		o.CacheAccess(component, key, hit)
-	}
-}
-
-func (e *Engine) notifyProbe(site, stackKey string, success bool) {
-	for _, o := range e.snapshotObservers() {
-		o.ProbeRun(site, stackKey, success)
-	}
-}
-
-func (e *Engine) notifyProbeRetried(site, stackKey string, attempt int) {
-	for _, o := range e.snapshotObservers() {
-		o.ProbeRetried(site, stackKey, attempt)
-	}
-}
-
-func (e *Engine) notifyStagingRetried(site, path string, attempt int) {
-	for _, o := range e.snapshotObservers() {
-		o.StagingRetried(site, path, attempt)
-	}
-}
-
-func (e *Engine) notifyStagingOutcome(site, dir string, committed bool, libs int) {
-	for _, o := range e.snapshotObservers() {
-		o.StagingOutcome(site, dir, committed, libs)
-	}
+	e.tracer.AddSink(&observerSink{o: o})
 }
 
 // SiteLock returns the engine's serialization lock for a site name,
@@ -239,17 +209,21 @@ func (e *Engine) Describe(ctx context.Context, data []byte, name string) (*Binar
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := e.tracer.Start(obs.OpDescribe,
+		obs.WithParent(obs.SpanFromContext(ctx)), obs.WithBinary(name))
 	key := bdcKey{hash: contentHash(data), name: name}
 	e.mu.Lock()
 	if desc, ok := e.bdc[key]; ok {
 		e.mu.Unlock()
-		e.notifyCache("bdc", name, true)
+		sp.Event(obs.EvCache, obs.AttrComponent, "bdc", obs.AttrKey, name, obs.AttrHit, "true")
+		sp.End(nil)
 		return desc, nil
 	}
 	e.mu.Unlock()
-	e.notifyCache("bdc", name, false)
+	sp.Event(obs.EvCache, obs.AttrComponent, "bdc", obs.AttrKey, name, obs.AttrHit, "false")
 	desc, err := describeBytes(data, name, key.hash)
 	if err != nil {
+		sp.End(err)
 		return nil, err
 	}
 	e.mu.Lock()
@@ -258,6 +232,7 @@ func (e *Engine) Describe(ctx context.Context, data []byte, name string) (*Binar
 	}
 	e.bdc[key] = desc
 	e.mu.Unlock()
+	sp.End(nil)
 	return desc, nil
 }
 
@@ -302,22 +277,27 @@ func (e *Engine) discoverCached(ctx context.Context, site *sitemodel.Site) (*Env
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
+	sp := e.tracer.Start(obs.OpDiscover,
+		obs.WithParent(obs.SpanFromContext(ctx)), obs.WithSite(site.Name))
 	fp := siteFingerprint(site)
 	e.mu.Lock()
 	if ent, ok := e.edc[site.Name]; ok && ent.site == site && ent.fingerprint == fp {
 		e.mu.Unlock()
-		e.notifyCache("edc", site.Name, true)
+		sp.Event(obs.EvCache, obs.AttrComponent, "edc", obs.AttrKey, site.Name, obs.AttrHit, "true")
+		sp.End(nil)
 		return ent.env, true, nil
 	}
 	e.mu.Unlock()
-	e.notifyCache("edc", site.Name, false)
+	sp.Event(obs.EvCache, obs.AttrComponent, "edc", obs.AttrKey, site.Name, obs.AttrHit, "false")
 	env, err := discoverSite(site)
 	if err != nil {
+		sp.End(err)
 		return nil, false, err
 	}
 	e.mu.Lock()
 	e.edc[site.Name] = &edcEntry{site: site, fingerprint: fp, env: env}
 	e.mu.Unlock()
+	sp.End(nil)
 	return env, false, nil
 }
 
@@ -347,53 +327,13 @@ func (e *Engine) InvalidateSite(name string) {
 // for diagnosis instead of discarding the whole assessment.
 func (e *Engine) Evaluate(ctx context.Context, desc *BinaryDescription, appBytes []byte, env *EnvironmentDescription, site *sitemodel.Site, opts EvalOptions) (*Prediction, error) {
 	if desc == nil || env == nil || site == nil {
-		return nil, fmt.Errorf("feam: Evaluate requires a description, environment, and site")
+		return nil, fmt.Errorf("%w: Evaluate requires a description, environment, and site", ErrNoEnvironment)
 	}
-	pred := &Prediction{
-		Binary:         desc.Name,
-		Site:           env.SiteName,
-		Extended:       opts.Bundle != nil,
-		Ready:          true,
-		Determinants:   map[Determinant]DeterminantResult{},
-		UnresolvedLibs: map[string]string{},
-	}
-	for _, d := range Determinants() {
-		pred.Determinants[d] = DeterminantResult{Outcome: Unknown}
-	}
-	e.notifyEvalStarted(desc.Name, env.SiteName)
-
-	evals := opts.Evaluators
-	if evals == nil {
-		evals = e.defaultEvaluators()
-	}
-	ec := &EvalContext{
-		Context:  ctx,
-		Engine:   e,
-		Desc:     desc,
-		AppBytes: appBytes,
-		Env:      env,
-		Site:     site,
-		Opts:     &opts,
-		Pred:     pred,
-	}
-	for _, de := range evals {
-		if err := ctx.Err(); err != nil {
-			pred.Ready = false
-			e.notifyEvalFinished(desc.Name, env.SiteName, false, err)
-			return pred, err
-		}
-		if err := de.Evaluate(ec); err != nil {
-			pred.Ready = false
-			e.notifyEvalFinished(desc.Name, env.SiteName, false, err)
-			return pred, err
-		}
-		if pred.Determinants[de.Determinant()].Outcome == Fail {
-			e.notifyEvalFinished(desc.Name, env.SiteName, false, nil)
-			return pred, nil
-		}
-	}
-
-	pred.ConfigScript = configScript(pred, desc, opts.Config)
-	e.notifyEvalFinished(desc.Name, env.SiteName, pred.Ready, nil)
-	return pred, nil
+	return e.Predict(ctx, EvalRequest{
+		Desc:    desc,
+		Binary:  appBytes,
+		Env:     env,
+		Site:    site,
+		Options: opts,
+	})
 }

@@ -15,7 +15,7 @@ import (
 func TestEngineEDCCache(t *testing.T) {
 	site := minimalSite(t)
 	ctx := context.Background()
-	eng := feam.NewEngine()
+	eng := feam.New()
 	var counters metrics.EngineCounters
 	eng.AddObserver(feam.NewCountersObserver(&counters))
 
@@ -73,7 +73,7 @@ func TestEngineEDCCache(t *testing.T) {
 func TestEngineEDCCacheDistinctSites(t *testing.T) {
 	a, b := minimalSite(t), minimalSite(t)
 	ctx := context.Background()
-	eng := feam.NewEngine()
+	eng := feam.New()
 	envA, err := eng.Discover(ctx, a)
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +93,7 @@ func TestEngineBDCCache(t *testing.T) {
 	tb := sharedTestbed(t)
 	art := compileAt(t, tb, "india", "openmpi-1.4-gnu", "ep")
 	ctx := context.Background()
-	eng := feam.NewEngine()
+	eng := feam.New()
 	var counters metrics.EngineCounters
 	eng.AddObserver(feam.NewCountersObserver(&counters))
 
@@ -132,7 +132,7 @@ func TestEngineContextCancellation(t *testing.T) {
 	tb := sharedTestbed(t)
 	india := tb.ByName["india"]
 	art := compileAt(t, tb, "india", "openmpi-1.4-gnu", "ep")
-	eng := feam.NewEngine()
+	eng := feam.New()
 	ctx, cancel := context.WithCancel(context.Background())
 
 	desc, err := eng.Describe(ctx, art.Bytes, art.Name)
@@ -164,7 +164,7 @@ func TestEngineEvaluateNoInlineDeterminants(t *testing.T) {
 	india := tb.ByName["india"]
 	art := compileAt(t, tb, "india", "openmpi-1.4-gnu", "ep")
 	ctx := context.Background()
-	eng := feam.NewEngine()
+	eng := feam.New()
 
 	desc, err := eng.Describe(ctx, art.Bytes, art.Name)
 	if err != nil {
@@ -205,7 +205,7 @@ func TestEngineConcurrentSharedUse(t *testing.T) {
 	tb := sharedTestbed(t)
 	art := compileAt(t, tb, "india", "openmpi-1.4-gnu", "ep")
 	ctx := context.Background()
-	eng := feam.NewEngine()
+	eng := feam.New()
 	var counters metrics.EngineCounters
 	eng.AddObserver(feam.NewCountersObserver(&counters))
 

@@ -1,0 +1,24 @@
+package feam
+
+import "errors"
+
+// Sentinel errors for the prediction pipeline. They wrap the underlying
+// cause (often a fault.Fault carrying the transient/permanent taxonomy), so
+// callers branch with errors.Is on the sentinel and can still reach the
+// cause with errors.As — no string matching.
+var (
+	// ErrNoEnvironment reports that an evaluation was requested without
+	// the inputs needed to form one: a missing site, or neither a binary
+	// description, binary bytes, nor a bundle to derive one from.
+	ErrNoEnvironment = errors.New("feam: no environment to evaluate")
+
+	// ErrSiteUnavailable reports that a candidate site could not be
+	// surveyed — the Environment Discovery Component failed, so no
+	// prediction was attempted there.
+	ErrSiteUnavailable = errors.New("feam: site unavailable")
+
+	// ErrProbeFailed reports that the determinant ladder aborted on an
+	// infrastructure failure (a probe run, image build, or library scan
+	// erroring out — not a NOT-READY verdict, which is a valid prediction).
+	ErrProbeFailed = errors.New("feam: evaluation aborted")
+)

@@ -1,11 +1,16 @@
 package feam_test
 
 import (
+	"context"
 	"fmt"
 
 	"feam/internal/elfimg"
+	"feam/internal/fault"
 	"feam/internal/feam"
+	"feam/internal/libver"
+	"feam/internal/metrics"
 	"feam/internal/mpistack"
+	"feam/internal/sitemodel"
 )
 
 // ExampleDescribeBytes shows the Binary Description Component on a
@@ -41,4 +46,59 @@ func ExampleIdentify() {
 	impl, ok := mpistack.Identify(needed)
 	fmt.Println(impl, ok)
 	// Output: Open MPI true
+}
+
+// ExampleNew builds an engine with functional options: a bounded ranking
+// fan-out, a single-attempt retry policy, and a metrics observer.
+func ExampleNew() {
+	var counters metrics.EngineCounters
+	eng := feam.New(
+		feam.WithWorkers(2),
+		feam.WithRetryPolicy(fault.RetryPolicy{MaxAttempts: 1}),
+		feam.WithObserver(feam.NewCountersObserver(&counters)),
+	)
+	fmt.Println(eng.Tracer() != nil)
+	fmt.Println(eng.Metrics() != nil)
+	// Output:
+	// true
+	// true
+}
+
+// ExampleEngine_Predict evaluates a plain dynamically linked binary
+// against a minimal site: Predict describes the raw bytes, surveys the
+// site, and walks the determinant ladder.
+func ExampleEngine_Predict() {
+	site := sitemodel.New("edge",
+		sitemodel.Arch{Machine: elfimg.EMX8664, Class: elfimg.Class64, CPUName: "X", FeatureLevel: 1},
+		sitemodel.OSInfo{Distro: "CentOS", Version: "5.6", Kernel: "2.6.18", ReleaseFile: "/etc/redhat-release"},
+		libver.V(2, 5))
+	if err := site.InstallCLibrary(); err != nil {
+		panic(err)
+	}
+	img := elfimg.MustBuild(elfimg.Spec{
+		Class: elfimg.Class64, Machine: elfimg.EMX8664, Type: elfimg.TypeExec,
+		Interp: "/lib64/ld-linux-x86-64.so.2",
+		Needed: []string{"libc.so.6"},
+		VerNeeds: []elfimg.VerNeed{
+			{File: "libc.so.6", Versions: []string{"GLIBC_2.3.4"}},
+		},
+	})
+
+	eng := feam.New()
+	pred, err := eng.Predict(context.Background(), feam.EvalRequest{
+		Binary: img, BinaryName: "app", Site: site,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ready:", pred.Ready)
+	for _, d := range feam.Determinants() {
+		fmt.Printf("%s: %s\n", d, pred.Determinants[d].Outcome)
+	}
+	// Output:
+	// ready: true
+	// ISA compatibility: pass
+	// C library compatibility: pass
+	// MPI stack compatibility: pass
+	// shared library compatibility: pass
 }

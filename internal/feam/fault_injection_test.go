@@ -19,7 +19,7 @@ import (
 // faultEngine returns a fresh engine with counters attached, so each test
 // observes only its own retry/rollback activity.
 func faultEngine() (*feam.Engine, *metrics.EngineCounters) {
-	eng := feam.NewEngine()
+	eng := feam.New()
 	counters := &metrics.EngineCounters{}
 	eng.AddObserver(feam.NewCountersObserver(counters))
 	return eng, counters
@@ -381,8 +381,14 @@ func TestConcurrentEngineConfiguration(t *testing.T) {
 				return
 			default:
 			}
+			// The deprecated mutable setters stay supported for existing
+			// callers; this test deliberately exercises their concurrency
+			// contract.
+			//lint:ignore SA1019 deprecated setter kept race-safe on purpose
 			eng.SetWorkers(i%8 + 1)
+			//lint:ignore SA1019 deprecated setter kept race-safe on purpose
 			eng.SetEvaluators(feam.DefaultEvaluators())
+			//lint:ignore SA1019 deprecated setter kept race-safe on purpose
 			eng.SetRetryPolicy(fault.RetryPolicy{MaxAttempts: i%3 + 1, BaseDelay: time.Microsecond})
 			_ = eng.Workers()
 			_ = eng.RetryPolicy()

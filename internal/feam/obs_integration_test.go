@@ -1,0 +1,262 @@
+package feam_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"feam/internal/elfimg"
+	"feam/internal/fault"
+	"feam/internal/feam"
+	"feam/internal/metrics"
+	"feam/internal/obs"
+	"feam/internal/sitemodel"
+)
+
+// plainBinary builds a minimal dynamically linked executable that the edge
+// site (minimalSite) can satisfy: one libc dependency, no MPI.
+func plainBinary() []byte {
+	return elfimg.MustBuild(elfimg.Spec{
+		Class: elfimg.Class64, Machine: elfimg.EMX8664, Type: elfimg.TypeExec,
+		Interp: "/lib64/ld-linux-x86-64.so.2",
+		Needed: []string{"libc.so.6"},
+		VerNeeds: []elfimg.VerNeed{
+			{File: "libc.so.6", Versions: []string{"GLIBC_2.3.4"}},
+		},
+	})
+}
+
+// TestTracingEmitsDeterminantSpans drives the concurrent ranking path and
+// checks the issue's acceptance shape: at least one determinant span per
+// site, each parented to that site's evaluate span, which in turn parents
+// to the assess span the fan-out opened.
+func TestTracingEmitsDeterminantSpans(t *testing.T) {
+	tb := sharedTestbed(t)
+	art := compileAt(t, tb, "ranger", "mvapich2-1.2-gnu", "cg")
+	desc, err := feam.DescribeBytes(art.Bytes, "cg.tracing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := []*sitemodel.Site{tb.ByName["ranger"], tb.ByName["india"], tb.ByName["blacklight"]}
+
+	eng := feam.New()
+	eng.RankSitesParallel(context.Background(), desc, art.Bytes, sites,
+		feam.EvalOptions{Runner: experimentRunner()}, len(sites))
+
+	spans := eng.Tracer().Snapshot()
+	byID := make(map[uint64]obs.Span, len(spans))
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	detPerSite := map[string]int{}
+	for _, sp := range spans {
+		if sp.Op != obs.OpDeterminant {
+			continue
+		}
+		detPerSite[sp.Site]++
+		ev, ok := byID[sp.Parent]
+		if !ok || ev.Op != obs.OpEvaluate {
+			t.Fatalf("determinant span %q at %s: parent is %+v, want an evaluate span", sp.Determinant, sp.Site, ev)
+		}
+		as, ok := byID[ev.Parent]
+		if !ok || as.Op != obs.OpAssess || as.Site != sp.Site {
+			t.Fatalf("evaluate span at %s: parent is %+v, want the site's assess span", sp.Site, as)
+		}
+	}
+	for _, s := range sites {
+		if detPerSite[s.Name] < 1 {
+			t.Errorf("site %s: %d determinant spans, want >= 1", s.Name, detPerSite[s.Name])
+		}
+	}
+	// Every site passes ISA and C library before diverging, so each should
+	// carry at least two determinant spans.
+	for _, s := range sites {
+		if detPerSite[s.Name] < 2 {
+			t.Errorf("site %s: only %d determinant spans", s.Name, detPerSite[s.Name])
+		}
+	}
+}
+
+// TestHistogramsNoLostSamplesUnderRankSitesParallel: concurrent ranking
+// rounds must account every evaluation in the evaluate histogram — the
+// lock-free recording path may not drop samples (run under -race by the
+// obs make target).
+func TestHistogramsNoLostSamplesUnderRankSitesParallel(t *testing.T) {
+	tb := sharedTestbed(t)
+	art := compileAt(t, tb, "ranger", "mvapich2-1.2-gnu", "cg")
+	desc, err := feam.DescribeBytes(art.Bytes, "cg.histo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := []*sitemodel.Site{tb.ByName["ranger"], tb.ByName["india"], tb.ByName["blacklight"], tb.ByName["forge"]}
+
+	eng := feam.New()
+	const rounds = 5
+	for r := 0; r < rounds; r++ {
+		eng.RankSitesParallel(context.Background(), desc, art.Bytes, sites,
+			feam.EvalOptions{Runner: experimentRunner()}, 4)
+	}
+	want := uint64(rounds * len(sites))
+	if got := eng.Metrics().Histogram(obs.OpEvaluate).Count(); got != want {
+		t.Fatalf("evaluate histogram count = %d, want %d", got, want)
+	}
+	if got := eng.Metrics().Counter("evaluations").Load(); got != int64(want) {
+		t.Fatalf("evaluations counter = %d, want %d", got, want)
+	}
+	if got := eng.Metrics().Histogram(obs.OpAssess).Count(); got != want {
+		t.Fatalf("assess histogram count = %d, want %d", got, want)
+	}
+}
+
+// explodingEvaluator aborts the ladder with an infrastructure error.
+type explodingEvaluator struct{}
+
+func (explodingEvaluator) Determinant() feam.Determinant { return feam.DetISA }
+func (explodingEvaluator) Evaluate(*feam.EvalContext) error {
+	return errors.New("probe infrastructure exploded")
+}
+
+func TestSentinelErrors(t *testing.T) {
+	ctx := context.Background()
+	eng := feam.New()
+
+	// Unsatisfiable requests wrap ErrNoEnvironment.
+	if _, err := eng.Predict(ctx, feam.EvalRequest{}); !errors.Is(err, feam.ErrNoEnvironment) {
+		t.Errorf("empty request: err = %v", err)
+	}
+	site := minimalSite(t)
+	if _, err := eng.Predict(ctx, feam.EvalRequest{Site: site}); !errors.Is(err, feam.ErrNoEnvironment) {
+		t.Errorf("no binary: err = %v", err)
+	}
+	if _, err := eng.Evaluate(ctx, nil, nil, nil, site, feam.EvalOptions{}); !errors.Is(err, feam.ErrNoEnvironment) {
+		t.Errorf("nil Evaluate inputs: err = %v", err)
+	}
+
+	// A site whose survey surface is gone wraps ErrSiteUnavailable.
+	broken := minimalSite(t)
+	if err := broken.FS().Remove("/proc/sys/kernel/uname"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := eng.Predict(ctx, feam.EvalRequest{Binary: plainBinary(), BinaryName: "app", Site: broken})
+	if !errors.Is(err, feam.ErrSiteUnavailable) {
+		t.Errorf("broken survey: err = %v", err)
+	}
+	// The same classification surfaces through the ranking fan-out.
+	desc, derr := feam.DescribeBytes(plainBinary(), "app.sentinel")
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	ranked := eng.RankSitesParallel(ctx, desc, plainBinary(), []*sitemodel.Site{broken}, feam.EvalOptions{}, 1)
+	if len(ranked) != 1 || !errors.Is(ranked[0].Err, feam.ErrSiteUnavailable) {
+		t.Errorf("ranked broken site: %+v", ranked)
+	}
+
+	// An evaluator infrastructure error wraps ErrProbeFailed and still
+	// returns the partial prediction trail.
+	pred, err := eng.Predict(ctx, feam.EvalRequest{
+		Binary: plainBinary(), BinaryName: "app", Site: site,
+		Options: feam.EvalOptions{Evaluators: []feam.DeterminantEvaluator{explodingEvaluator{}}},
+	})
+	if !errors.Is(err, feam.ErrProbeFailed) {
+		t.Errorf("exploding evaluator: err = %v", err)
+	}
+	if pred == nil || pred.Ready {
+		t.Errorf("partial prediction = %+v", pred)
+	}
+
+	// The sentinels are mutually exclusive classifications.
+	if errors.Is(err, feam.ErrSiteUnavailable) || errors.Is(err, feam.ErrNoEnvironment) {
+		t.Errorf("probe failure also matches other sentinels: %v", err)
+	}
+}
+
+// TestPredictEvaluateEquivalence: Evaluate is a thin veneer over Predict —
+// both must produce the same verdict and determinant trail.
+func TestPredictEvaluateEquivalence(t *testing.T) {
+	ctx := context.Background()
+	site := minimalSite(t)
+	img := plainBinary()
+	eng := feam.New()
+	desc, err := eng.Describe(ctx, img, "app.equiv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := feam.Discover(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	viaEvaluate, err := eng.Evaluate(ctx, desc, img, env, site, feam.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaPredict, err := eng.Predict(ctx, feam.EvalRequest{Desc: desc, Binary: img, Env: env, Site: site})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaEvaluate.Ready != viaPredict.Ready {
+		t.Fatalf("Ready: Evaluate=%v Predict=%v", viaEvaluate.Ready, viaPredict.Ready)
+	}
+	for _, d := range feam.Determinants() {
+		if viaEvaluate.Determinants[d].Outcome != viaPredict.Determinants[d].Outcome {
+			t.Errorf("%s: Evaluate=%v Predict=%v", d,
+				viaEvaluate.Determinants[d].Outcome, viaPredict.Determinants[d].Outcome)
+		}
+	}
+	// Predict can also derive the description itself from the raw bytes.
+	viaBytes, err := eng.Predict(ctx, feam.EvalRequest{Binary: img, BinaryName: "app.equiv", Env: env, Site: site})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaBytes.Ready != viaPredict.Ready {
+		t.Errorf("bytes-described Ready = %v, want %v", viaBytes.Ready, viaPredict.Ready)
+	}
+}
+
+// TestFunctionalOptionsWireTheEngine: every option must land on the
+// constructed engine — shared tracer/registry instances, observers
+// adapted onto the tracer, and a custom ladder honored.
+func TestFunctionalOptionsWireTheEngine(t *testing.T) {
+	ctx := context.Background()
+	tr := obs.NewTracer(64)
+	reg := obs.NewRegistry()
+	var counters metrics.EngineCounters
+	eng := feam.New(
+		feam.WithTracer(tr),
+		feam.WithRegistry(reg),
+		feam.WithWorkers(2),
+		feam.WithRetryPolicy(fault.RetryPolicy{MaxAttempts: 1}),
+		feam.WithObserver(feam.NewCountersObserver(&counters)),
+		feam.WithEvaluators(feam.DefaultEvaluators()),
+	)
+	if eng.Tracer() != tr {
+		t.Fatal("WithTracer instance not adopted")
+	}
+	if eng.Metrics() != reg {
+		t.Fatal("WithRegistry instance not adopted")
+	}
+
+	site := minimalSite(t)
+	pred, err := eng.Predict(ctx, feam.EvalRequest{Binary: plainBinary(), BinaryName: "app.opts", Site: site})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.Ready {
+		t.Fatalf("prediction = %+v", pred)
+	}
+	if got := counters.Evaluations.Load(); got != 1 {
+		t.Errorf("observer evaluations = %d, want 1 (WithObserver not wired)", got)
+	}
+	if got := reg.Histogram(obs.OpEvaluate).Count(); got != 1 {
+		t.Errorf("registry evaluate count = %d, want 1 (registry sink not wired)", got)
+	}
+	if tr.Total() == 0 {
+		t.Error("tracer saw no spans")
+	}
+
+	// The deprecated constructor must keep working and come fully wired.
+	old := feam.NewEngine()
+	if old.Tracer() == nil || old.Metrics() == nil {
+		t.Error("NewEngine engine missing tracer or registry")
+	}
+}

@@ -1,6 +1,11 @@
 package feam
 
-import "feam/internal/metrics"
+import (
+	"strconv"
+
+	"feam/internal/metrics"
+	"feam/internal/obs"
+)
 
 // Observer receives engine lifecycle events: evaluations, cache lookups,
 // and probe-program executions. Implementations must be safe for
@@ -44,6 +49,45 @@ func (NopObserver) ProbeRun(site, stackKey string, success bool)                
 func (NopObserver) ProbeRetried(site, stackKey string, attempt int)               {}
 func (NopObserver) StagingRetried(site, path string, attempt int)                 {}
 func (NopObserver) StagingOutcome(site, dir string, committed bool, libs int)     {}
+
+// observerSink adapts a legacy Observer onto the span stream: the engine
+// instruments itself with spans only, and this sink translates span
+// lifecycle back into the Observer vocabulary, preserving the exact event
+// counts and ordering the pre-tracing engine delivered.
+type observerSink struct {
+	o Observer
+}
+
+func (s *observerSink) SpanStarted(sp *obs.Span) {
+	if sp.Op == obs.OpEvaluate {
+		s.o.EvaluationStarted(sp.Binary, sp.Site)
+	}
+}
+
+func (s *observerSink) SpanEnded(sp *obs.Span) {
+	switch sp.Op {
+	case obs.OpEvaluate:
+		s.o.EvaluationFinished(sp.Binary, sp.Site, sp.Attrs[obs.AttrReady] == "true", sp.Cause())
+	case obs.OpProbe:
+		s.o.ProbeRun(sp.Site, sp.Attrs[obs.AttrStack], sp.Attrs[obs.AttrSuccess] == "true")
+	case obs.OpStaging:
+		libs, _ := strconv.Atoi(sp.Attrs[obs.AttrLibs])
+		s.o.StagingOutcome(sp.Site, sp.Attrs[obs.AttrDir], sp.Attrs[obs.AttrCommitted] == "true", libs)
+	}
+}
+
+func (s *observerSink) SpanEvent(sp *obs.Span, e obs.Event) {
+	switch e.Name {
+	case obs.EvCache:
+		s.o.CacheAccess(e.Attrs[obs.AttrComponent], e.Attrs[obs.AttrKey], e.Attrs[obs.AttrHit] == "true")
+	case obs.EvProbeRetry:
+		attempt, _ := strconv.Atoi(e.Attrs[obs.AttrAttempt])
+		s.o.ProbeRetried(sp.Site, e.Attrs[obs.AttrStack], attempt)
+	case obs.EvStagingRetry:
+		attempt, _ := strconv.Atoi(e.Attrs[obs.AttrAttempt])
+		s.o.StagingRetried(sp.Site, e.Attrs[obs.AttrPath], attempt)
+	}
+}
 
 // countersObserver adapts engine events onto metrics.EngineCounters.
 type countersObserver struct {

@@ -1,0 +1,106 @@
+package feam
+
+import (
+	"sync"
+
+	"feam/internal/fault"
+	"feam/internal/obs"
+)
+
+// Option configures an Engine at construction time. Pass options to New;
+// the zero configuration is the paper's default pipeline (§V.C determinant
+// order, host-sized worker pool, default transient-retry policy, a private
+// tracer and metrics registry).
+type Option func(*engineConfig)
+
+type engineConfig struct {
+	evaluators []DeterminantEvaluator
+	workers    int
+	retry      fault.RetryPolicy
+	tracer     *obs.Tracer
+	registry   *obs.Registry
+	observers  []Observer
+}
+
+// WithEvaluators sets the determinant registry. The slice is captured
+// as-is; pass evaluators in the order they should gate.
+func WithEvaluators(evals []DeterminantEvaluator) Option {
+	return func(c *engineConfig) { c.evaluators = evals }
+}
+
+// WithWorkers sets the default fan-out width for RankSites (minimum 1).
+func WithWorkers(n int) Option {
+	return func(c *engineConfig) {
+		if n < 1 {
+			n = 1
+		}
+		c.workers = n
+	}
+}
+
+// WithRetryPolicy sets the transient-fault retry policy used around probe
+// runs and staging writes. The zero policy disables retries.
+func WithRetryPolicy(p fault.RetryPolicy) Option {
+	return func(c *engineConfig) { c.retry = p }
+}
+
+// WithObserver registers a legacy Observer; it is adapted onto the span
+// stream, so it sees exactly the events AddObserver delivered before the
+// tracing layer existed. May be given multiple times.
+func WithObserver(o Observer) Option {
+	return func(c *engineConfig) {
+		if o != nil {
+			c.observers = append(c.observers, o)
+		}
+	}
+}
+
+// WithTracer sets the engine's span tracer. Sharing one tracer across
+// engines merges their span streams (ring buffer, sinks, exports). A nil
+// tracer is replaced by a private default-capacity tracer.
+func WithTracer(t *obs.Tracer) Option {
+	return func(c *engineConfig) { c.tracer = t }
+}
+
+// WithRegistry sets the metrics registry the engine's span stream feeds.
+// Sharing one registry across engines aggregates their latency histograms
+// and event counters. A nil registry is replaced by a private one.
+func WithRegistry(r *obs.Registry) Option {
+	return func(c *engineConfig) { c.registry = r }
+}
+
+// New returns an engine configured by opts. Every engine carries a tracer
+// and a metrics registry (private ones unless injected with WithTracer /
+// WithRegistry): all pipeline operations emit spans, and a registry sink
+// derives the latency histograms and event counters from them.
+func New(opts ...Option) *Engine {
+	cfg := engineConfig{
+		evaluators: DefaultEvaluators(),
+		workers:    defaultWorkers(),
+		retry:      fault.DefaultRetryPolicy(),
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.tracer == nil {
+		cfg.tracer = obs.NewTracer(0)
+	}
+	if cfg.registry == nil {
+		cfg.registry = obs.NewRegistry()
+	}
+	e := &Engine{
+		evaluators: cfg.evaluators,
+		workers:    cfg.workers,
+		retry:      cfg.retry,
+		tracer:     cfg.tracer,
+		reg:        cfg.registry,
+		bdc:        map[bdcKey]*BinaryDescription{},
+		edc:        map[string]*edcEntry{},
+		siteLocks:  map[string]*sync.Mutex{},
+	}
+	e.tracer.AddSink(obs.NewRegistrySink(e.reg))
+	for _, o := range cfg.observers {
+		e.AddObserver(o)
+	}
+	return e
+}

@@ -3,9 +3,11 @@ package feam
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
+	"feam/internal/obs"
 	"feam/internal/sitemodel"
 	"feam/internal/toolchain"
 )
@@ -150,11 +152,17 @@ func (e *Engine) RunSourcePhase(ctx context.Context, cfg *Config, site *sitemode
 		if hello, err := toolchain.CompileHello(rec, site); err == nil {
 			bundle.MPIHello = hello
 			if runner != nil {
+				psp := e.tracer.Start(obs.OpProbe,
+					obs.WithSite(site.Name), obs.WithBinary(cfg.BinaryPath),
+					obs.WithAttr(obs.AttrStack, env.Loaded.Key),
+					obs.WithAttr(obs.AttrAttempt, "1"))
 				ok, detail := runner.RunProgram(hello, site, env.Loaded.Key, nil)
-				e.notifyProbe(site.Name, env.Loaded.Key, ok)
+				psp.SetAttr(obs.AttrSuccess, strconv.FormatBool(ok))
 				if !ok {
+					psp.SetAttr(obs.AttrDetail, detail)
 					report.note("source-site hello world FAILED: %s", detail)
 				}
+				psp.End(nil)
 				report.step("MPI hello world probe", costProbeRun)
 			}
 		}

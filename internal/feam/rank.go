@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"feam/internal/obs"
 	"feam/internal/sitemodel"
 )
 
@@ -88,10 +89,18 @@ func (e *Engine) RankSitesParallel(ctx context.Context, desc *BinaryDescription,
 // rather than taking down the whole survey.
 func (e *Engine) assessSite(ctx context.Context, desc *BinaryDescription, appBytes []byte, site *sitemodel.Site, opts EvalOptions) (a SiteAssessment) {
 	a = SiteAssessment{Site: site.Name}
+	binName := ""
+	if desc != nil {
+		binName = desc.Name
+	}
+	sp := e.tracer.Start(obs.OpAssess,
+		obs.WithParent(obs.SpanFromContext(ctx)),
+		obs.WithSite(site.Name), obs.WithBinary(binName))
 	defer func() {
 		if r := recover(); r != nil {
 			a.Err = fmt.Errorf("feam: site %s assessment panicked: %v", site.Name, r)
 		}
+		sp.End(a.Err)
 	}()
 	if err := ctx.Err(); err != nil {
 		a.Err = err
@@ -100,9 +109,10 @@ func (e *Engine) assessSite(ctx context.Context, desc *BinaryDescription, appByt
 	lock := e.SiteLock(site.Name)
 	lock.Lock()
 	defer lock.Unlock()
+	ctx = obs.ContextWithSpan(ctx, sp)
 	env, err := e.Discover(ctx, site)
 	if err != nil {
-		a.Err = err
+		a.Err = fmt.Errorf("%w: survey of %s failed: %w", ErrSiteUnavailable, site.Name, err)
 		return a
 	}
 	pred, err := e.Evaluate(ctx, desc, appBytes, env, site, opts)

@@ -87,7 +87,7 @@ func TestRankSitesOrderingClasses(t *testing.T) {
 	}
 
 	// The concurrent fan-out must produce the identical ranking.
-	eng := feam.NewEngine()
+	eng := feam.New()
 	par := eng.RankSitesParallel(context.Background(), desc, appBytes, sites, opts, 4)
 	for i := range ranked {
 		if par[i].Site != ranked[i].Site {
@@ -125,7 +125,7 @@ func TestRankSitesStableTies(t *testing.T) {
 			ranked[1].Prediction.Determinants[feam.DetMPIStack].Outcome != feam.Fail {
 			t.Fatalf("expected both sites to fail the MPI determinant")
 		}
-		eng := feam.NewEngine()
+		eng := feam.New()
 		par := eng.RankSitesParallel(context.Background(), desc, appBytes, order, opts, 2)
 		for i, a := range par {
 			if a.Site != order[i].Name {

@@ -4,11 +4,14 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"feam/internal/elfimg"
 	"feam/internal/envmgmt"
 	"feam/internal/fault"
+	"feam/internal/obs"
 	"feam/internal/sitemodel"
 	"feam/internal/toolchain"
 	"feam/internal/vfs"
@@ -211,19 +214,32 @@ func probeOnce(r ProgramRunner, art *toolchain.Artifact, site *sitemodel.Site, s
 // runProbe executes a probe program under the engine's retry policy:
 // transient failures (batch-system wobble, injected transient faults) are
 // retried with backoff; permanent failures and successes return
-// immediately. Every attempt is reported to observers.
+// immediately. Every attempt emits one probe span; retries are events on
+// the enclosing span, carrying the nominal backoff about to be slept.
 func runProbe(ec *EvalContext, art *toolchain.Artifact, stackKey string, extraLibDirs []string) fault.ProbeResult {
 	site := ec.Site
 	policy := ec.Engine.RetryPolicy()
 	var res fault.ProbeResult
 	for attempt := 1; ; attempt++ {
+		sp := ec.Engine.tracer.Start(obs.OpProbe,
+			obs.WithParent(ec.span), obs.WithSite(site.Name),
+			obs.WithAttr(obs.AttrStack, stackKey),
+			obs.WithAttr(obs.AttrAttempt, strconv.Itoa(attempt)))
 		res = probeOnce(ec.Opts.Runner, art, site, stackKey, extraLibDirs)
-		ec.Engine.notifyProbe(site.Name, stackKey, res.Success)
+		sp.SetAttr(obs.AttrSuccess, strconv.FormatBool(res.Success))
+		if !res.Success {
+			sp.SetAttr(obs.AttrDetail, res.Detail)
+		}
+		sp.End(nil)
 		if res.Success || !res.Transient || attempt >= policy.Attempts() {
 			return res
 		}
-		ec.Engine.notifyProbeRetried(site.Name, stackKey, attempt)
-		if fault.Sleep(ec.Context, policy.Backoff(attempt)) != nil {
+		backoff := policy.Backoff(attempt)
+		ec.span.Event(obs.EvProbeRetry,
+			obs.AttrStack, stackKey,
+			obs.AttrAttempt, strconv.Itoa(attempt),
+			obs.AttrBackoffNS, strconv.FormatInt(int64(backoff), 10))
+		if fault.Sleep(ec.Context, backoff) != nil {
 			return res
 		}
 	}
@@ -425,52 +441,73 @@ func stagePlan(ec *EvalContext, stageDir string, names []string, planned map[str
 	pred, site := ec.Pred, ec.Site
 	fs := site.FS()
 	tmp := stageDir + ".staging"
+	// The staging span wraps the whole transaction; while it runs it is the
+	// parent for every staging operation and retry event underneath.
+	sp := ec.Engine.tracer.Start(obs.OpStaging,
+		obs.WithParent(ec.span), obs.WithSite(site.Name),
+		obs.WithAttr(obs.AttrDir, stageDir),
+		obs.WithAttr(obs.AttrLibs, strconv.Itoa(len(names))))
+	prev := ec.span
+	ec.span = sp
+	defer func() { ec.span = prev }()
+	rollback := func(reason string, err error) {
+		failStaging(ec, names, reason)
+		sp.SetAttr(obs.AttrCommitted, "false")
+		sp.End(err)
+	}
 	// Clear debris from an earlier aborted transaction before writing.
 	if err := retryFSOp(ec, tmp, func() error { return fs.RemoveAll(tmp) }); err != nil {
-		failStaging(ec, stageDir, names, "staging setup failed: "+err.Error())
+		rollback("staging setup failed: "+err.Error(), err)
 		return
 	}
 	for _, name := range names {
 		if err := stageOne(ec, tmp, name, planned[name]); err != nil {
 			fs.RemoveAll(tmp)
-			failStaging(ec, stageDir, names,
-				fmt.Sprintf("staging rolled back (fault writing %s: %v)", name, err))
+			rollback(fmt.Sprintf("staging rolled back (fault writing %s: %v)", name, err), err)
 			return
 		}
 	}
 	if err := commitStage(ec, tmp, stageDir); err != nil {
 		fs.RemoveAll(tmp)
-		failStaging(ec, stageDir, names, "staging commit failed: "+err.Error())
+		rollback("staging commit failed: "+err.Error(), err)
 		return
 	}
 	pred.ResolvedLibs = append(pred.ResolvedLibs, names...)
-	ec.Engine.notifyStagingOutcome(site.Name, stageDir, true, len(names))
+	sp.SetAttr(obs.AttrCommitted, "true")
+	sp.End(nil)
 }
 
 // failStaging records a rolled-back staging transaction: every planned
 // library becomes unresolved with the shared reason.
-func failStaging(ec *EvalContext, stageDir string, names []string, reason string) {
+func failStaging(ec *EvalContext, names []string, reason string) {
 	for _, name := range names {
 		ec.Pred.UnresolvedLibs[name] = reason
 	}
-	ec.Engine.notifyStagingOutcome(ec.Site.Name, stageDir, false, len(names))
 }
 
 // retryFSOp runs one staging filesystem operation under the engine's
-// transient-retry policy, reporting each retry to observers.
+// transient-retry policy. Each attempt is a staging_op span; each retry is
+// an event on the enclosing staging span carrying the nominal backoff.
 func retryFSOp(ec *EvalContext, path string, op func() error) error {
 	site := ec.Site
-	policy := ec.Engine.RetryPolicy()
-	for attempt := 1; ; attempt++ {
-		err := op()
-		if err == nil || !fault.IsTransient(err) || attempt >= policy.Attempts() {
+	parent := ec.span
+	tracer := ec.Engine.tracer
+	_, err := fault.RetryWithHook(ec.Context, ec.Engine.RetryPolicy(),
+		func(attempt int, backoff time.Duration) {
+			parent.Event(obs.EvStagingRetry,
+				obs.AttrPath, path,
+				obs.AttrAttempt, strconv.Itoa(attempt),
+				obs.AttrBackoffNS, strconv.FormatInt(int64(backoff), 10))
+		},
+		func() error {
+			sp := tracer.Start(obs.OpStagingOp,
+				obs.WithParent(parent), obs.WithSite(site.Name),
+				obs.WithAttr(obs.AttrPath, path))
+			err := op()
+			sp.End(err)
 			return err
-		}
-		ec.Engine.notifyStagingRetried(site.Name, path, attempt)
-		if fault.Sleep(ec.Context, policy.Backoff(attempt)) != nil {
-			return err
-		}
-	}
+		})
+	return err
 }
 
 // stageOne writes one library copy (content plus attributes) into the

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler serves the standard Go debug surface plus FEAM's own
+// observability exports on one mux:
+//
+//	/debug/pprof/...   runtime profiles (net/http/pprof)
+//	/debug/vars        expvar JSON
+//	/metrics           reg in Prometheus text exposition format
+//	/metrics.json      reg as indented JSON
+//	/trace             tracer ring buffer as JSONL
+//
+// Either reg or tracer may be nil; the corresponding endpoints then serve
+// empty documents.
+func DebugHandler(reg *Registry, tracer *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			_ = reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if reg == nil {
+			_, _ = w.Write([]byte("{}\n"))
+			return
+		}
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		_ = tracer.WriteJSONL(w)
+	})
+	return mux
+}

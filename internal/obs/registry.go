@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ n atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.n.Load() }
+
+// Registry is a named collection of latency histograms (one per pipeline
+// operation) and event counters. Lookups take a read lock only; recording
+// into the returned histogram or counter is lock-free. Snapshots render as
+// JSON or Prometheus text exposition format.
+type Registry struct {
+	mu       sync.RWMutex
+	hists    map[string]*Histogram
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{hists: map[string]*Histogram{}, counters: map[string]*Counter{}}
+}
+
+// Histogram returns the latency histogram for a pipeline operation,
+// creating it on first use.
+func (r *Registry) Histogram(op string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[op]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[op]; h == nil {
+		h = &Histogram{op: op}
+		r.hists[op] = h
+	}
+	return h
+}
+
+// Counter returns the named event counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot is a point-in-time copy of a registry.
+type Snapshot struct {
+	Counters   map[string]int64 `json:"counters"`
+	Histograms []HistSnapshot   `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state; histograms are ordered by
+// operation name, so rendering is deterministic.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	r.mu.RUnlock()
+
+	snap := Snapshot{Counters: make(map[string]int64, len(counters))}
+	for name, c := range counters {
+		snap.Counters[name] = c.Load()
+	}
+	for _, h := range hists {
+		snap.Histograms = append(snap.Histograms, h.Snapshot())
+	}
+	sort.Slice(snap.Histograms, func(i, j int) bool {
+		return snap.Histograms[i].Op < snap.Histograms[j].Op
+	})
+	return snap
+}
+
+// WriteJSON renders the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Prometheus metric family names.
+const (
+	promHistName    = "feam_pipeline_duration_seconds"
+	promCounterName = "feam_events_total"
+)
+
+// promFloat renders a seconds value the way Prometheus clients do.
+func promFloat(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry snapshot in Prometheus text
+// exposition format (version 0.0.4): one histogram family keyed by the
+// `op` label plus one counter family keyed by the `event` label.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	if len(snap.Histograms) > 0 {
+		fmt.Fprintf(w, "# HELP %s Wall-clock latency of FEAM pipeline operations.\n", promHistName)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", promHistName)
+		for _, h := range snap.Histograms {
+			// Expand the sparse snapshot back into cumulative buckets.
+			raw := make(map[time.Duration]uint64, len(h.Buckets))
+			for _, b := range h.Buckets {
+				raw[b.LE] = b.Count
+			}
+			var cum uint64
+			for i := 0; i < NumBuckets; i++ {
+				cum += raw[BucketBound(i)]
+				fmt.Fprintf(w, "%s_bucket{op=%q,le=%q} %d\n",
+					promHistName, h.Op, promFloat(BucketBound(i)), cum)
+			}
+			cum += raw[-1]
+			fmt.Fprintf(w, "%s_bucket{op=%q,le=\"+Inf\"} %d\n", promHistName, h.Op, cum)
+			fmt.Fprintf(w, "%s_sum{op=%q} %s\n", promHistName, h.Op, promFloat(h.Sum))
+			fmt.Fprintf(w, "%s_count{op=%q} %d\n", promHistName, h.Op, h.Count)
+		}
+	}
+	if len(snap.Counters) > 0 {
+		names := make([]string, 0, len(snap.Counters))
+		for name := range snap.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "# HELP %s FEAM engine event counts.\n", promCounterName)
+		fmt.Fprintf(w, "# TYPE %s counter\n", promCounterName)
+		for _, name := range names {
+			fmt.Fprintf(w, "%s{event=%q} %d\n", promCounterName, name, snap.Counters[name])
+		}
+	}
+	return nil
+}
+
+// RegistrySink derives metrics from the span stream: every completed span
+// feeds its operation's latency histogram, and the canonical pipeline
+// attrs/events feed the engine counters (evaluations, cache hits, probe
+// runs, retries, staging outcomes). Attaching it to a tracer is the only
+// wiring the engine needs — spans carry everything.
+type RegistrySink struct{ reg *Registry }
+
+// NewRegistrySink returns a sink recording into reg.
+func NewRegistrySink(reg *Registry) *RegistrySink { return &RegistrySink{reg: reg} }
+
+// SpanStarted implements Sink.
+func (rs *RegistrySink) SpanStarted(*Span) {}
+
+// SpanEnded implements Sink.
+func (rs *RegistrySink) SpanEnded(s *Span) {
+	rs.reg.Histogram(s.Op).Observe(s.Duration)
+	if s.Status == StatusError {
+		rs.reg.Counter("errors_" + s.Op).Add(1)
+	}
+	switch s.Op {
+	case OpEvaluate:
+		rs.reg.Counter("evaluations").Add(1)
+		if s.Attrs[AttrReady] == "true" {
+			rs.reg.Counter("ready_predictions").Add(1)
+		}
+	case OpProbe:
+		rs.reg.Counter("probe_runs").Add(1)
+		if s.Attrs[AttrSuccess] != "true" {
+			rs.reg.Counter("probe_failures").Add(1)
+		}
+	case OpStaging:
+		if s.Attrs[AttrCommitted] == "true" {
+			rs.reg.Counter("staging_commits").Add(1)
+		} else {
+			rs.reg.Counter("staging_rollbacks").Add(1)
+		}
+	}
+}
+
+// SpanEvent implements Sink.
+func (rs *RegistrySink) SpanEvent(s *Span, e Event) {
+	switch e.Name {
+	case EvCache:
+		suffix := "_misses"
+		if e.Attrs[AttrHit] == "true" {
+			suffix = "_hits"
+		}
+		rs.reg.Counter(e.Attrs[AttrComponent] + suffix).Add(1)
+	case EvProbeRetry:
+		rs.reg.Counter("probe_retries").Add(1)
+		rs.observeBackoff(e)
+	case EvStagingRetry:
+		rs.reg.Counter("staging_retries").Add(1)
+		rs.observeBackoff(e)
+	}
+}
+
+func (rs *RegistrySink) observeBackoff(e Event) {
+	ns, err := strconv.ParseInt(e.Attrs[AttrBackoffNS], 10, 64)
+	if err != nil || ns < 0 {
+		return
+	}
+	rs.reg.Histogram(OpRetrySleep).Observe(time.Duration(ns))
+}

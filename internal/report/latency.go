@@ -1,0 +1,66 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"feam/internal/obs"
+)
+
+// latencyOrder is the pipeline order the latency table lists operations
+// in; operations the run never exercised are omitted.
+var latencyOrder = []string{
+	obs.OpDescribe,
+	obs.OpDiscover,
+	obs.OpEvaluate,
+	obs.OpDeterminant,
+	obs.OpProbe,
+	obs.OpStaging,
+	obs.OpStagingOp,
+	obs.OpRetrySleep,
+	obs.OpAssess,
+}
+
+// Latency renders the per-phase wall-clock latency table from a metrics
+// registry — count, bucket-estimated p50/p90/p99, observed max, and total
+// time per pipeline operation. These are host latencies of the
+// reproduction itself, not the paper's simulated phase times.
+func Latency(reg *obs.Registry) string {
+	snap := reg.Snapshot()
+	byOp := make(map[string]obs.HistSnapshot, len(snap.Histograms))
+	for _, h := range snap.Histograms {
+		byOp[h.Op] = h
+	}
+	var b strings.Builder
+	b.WriteString("PIPELINE LATENCY (host wall-clock per operation)\n\n")
+	fmt.Fprintf(&b, "%-12s %9s %10s %10s %10s %10s %12s\n",
+		"operation", "count", "p50", "p90", "p99", "max", "total")
+	for _, op := range latencyOrder {
+		h, ok := byOp[op]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %9d %10s %10s %10s %10s %12s\n",
+			op, h.Count,
+			roundLatency(h.Quantile(0.50)), roundLatency(h.Quantile(0.90)),
+			roundLatency(h.Quantile(0.99)), roundLatency(h.Max),
+			roundLatency(h.Sum))
+	}
+	return b.String()
+}
+
+// roundLatency trims durations to three significant time units so the
+// table stays readable across nanosecond-to-second scales.
+func roundLatency(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(10 * time.Nanosecond).String()
+	default:
+		return d.String()
+	}
+}
