@@ -1,7 +1,8 @@
 GO ?= go
 STATICCHECK ?= staticcheck
+FUZZTIME ?= 10s
 
-.PHONY: build vet test race fault obs lint bench
+.PHONY: build vet test race fault obs lint fuzz bench
 
 build:
 	$(GO) build ./...
@@ -27,14 +28,26 @@ obs:
 	$(GO) test -race -count=1 ./internal/obs/
 	$(GO) test -race -count=1 -run 'Tracing|Histograms|Sentinel|PredictEvaluate|FunctionalOptions|RetryWithHook' ./internal/feam/ ./internal/fault/
 
-# Static analysis: vet always; staticcheck when installed (the tree has
-# no module dependencies, so staticcheck is not fetched automatically).
+# Static analysis: vet, then the repo's own analyzer suite (feamcheck),
+# which enforces the engine invariants — span lifecycle, fault-taxonomy
+# wrapping, vfs-only file access, context plumbing, and lock ordering.
+# staticcheck runs when installed (the tree has no module dependencies,
+# so staticcheck is not fetched automatically).
 lint: vet
+	$(GO) run ./cmd/feam-lint -novet ./...
 	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
 		$(STATICCHECK) ./...; \
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
+
+# Bounded fuzzing smoke run over the attacker-facing parsers: the ELF
+# reader and the soname/symbol-version parsers. The go tool accepts one
+# -fuzz pattern per invocation, hence three runs.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzParseSoname -fuzztime $(FUZZTIME) ./internal/libver/
+	$(GO) test -run xxx -fuzz FuzzSymverRequirements -fuzztime $(FUZZTIME) ./internal/libver/
+	$(GO) test -run xxx -fuzz FuzzParseELF -fuzztime $(FUZZTIME) ./internal/elfimg/
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

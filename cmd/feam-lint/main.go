@@ -1,0 +1,99 @@
+// Command feam-lint is the repository's multichecker: it runs the stock
+// go vet passes (by invoking the go tool) followed by the FEAM invariant
+// analyzers from internal/analysis — spanend, faultwrap, vfsonly,
+// ctxfirst, lockorder. Exit status is non-zero when any pass reports a
+// finding, so CI and `make lint` gate on it.
+//
+// Usage:
+//
+//	feam-lint [-novet] [-list] [packages]
+//
+// Packages default to ./... and follow the go tool's pattern shape.
+// Findings can be suppressed line-by-line with a justified annotation:
+//
+//	//lint:ignore <analyzer> <why this is legitimate>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"feam/internal/analysis"
+)
+
+func main() {
+	novet := flag.Bool("novet", false, "skip the stock go vet passes (run analyzers only)")
+	list := flag.Bool("list", false, "list the FEAM analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "feam-lint:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	if !*novet {
+		vet := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		vet.Dir = root
+		vet.Stdout = os.Stdout
+		vet.Stderr = os.Stderr
+		if err := vet.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	diags, err := analysis.Run(root, patterns, analysis.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "feam-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		rel := d
+		if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "feam-lint: %d finding(s)\n", len(diags))
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks upward from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,199 @@
+// Package analysis is a self-contained static-analysis framework plus the
+// FEAM-specific analyzers that enforce this repository's invariants:
+// spans are always ended, pipeline errors carry the fault taxonomy,
+// filesystem access goes through internal/vfs, contexts come first and are
+// propagated, and locks are not held across blocking pipeline work.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic, an analysistest-style golden harness) so the suite can
+// be ported onto the real multichecker wholesale if the x/tools dependency
+// ever becomes available. The container this repo builds in has no module
+// proxy access and the tree has zero external dependencies, so the driver
+// here is a small stdlib-only reimplementation: purely syntactic passes
+// over go/ast with per-file import resolution instead of full type
+// information. Every invariant the suite encodes is checkable at that
+// level; see DESIGN.md §10 for the invariant-by-invariant rationale.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Analyzer is one named invariant check, mirroring
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:ignore
+	// annotations. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description printed by feam-lint -list.
+	Doc string
+	// Run executes the analyzer over one package. It reports findings via
+	// pass.Reportf and returns an error only for analyzer-internal
+	// failures (which abort the whole run, like a crashed vet pass).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed syntax to an analyzer, mirroring
+// golang.org/x/tools/go/analysis.Pass minus type information.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions for Files.
+	Fset *token.FileSet
+	// Files holds every parsed non-test file of the package.
+	Files []*ast.File
+	// PkgPath is the package's import path within the module (for
+	// testdata packages, the bare package name).
+	PkgPath string
+	// PkgName is the package name from the package clauses.
+	PkgName string
+
+	report func(Diagnostic)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	// Analyzer names the check that fired.
+	Analyzer string
+	// Pos locates the violation.
+	Pos token.Position
+	// Message explains the violation and the expected fix.
+	Message string
+}
+
+// String renders the conventional path:line:col: analyzer: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full FEAM suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{SpanEnd, FaultWrap, VFSOnly, CtxFirst, LockOrder}
+}
+
+// ImportName returns the local name under which file imports path: the
+// explicit alias when one is given, the path's last element otherwise, "."
+// for dot imports, and "" when the file does not import path.
+func ImportName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndexByte(p, '/'); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// importNames returns the local names under which file imports any of the
+// given paths (suffix match on the path, so "feam/internal/obs" and a
+// testdata copy both resolve). Dot imports contribute ".".
+func importNames(f *ast.File, suffixes ...string) map[string]bool {
+	names := map[string]bool{}
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		for _, s := range suffixes {
+			if p != s && !strings.HasSuffix(p, "/"+s) {
+				continue
+			}
+			name := ""
+			if imp.Name != nil {
+				name = imp.Name.Name
+			} else if i := strings.LastIndexByte(p, '/'); i >= 0 {
+				name = p[i+1:]
+			} else {
+				name = p
+			}
+			if name != "_" {
+				names[name] = true
+			}
+		}
+	}
+	return names
+}
+
+// isPkgCall reports whether call is pkgName.funcName(...) for any pkgName
+// in names and funcName in funcs.
+func isPkgCall(call *ast.CallExpr, names map[string]bool, funcs ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || !names[id.Name] {
+		return "", false
+	}
+	for _, fn := range funcs {
+		if sel.Sel.Name == fn {
+			return fn, true
+		}
+	}
+	return "", false
+}
+
+// exprText renders a terse source form of simple expressions (identifiers
+// and selector chains), used to key lock variables and describe receivers.
+// Unsupported forms render as "?".
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprText(x.Fun) + "()"
+	case *ast.ParenExpr:
+		return exprText(x.X)
+	case *ast.StarExpr:
+		return exprText(x.X)
+	case *ast.IndexExpr:
+		return exprText(x.X) + "[]"
+	}
+	return "?"
+}
+
+// funcBodies yields every function body in the file along with its
+// declaration name (methods render as Recv.Name): top-level functions and
+// methods only — function literals are analyzed in the context of their
+// enclosing function by the individual analyzers.
+func funcBodies(f *ast.File) []funcBody {
+	var out []funcBody
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		out = append(out, funcBody{decl: fd, body: fd.Body})
+	}
+	return out
+}
+
+type funcBody struct {
+	decl *ast.FuncDecl
+	body *ast.BlockStmt
+}

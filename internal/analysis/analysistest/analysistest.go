@@ -1,0 +1,128 @@
+// Package analysistest runs an analyzer over golden packages under a
+// testdata/src tree and checks its diagnostics against // want
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Each expectation is a comment on the line the diagnostic must land on:
+//
+//	bad() // want `regexp matching the message`
+//
+// Multiple want clauses on one line each demand a distinct diagnostic.
+// Lines without a want comment must produce no diagnostics, and every
+// want must be matched — both extra and missing findings fail the test.
+// //lint:ignore suppression is applied before matching, so a seeded
+// violation annotated with a justification needs no want clause: the
+// harness verifies the suppression mechanism itself.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"feam/internal/analysis"
+)
+
+// wantRe matches one expectation clause: want `...` or want "...".
+var wantRe = regexp.MustCompile("want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// Run executes a over each named package under dir/src and reports
+// mismatches through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, filepath.Join(dir, "src", pkg), pkg, a)
+	}
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func runOne(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	//lint:ignore vfsonly the golden harness reads testdata off the host
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	name := ""
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: parse %s: %v", a.Name, e.Name(), err)
+		}
+		files = append(files, f)
+		name = f.Name.Name
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no Go files in %s", a.Name, dir)
+	}
+
+	// Collect expectations per file:line.
+	wants := map[string]map[int][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					lit := m[1]
+					pat := lit[1 : len(lit)-1]
+					if lit[0] == '"' {
+						pat = strings.ReplaceAll(pat, `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", a.Name, pat, err)
+					}
+					pos := fset.Position(c.Pos())
+					if wants[pos.Filename] == nil {
+						wants[pos.Filename] = map[int][]*expectation{}
+					}
+					wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line],
+						&expectation{re: re, raw: pat})
+				}
+			}
+		}
+	}
+
+	pkg := &analysis.Package{Path: pkgPath, Name: name, Dir: dir, Fset: fset, Files: files}
+	diags, err := analysis.RunPackage(a, pkg)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, exp := range wants[d.Pos.Filename][d.Pos.Line] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+	for file, byLine := range wants {
+		for line, exps := range byLine {
+			for _, exp := range exps {
+				if !exp.matched {
+					t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
+						a.Name, file, line, exp.raw)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxFirst enforces the context-plumbing invariant introduced by PR 1:
+// pipeline entry points take context.Context as their first parameter,
+// and a function that already receives a context must propagate it —
+// manufacturing context.Background()/TODO() mid-pipeline, or feeding a
+// non-context first argument to fault.Retry/RetryWithHook/Sleep, detaches
+// the call from cancellation and from the span parent carried in the
+// context.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: "context.Context must be the first parameter, and functions holding a ctx " +
+		"must pass it on instead of minting context.Background()/TODO()",
+	Run: runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) error {
+	for _, f := range pass.Files {
+		ctxNames := importNames(f, "context")
+		faultNames := importNames(f, "internal/fault", "fault")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			ctxParam := checkCtxPosition(pass, fd.Type, ctxNames)
+			if fd.Body == nil {
+				continue
+			}
+			if ctxParam != "" {
+				checkCtxPropagation(pass, fd.Body, ctxParam, ctxNames, faultNames)
+			}
+			// Retry helpers demand a context first even in functions that
+			// carry theirs inside a struct (EvalContext.Context).
+			checkRetryFirstArg(pass, fd.Body, faultNames)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkCtxPosition(pass, lit.Type, ctxNames)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxPosition reports a context.Context parameter that is not first
+// and returns the name of the context parameter, if any.
+func checkCtxPosition(pass *Pass, ft *ast.FuncType, ctxNames map[string]bool) string {
+	if ft.Params == nil {
+		return ""
+	}
+	pos := 0
+	ctxName := ""
+	for _, field := range ft.Params.List {
+		isCtx := isContextType(field.Type, ctxNames)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isCtx {
+			if len(field.Names) > 0 {
+				ctxName = field.Names[0].Name
+			}
+			if pos != 0 {
+				pass.Reportf(field.Type.Pos(), "context.Context must be the first parameter so call sites read ctx-first like the rest of the pipeline")
+			}
+		}
+		pos += n
+	}
+	return ctxName
+}
+
+// isContextType recognizes the context.Context selector (alias-aware).
+func isContextType(t ast.Expr, ctxNames map[string]bool) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && ctxNames[id.Name]
+}
+
+// checkCtxPropagation flags context.Background()/context.TODO() calls in a
+// function that already has a ctx parameter.
+func checkCtxPropagation(pass *Pass, body *ast.BlockStmt, ctxParam string, ctxNames, faultNames map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := isPkgCall(call, ctxNames, "Background", "TODO"); ok {
+			pass.Reportf(call.Pos(), "this function already receives %s; context.%s() detaches the call from cancellation and span parentage — pass %s (or a context derived from it)", ctxParam, fn, ctxParam)
+		}
+		return true
+	})
+}
+
+// checkRetryFirstArg flags fault.Retry/RetryWithHook/Sleep calls whose
+// first argument is not recognizably a propagated context.
+func checkRetryFirstArg(pass *Pass, body *ast.BlockStmt, faultNames map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := isPkgCall(call, faultNames, "Retry", "RetryWithHook", "Sleep")
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		argText := exprText(call.Args[0])
+		lower := strings.ToLower(argText)
+		if strings.Contains(lower, "ctx") || strings.Contains(argText, "Context") {
+			return true
+		}
+		pass.Reportf(call.Args[0].Pos(), "fault.%s must receive the caller's context as its first argument (got %s); backoff sleeps are uncancellable otherwise", fn, argText)
+		return true
+	})
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// FaultWrap enforces the error-taxonomy invariant introduced by PRs 2–3:
+// functions in the prediction pipeline (internal/feam, internal/fault)
+// must not return bare fmt.Errorf/errors.New errors. A bare error carries
+// neither the transient/permanent fault classification nor one of the
+// pipeline sentinels (ErrNoEnvironment, ErrSiteUnavailable,
+// ErrProbeFailed, ErrBadBinary, ErrBadBundle, ErrBadConfig), so callers
+// fall back to string matching and fault.IsTransient misclassifies the
+// failure as permanent. Errors must wrap a sentinel or an underlying
+// cause with %w; genuinely standalone errors carry a
+// //lint:ignore faultwrap <justification> annotation.
+var FaultWrap = &Analyzer{
+	Name: "faultwrap",
+	Doc: "pipeline functions must not return bare fmt.Errorf/errors.New errors; " +
+		"wrap a sentinel or the cause with %w so the fault taxonomy survives",
+	Run: runFaultWrap,
+}
+
+// faultWrapPackages are the package-path fragments the invariant covers:
+// the prediction pipeline and the fault taxonomy itself (plus the
+// analyzer's own golden testdata package).
+func faultWrapApplies(pkgPath string) bool {
+	return strings.Contains(pkgPath, "internal/feam") ||
+		strings.Contains(pkgPath, "internal/fault") ||
+		strings.Contains(pkgPath, "faultwrap")
+}
+
+func runFaultWrap(pass *Pass) error {
+	if !faultWrapApplies(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		fmtNames := importNames(f, "fmt")
+		errNames := importNames(f, "errors")
+		ast.Inspect(f, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				call, ok := res.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if _, ok := isPkgCall(call, errNames, "New"); ok {
+					pass.Reportf(call.Pos(), "returning a bare errors.New error bypasses the fault taxonomy; wrap a sentinel or fault with fmt.Errorf(\"%%w: ...\", ...)")
+					continue
+				}
+				if _, ok := isPkgCall(call, fmtNames, "Errorf"); !ok {
+					continue
+				}
+				if len(call.Args) == 0 {
+					continue
+				}
+				format, ok := stringLit(call.Args[0])
+				if !ok || strings.Contains(format, "%w") {
+					continue // wraps something (or dynamic format: give the benefit of the doubt)
+				}
+				if formatsError(format, call.Args[1:]) {
+					pass.Reportf(call.Pos(), "fmt.Errorf formats its cause with %%v, swallowing the fault taxonomy; use %%w so errors.Is/As and fault.IsTransient keep working")
+				} else {
+					pass.Reportf(call.Pos(), "returning a bare fmt.Errorf error bypasses the fault taxonomy; wrap a pipeline sentinel with %%w (or annotate //lint:ignore faultwrap <why>)")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stringLit extracts a string literal's value.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	// Trim the quotes; escapes don't matter for %-verb detection.
+	return lit.Value, true
+}
+
+// formatsError guesses whether one of the format arguments is an error
+// value being flattened through %v/%s: an identifier or selector named
+// err/Err/error-ish.
+func formatsError(format string, args []ast.Expr) bool {
+	if !strings.Contains(format, "%v") && !strings.Contains(format, "%s") {
+		return false
+	}
+	for _, a := range args {
+		name := ""
+		switch x := a.(type) {
+		case *ast.Ident:
+			name = x.Name
+		case *ast.SelectorExpr:
+			name = x.Sel.Name
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Error" {
+				return true // err.Error() stringifies the cause
+			}
+		}
+		lower := strings.ToLower(name)
+		if lower == "err" || strings.HasSuffix(lower, "err") || strings.HasPrefix(lower, "err") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestImportName(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", `package x
+import (
+	"os"
+	hostfs "path/filepath"
+	. "strings"
+	_ "sort"
+	"feam/internal/obs"
+)
+`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ path, want string }{
+		{"os", "os"},
+		{"path/filepath", "hostfs"},
+		{"strings", "."},
+		{"sort", ""},
+		{"feam/internal/obs", "obs"},
+		{"not/imported", ""},
+	}
+	for _, c := range cases {
+		if got := ImportName(f, c.path); got != c.want {
+			t.Errorf("ImportName(%q) = %q, want %q", c.path, got, c.want)
+		}
+	}
+	names := importNames(f, "internal/obs", "obs")
+	if !names["obs"] {
+		t.Errorf("importNames missed the obs import: %v", names)
+	}
+}
+
+func TestExprText(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", `package x
+var v1 = a.b.c
+var v2 = f()
+var v3 = m[0]
+var v4 = (*p)
+`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a.b.c", "f()", "m[]", "p"}
+	i := 0
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) == 0 {
+				continue
+			}
+			if got := exprText(vs.Values[0]); got != want[i] {
+				t.Errorf("exprText #%d = %q, want %q", i, got, want[i])
+			}
+			i++
+		}
+	}
+	if i != len(want) {
+		t.Fatalf("covered %d cases, want %d", i, len(want))
+	}
+}
+
+// TestSuppressSameLine covers the annotation-on-the-same-line form, which
+// the golden packages don't exercise (they use the preceding-line form).
+func TestSuppressSameLine(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", `package x
+import "fmt"
+func bad() error {
+	return fmt.Errorf("feam: bare") //lint:ignore faultwrap same-line justification
+}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: "internal/feam", Name: "x", Fset: fset, Files: []*ast.File{f}}
+	diags, err := RunPackage(FaultWrap, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("same-line suppression failed: %v", diags)
+	}
+}

@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed package ready for analysis.
+type Package struct {
+	// Path is the package's import path within the module.
+	Path string
+	// Name is the package name.
+	Name string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+	// Files holds the parsed non-test files.
+	Files []*ast.File
+}
+
+// FileNames returns the on-disk names of the files parsed into the
+// package.
+func (p *Package) FileNames() []string {
+	out := make([]string, 0, len(p.Files))
+	for _, f := range p.Files {
+		out = append(out, p.Fset.Position(f.Pos()).Filename)
+	}
+	return out
+}
+
+// ModulePath reads the module path from root/go.mod ("feam" for this
+// repository).
+func ModulePath(root string) (string, error) {
+	//lint:ignore vfsonly the lint driver reads real source files off the host
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module clause in %s/go.mod", root)
+}
+
+// Load parses the packages under root selected by patterns. Patterns
+// follow the go tool's shape: "./..." walks everything, "./x/..." walks a
+// subtree, "./x/y" names one directory. Directories named testdata, vendor
+// or starting with "." are skipped, as are _test.go files: the analyzers
+// encode production-code invariants, and tests legitimately construct bare
+// errors, fake spans, and direct filesystem fixtures.
+func Load(root string, patterns []string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		}
+		if pat == "." || pat == "" {
+			pat = root
+		} else {
+			pat = filepath.Join(root, strings.TrimPrefix(pat, "./"))
+		}
+		if !recursive {
+			dirs[pat] = true
+			continue
+		}
+		err := filepath.WalkDir(pat, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != pat && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			dirs[p] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	module, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	for _, dir := range sorted {
+		pkg, err := loadDir(dir, root, module)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// loadDir parses one directory's non-test files; nil when the directory
+// holds no Go package.
+func loadDir(dir, root, module string) (*Package, error) {
+	//lint:ignore vfsonly the lint driver reads real source files off the host
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	name := ""
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		name = f.Name.Name
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := module
+	if rel != "." {
+		path = module + "/" + filepath.ToSlash(rel)
+	}
+	return &Package{Path: path, Name: name, Dir: dir, Fset: fset, Files: files}, nil
+}
+
+// RunPackage executes one analyzer over one package and returns its
+// diagnostics after //lint:ignore suppression, sorted by position.
+func RunPackage(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		PkgPath:  pkg.Path,
+		PkgName:  pkg.Name,
+		report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+	}
+	diags = suppress(diags, pkg)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// Run executes every analyzer over every package and returns the combined
+// diagnostics.
+func Run(root string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := RunPackage(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, diags...)
+		}
+	}
+	return all, nil
+}
+
+// suppress drops diagnostics annotated away with
+//
+//	//lint:ignore <analyzer> <justification>
+//
+// placed either on the flagged line or on the line immediately above it.
+// The justification is mandatory: a bare //lint:ignore suppresses nothing.
+func suppress(diags []Diagnostic, pkg *Package) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	// ignored[file][line] -> set of analyzer names suppressed at that line.
+	ignored := map[string]map[int]map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no justification: not a valid suppression
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := ignored[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					ignored[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if byLine[line] == nil {
+						byLine[line] = map[string]bool{}
+					}
+					byLine[line][fields[0]] = true
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if ignored[d.Pos.Filename][d.Pos.Line][d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

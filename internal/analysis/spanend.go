@@ -1,0 +1,365 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SpanEnd enforces the observability invariant introduced by PR 3: every
+// span opened with obs.Tracer.Start must be ended on every control-flow
+// path — via a straight-line sp.End, a defer (directly or inside a
+// deferred closure), or a locally defined closure that ends it (the
+// rollback pattern in stagePlan). A span that escapes unended never
+// reaches the ring buffer, the JSONL sink, or the latency histograms, so
+// the op silently disappears from observability.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc: "every obs.Tracer.Start span must be ended (End or defer End) on all paths; " +
+		"spans whose result is discarded are flagged too",
+	Run: runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) error {
+	for _, f := range pass.Files {
+		obsNames := importNames(f, "internal/obs", "obs")
+		for _, fb := range funcBodies(f) {
+			checkSpansIn(pass, fb.body, obsNames)
+		}
+		// Function literals open spans too (evaluator closures); analyze
+		// each literal body as its own scope.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkSpansIn(pass, lit.Body, obsNames)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isStartCall recognizes a span-opening call: <recv>.Start(...) where the
+// receiver names a tracer or any argument is qualified with the obs
+// package (obs.OpX, obs.WithParent, ...).
+func isStartCall(call *ast.CallExpr, obsNames map[string]bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Start" {
+		return false
+	}
+	if strings.Contains(strings.ToLower(exprText(sel.X)), "tracer") {
+		return true
+	}
+	for _, arg := range call.Args {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if s, ok := n.(*ast.SelectorExpr); ok {
+				if id, ok := s.X.(*ast.Ident); ok && obsNames[id.Name] {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSpansIn finds Start assignments in body (not descending into nested
+// function literals — they are separate scopes) and verifies each span is
+// ended on all paths out of its enclosing block.
+func checkSpansIn(pass *Pass, body *ast.BlockStmt, obsNames map[string]bool) {
+	// Pre-pass: closures assigned to local names whose bodies end spans;
+	// calling such a closure counts as ending the spans it mentions.
+	enders := map[string]map[string]bool{} // closure name -> span vars ended
+	collectEnderClosures(body, enders)
+
+	var walkBlock func(stmts []ast.Stmt)
+	walkBlock = func(stmts []ast.Stmt) {
+		for i, stmt := range stmts {
+			if as, ok := stmt.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+				if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isStartCall(call, obsNames) {
+					if len(as.Lhs) == 1 {
+						if id, ok := as.Lhs[0].(*ast.Ident); ok {
+							if id.Name == "_" {
+								pass.Reportf(call.Pos(), "span from Tracer.Start is discarded; it can never be ended")
+							} else if !endedOnAllPaths(stmts[i+1:], id.Name, enders) {
+								pass.Reportf(call.Pos(), "span %s is not ended on every path out of this block; call %s.End (or defer it) before returning", id.Name, id.Name)
+							}
+							continue
+						}
+					}
+					pass.Reportf(call.Pos(), "span from Tracer.Start must be assigned to a variable and ended")
+				}
+			}
+			if es, ok := stmt.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok && isStartCall(call, obsNames) {
+					pass.Reportf(call.Pos(), "span from Tracer.Start is discarded; it can never be ended")
+				}
+			}
+			// Recurse into nested blocks to find Starts there (their End
+			// obligation is scoped to their own block).
+			for _, nested := range nestedStmtLists(stmt) {
+				walkBlock(nested)
+			}
+		}
+	}
+	walkBlock(body.List)
+}
+
+// collectEnderClosures records local closures (name := func(...){...})
+// whose bodies call <span>.End, keyed by closure name then span variable.
+func collectEnderClosures(body *ast.BlockStmt, enders map[string]map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		name, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		lit, ok := as.Rhs[0].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		spans := spansEndedBy(lit.Body)
+		if len(spans) > 0 {
+			enders[name.Name] = spans
+		}
+		return true
+	})
+}
+
+// spansEndedBy returns the set of identifiers x for which node contains a
+// call x.End(...).
+func spansEndedBy(node ast.Node) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// nestedStmtLists returns the statement lists directly nested in stmt
+// (if/else bodies, loop bodies, case bodies, plain blocks) — but not
+// function literals, which are separate scopes.
+func nestedStmtLists(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil {
+			out = append(out, nestedStmtLists(s.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedStmtLists(s.Stmt)...)
+	}
+	return out
+}
+
+// endedOnAllPaths reports whether every control-flow path through stmts
+// ends span x before returning or falling off the end. The walk is a
+// conservative structural approximation of a dominator analysis:
+//
+//   - defer x.End(...) (or a deferred closure / local ender closure)
+//     satisfies all subsequent paths;
+//   - a straight-line x.End(...) or ender-closure call marks the path
+//     ended from that point;
+//   - an if/switch requires each branch to either terminate ended or
+//     fall through; fall-through merges branch states conservatively;
+//   - loop bodies are checked for their internal return paths but do not
+//     count toward the fall-through state (a loop may run zero times);
+//   - break/continue are treated as non-escaping (the iteration structure
+//     will pass the End site again or the obligation is reported at the
+//     enclosing block's exit).
+func endedOnAllPaths(stmts []ast.Stmt, x string, enders map[string]map[string]bool) bool {
+	violated := false
+	ended, terminated := scanStmts(stmts, false, x, enders, &violated)
+	// Falling off the end of the span's own block without an End leaks it;
+	// nested lists falling through merely continue in their parent and are
+	// accounted for by the caller's merge logic.
+	if !terminated && !ended {
+		violated = true
+	}
+	return !violated
+}
+
+// scanStmts walks one statement list; ended is whether x.End already ran
+// on the path entering the list. It returns (endedAfter, terminated):
+// endedAfter is the fall-through state, terminated means no path falls
+// through. Violations (a path escaping unended) set *violated.
+func scanStmts(stmts []ast.Stmt, ended bool, x string, enders map[string]map[string]bool, violated *bool) (bool, bool) {
+	for i, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.DeferStmt:
+			if deferEnds(s, x, enders) {
+				ended = true
+			}
+		case *ast.ExprStmt:
+			if callEnds(s.X, x, enders) {
+				ended = true
+			}
+		case *ast.ReturnStmt:
+			if !ended {
+				*violated = true
+			}
+			return ended, true
+		case *ast.BranchStmt:
+			// break/continue/goto: leaves this list without returning
+			// from the function; treat as terminated without violation.
+			return ended, true
+		case *ast.BlockStmt:
+			e, term := scanStmts(s.List, ended, x, enders, violated)
+			ended = e
+			if term {
+				return ended, true
+			}
+		case *ast.IfStmt:
+			bEnded, bTerm := scanStmts(s.Body.List, ended, x, enders, violated)
+			eEnded, eTerm := ended, false
+			switch el := s.Else.(type) {
+			case *ast.BlockStmt:
+				eEnded, eTerm = scanStmts(el.List, ended, x, enders, violated)
+			case *ast.IfStmt:
+				eEnded, eTerm = scanStmts([]ast.Stmt{el}, ended, x, enders, violated)
+			}
+			switch {
+			case bTerm && eTerm:
+				return ended, true
+			case bTerm:
+				ended = eEnded
+			case eTerm:
+				ended = bEnded
+			default:
+				ended = bEnded && eEnded
+			}
+		case *ast.ForStmt:
+			scanStmts(s.Body.List, ended, x, enders, violated)
+		case *ast.RangeStmt:
+			scanStmts(s.Body.List, ended, x, enders, violated)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			var clauses [][]ast.Stmt
+			hasDefault := false
+			var body *ast.BlockStmt
+			switch sw := s.(type) {
+			case *ast.SwitchStmt:
+				body = sw.Body
+			case *ast.TypeSwitchStmt:
+				body = sw.Body
+			case *ast.SelectStmt:
+				body = sw.Body
+			}
+			for _, c := range body.List {
+				switch cc := c.(type) {
+				case *ast.CaseClause:
+					clauses = append(clauses, cc.Body)
+					if cc.List == nil {
+						hasDefault = true
+					}
+				case *ast.CommClause:
+					clauses = append(clauses, cc.Body)
+					if cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+			}
+			allEnded, anyFall := true, false
+			for _, cl := range clauses {
+				cEnded, cTerm := scanStmts(cl, ended, x, enders, violated)
+				if !cTerm {
+					anyFall = true
+					allEnded = allEnded && cEnded
+				}
+			}
+			switch {
+			case hasDefault && !anyFall && len(clauses) > 0:
+				return ended, true // every clause terminates, one always taken
+			case hasDefault:
+				ended = allEnded
+			default:
+				// No default clause: the no-match path falls through with
+				// the incoming state.
+				ended = ended && allEnded
+			}
+		case *ast.LabeledStmt:
+			e, term := scanStmts([]ast.Stmt{s.Stmt}, ended, x, enders, violated)
+			ended = e
+			if term {
+				return ended, true
+			}
+		case *ast.GoStmt:
+			// A goroutine ending the span is not a guarantee on this path.
+		}
+		_ = i
+	}
+	return ended, false
+}
+
+// deferEnds reports whether a defer statement guarantees x.End: defer
+// x.End(...), defer enderClosure(...), or defer func(){ ... x.End ... }().
+func deferEnds(d *ast.DeferStmt, x string, enders map[string]map[string]bool) bool {
+	if callEnds(d.Call, x, enders) {
+		return true
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		return spansEndedBy(lit.Body)[x]
+	}
+	return false
+}
+
+// callEnds reports whether expr is a call that ends span x: x.End(...) or
+// a call to a local closure known to end x.
+func callEnds(expr ast.Expr, x string, enders map[string]map[string]bool) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name != "End" {
+			return false
+		}
+		id, ok := fun.X.(*ast.Ident)
+		return ok && id.Name == x
+	case *ast.Ident:
+		return enders[fun.Name][x]
+	}
+	return false
+}

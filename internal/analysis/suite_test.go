@@ -1,0 +1,99 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"feam/internal/analysis"
+	"feam/internal/analysis/analysistest"
+)
+
+// Each analyzer must fire on its seeded golden violations and stay quiet
+// on the legal patterns beside them (acceptance criterion: every analyzer
+// demonstrably fires).
+
+func TestSpanEndGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.SpanEnd, "spanend")
+}
+
+func TestFaultWrapGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.FaultWrap, "faultwrap")
+}
+
+func TestFaultWrapUnjustifiedIgnore(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.FaultWrap, "faultwrap/nojustify")
+}
+
+func TestVFSOnlyGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.VFSOnly, "vfsonly")
+}
+
+func TestCtxFirstGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.CtxFirst, "ctxfirst")
+}
+
+func TestLockOrderGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockOrder, "lockorder")
+}
+
+// TestRepoIsClean runs the full suite over the real tree — the same check
+// `go run ./cmd/feam-lint ./...` performs in CI. Any finding here is a
+// regression against an invariant the earlier PRs introduced.
+func TestRepoIsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(root, []string{"./..."}, analysis.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo violation: %s", d)
+	}
+}
+
+// TestAnalyzersRegistered pins the suite composition: five analyzers, the
+// names feam-lint and //lint:ignore annotations refer to.
+func TestAnalyzersRegistered(t *testing.T) {
+	want := []string{"spanend", "faultwrap", "vfsonly", "ctxfirst", "lockorder"}
+	got := analysis.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q lacks doc or run function", a.Name)
+		}
+	}
+}
+
+// TestLoadSkipsTestdataAndTests checks the loader's scope: _test.go files
+// and testdata trees are outside the invariant surface.
+func TestLoadSkipsTestdataAndTests(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, []string{"./internal/analysis/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Dir, "testdata") {
+			t.Errorf("loader descended into testdata: %s", p.Dir)
+		}
+		for _, name := range p.FileNames() {
+			if strings.HasSuffix(name, "_test.go") {
+				t.Errorf("loader parsed a test file: %s", name)
+			}
+		}
+	}
+	if len(pkgs) < 2 {
+		t.Fatalf("expected the analysis and analysistest packages, got %d", len(pkgs))
+	}
+}

@@ -1,0 +1,74 @@
+// Package ctxfirst is golden input for the ctxfirst analyzer.
+package ctxfirst
+
+import (
+	"context"
+
+	"feam/internal/fault"
+)
+
+// okFirst has the context where pipeline entry points put it.
+func okFirst(ctx context.Context, name string) error {
+	return run(ctx)
+}
+
+func run(ctx context.Context) error { return ctx.Err() }
+
+// badOrder buries the context behind data arguments.
+func badOrder(name string, ctx context.Context) error { // want `context.Context must be the first parameter`
+	return run(ctx)
+}
+
+// badMethodOrder applies to methods too.
+type engine struct{}
+
+func (e *engine) badMethodOrder(n int, ctx context.Context) error { // want `context.Context must be the first parameter`
+	return run(ctx)
+}
+
+// badLiteralOrder applies to function literals (evaluator closures).
+var handler = func(name string, ctx context.Context) error { // want `context.Context must be the first parameter`
+	return run(ctx)
+}
+
+// badMint already holds a context but manufactures a detached one,
+// dropping cancellation and the span parent.
+func badMint(ctx context.Context) error {
+	return run(context.Background()) // want `detaches the call from cancellation`
+}
+
+// badMintTODO is the TODO variant.
+func badMintTODO(ctx context.Context, n int) error {
+	_ = n
+	return run(context.TODO()) // want `detaches the call from cancellation`
+}
+
+// okRetry threads the caller's context into the retry helper.
+func okRetry(ctx context.Context, p fault.RetryPolicy, op func() error) error {
+	_, err := fault.Retry(ctx, p, op)
+	return err
+}
+
+// okRetryViaStruct matches the EvalContext pattern: the context rides in
+// a struct field whose name still marks it as a context.
+type evalCtx struct{ Context context.Context }
+
+func okRetryViaStruct(ec *evalCtx, p fault.RetryPolicy, op func() error) error {
+	_, err := fault.Retry(ec.Context, p, op)
+	return err
+}
+
+// badRetryFirstArg hands the retry helper something that is not the
+// caller's context, making the backoff sleeps uncancellable.
+func badRetryFirstArg(p fault.RetryPolicy, op func() error) error {
+	_, err := fault.Retry(p, op) // want `must receive the caller's context`
+	return err
+}
+
+// suppressedMint is a package-level shim that documents why a fresh
+// context is correct here (no want clause: the harness verifies
+// suppression).
+func suppressedMint(ctx context.Context) error {
+	//lint:ignore ctxfirst compatibility shim detaches deliberately
+	return run(context.Background())
+}

@@ -1,0 +1,67 @@
+// Package faultwrap is golden input for the faultwrap analyzer (the
+// package name contains "fault", so the invariant applies as it does to
+// internal/feam and internal/fault).
+package faultwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels are the taxonomy itself — errors.New is legal
+// in declarations, only bare returns are flagged.
+var (
+	ErrNoEnvironment = errors.New("feam: no environment to evaluate")
+	errInternal      = errors.New("feam: internal")
+)
+
+// okSentinelWrap wraps a pipeline sentinel with %w.
+func okSentinelWrap(site string) error {
+	return fmt.Errorf("%w: survey of %s failed", ErrNoEnvironment, site)
+}
+
+// okCauseWrap wraps the underlying cause with %w, preserving
+// fault.IsTransient classification through errors.As.
+func okCauseWrap(err error) error {
+	return fmt.Errorf("feam: staging: %w", err)
+}
+
+// okDoubleWrap wraps both sentinel and cause (the Predict pattern).
+func okDoubleWrap(err error) error {
+	return fmt.Errorf("%w: probe run: %w", ErrNoEnvironment, err)
+}
+
+// okPlainReturn returns an existing error unchanged.
+func okPlainReturn(err error) error {
+	return err
+}
+
+// badBare returns a taxonomy-free error.
+func badBare() error {
+	return fmt.Errorf("feam: something went wrong") // want `bare fmt.Errorf`
+}
+
+// badSwallowed flattens its cause with %v — errors.Is/As and
+// fault.IsTransient stop working downstream (the wrapped-vs-swallowed
+// edge case from the issue checklist).
+func badSwallowed(err error) error {
+	return fmt.Errorf("feam: describe: %v", err) // want `swallowing the fault taxonomy`
+}
+
+// badErrorStringified stringifies the cause through err.Error().
+func badErrorStringified(err error) error {
+	return fmt.Errorf("feam: %s", err.Error()) // want `swallowing the fault taxonomy`
+}
+
+// badErrorsNew mints an unclassifiable error at the return site.
+func badErrorsNew() error {
+	return errors.New("feam: not wired into the taxonomy") // want `bare errors.New`
+}
+
+// suppressedBare documents why this error is deliberately standalone; the
+// justified annotation satisfies the analyzer (no want clause: the
+// harness verifies suppression).
+func suppressedBare() error {
+	//lint:ignore faultwrap user-facing usage error, not a pipeline fault
+	return fmt.Errorf("usage: feam -config <file>")
+}

@@ -1,0 +1,10 @@
+// Package nojustify verifies that a //lint:ignore without a
+// justification suppresses nothing: the finding below still fires.
+package nojustify
+
+import "fmt"
+
+func bad() error {
+	//lint:ignore faultwrap
+	return fmt.Errorf("feam: unjustified suppression") // want `bare fmt.Errorf`
+}

@@ -1,0 +1,119 @@
+// Package spanend is golden input for the spanend analyzer. It is parsed,
+// never compiled; the obs import resolves by path suffix only.
+package spanend
+
+import "feam/internal/obs"
+
+func work() {}
+
+// okDefer ends its span through the canonical defer.
+func okDefer(t *obs.Tracer) {
+	sp := t.Start(obs.OpProbe)
+	defer sp.End(nil)
+	work()
+}
+
+// okStraightLine ends the span on the only path.
+func okStraightLine(t *obs.Tracer) {
+	sp := t.Start(obs.OpProbe)
+	work()
+	sp.End(nil)
+}
+
+// okDeferredClosure ends the span inside a deferred closure (the
+// assessSite panic-recovery pattern).
+func okDeferredClosure(t *obs.Tracer) {
+	sp := t.Start(obs.OpProbe)
+	defer func() {
+		sp.End(nil)
+	}()
+	work()
+}
+
+// okEnderClosure routes End through a named local closure (the stagePlan
+// rollback pattern); calling the closure counts as ending.
+func okEnderClosure(t *obs.Tracer, fail bool) {
+	sp := t.Start(obs.OpProbe)
+	rollback := func(err error) { sp.End(err) }
+	if fail {
+		rollback(nil)
+		return
+	}
+	work()
+	rollback(nil)
+}
+
+// okBothBranches ends the span on each branch before falling through.
+func okBothBranches(t *obs.Tracer, cond bool) {
+	sp := t.Start(obs.OpProbe)
+	if cond {
+		sp.End(nil)
+	} else {
+		sp.End(nil)
+	}
+}
+
+// okEarlyReturnAfterEnd mirrors Engine.Describe: a cache-hit branch ends
+// and returns, the miss path ends before its own return.
+func okEarlyReturnAfterEnd(t *obs.Tracer, hit bool) int {
+	sp := t.Start(obs.OpProbe)
+	if hit {
+		sp.End(nil)
+		return 1
+	}
+	work()
+	sp.End(nil)
+	return 0
+}
+
+// okInLoop opens and ends one span per iteration (the runProbe pattern).
+func okInLoop(t *obs.Tracer) {
+	for i := 0; i < 3; i++ {
+		sp := t.Start(obs.OpProbe)
+		work()
+		sp.End(nil)
+	}
+}
+
+// badNeverEnded leaks its span on the only path.
+func badNeverEnded(t *obs.Tracer) {
+	sp := t.Start(obs.OpProbe) // want `span sp is not ended on every path`
+	work()
+	_ = sp
+}
+
+// badOneBranch ends the span on the taken branch only: the fall-through
+// path leaks it (the analyzer edge case from the issue checklist).
+func badOneBranch(t *obs.Tracer, cond bool) {
+	sp := t.Start(obs.OpProbe) // want `span sp is not ended on every path`
+	if cond {
+		sp.End(nil)
+		return
+	}
+	work()
+}
+
+// badReturnBeforeEnd returns on the error path without ending.
+func badReturnBeforeEnd(t *obs.Tracer, err error) error {
+	sp := t.Start(obs.OpProbe) // want `span sp is not ended on every path`
+	if err != nil {
+		return err
+	}
+	sp.End(nil)
+	return nil
+}
+
+// badDiscarded drops the span on the floor, twice.
+func badDiscarded(t *obs.Tracer) {
+	t.Start(obs.OpProbe) // want `discarded`
+	_ = t.Start(obs.OpProbe) // want `discarded`
+}
+
+// suppressed transfers span ownership to the caller; the justified
+// annotation keeps the analyzer quiet (no want clause: the harness
+// verifies suppression).
+func suppressed(t *obs.Tracer) *obs.Span {
+	//lint:ignore spanend caller takes ownership and ends the span
+	sp := t.Start(obs.OpProbe)
+	return sp
+}

@@ -1,0 +1,15 @@
+package vfsonly
+
+// The aliased-import edge case from the issue checklist: renaming the
+// package must not hide the call from the analyzer.
+
+import hostfs "os"
+
+func badAliased(p string) error {
+	return hostfs.RemoveAll(p) // want `direct os.RemoveAll`
+}
+
+func badAliasedStat(p string) bool {
+	_, err := hostfs.Stat(p) // want `direct os.Stat`
+	return err == nil
+}

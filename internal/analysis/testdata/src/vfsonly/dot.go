@@ -1,0 +1,10 @@
+package vfsonly
+
+// Dot-importing os would make every filesystem call an unqualified
+// identifier the analyzer cannot see; the import itself is the finding.
+
+import . "os" // want `dot-importing os`
+
+func badDot(p string) error {
+	return Remove(p)
+}

@@ -1,0 +1,36 @@
+// Package vfsonly is golden input for the vfsonly analyzer: direct os
+// filesystem access outside internal/vfs and cmd/.
+package vfsonly
+
+import "os"
+
+// badRead bypasses the vfs read path (no generation bump visibility, no
+// fault injection).
+func badRead(p string) ([]byte, error) {
+	return os.ReadFile(p) // want `direct os.ReadFile bypasses internal/vfs`
+}
+
+// badWriteAndRename stages directly on the host filesystem.
+func badWriteAndRename(tmp, dst string, data []byte) error {
+	if err := os.WriteFile(tmp, data, 0o644); err != nil { // want `direct os.WriteFile`
+		return err
+	}
+	return os.Rename(tmp, dst) // want `direct os.Rename`
+}
+
+// badFuncValue smuggles the call through a function value; the reference
+// itself is flagged.
+var badFuncValue = os.ReadFile // want `direct os.ReadFile`
+
+// okEnv uses the os package for process environment, which is not
+// virtualized.
+func okEnv() string {
+	return os.Getenv("HOME")
+}
+
+// suppressed reads a host-side seed corpus by design (no want clause:
+// the harness verifies suppression).
+func suppressed(p string) ([]byte, error) {
+	//lint:ignore vfsonly seed corpora live on the host filesystem
+	return os.ReadFile(p)
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// VFSOnly enforces the simulation-boundary invariant introduced by PR 1
+// and hardened in PR 2: all filesystem access goes through internal/vfs.
+// A direct os.* filesystem call bypasses the vfs generation counter that
+// keys the EDC cache (stale surveys would be served for a mutated site)
+// and the SetOpHook fault injectors (the operation becomes untestable
+// under injected faults). Only internal/vfs itself and the command /
+// example binaries — which touch the real host filesystem by design —
+// are exempt.
+var VFSOnly = &Analyzer{
+	Name: "vfsonly",
+	Doc: "direct os filesystem calls are forbidden outside internal/vfs and cmd/; " +
+		"they bypass the vfs generation counter (EDC cache key) and fault injectors",
+	Run: runVFSOnly,
+}
+
+// vfsForbidden are the os package's filesystem entry points. Process and
+// environment helpers (os.Getenv, os.Exit, os.Args) stay legal: only
+// filesystem state is virtualized.
+var vfsForbidden = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Remove": true, "RemoveAll": true, "Rename": true,
+	"Symlink": true, "Link": true, "Readlink": true,
+	"Stat": true, "Lstat": true, "Chmod": true, "Chown": true,
+	"Chtimes": true, "Truncate": true,
+}
+
+func vfsOnlyApplies(pkgPath string) bool {
+	if strings.Contains(pkgPath, "internal/vfs") {
+		return false
+	}
+	for _, exempt := range []string{"/cmd/", "/examples/"} {
+		if strings.Contains(pkgPath, exempt) {
+			return false
+		}
+	}
+	return true
+}
+
+func runVFSOnly(pass *Pass) error {
+	if !vfsOnlyApplies(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		osNames := map[string]bool{}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || p != "os" {
+				continue
+			}
+			if imp.Name != nil {
+				if imp.Name.Name == "." {
+					pass.Reportf(imp.Pos(), "dot-importing os makes every filesystem call invisible to vfsonly; import it qualified or use internal/vfs")
+					continue
+				}
+				if imp.Name.Name != "_" {
+					osNames[imp.Name.Name] = true
+				}
+			} else {
+				osNames["os"] = true
+			}
+		}
+		if len(osNames) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !osNames[id.Name] || !vfsForbidden[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "direct os.%s bypasses internal/vfs (generation counter keys the EDC cache; SetOpHook injects faults); use the site FS", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -75,7 +75,7 @@ func DescribeBytes(data []byte, name string) (*BinaryDescription, error) {
 func describeBytes(data []byte, name, hash string) (*BinaryDescription, error) {
 	f, err := elfimg.Parse(data)
 	if err != nil {
-		return nil, fmt.Errorf("feam: cannot describe %s: %v", name, err)
+		return nil, fmt.Errorf("%w: cannot describe %s: %w", ErrBadBinary, name, err)
 	}
 	desc := &BinaryDescription{
 		Name:          name,
@@ -105,7 +105,7 @@ func describeBytes(data []byte, name, hash string) (*BinaryDescription, error) {
 func DescribeFile(site *sitemodel.Site, path string) (*BinaryDescription, error) {
 	data, err := site.FS().ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("feam: %v", err)
+		return nil, fmt.Errorf("%w: reading %s: %w", ErrBadBinary, path, err)
 	}
 	return DescribeBytes(data, path)
 }
@@ -176,7 +176,7 @@ func GatherLibraries(site *sitemodel.Site, binary []byte, name string) (*GatherR
 		DefaultDirs: site.DefaultLibDirs(),
 	})
 	if err != nil {
-		return nil, fmt.Errorf("feam: gathering libraries for %s: %v", name, err)
+		return nil, fmt.Errorf("%w: gathering libraries for %s: %w", ErrBadBinary, name, err)
 	}
 	located := map[string]string{}
 	for _, dep := range resolution.Order {

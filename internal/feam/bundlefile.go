@@ -45,7 +45,7 @@ const (
 // EncodeBundle serializes a bundle to its portable archive form.
 func EncodeBundle(b *Bundle) ([]byte, error) {
 	if b == nil || b.App == nil {
-		return nil, fmt.Errorf("feam: cannot encode an empty bundle")
+		return nil, fmt.Errorf("%w: cannot encode an empty bundle", ErrBadBundle)
 	}
 	var sections []section
 
@@ -91,7 +91,7 @@ func EncodeBundle(b *Bundle) ([]byte, error) {
 	for _, s := range sections {
 		out.WriteByte(s.tag)
 		if len(s.name) > 0xffff {
-			return nil, fmt.Errorf("feam: section name too long")
+			return nil, fmt.Errorf("%w: section name too long", ErrBadBundle)
 		}
 		writeU16(&out, uint16(len(s.name)))
 		out.WriteString(s.name)
@@ -109,31 +109,31 @@ func EncodeBundle(b *Bundle) ([]byte, error) {
 // trust).
 func DecodeBundle(data []byte) (*Bundle, error) {
 	if len(data) < len(bundleMagic)+2+4+4 {
-		return nil, fmt.Errorf("feam: bundle too short")
+		return nil, fmt.Errorf("%w: archive too short", ErrBadBundle)
 	}
 	if string(data[:len(bundleMagic)]) != bundleMagic {
-		return nil, fmt.Errorf("feam: not a FEAM bundle")
+		return nil, fmt.Errorf("%w: not a FEAM bundle", ErrBadBundle)
 	}
 	body, trailer := data[:len(data)-4], data[len(data)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
-		return nil, fmt.Errorf("feam: bundle checksum mismatch (corrupted in transit?)")
+		return nil, fmt.Errorf("%w: checksum mismatch (corrupted in transit?)", ErrBadBundle)
 	}
 	r := &byteReader{data: body, off: len(bundleMagic)}
 	version := r.u16()
 	if version != bundleVersion {
-		return nil, fmt.Errorf("feam: unsupported bundle version %d", version)
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadBundle, version)
 	}
 	count := int(r.u32())
 	b := &Bundle{}
 	for i := 0; i < count; i++ {
 		if r.err != nil {
-			return nil, fmt.Errorf("feam: truncated bundle: %v", r.err)
+			return nil, fmt.Errorf("%w: truncated archive: %w", ErrBadBundle, r.err)
 		}
 		tag := r.u8()
 		name := string(r.bytes(int(r.u16())))
 		secBody := r.bytes(int(r.u32()))
 		if r.err != nil {
-			return nil, fmt.Errorf("feam: truncated bundle section %d: %v", i, r.err)
+			return nil, fmt.Errorf("%w: truncated section %d: %w", ErrBadBundle, i, r.err)
 		}
 		switch tag {
 		case secMeta:
@@ -163,11 +163,11 @@ func DecodeBundle(data []byte) (*Bundle, error) {
 		case secAppBinary:
 			b.AppBytes = append([]byte(nil), secBody...)
 		default:
-			return nil, fmt.Errorf("feam: unknown bundle section tag %q", tag)
+			return nil, fmt.Errorf("%w: unknown section tag %q", ErrBadBundle, tag)
 		}
 	}
 	if b.App == nil {
-		return nil, fmt.Errorf("feam: bundle lacks an application description")
+		return nil, fmt.Errorf("%w: archive lacks an application description", ErrBadBundle)
 	}
 	return b, nil
 }
@@ -262,7 +262,7 @@ func decodeDescription(body []byte, name string) (*BinaryDescription, error) {
 			if val != "" {
 				v, err := libver.ParseVersion(val)
 				if err != nil {
-					return nil, fmt.Errorf("feam: bundle description: %v", err)
+					return nil, fmt.Errorf("%w: description: %w", ErrBadBundle, err)
 				}
 				d.RequiredGlibc = v
 			}
@@ -320,11 +320,11 @@ func encodeLibraryCopy(lc *LibraryCopy) ([]byte, error) {
 
 func decodeLibraryCopy(body []byte, name string) (*LibraryCopy, error) {
 	if len(body) < 4 {
-		return nil, fmt.Errorf("feam: truncated library section %q", name)
+		return nil, fmt.Errorf("%w: truncated library section %q", ErrBadBundle, name)
 	}
 	attrLen := int(binary.LittleEndian.Uint32(body))
 	if 4+attrLen > len(body) {
-		return nil, fmt.Errorf("feam: corrupt library section %q", name)
+		return nil, fmt.Errorf("%w: corrupt library section %q", ErrBadBundle, name)
 	}
 	lc := &LibraryCopy{Name: name}
 	for _, line := range bytes.Split(body[4:4+attrLen], []byte("\n")) {
@@ -342,7 +342,7 @@ func decodeLibraryCopy(body []byte, name string) (*LibraryCopy, error) {
 			}
 			unq, err := strconv.Unquote(val)
 			if err != nil {
-				return nil, fmt.Errorf("feam: bundle library %q: corrupt attribute: %v", name, err)
+				return nil, fmt.Errorf("%w: library %q: corrupt attribute: %w", ErrBadBundle, name, err)
 			}
 			lc.Attrs[key[5:]] = unq
 		}
@@ -350,7 +350,7 @@ func decodeLibraryCopy(body []byte, name string) (*LibraryCopy, error) {
 	lc.Data = append([]byte(nil), body[4+attrLen:]...)
 	desc, err := DescribeBytes(lc.Data, name)
 	if err != nil {
-		return nil, fmt.Errorf("feam: bundle library %q: %v", name, err)
+		return nil, fmt.Errorf("%w: library %q: %w", ErrBadBundle, name, err)
 	}
 	lc.Desc = desc
 	return lc, nil
@@ -387,11 +387,11 @@ func encodeArtifact(a *toolchain.Artifact) ([]byte, error) {
 
 func decodeArtifact(body []byte) (*toolchain.Artifact, error) {
 	if len(body) < 4 {
-		return nil, fmt.Errorf("feam: truncated artifact section")
+		return nil, fmt.Errorf("%w: truncated artifact section", ErrBadBundle)
 	}
 	hdrLen := int(binary.LittleEndian.Uint32(body))
 	if 4+hdrLen > len(body) {
-		return nil, fmt.Errorf("feam: corrupt artifact section")
+		return nil, fmt.Errorf("%w: corrupt artifact section", ErrBadBundle)
 	}
 	a := &toolchain.Artifact{}
 	for _, line := range bytes.Split(body[4:4+hdrLen], []byte("\n")) {

@@ -44,28 +44,28 @@ func (c *Config) Validate() error {
 	switch c.Phase {
 	case "source":
 		if c.BinaryPath == "" {
-			return fmt.Errorf("feam: source phase requires a binary location")
+			return fmt.Errorf("%w: source phase requires a binary location", ErrBadConfig)
 		}
 	case "target":
 		if c.BinaryPath == "" && c.BundlePath == "" {
-			return fmt.Errorf("feam: target phase requires a binary or a bundle")
+			return fmt.Errorf("%w: target phase requires a binary or a bundle", ErrBadConfig)
 		}
 	default:
-		return fmt.Errorf("feam: phase must be \"source\" or \"target\", got %q", c.Phase)
+		return fmt.Errorf("%w: phase must be \"source\" or \"target\", got %q", ErrBadConfig, c.Phase)
 	}
 	if c.SerialScript == "" || c.ParallelScript == "" {
-		return fmt.Errorf("feam: serial and parallel submission scripts are required")
+		return fmt.Errorf("%w: serial and parallel submission scripts are required", ErrBadConfig)
 	}
 	if !strings.Contains(c.SerialScript, batch.CmdPlaceholder) ||
 		!strings.Contains(c.ParallelScript, batch.CmdPlaceholder) {
-		return fmt.Errorf("feam: submission scripts must contain the %s placeholder", batch.CmdPlaceholder)
+		return fmt.Errorf("%w: submission scripts must contain the %s placeholder", ErrBadConfig, batch.CmdPlaceholder)
 	}
 	// The scripts must parse under a known resource manager.
 	if _, err := batch.Parse(c.SerialScript); err != nil {
-		return fmt.Errorf("feam: serial script: %v", err)
+		return fmt.Errorf("%w: serial script: %w", ErrBadConfig, err)
 	}
 	if _, err := batch.Parse(c.ParallelScript); err != nil {
-		return fmt.Errorf("feam: parallel script: %v", err)
+		return fmt.Errorf("%w: parallel script: %w", ErrBadConfig, err)
 	}
 	return nil
 }
@@ -86,7 +86,7 @@ func ParseConfig(text string) (*Config, error) {
 		}
 		eq := strings.Index(line, "=")
 		if eq < 0 {
-			return nil, fmt.Errorf("feam: config line %d: missing '=': %q", i+1, line)
+			return nil, fmt.Errorf("%w: line %d: missing '=': %q", ErrBadConfig, i+1, line)
 		}
 		key := strings.TrimSpace(line[:eq])
 		val := strings.TrimSpace(line[eq+1:])
@@ -94,7 +94,7 @@ func ParseConfig(text string) (*Config, error) {
 		if strings.HasPrefix(val, "<<") {
 			marker := strings.TrimSpace(strings.TrimPrefix(val, "<<"))
 			if marker == "" {
-				return nil, fmt.Errorf("feam: config line %d: empty heredoc marker", i+1)
+				return nil, fmt.Errorf("%w: line %d: empty heredoc marker", ErrBadConfig, i+1)
 			}
 			var body []string
 			j := i + 1
@@ -105,7 +105,7 @@ func ParseConfig(text string) (*Config, error) {
 				body = append(body, lines[j])
 			}
 			if j == len(lines) {
-				return nil, fmt.Errorf("feam: config line %d: unterminated heredoc %q", i+1, marker)
+				return nil, fmt.Errorf("%w: line %d: unterminated heredoc %q", ErrBadConfig, i+1, marker)
 			}
 			val = strings.Join(body, "\n")
 			i = j
@@ -124,7 +124,7 @@ func ParseConfig(text string) (*Config, error) {
 		case strings.HasPrefix(key, "mpiexec."):
 			cfg.MpiexecByImpl[strings.TrimPrefix(key, "mpiexec.")] = val
 		default:
-			return nil, fmt.Errorf("feam: config: unknown key %q", key)
+			return nil, fmt.Errorf("%w: unknown key %q", ErrBadConfig, key)
 		}
 	}
 	return cfg, nil

@@ -98,7 +98,7 @@ func discoverSite(site *sitemodel.Site) (*EnvironmentDescription, error) {
 func discoverSystem(site *sitemodel.Site, env *EnvironmentDescription) error {
 	raw, err := site.FS().ReadFile("/proc/sys/kernel/uname")
 	if err != nil {
-		return fmt.Errorf("feam: uname unavailable: %v", err)
+		return fmt.Errorf("%w: uname unavailable: %w", ErrSiteUnavailable, err)
 	}
 	fields := strings.Fields(string(raw))
 	if len(fields) > 0 {
@@ -114,7 +114,7 @@ func discoverSystem(site *sitemodel.Site, env *EnvironmentDescription) error {
 	case "ppc":
 		env.ISA, env.Bits = elfimg.EMPPC, 32
 	default:
-		return fmt.Errorf("feam: unrecognized processor %q", env.UnameProcessor)
+		return fmt.Errorf("%w: unrecognized processor %q", ErrSiteUnavailable, env.UnameProcessor)
 	}
 	if data, err := site.FS().ReadFile("/proc/version"); err == nil {
 		f := strings.Fields(string(data))

@@ -21,4 +21,16 @@ var (
 	// infrastructure failure (a probe run, image build, or library scan
 	// erroring out — not a NOT-READY verdict, which is a valid prediction).
 	ErrProbeFailed = errors.New("feam: evaluation aborted")
+
+	// ErrBadBinary reports that a binary image could not be described: it
+	// is not a parseable ELF object, or could not be read from the site.
+	ErrBadBinary = errors.New("feam: bad binary")
+
+	// ErrBadBundle reports a malformed or unreadable source-phase bundle —
+	// a corrupt archive, a failed manifest check, or a truncated member.
+	ErrBadBundle = errors.New("feam: bad bundle")
+
+	// ErrBadConfig reports an invalid user configuration: an unknown key,
+	// a missing required field, or an unusable submission script.
+	ErrBadConfig = errors.New("feam: bad config")
 )

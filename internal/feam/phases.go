@@ -87,14 +87,14 @@ func RunSourcePhase(cfg *Config, site *sitemodel.Site, runner ProgramRunner) (*B
 func (e *Engine) RunSourcePhase(ctx context.Context, cfg *Config, site *sitemodel.Site, runner ProgramRunner) (*Bundle, *Report, error) {
 	report := &Report{Phase: "source", Site: site.Name}
 	if cfg.Phase != "source" {
-		return nil, nil, fmt.Errorf("feam: config requests phase %q", cfg.Phase)
+		return nil, nil, fmt.Errorf("%w: config requests phase %q, not source", ErrBadConfig, cfg.Phase)
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
 	appBytes, err := site.FS().ReadFile(cfg.BinaryPath)
 	if err != nil {
-		return nil, nil, fmt.Errorf("feam: application binary: %v", err)
+		return nil, nil, fmt.Errorf("%w: application binary: %w", ErrBadBinary, err)
 	}
 
 	desc, err := e.Describe(ctx, appBytes, cfg.BinaryPath)
@@ -119,6 +119,10 @@ func (e *Engine) RunSourcePhase(ctx context.Context, cfg *Config, site *sitemode
 		if env.Loaded == nil {
 			report.note("no MPI stack loaded in the guaranteed environment; probes may be unrepresentative")
 		} else if env.Loaded.Impl != desc.MPIImpl {
+			// A stack mismatch at the guaranteed environment is a violated
+			// phase-I precondition, not a pipeline fault: the user must load
+			// the right stack and rerun, so no sentinel classifies it.
+			//lint:ignore faultwrap precondition violation reported verbatim to the user, not routed through the taxonomy
 			return nil, report, fmt.Errorf("feam: guaranteed environment has %s loaded but binary uses %s",
 				env.Loaded.Impl, desc.MPIImpl)
 		} else {
@@ -193,7 +197,7 @@ func RunTargetPhase(cfg *Config, site *sitemodel.Site, bundle *Bundle, runner Pr
 func (e *Engine) RunTargetPhase(ctx context.Context, cfg *Config, site *sitemodel.Site, bundle *Bundle, runner ProgramRunner) (*Prediction, *Report, error) {
 	report := &Report{Phase: "target", Site: site.Name}
 	if cfg.Phase != "target" {
-		return nil, nil, fmt.Errorf("feam: config requests phase %q", cfg.Phase)
+		return nil, nil, fmt.Errorf("%w: config requests phase %q, not target", ErrBadConfig, cfg.Phase)
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
@@ -219,7 +223,7 @@ func (e *Engine) RunTargetPhase(ctx context.Context, cfg *Config, site *sitemode
 		appBytes = bundle.AppBytes
 		report.note("using bundled description from %s", bundle.SourceSite)
 	default:
-		return nil, nil, fmt.Errorf("feam: no binary at %q and no bundle", cfg.BinaryPath)
+		return nil, nil, fmt.Errorf("%w: no binary at %q and no bundle", ErrNoEnvironment, cfg.BinaryPath)
 	}
 
 	env, cached, err := e.discoverCached(ctx, site)

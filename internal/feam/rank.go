@@ -98,7 +98,7 @@ func (e *Engine) assessSite(ctx context.Context, desc *BinaryDescription, appByt
 		obs.WithSite(site.Name), obs.WithBinary(binName))
 	defer func() {
 		if r := recover(); r != nil {
-			a.Err = fmt.Errorf("feam: site %s assessment panicked: %v", site.Name, r)
+			a.Err = fmt.Errorf("%w: site %s assessment panicked: %v", ErrProbeFailed, site.Name, r)
 		}
 		sp.End(a.Err)
 	}()

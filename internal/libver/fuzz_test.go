@@ -1,0 +1,97 @@
+package libver
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSoname exercises the shared-object name parser with arbitrary
+// input. Beyond "must not panic", a successful parse must be a fixed point:
+// re-parsing the canonical String() form yields the same soname, and the
+// derived names keep their documented relationships.
+func FuzzParseSoname(f *testing.F) {
+	for _, seed := range []string{
+		"libmpich.so.1.2",
+		"libc.so.6",
+		"libdl.so",
+		"libfoo.sock.so.1",
+		"/usr/lib64/libm.so.6",
+		"lib.so",
+		"libx.so.",
+		"libmpi.so.1.7rc1",
+		"libstdc++.so.6.0.13",
+		"ld-linux-x86-64.so.2",
+		"liba.so.999999999999999999999999",
+		"lib\x00.so.1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		s, err := ParseSoname(name)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		s2, err := ParseSoname(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, name, err)
+		}
+		if s2.Stem != s.Stem || !s2.Version.Equal(s.Version) {
+			t.Fatalf("round trip of %q changed %v to %v", name, s, s2)
+		}
+		link, err := ParseSoname(s.LinkName())
+		if err != nil {
+			t.Fatalf("link name %q of %q does not re-parse: %v", s.LinkName(), name, err)
+		}
+		if !s.SatisfiesNeeded(link) {
+			t.Fatalf("%q does not satisfy its own link name %q", canon, s.LinkName())
+		}
+		if !s.CompatibleWith(s) {
+			t.Fatalf("%q is not compatible with itself", canon)
+		}
+	})
+}
+
+// FuzzSymverRequirements feeds newline-separated symbol-version names
+// through ParseSymbolVersion and HighestGlibc, the path a hostile binary's
+// version-reference table reaches. HighestGlibc must skip malformed names
+// and agree with a per-name maximum computed independently.
+func FuzzSymverRequirements(f *testing.F) {
+	for _, seed := range []string{
+		"GLIBC_2.12\nGLIBC_2.5\nGCC_3.0",
+		"GLIBC_2.2.5",
+		"GLIBCXX_3.4\nCXXABI_1.3",
+		"GLIBC_",
+		"_2.0\nGLIBC",
+		"GLIBC_2.0rc1\nGLIBC_0",
+		"GLIBC_2.0\x00GLIBC_9.9",
+		strings.Repeat("GLIBC_2.", 100),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		names := strings.Split(input, "\n")
+		var want Version
+		for _, n := range names {
+			sv, err := ParseSymbolVersion(n)
+			if err != nil {
+				continue
+			}
+			canon := sv.String()
+			sv2, err := ParseSymbolVersion(canon)
+			if err != nil {
+				t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, n, err)
+			}
+			if sv2.Namespace != sv.Namespace || !sv2.Version.Equal(sv.Version) {
+				t.Fatalf("round trip of %q changed %v to %v", n, sv, sv2)
+			}
+			if sv.IsGlibc() && (want.IsZero() || sv.Version.Compare(want) > 0) {
+				want = sv.Version
+			}
+		}
+		got := HighestGlibc(names)
+		if !got.Equal(want) {
+			t.Fatalf("HighestGlibc(%q) = %v, want %v", input, got, want)
+		}
+	})
+}
