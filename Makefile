@@ -2,7 +2,7 @@ GO ?= go
 STATICCHECK ?= staticcheck
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race fault obs lint fuzz bench
+.PHONY: build vet test race fault obs lint fuzz bench bench-json bench-smoke
 
 build:
 	$(GO) build ./...
@@ -51,3 +51,17 @@ fuzz:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Benchmark packages: the paper-table suite at the root plus the PR6
+# layering benchmarks (registry hit rate, store commit latency).
+BENCH_PKGS = . ./internal/registry ./internal/store
+
+# Full benchmark run rendered to committed JSON. BENCH_PR6.json carries
+# the registry hit-rate and store commit-latency numbers for this PR.
+bench-json:
+	$(GO) test -run xxx -bench . -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -out BENCH_PR6.json
+
+# Quick CI variant: a fixed tiny iteration count proves the benchmarks
+# and the JSON renderer still work without paying for stable numbers.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 10x $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -out BENCH_smoke.json

@@ -23,8 +23,11 @@ import (
 	"feam/internal/experiment"
 	"feam/internal/feam"
 	"feam/internal/obs"
+	"feam/internal/registry"
 	"feam/internal/report"
+	"feam/internal/store"
 	"feam/internal/testbed"
+	"feam/internal/vfs"
 )
 
 type evalConfig struct {
@@ -97,7 +100,23 @@ func run(cfg evalConfig) error {
 		return nil
 	}
 
-	eng := feam.New()
+	// Explicit layering: one metrics registry and tracer feed the sharded
+	// site registry and the persistent store underneath a stateless engine,
+	// so the evaluation's survey traffic is cached, counted, and persisted
+	// through the same layers the production workflow uses.
+	metricsReg := obs.NewRegistry()
+	tr := obs.NewTracer(0)
+	st, err := store.Open(vfs.New(), "/feam/state",
+		store.WithMetrics(metricsReg), store.WithTracer(tr))
+	if err != nil {
+		return err
+	}
+	eng := feam.New(
+		feam.WithTracer(tr),
+		feam.WithMetrics(metricsReg),
+		feam.WithRegistry(registry.New(registry.WithMetrics(metricsReg))),
+		feam.WithStore(st),
+	)
 	if cfg.traceOut != "" {
 		f, err := os.Create(cfg.traceOut)
 		if err != nil {

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"feam/internal/batch"
+	"feam/internal/feam"
+	"feam/internal/sitemodel"
+	"feam/internal/testbed"
+	"feam/internal/toolchain"
+)
+
+// batchRunner routes every probe execution through the site's simulated
+// resource manager instead of invoking it directly: it renders a native
+// submission script for the site's manager flavor (PBS at ranger, SGE at
+// india, SLURM at fir...), substitutes the probe command for the %CMD%
+// placeholder — the round-trip FEAM performs on user-supplied templates —
+// parses the script back to confirm nothing was lost, and submits the job
+// through the site's debug queue so probe runs pay queue wait and show up
+// in CPU-hour accounting.
+type batchRunner struct {
+	inner feam.ProgramRunner
+	tb    *testbed.Testbed
+}
+
+const (
+	probeQueue    = "debug"
+	probeWalltime = 10 * time.Minute
+	probeRuntime  = 30 * time.Second
+)
+
+// RunProgram implements feam.ProgramRunner.
+func (r *batchRunner) RunProgram(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
+	cluster := r.tb.Clusters[site.Name]
+	if cluster == nil {
+		// Not a testbed site (imported image): run directly.
+		return r.inner.RunProgram(art, site, stackKey, extraLibDirs)
+	}
+	spec := batch.ScriptSpec{
+		Manager:  r.tb.Specs[site.Name].Manager,
+		JobName:  "feam-probe",
+		Queue:    probeQueue,
+		Nodes:    1,
+		Tasks:    4,
+		WallTime: probeWalltime,
+		Command:  batch.CmdPlaceholder,
+	}
+	cmd := fmt.Sprintf("mpirun -np %d ./%s", spec.Nodes*spec.Tasks, art.Name)
+	script := batch.Substitute(batch.Generate(spec), cmd)
+	parsed, err := batch.Parse(script)
+	if err != nil {
+		return false, "batch: generated script unparseable: " + err.Error()
+	}
+	if parsed.Manager != spec.Manager || parsed.Command != cmd {
+		return false, fmt.Sprintf("batch: script round-trip lost state (%s %q)", parsed.Manager, parsed.Command)
+	}
+	res, err := cluster.Submit(parsed, func(int) (bool, string, time.Duration) {
+		ok, detail := r.inner.RunProgram(art, site, stackKey, extraLibDirs)
+		return ok, detail, probeRuntime
+	}, 1, 0)
+	if err != nil {
+		return false, "batch: " + err.Error()
+	}
+	return res.Success, res.Output
+}

@@ -19,9 +19,12 @@ import (
 	"feam/internal/feam"
 	"feam/internal/metrics"
 	"feam/internal/obs"
+	"feam/internal/registry"
 	"feam/internal/report"
 	"feam/internal/sitemodel"
+	"feam/internal/store"
 	"feam/internal/testbed"
+	"feam/internal/vfs"
 	"feam/internal/toolchain"
 	"feam/internal/workload"
 )
@@ -85,11 +88,25 @@ func main() {
 	exportMetrics(eng, *metricsOut)
 }
 
-// buildEngine constructs the tool's engine with the requested observability
-// wiring: a streaming span sink for -trace-out and a background debug
-// server for -debug-addr. cleanup flushes and closes the trace file.
+// buildEngine constructs the tool's engine from its three layers — shared
+// metrics and tracer, a sharded site registry, and a persistent store —
+// with the requested observability wiring: a streaming span sink for
+// -trace-out and a background debug server for -debug-addr. cleanup
+// flushes and closes the trace file.
 func buildEngine(traceOut, debugAddr string) (*feam.Engine, func(), error) {
-	eng := feam.New()
+	metricsReg := obs.NewRegistry()
+	tr := obs.NewTracer(0)
+	st, err := store.Open(vfs.New(), "/feam/state",
+		store.WithMetrics(metricsReg), store.WithTracer(tr))
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := feam.New(
+		feam.WithTracer(tr),
+		feam.WithMetrics(metricsReg),
+		feam.WithRegistry(registry.New(registry.WithMetrics(metricsReg))),
+		feam.WithStore(st),
+	)
 	cleanup := func() {}
 	if traceOut != "" {
 		f, err := os.Create(traceOut)
@@ -177,7 +194,7 @@ func runFaults(eng *feam.Engine, tb *testbed.Testbed, rate, transientFrac float6
 		Phase: "source", BinaryPath: binPath,
 		SerialScript: serial, ParallelScript: parallel,
 	}
-	bundle, _, err := eng.RunSourcePhase(ctx, cfg, src, experiment.NewSimRunner(sim))
+	bundle, _, err := eng.RunSourcePhase(ctx, cfg, src, &batchRunner{inner: experiment.NewSimRunner(sim), tb: tb})
 	src.RestoreEnv(snap)
 	if err != nil {
 		return err
@@ -189,7 +206,11 @@ func runFaults(eng *feam.Engine, tb *testbed.Testbed, rate, transientFrac float6
 		Seed:              seed,
 		Ops:               []string{"probe", "write", "setattr", "mkdir", "rename", "removeall"},
 	}
-	runner := &fault.FaultyRunner{Inner: experiment.NewSimProbeRunner(sim), Inj: inj}
+	// Probe submissions pass through each site's simulated resource manager
+	// (script generation, %CMD% substitution, parse round-trip, queue wait)
+	// with the fault injector underneath, so a probe can fail either in the
+	// batch layer or in the execution itself.
+	runner := &batchRunner{inner: &fault.FaultyRunner{Inner: experiment.NewSimProbeRunner(sim), Inj: inj}, tb: tb}
 	var targets []*sitemodel.Site
 	for _, s := range tb.Sites {
 		if s.Name == from {
@@ -242,6 +263,15 @@ func runFaults(eng *feam.Engine, tb *testbed.Testbed, rate, transientFrac float6
 	}
 	fmt.Printf("\nfaults injected: %d\n", inj.Injected())
 	fmt.Printf("engine: %s\n", counters.String())
+	fmt.Printf("batch accounting (probe jobs through each site's manager):\n")
+	for _, s := range append([]*sitemodel.Site{src}, targets...) {
+		c := tb.Clusters[s.Name]
+		if c == nil || c.Now() == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %-5s %6.2f CPU-hours, virtual clock %s\n",
+			s.Name, c.Manager, c.CPUHoursUsed(), c.Now())
+	}
 	return nil
 }
 

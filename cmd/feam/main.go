@@ -20,10 +20,14 @@ import (
 	"feam/internal/experiment"
 	"feam/internal/feam"
 	"feam/internal/metrics"
+	"feam/internal/obs"
+	"feam/internal/registry"
 	"feam/internal/report"
 	"feam/internal/sitemodel"
+	"feam/internal/store"
 	"feam/internal/testbed"
 	"feam/internal/toolchain"
+	"feam/internal/vfs"
 	"feam/internal/workload"
 )
 
@@ -49,11 +53,35 @@ func main() {
 func run(codeName, className, from, stackKey, to string, basic bool, seed int64, workers int, verbose bool) error {
 	ctx := context.Background()
 	var counters metrics.EngineCounters
-	eng := feam.New(feam.WithObserver(feam.NewCountersObserver(&counters)))
+	// Construct the engine's three layers explicitly: shared metrics, a
+	// sharded site registry over them, and a persistent store (in-memory
+	// vfs here — the simulated world has no host disk) so surveys, binary
+	// descriptions, and the bundle are persisted as the workflow computes
+	// them.
+	metricsReg := obs.NewRegistry()
+	tr := obs.NewTracer(0)
+	sites := registry.New(registry.WithMetrics(metricsReg))
+	st, err := store.Open(vfs.New(), "/feam/state",
+		store.WithMetrics(metricsReg), store.WithTracer(tr))
+	if err != nil {
+		return err
+	}
+	eng := feam.New(
+		feam.WithTracer(tr),
+		feam.WithMetrics(metricsReg),
+		feam.WithRegistry(sites),
+		feam.WithStore(st),
+		feam.WithObserver(feam.NewCountersObserver(&counters)),
+	)
 	if verbose {
 		defer func() {
 			fmt.Printf("\n%s", report.Latency(eng.Metrics()))
 			fmt.Printf("\nengine: %s\n", counters.String())
+			rst := sites.Stats()
+			sst := st.Stats()
+			fmt.Printf("registry: %d sites, %d surveys, %d descriptions cached (%d hits / %d misses, %d evicted)\n",
+				rst.Sites, rst.Surveys, rst.Descriptions, rst.Hits, rst.Misses, rst.Evictions)
+			fmt.Printf("store: %d commits, %d loads, %d corrupt\n", sst.Commits, sst.Loads, sst.Corrupt)
 		}()
 	}
 	code := workload.Find(codeName)

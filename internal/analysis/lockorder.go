@@ -32,6 +32,13 @@ var lockBlockers = map[string]bool{
 	"RankSites": true, "RankSitesParallel": true, "assessSite": true,
 	"resolveMissing": true, "stagePlan": true, "stageOne": true,
 	"commitStage": true, "retryFSOp": true,
+	// PR 6 layering: real survey/description work and the engine's
+	// store-backed rehydration helpers do filesystem I/O, so none of them
+	// may run under a registry shard lock or the store's vfs lock.
+	"discoverSite": true, "describeBytes": true,
+	"loadSurvey": true, "persistSurvey": true,
+	"loadDescription": true, "persistDescription": true,
+	"SaveBundle": true, "LoadBundle": true,
 }
 
 type heldLock struct {

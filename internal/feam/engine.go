@@ -14,31 +14,37 @@ import (
 
 	"feam/internal/fault"
 	"feam/internal/obs"
+	"feam/internal/registry"
 	"feam/internal/sitemodel"
 )
 
-// Engine is the central prediction pipeline: it owns the memoized BDC and
-// EDC caches, the determinant-evaluator registry, the per-site locks that
-// serialize site-mutating work, and the observer hooks. One engine is meant
-// to be shared across many evaluations — the paper's headline use case is
-// assessing many (binary, site) pairs, and re-running description and
-// discovery for every pair is pure waste.
+// Engine is the stateless prediction core: the determinant-evaluator
+// ladder, the worker-pool width, the retry policy, and the observability
+// wiring — configuration fixed at construction, never mutated. All engine
+// *state* (site table, per-site locks, memoized BDC and EDC caches,
+// persisted surveys and bundles) lives behind the SiteRegistry and Store
+// layers, so any number of engines sharing one registry and store see one
+// coherent fleet; the paper's headline use case — assessing many
+// (binary, site) pairs — scales by adding engines, not by growing one.
 //
-// Concurrency contract: the engine's caches and lock registry are safe for
-// concurrent use. Sites themselves are NOT internally synchronized — any
-// caller running engine operations against the same site from multiple
-// goroutines must hold SiteLock(site.Name) around them. RankSites does this
-// itself; Evaluate and the phase runners leave it to the caller so a caller
-// can group several operations (stage a binary, activate a stack, evaluate)
-// into one critical section without deadlocking.
+// Concurrency contract: the engine is immutable and its layers are safe
+// for concurrent use. Sites themselves are NOT internally synchronized —
+// any caller running engine operations against the same site from
+// multiple goroutines must hold SiteLock(site.Name) around them. RankSites
+// does this itself; Evaluate and the phase runners leave it to the caller
+// so a caller can group several operations (stage a binary, activate a
+// stack, evaluate) into one critical section without deadlocking. Engines
+// sharing one registry share one set of site locks, which is what makes
+// cross-engine evaluation of one site safe.
 type Engine struct {
-	mu         sync.Mutex
 	evaluators []DeterminantEvaluator
 	workers    int
 	retry      fault.RetryPolicy
-	bdc        map[bdcKey]*BinaryDescription
-	edc        map[string]*edcEntry
-	siteLocks  map[string]*sync.Mutex
+
+	// sites is the in-memory state layer (never nil); store is the
+	// optional persistence layer a restarted process rehydrates from.
+	sites SiteRegistry
+	store Store
 
 	// tracer and reg are fixed at construction: every pipeline operation
 	// emits spans through tracer, and reg holds the latency histograms and
@@ -46,35 +52,6 @@ type Engine struct {
 	// are adapted onto the same span stream (see observerSink).
 	tracer *obs.Tracer
 	reg    *obs.Registry
-}
-
-// bdcKey identifies a binary description: content hash plus the name the
-// caller described it under (the name is part of the description).
-type bdcKey struct {
-	hash string
-	name string
-}
-
-// edcEntry is one cached environment description with the fingerprint it
-// was computed under and the site object it belongs to.
-type edcEntry struct {
-	site        *sitemodel.Site
-	fingerprint uint64
-	env         *EnvironmentDescription
-}
-
-// maxBDCEntries bounds the description cache; beyond it the cache resets
-// (descriptions are cheap to recompute, an eviction policy is not worth
-// the bookkeeping).
-const maxBDCEntries = 4096
-
-// NewEngine returns an engine with the paper's default determinant
-// registry (§V.C order) and a worker pool sized to the host.
-//
-// Deprecated: use New, which takes functional options (WithEvaluators,
-// WithWorkers, WithRetryPolicy, WithObserver, WithTracer, WithRegistry).
-func NewEngine() *Engine {
-	return New()
 }
 
 func defaultWorkers() int {
@@ -111,63 +88,14 @@ func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 // JSON or Prometheus text exposition format.
 func (e *Engine) Metrics() *obs.Registry { return e.reg }
 
-// SetEvaluators replaces the engine's default determinant registry. The
-// slice is captured as-is; pass evaluators in the order they should gate.
-// Safe to call while other goroutines evaluate — in-flight evaluations
-// keep the registry they started with.
-//
-// Deprecated: configure at construction with New(WithEvaluators(...)).
-func (e *Engine) SetEvaluators(evals []DeterminantEvaluator) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.evaluators = evals
-}
-
-// defaultEvaluators snapshots the current registry.
-func (e *Engine) defaultEvaluators() []DeterminantEvaluator {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.evaluators
-}
-
-// SetWorkers sets the default fan-out width for RankSites (minimum 1).
-// Safe to call concurrently with RankSites; in-flight surveys keep the
-// width they started with.
-//
-// Deprecated: configure at construction with New(WithWorkers(n)).
-func (e *Engine) SetWorkers(n int) {
-	if n < 1 {
-		n = 1
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.workers = n
-}
+// defaultEvaluators returns the construction-time determinant ladder.
+func (e *Engine) defaultEvaluators() []DeterminantEvaluator { return e.evaluators }
 
 // Workers returns the engine's default RankSites fan-out width.
-func (e *Engine) Workers() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.workers
-}
-
-// SetRetryPolicy replaces the engine's transient-fault retry policy, used
-// around probe-program runs and staging writes. The zero policy disables
-// retries.
-//
-// Deprecated: configure at construction with New(WithRetryPolicy(p)).
-func (e *Engine) SetRetryPolicy(p fault.RetryPolicy) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.retry = p
-}
+func (e *Engine) Workers() int { return e.workers }
 
 // RetryPolicy returns the engine's transient-fault retry policy.
-func (e *Engine) RetryPolicy() fault.RetryPolicy {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.retry
-}
+func (e *Engine) RetryPolicy() fault.RetryPolicy { return e.retry }
 
 // AddObserver registers a hook for engine events. Observers must be safe
 // for concurrent notification; they are invoked from worker goroutines.
@@ -180,19 +108,12 @@ func (e *Engine) AddObserver(o Observer) {
 	e.tracer.AddSink(&observerSink{o: o})
 }
 
-// SiteLock returns the engine's serialization lock for a site name,
+// SiteLock returns the registry's serialization lock for a site name,
 // creating it on first use. Everything that mutates a site's filesystem or
 // environment (stack activation, staging, probe runs) must run under it
-// when the engine is shared across goroutines.
+// when the engine — or the registry — is shared across goroutines.
 func (e *Engine) SiteLock(name string) *sync.Mutex {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	l, ok := e.siteLocks[name]
-	if !ok {
-		l = &sync.Mutex{}
-		e.siteLocks[name] = l
-	}
-	return l
+	return e.sites.SiteLock(name)
 }
 
 // contentHash returns the hex SHA-256 of a binary image — the BDC cache key
@@ -203,35 +124,38 @@ func contentHash(data []byte) string {
 }
 
 // Describe is the memoized BDC: identical binary content described under
-// the same name returns the cached description. The returned description is
-// shared — callers must treat it as immutable.
+// the same name returns the registry-cached description, and with a store
+// configured a restarted process rehydrates the record instead of
+// re-parsing. The returned description is shared — callers must treat it
+// as immutable.
 func (e *Engine) Describe(ctx context.Context, data []byte, name string) (*BinaryDescription, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	sp := e.tracer.Start(obs.OpDescribe,
 		obs.WithParent(obs.SpanFromContext(ctx)), obs.WithBinary(name))
-	key := bdcKey{hash: contentHash(data), name: name}
-	e.mu.Lock()
-	if desc, ok := e.bdc[key]; ok {
-		e.mu.Unlock()
-		sp.Event(obs.EvCache, obs.AttrComponent, "bdc", obs.AttrKey, name, obs.AttrHit, "true")
+	hash := contentHash(data)
+	if v, ok := e.sites.LookupDescription(hash, name); ok {
+		sp.Event(obs.EvCache, obs.AttrComponent, "bdc", obs.AttrKey, name,
+			obs.AttrHit, "true", obs.AttrSource, "registry")
+		sp.End(nil)
+		return v.(*BinaryDescription), nil
+	}
+	if desc, ok := e.loadDescription(hash, name); ok {
+		e.sites.StoreDescription(hash, name, desc)
+		sp.Event(obs.EvCache, obs.AttrComponent, "bdc", obs.AttrKey, name,
+			obs.AttrHit, "true", obs.AttrSource, "store")
 		sp.End(nil)
 		return desc, nil
 	}
-	e.mu.Unlock()
 	sp.Event(obs.EvCache, obs.AttrComponent, "bdc", obs.AttrKey, name, obs.AttrHit, "false")
-	desc, err := describeBytes(data, name, key.hash)
+	desc, err := describeBytes(data, name, hash)
 	if err != nil {
 		sp.End(err)
 		return nil, err
 	}
-	e.mu.Lock()
-	if len(e.bdc) >= maxBDCEntries {
-		e.bdc = map[bdcKey]*BinaryDescription{}
-	}
-	e.bdc[key] = desc
-	e.mu.Unlock()
+	e.sites.StoreDescription(hash, name, desc)
+	e.persistDescription(desc)
 	sp.End(nil)
 	return desc, nil
 }
@@ -261,10 +185,12 @@ func siteFingerprint(site *sitemodel.Site) uint64 {
 }
 
 // Discover is the memoized EDC: repeat surveys of an unchanged site return
-// the cached environment description. The cache invalidates whenever the
-// site's environment variables or filesystem change — loading a stack
-// through envmgmt, staging libraries, or installing software all produce a
-// fresh survey. The returned description is shared and must be treated as
+// the registry-cached environment description, and with a store configured
+// a restarted process rehydrates the persisted survey instead of
+// re-running discovery. The cache invalidates whenever the site's
+// environment variables or filesystem change — loading a stack through
+// envmgmt, staging libraries, or installing software all produce a fresh
+// survey. The returned description is shared and must be treated as
 // immutable.
 func (e *Engine) Discover(ctx context.Context, site *sitemodel.Site) (*EnvironmentDescription, error) {
 	env, _, err := e.discoverCached(ctx, site)
@@ -272,42 +198,57 @@ func (e *Engine) Discover(ctx context.Context, site *sitemodel.Site) (*Environme
 }
 
 // discoverCached is Discover plus a cache-hit indicator (the phase runners
-// report cached surveys at a fraction of the simulated cost).
+// report cached surveys at a fraction of the simulated cost). The lookup
+// is traced as a registry span; an OpDiscover span is emitted only when a
+// real survey runs, so "zero discover spans" is the observable proof that
+// a process rehydrated instead of re-surveying.
 func (e *Engine) discoverCached(ctx context.Context, site *sitemodel.Site) (*EnvironmentDescription, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
+	_ = e.sites.Register(site)
+	fp := siteFingerprint(site)
+	lsp := e.tracer.Start(obs.OpRegistry,
+		obs.WithParent(obs.SpanFromContext(ctx)), obs.WithSite(site.Name))
+	if v, ok := e.sites.LookupSurvey(site, fp); ok {
+		lsp.Event(obs.EvCache, obs.AttrComponent, "edc", obs.AttrKey, site.Name,
+			obs.AttrHit, "true", obs.AttrSource, "registry")
+		lsp.End(nil)
+		return v.(*EnvironmentDescription), true, nil
+	}
+	if env, ok := e.loadSurvey(site, fp); ok {
+		e.sites.StoreSurvey(site, fp, env)
+		lsp.Event(obs.EvCache, obs.AttrComponent, "edc", obs.AttrKey, site.Name,
+			obs.AttrHit, "true", obs.AttrSource, "store")
+		lsp.End(nil)
+		return env, true, nil
+	}
+	lsp.Event(obs.EvCache, obs.AttrComponent, "edc", obs.AttrKey, site.Name, obs.AttrHit, "false")
+	lsp.End(nil)
+
 	sp := e.tracer.Start(obs.OpDiscover,
 		obs.WithParent(obs.SpanFromContext(ctx)), obs.WithSite(site.Name))
-	fp := siteFingerprint(site)
-	e.mu.Lock()
-	if ent, ok := e.edc[site.Name]; ok && ent.site == site && ent.fingerprint == fp {
-		e.mu.Unlock()
-		sp.Event(obs.EvCache, obs.AttrComponent, "edc", obs.AttrKey, site.Name, obs.AttrHit, "true")
-		sp.End(nil)
-		return ent.env, true, nil
-	}
-	e.mu.Unlock()
-	sp.Event(obs.EvCache, obs.AttrComponent, "edc", obs.AttrKey, site.Name, obs.AttrHit, "false")
 	env, err := discoverSite(site)
 	if err != nil {
 		sp.End(err)
 		return nil, false, err
 	}
-	e.mu.Lock()
-	e.edc[site.Name] = &edcEntry{site: site, fingerprint: fp, env: env}
-	e.mu.Unlock()
 	sp.End(nil)
+	e.sites.StoreSurvey(site, fp, env)
+	e.persistSurvey(site, fp, env)
 	return env, false, nil
 }
 
-// InvalidateSite drops a site's cached environment description. Normal
-// mutations are detected by fingerprint; this exists for callers that
-// manage site state outside the site's filesystem and environment.
+// InvalidateSite drops a site's cached environment description from the
+// registry and, when a store is configured, deletes the persisted survey
+// record. Normal mutations are detected by fingerprint; this exists for
+// callers that manage site state outside the site's filesystem and
+// environment.
 func (e *Engine) InvalidateSite(name string) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	delete(e.edc, name)
+	e.sites.Invalidate(name)
+	if e.store != nil {
+		_ = e.store.Delete(KindSurvey, name)
+	}
 }
 
 // Evaluate runs the Target Evaluation Component through the engine's
@@ -337,3 +278,7 @@ func (e *Engine) Evaluate(ctx context.Context, desc *BinaryDescription, appBytes
 		Options: opts,
 	})
 }
+
+// compile-time proof that the production registry satisfies the engine's
+// state-layer contract.
+var _ SiteRegistry = (*registry.Registry)(nil)

@@ -12,6 +12,7 @@ import (
 	"feam/internal/fault"
 	"feam/internal/feam"
 	"feam/internal/metrics"
+	"feam/internal/registry"
 	"feam/internal/sitemodel"
 	"feam/internal/toolchain"
 )
@@ -358,8 +359,10 @@ func TestRankSitesContainsPanickingRunner(t *testing.T) {
 	}
 }
 
-// TestConcurrentEngineConfiguration exercises SetEvaluators / SetWorkers /
-// SetRetryPolicy while surveys run — the data race this guards against is
+// TestConcurrentEngineConfiguration: engine configuration is immutable,
+// so concurrency pressure moved into the shared state layer — engines are
+// constructed with differing options over one SiteRegistry while surveys
+// run and invalidations race them. The data races this guards against are
 // caught by `go test -race`.
 func TestConcurrentEngineConfiguration(t *testing.T) {
 	tb := sharedTestbed(t)
@@ -368,7 +371,7 @@ func TestConcurrentEngineConfiguration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, _ := faultEngine()
+	shared := registry.New()
 	sites := []*sitemodel.Site{tb.ByName["india"], tb.ByName["fir"], tb.ByName["blacklight"]}
 	done := make(chan struct{})
 	var wg sync.WaitGroup
@@ -381,19 +384,19 @@ func TestConcurrentEngineConfiguration(t *testing.T) {
 				return
 			default:
 			}
-			// The deprecated mutable setters stay supported for existing
-			// callers; this test deliberately exercises their concurrency
-			// contract.
-			//lint:ignore SA1019 deprecated setter kept race-safe on purpose
-			eng.SetWorkers(i%8 + 1)
-			//lint:ignore SA1019 deprecated setter kept race-safe on purpose
-			eng.SetEvaluators(feam.DefaultEvaluators())
-			//lint:ignore SA1019 deprecated setter kept race-safe on purpose
-			eng.SetRetryPolicy(fault.RetryPolicy{MaxAttempts: i%3 + 1, BaseDelay: time.Microsecond})
-			_ = eng.Workers()
-			_ = eng.RetryPolicy()
+			// Fresh engines with varying configuration attach to the shared
+			// registry mid-survey; invalidations race the rankers below.
+			side := feam.New(
+				feam.WithRegistry(shared),
+				feam.WithWorkers(i%8+1),
+				feam.WithRetryPolicy(fault.RetryPolicy{MaxAttempts: i%3 + 1, BaseDelay: time.Microsecond}),
+			)
+			_ = side.Workers()
+			_ = side.RetryPolicy()
+			shared.Invalidate(sites[i%len(sites)].Name)
 		}
 	}()
+	eng := feam.New(feam.WithRegistry(shared))
 	for i := 0; i < 3; i++ {
 		ranked := eng.RankSites(context.Background(), desc, art.Bytes, sites,
 			feam.EvalOptions{Runner: experimentRunner()})

@@ -10,6 +10,7 @@ import (
 	"feam/internal/feam"
 	"feam/internal/metrics"
 	"feam/internal/obs"
+	"feam/internal/registry"
 	"feam/internal/sitemodel"
 )
 
@@ -221,9 +222,11 @@ func TestFunctionalOptionsWireTheEngine(t *testing.T) {
 	tr := obs.NewTracer(64)
 	reg := obs.NewRegistry()
 	var counters metrics.EngineCounters
+	shared := registry.New(registry.WithMetrics(reg))
 	eng := feam.New(
 		feam.WithTracer(tr),
-		feam.WithRegistry(reg),
+		feam.WithMetrics(reg),
+		feam.WithRegistry(shared),
 		feam.WithWorkers(2),
 		feam.WithRetryPolicy(fault.RetryPolicy{MaxAttempts: 1}),
 		feam.WithObserver(feam.NewCountersObserver(&counters)),
@@ -233,7 +236,13 @@ func TestFunctionalOptionsWireTheEngine(t *testing.T) {
 		t.Fatal("WithTracer instance not adopted")
 	}
 	if eng.Metrics() != reg {
-		t.Fatal("WithRegistry instance not adopted")
+		t.Fatal("WithMetrics instance not adopted")
+	}
+	if eng.Registry() != feam.SiteRegistry(shared) {
+		t.Fatal("WithRegistry site-registry instance not adopted")
+	}
+	if eng.SiteLock("wiring-probe") != shared.SiteLock("wiring-probe") {
+		t.Fatal("engine site locks must come from the shared registry")
 	}
 
 	site := minimalSite(t)
@@ -254,9 +263,13 @@ func TestFunctionalOptionsWireTheEngine(t *testing.T) {
 		t.Error("tracer saw no spans")
 	}
 
-	// The deprecated constructor must keep working and come fully wired.
-	old := feam.NewEngine()
-	if old.Tracer() == nil || old.Metrics() == nil {
-		t.Error("NewEngine engine missing tracer or registry")
+	// A zero-option engine still comes fully wired (private layers).
+	plain := feam.New()
+	if plain.Tracer() == nil || plain.Metrics() == nil || plain.Registry() == nil {
+		t.Error("zero-option engine missing tracer, metrics, or site registry")
+	}
+	// The shared registry saw the evaluated site's survey traffic.
+	if st := shared.Stats(); st.Surveys == 0 || st.Sites == 0 {
+		t.Errorf("shared registry stats = %+v, want surveyed site recorded", st)
 	}
 }

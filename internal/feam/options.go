@@ -1,16 +1,15 @@
 package feam
 
 import (
-	"sync"
-
 	"feam/internal/fault"
 	"feam/internal/obs"
+	"feam/internal/registry"
 )
 
 // Option configures an Engine at construction time. Pass options to New;
 // the zero configuration is the paper's default pipeline (§V.C determinant
 // order, host-sized worker pool, default transient-retry policy, a private
-// tracer and metrics registry).
+// tracer, metrics registry, and site registry, no persistent store).
 type Option func(*engineConfig)
 
 type engineConfig struct {
@@ -18,7 +17,9 @@ type engineConfig struct {
 	workers    int
 	retry      fault.RetryPolicy
 	tracer     *obs.Tracer
-	registry   *obs.Registry
+	metrics    *obs.Registry
+	sites      SiteRegistry
+	store      Store
 	observers  []Observer
 }
 
@@ -62,17 +63,38 @@ func WithTracer(t *obs.Tracer) Option {
 	return func(c *engineConfig) { c.tracer = t }
 }
 
-// WithRegistry sets the metrics registry the engine's span stream feeds.
+// WithMetrics sets the metrics registry the engine's span stream feeds.
 // Sharing one registry across engines aggregates their latency histograms
 // and event counters. A nil registry is replaced by a private one.
-func WithRegistry(r *obs.Registry) Option {
-	return func(c *engineConfig) { c.registry = r }
+func WithMetrics(r *obs.Registry) Option {
+	return func(c *engineConfig) { c.metrics = r }
 }
 
-// New returns an engine configured by opts. Every engine carries a tracer
-// and a metrics registry (private ones unless injected with WithTracer /
-// WithRegistry): all pipeline operations emit spans, and a registry sink
-// derives the latency histograms and event counters from them.
+// WithRegistry sets the engine's site-state layer: site table, per-site
+// locks, and the memoized survey/description caches. Engines sharing one
+// SiteRegistry share one coherent fleet — one set of site locks, one set
+// of caches — which is what makes running many stateless engines over the
+// same sites safe. A nil registry is replaced by a private sharded one
+// (internal/registry) wired to the engine's metrics.
+func WithRegistry(r SiteRegistry) Option {
+	return func(c *engineConfig) { c.sites = r }
+}
+
+// WithStore sets the engine's persistence layer. With a store configured
+// the engine persists surveys, binary descriptions, bundles, and site
+// records as it computes them, and a restarted process rehydrates them
+// instead of re-running discovery. Without one the engine is purely
+// in-memory.
+func WithStore(s Store) Option {
+	return func(c *engineConfig) { c.store = s }
+}
+
+// New returns an engine configured by opts. Every engine carries a tracer,
+// a metrics registry, and a site registry (private ones unless injected
+// with WithTracer / WithMetrics / WithRegistry): all pipeline operations
+// emit spans, a registry sink derives the latency histograms and event
+// counters from them, and all engine state lives in the site registry —
+// plus the store, when one is configured with WithStore.
 func New(opts ...Option) *Engine {
 	cfg := engineConfig{
 		evaluators: DefaultEvaluators(),
@@ -85,18 +107,20 @@ func New(opts ...Option) *Engine {
 	if cfg.tracer == nil {
 		cfg.tracer = obs.NewTracer(0)
 	}
-	if cfg.registry == nil {
-		cfg.registry = obs.NewRegistry()
+	if cfg.metrics == nil {
+		cfg.metrics = obs.NewRegistry()
+	}
+	if cfg.sites == nil {
+		cfg.sites = registry.New(registry.WithMetrics(cfg.metrics))
 	}
 	e := &Engine{
 		evaluators: cfg.evaluators,
 		workers:    cfg.workers,
 		retry:      cfg.retry,
+		sites:      cfg.sites,
+		store:      cfg.store,
 		tracer:     cfg.tracer,
-		reg:        cfg.registry,
-		bdc:        map[bdcKey]*BinaryDescription{},
-		edc:        map[string]*edcEntry{},
-		siteLocks:  map[string]*sync.Mutex{},
+		reg:        cfg.metrics,
 	}
 	e.tracer.AddSink(obs.NewRegistrySink(e.reg))
 	for _, o := range cfg.observers {

@@ -179,6 +179,16 @@ func (e *Engine) RunSourcePhase(ctx context.Context, cfg *Config, site *sitemode
 		}
 	}
 	report.note("bundle size %d bytes (%d libraries)", bundle.Size(), len(bundle.Libs))
+	// With a store configured the bundle is persisted under its content
+	// hash so a restarted process rehydrates it instead of re-running the
+	// source phase. Best-effort: a store fault is reported, not fatal.
+	if e.store != nil {
+		if err := e.SaveBundle(bundle); err != nil {
+			report.note("bundle not persisted: %v", err)
+		} else {
+			report.note("bundle persisted under %s", desc.ContentHash[:12])
+		}
+	}
 	return bundle, report, nil
 }
 

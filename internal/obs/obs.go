@@ -48,6 +48,15 @@ const (
 	// OpAssess is one whole-site assessment inside a RankSites survey
 	// (survey + evaluation under the site lock).
 	OpAssess = "assess"
+	// OpRegistry is one SiteRegistry cache consultation (survey or
+	// description). Cache hits land here instead of OpDiscover, so a
+	// discover span always means a real site survey ran.
+	OpRegistry = "registry"
+	// OpStoreLoad and OpStoreCommit are persistent-store record reads and
+	// atomic-rename writes; their histograms are the store's latency
+	// surface (`store_load` / `store_commit`).
+	OpStoreLoad   = "store_load"
+	OpStoreCommit = "store_commit"
 )
 
 // Canonical span event names.
@@ -77,6 +86,12 @@ const (
 	AttrDir       = "dir"
 	AttrPath      = "path"
 	AttrDetail    = "detail"
+	// AttrSource distinguishes which layer satisfied a cache lookup
+	// ("registry" for the in-memory shard, "store" for rehydration).
+	AttrSource = "source"
+	// AttrKind is a persistent-store record namespace ("survey", "bdc",
+	// "bundle", "site").
+	AttrKind = "kind"
 )
 
 // Event is a point-in-time annotation on a span.

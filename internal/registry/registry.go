@@ -1,0 +1,384 @@
+// Package registry is FEAM's shared site-state layer: a sharded, bounded,
+// concurrency-safe registry owning site registration, per-site
+// serialization locks, and the memoized survey (EDC) and binary
+// description (BDC) caches that used to live inside one feam.Engine.
+//
+// The paper's headline workload is assessing many (binary, site) pairs
+// across a fleet; FEAM-as-a-service (ROADMAP item 1) runs many prediction
+// engines over that fleet concurrently. The registry is the piece that
+// makes the engines stateless: every engine reads and writes survey and
+// description state here, so two engines sharing one registry see one
+// coherent fleet and serialize site-mutating work on one set of locks.
+//
+// Layout: a fixed number of shards, each guarded by its own RWMutex, each
+// holding a slice of the site table plus an LRU-bounded cache of survey
+// and description entries. Survey entries are keyed by site name and
+// validated against the caller's fingerprint (environment-variable hash +
+// vfs mutation generation), so any site mutation reads as a miss without
+// the registry ever watching the site. Evictions, hits, and misses are
+// counted into an optional obs metrics registry (`registry_hit`,
+// `registry_miss`, `registry_evict`).
+package registry
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"feam/internal/obs"
+	"feam/internal/sitemodel"
+)
+
+// Defaults: shard count balances lock contention against per-shard LRU
+// bookkeeping; capacity bounds each shard's cache (surveys + descriptions
+// share one LRU list) far above a testbed's working set.
+const (
+	DefaultShards        = 16
+	DefaultShardCapacity = 256
+)
+
+// Option configures a Registry at construction.
+type Option func(*Registry)
+
+// WithShards sets the fixed shard count (minimum 1).
+func WithShards(n int) Option {
+	return func(r *Registry) {
+		if n >= 1 {
+			r.nshards = n
+		}
+	}
+}
+
+// WithShardCapacity bounds each shard's cache entries (minimum 1);
+// insertion beyond the bound evicts the shard's least recently used entry.
+func WithShardCapacity(n int) Option {
+	return func(r *Registry) {
+		if n >= 1 {
+			r.capacity = n
+		}
+	}
+}
+
+// WithMetrics wires hit/miss/eviction counters into an obs registry
+// (`registry_hit`, `registry_miss`, `registry_evict`).
+func WithMetrics(m *obs.Registry) Option {
+	return func(r *Registry) { r.metrics = m }
+}
+
+// WithFaultHook installs a fault-injection seam consulted before every
+// registry operation; fault.Hook adapts a fault.Injector to it. A failed
+// lookup reads as a cache miss, a failed store drops the entry, and a
+// failed Register returns the error.
+func WithFaultHook(h func(op, key string) error) Option {
+	return func(r *Registry) { r.hook = h }
+}
+
+// Registry is the sharded site-state layer. The zero value is not usable;
+// construct with New. All methods are safe for concurrent use.
+type Registry struct {
+	nshards  int
+	capacity int
+	shards   []shard
+	metrics  *obs.Registry
+	hook     func(op, key string) error
+
+	hits, misses, evictions atomic.Int64
+}
+
+// shard is one lock domain: a slice of the site table plus the LRU-bounded
+// survey/description caches. The mutex is a leaf lock — nothing blocking
+// (surveys, probes, store I/O) may run while it is held.
+type shard struct {
+	mu      sync.RWMutex
+	sites   map[string]*siteEntry
+	surveys map[string]*list.Element
+	descs   map[descKey]*list.Element
+	lru     list.List
+}
+
+// siteEntry is one registered site and its serialization lock. The lock
+// outlives re-registration so callers holding it stay correct across a
+// site-object refresh.
+type siteEntry struct {
+	site *sitemodel.Site
+	lock *sync.Mutex
+}
+
+// surveyEntry caches one environment survey under the fingerprint and site
+// object it was computed for. The site pointer comparison keeps two
+// distinct Site objects sharing a name from ever sharing an entry.
+type surveyEntry struct {
+	name        string
+	site        *sitemodel.Site
+	fingerprint uint64
+	value       any
+}
+
+// descKey identifies a binary description: content hash plus the name it
+// was described under (the name feeds stage-dir derivation).
+type descKey struct{ hash, name string }
+
+// descEntry caches one binary description.
+type descEntry struct {
+	key   descKey
+	value any
+}
+
+// New returns a registry with DefaultShards shards of DefaultShardCapacity
+// entries unless configured otherwise.
+func New(opts ...Option) *Registry {
+	r := &Registry{nshards: DefaultShards, capacity: DefaultShardCapacity}
+	for _, opt := range opts {
+		opt(r)
+	}
+	r.shards = make([]shard, r.nshards)
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.sites = map[string]*siteEntry{}
+		s.surveys = map[string]*list.Element{}
+		s.descs = map[descKey]*list.Element{}
+	}
+	return r
+}
+
+func (r *Registry) shardFor(key string) *shard {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return &r.shards[h.Sum64()%uint64(len(r.shards))]
+}
+
+// fail consults the fault hook for one operation.
+func (r *Registry) fail(op, key string) error {
+	if r.hook == nil {
+		return nil
+	}
+	return r.hook(op, key)
+}
+
+func (r *Registry) count(c *atomic.Int64, name string) {
+	c.Add(1)
+	if r.metrics != nil {
+		r.metrics.Counter(name).Add(1)
+	}
+}
+
+// Register adds or refreshes a site in the registry's site table. It is
+// idempotent; re-registering a name updates the site pointer but keeps the
+// existing per-site lock.
+func (r *Registry) Register(site *sitemodel.Site) error {
+	if site == nil {
+		return fmt.Errorf("registry: cannot register a nil site")
+	}
+	if err := r.fail("register", site.Name); err != nil {
+		return fmt.Errorf("registry: register %s: %w", site.Name, err)
+	}
+	s := r.shardFor(site.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ent, ok := s.sites[site.Name]; ok {
+		ent.site = site
+		return nil
+	}
+	s.sites[site.Name] = &siteEntry{site: site, lock: &sync.Mutex{}}
+	return nil
+}
+
+// Site returns the registered site for a name.
+func (r *Registry) Site(name string) (*sitemodel.Site, bool) {
+	s := r.shardFor(name)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ent, ok := s.sites[name]
+	if !ok || ent.site == nil {
+		return nil, false
+	}
+	return ent.site, true
+}
+
+// Sites returns the sorted names of every registered site.
+func (r *Registry) Sites() []string {
+	var names []string
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for name, ent := range s.sites {
+			if ent.site != nil {
+				names = append(names, name)
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SiteLock returns the serialization lock for a site name, creating a
+// table entry on first use. Everything that mutates a site's filesystem
+// or environment must run under it when the registry is shared.
+func (r *Registry) SiteLock(name string) *sync.Mutex {
+	s := r.shardFor(name)
+	s.mu.RLock()
+	ent, ok := s.sites[name]
+	s.mu.RUnlock()
+	if ok {
+		return ent.lock
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ent, ok = s.sites[name]; !ok {
+		ent = &siteEntry{lock: &sync.Mutex{}}
+		s.sites[name] = ent
+	}
+	return ent.lock
+}
+
+// LookupSurvey returns the cached survey for a site when the entry was
+// computed for the same site object under the same fingerprint; any
+// mismatch — mutation, invalidation, eviction, or a different Site object
+// sharing the name — is a miss.
+func (r *Registry) LookupSurvey(site *sitemodel.Site, fingerprint uint64) (any, bool) {
+	if site == nil || r.fail("lookup", site.Name) != nil {
+		r.count(&r.misses, "registry_miss")
+		return nil, false
+	}
+	s := r.shardFor(site.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.surveys[site.Name]
+	if ok {
+		ent := el.Value.(*surveyEntry)
+		if ent.site == site && ent.fingerprint == fingerprint {
+			s.lru.MoveToFront(el)
+			r.count(&r.hits, "registry_hit")
+			return ent.value, true
+		}
+	}
+	r.count(&r.misses, "registry_miss")
+	return nil, false
+}
+
+// StoreSurvey caches a survey result for a site object under its
+// fingerprint, evicting the shard's least recently used entry when full.
+func (r *Registry) StoreSurvey(site *sitemodel.Site, fingerprint uint64, value any) {
+	if site == nil || r.fail("store", site.Name) != nil {
+		return
+	}
+	s := r.shardFor(site.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.surveys[site.Name]; ok {
+		ent := el.Value.(*surveyEntry)
+		ent.site, ent.fingerprint, ent.value = site, fingerprint, value
+		s.lru.MoveToFront(el)
+		return
+	}
+	r.evictLocked(s)
+	ent := &surveyEntry{name: site.Name, site: site, fingerprint: fingerprint, value: value}
+	s.surveys[site.Name] = s.lru.PushFront(ent)
+}
+
+// LookupDescription returns the cached binary description for a content
+// hash and name.
+func (r *Registry) LookupDescription(hash, name string) (any, bool) {
+	key := descKey{hash: hash, name: name}
+	if r.fail("lookup", name) != nil {
+		r.count(&r.misses, "registry_miss")
+		return nil, false
+	}
+	s := r.shardFor(hash + "\x00" + name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.descs[key]; ok {
+		s.lru.MoveToFront(el)
+		r.count(&r.hits, "registry_hit")
+		return el.Value.(*descEntry).value, true
+	}
+	r.count(&r.misses, "registry_miss")
+	return nil, false
+}
+
+// StoreDescription caches a binary description, evicting the shard's
+// least recently used entry when full.
+func (r *Registry) StoreDescription(hash, name string, value any) {
+	key := descKey{hash: hash, name: name}
+	if r.fail("store", name) != nil {
+		return
+	}
+	s := r.shardFor(hash + "\x00" + name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.descs[key]; ok {
+		el.Value.(*descEntry).value = value
+		s.lru.MoveToFront(el)
+		return
+	}
+	r.evictLocked(s)
+	s.descs[key] = s.lru.PushFront(&descEntry{key: key, value: value})
+}
+
+// evictLocked makes room for one insertion, dropping the least recently
+// used entry when the shard is at capacity. Caller holds s.mu.
+func (r *Registry) evictLocked(s *shard) {
+	for s.lru.Len() >= r.capacity {
+		el := s.lru.Back()
+		if el == nil {
+			return
+		}
+		s.lru.Remove(el)
+		switch ent := el.Value.(type) {
+		case *surveyEntry:
+			delete(s.surveys, ent.name)
+		case *descEntry:
+			delete(s.descs, ent.key)
+		}
+		r.count(&r.evictions, "registry_evict")
+	}
+}
+
+// Invalidate drops a site's cached survey. The site table entry and its
+// lock survive; normal mutations are caught by fingerprint, so this exists
+// for callers that manage site state outside the site's filesystem and
+// environment.
+func (r *Registry) Invalidate(name string) {
+	if r.fail("invalidate", name) != nil {
+		return
+	}
+	s := r.shardFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.surveys[name]; ok {
+		s.lru.Remove(el)
+		delete(s.surveys, name)
+	}
+}
+
+// Stats is a point-in-time summary of registry occupancy and traffic.
+type Stats struct {
+	Sites        int
+	Surveys      int
+	Descriptions int
+	Hits         int64
+	Misses       int64
+	Evictions    int64
+}
+
+// Stats reports current occupancy plus lifetime hit/miss/eviction counts.
+func (r *Registry) Stats() Stats {
+	st := Stats{
+		Hits:      r.hits.Load(),
+		Misses:    r.misses.Load(),
+		Evictions: r.evictions.Load(),
+	}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		st.Sites += len(s.sites)
+		st.Surveys += len(s.surveys)
+		st.Descriptions += len(s.descs)
+		s.mu.RUnlock()
+	}
+	return st
+}

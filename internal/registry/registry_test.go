@@ -1,0 +1,251 @@
+package registry_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"feam/internal/elfimg"
+	"feam/internal/fault"
+	"feam/internal/libver"
+	"feam/internal/obs"
+	"feam/internal/registry"
+	"feam/internal/sitemodel"
+)
+
+func newSite(t testing.TB, name string) *sitemodel.Site {
+	t.Helper()
+	return sitemodel.New(name,
+		sitemodel.Arch{Machine: elfimg.EMX8664, Class: elfimg.Class64, CPUName: "x86_64"},
+		sitemodel.OSInfo{Distro: "CentOS", Version: "5.6", Kernel: "2.6.18", ReleaseFile: "/etc/redhat-release"},
+		libver.Version{2, 5})
+}
+
+func TestRegisterLookupInvalidate(t *testing.T) {
+	r := registry.New()
+	site := newSite(t, "india")
+	if err := r.Register(site); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Site("india")
+	if !ok || got != site {
+		t.Fatalf("Site(india) = %v, %v", got, ok)
+	}
+	if _, ok := r.Site("nowhere"); ok {
+		t.Fatal("unregistered site resolved")
+	}
+	if names := r.Sites(); len(names) != 1 || names[0] != "india" {
+		t.Fatalf("Sites() = %v", names)
+	}
+
+	survey := &struct{ v int }{1}
+	r.StoreSurvey(site, 42, survey)
+	if v, ok := r.LookupSurvey(site, 42); !ok || v != survey {
+		t.Fatal("stored survey not returned")
+	}
+	// Wrong fingerprint is a miss; the entry survives for the right one.
+	if _, ok := r.LookupSurvey(site, 43); ok {
+		t.Fatal("fingerprint mismatch must miss")
+	}
+	r.Invalidate("india")
+	if _, ok := r.LookupSurvey(site, 42); ok {
+		t.Fatal("invalidated survey still served")
+	}
+	// The site table and lock survive invalidation.
+	if _, ok := r.Site("india"); !ok {
+		t.Fatal("Invalidate dropped the site registration")
+	}
+}
+
+// TestGenerationInvalidation: a survey cached under a fingerprint derived
+// from the site's vfs generation reads as a miss after any filesystem
+// mutation — the registry never watches sites, the key does the work.
+func TestGenerationInvalidation(t *testing.T) {
+	r := registry.New()
+	site := newSite(t, "ranger")
+	fp := site.FS().Generation()
+	r.StoreSurvey(site, fp, "survey@gen")
+	if _, ok := r.LookupSurvey(site, site.FS().Generation()); !ok {
+		t.Fatal("unchanged generation should hit")
+	}
+	if err := site.FS().WriteFile("/tmp/mutation", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.LookupSurvey(site, site.FS().Generation()); ok {
+		t.Fatal("generation bump must invalidate the cached survey")
+	}
+}
+
+// TestDistinctSiteObjectsNeverShare: two Site objects with one name (and
+// possibly colliding fingerprints) must not share a survey entry.
+func TestDistinctSiteObjectsNeverShare(t *testing.T) {
+	r := registry.New()
+	a, b := newSite(t, "twin"), newSite(t, "twin")
+	r.StoreSurvey(a, 7, "a-survey")
+	if _, ok := r.LookupSurvey(b, 7); ok {
+		t.Fatal("entry for site object a served to site object b")
+	}
+}
+
+// TestShardEviction: inserting past a shard's capacity evicts least
+// recently used entries and counts them (registry_evict).
+func TestShardEviction(t *testing.T) {
+	metrics := obs.NewRegistry()
+	r := registry.New(registry.WithShards(1), registry.WithShardCapacity(4),
+		registry.WithMetrics(metrics))
+	sites := make([]*sitemodel.Site, 6)
+	for i := range sites {
+		sites[i] = newSite(t, fmt.Sprintf("site-%d", i))
+		r.StoreSurvey(sites[i], uint64(i), i)
+	}
+	st := r.Stats()
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.Surveys != 4 {
+		t.Fatalf("cached surveys = %d, want 4 (capacity)", st.Surveys)
+	}
+	if got := metrics.Counter("registry_evict").Load(); got != 2 {
+		t.Fatalf("registry_evict counter = %d, want 2", got)
+	}
+	// Oldest entries evicted first.
+	if _, ok := r.LookupSurvey(sites[0], 0); ok {
+		t.Fatal("LRU entry site-0 should have been evicted")
+	}
+	if _, ok := r.LookupSurvey(sites[5], 5); !ok {
+		t.Fatal("most recent entry missing")
+	}
+}
+
+// TestLRUTouchOrder: a lookup refreshes recency, so the untouched entry is
+// the one evicted.
+func TestLRUTouchOrder(t *testing.T) {
+	r := registry.New(registry.WithShards(1), registry.WithShardCapacity(2))
+	a, b, c := newSite(t, "a"), newSite(t, "b"), newSite(t, "c")
+	r.StoreSurvey(a, 1, "a")
+	r.StoreSurvey(b, 2, "b")
+	if _, ok := r.LookupSurvey(a, 1); !ok { // touch a: b becomes LRU
+		t.Fatal("expected hit on a")
+	}
+	r.StoreSurvey(c, 3, "c") // evicts b
+	if _, ok := r.LookupSurvey(b, 2); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	if _, ok := r.LookupSurvey(a, 1); !ok {
+		t.Fatal("touched entry a evicted out of order")
+	}
+}
+
+func TestDescriptionCache(t *testing.T) {
+	metrics := obs.NewRegistry()
+	r := registry.New(registry.WithMetrics(metrics))
+	r.StoreDescription("hash1", "app", "desc1")
+	if v, ok := r.LookupDescription("hash1", "app"); !ok || v != "desc1" {
+		t.Fatal("stored description not returned")
+	}
+	if _, ok := r.LookupDescription("hash1", "other"); ok {
+		t.Fatal("name is part of the description key")
+	}
+	if _, ok := r.LookupDescription("hash2", "app"); ok {
+		t.Fatal("hash is part of the description key")
+	}
+	if hits := metrics.Counter("registry_hit").Load(); hits != 1 {
+		t.Fatalf("registry_hit = %d, want 1", hits)
+	}
+	if misses := metrics.Counter("registry_miss").Load(); misses != 2 {
+		t.Fatalf("registry_miss = %d, want 2", misses)
+	}
+}
+
+// TestSiteLockIdentity: one lock per name, created on demand, stable
+// across registration.
+func TestSiteLockIdentity(t *testing.T) {
+	r := registry.New()
+	l1 := r.SiteLock("forge")
+	l2 := r.SiteLock("forge")
+	if l1 != l2 {
+		t.Fatal("SiteLock must return one lock per name")
+	}
+	if r.SiteLock("other") == l1 {
+		t.Fatal("distinct names must get distinct locks")
+	}
+	site := newSite(t, "forge")
+	if err := r.Register(site); err != nil {
+		t.Fatal(err)
+	}
+	if r.SiteLock("forge") != l1 {
+		t.Fatal("registration must keep the pre-existing lock")
+	}
+}
+
+// TestFaultHook: an injected fault turns lookups into misses, drops
+// stores, and surfaces on Register.
+func TestFaultHook(t *testing.T) {
+	script := &fault.Script{}
+	r := registry.New(registry.WithFaultHook(fault.Hook(script)))
+	site := newSite(t, "flaky")
+
+	script.FailNext(fault.Permanent, "register")
+	if err := r.Register(site); err == nil {
+		t.Fatal("injected register fault not surfaced")
+	}
+	if err := r.Register(site); err != nil {
+		t.Fatal(err)
+	}
+	r.StoreSurvey(site, 9, "v")
+	script.FailNext(fault.Transient, "lookup")
+	if _, ok := r.LookupSurvey(site, 9); ok {
+		t.Fatal("injected lookup fault must read as a miss")
+	}
+	if _, ok := r.LookupSurvey(site, 9); !ok {
+		t.Fatal("entry must survive a faulted lookup")
+	}
+	script.FailNext(fault.Transient, "store")
+	other := newSite(t, "flaky2")
+	r.StoreSurvey(other, 1, "dropped")
+	if _, ok := r.LookupSurvey(other, 1); ok {
+		t.Fatal("faulted store must drop the entry")
+	}
+}
+
+// TestConcurrentSharding: hammer every operation from many goroutines;
+// run under -race this is the shard-locking proof.
+func TestConcurrentSharding(t *testing.T) {
+	r := registry.New(registry.WithShards(4), registry.WithShardCapacity(8))
+	sites := make([]*sitemodel.Site, 16)
+	for i := range sites {
+		sites[i] = newSite(t, fmt.Sprintf("c-%d", i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				site := sites[(seed+i)%len(sites)]
+				switch i % 5 {
+				case 0:
+					_ = r.Register(site)
+				case 1:
+					r.StoreSurvey(site, uint64(i), i)
+				case 2:
+					r.LookupSurvey(site, uint64(i))
+				case 3:
+					r.StoreDescription(fmt.Sprintf("h%d", i%10), site.Name, i)
+					r.LookupDescription(fmt.Sprintf("h%d", i%10), site.Name)
+				case 4:
+					r.Invalidate(site.Name)
+					_ = r.SiteLock(site.Name)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := r.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+	if st.Surveys > 4*8 {
+		t.Fatalf("cached surveys = %d exceed total capacity", st.Surveys)
+	}
+}

@@ -1,0 +1,92 @@
+package store_test
+
+import (
+	"fmt"
+	"testing"
+
+	"feam/internal/store"
+	"feam/internal/vfs"
+)
+
+// BenchmarkStoreCommit measures one atomic record commit — temp write plus
+// rename — over a warm namespace. Its ns/op is the store commit latency
+// BENCH_PR6.json records.
+func BenchmarkStoreCommit(b *testing.B) {
+	for _, size := range []int{256, 16 << 10} {
+		b.Run(fmt.Sprintf("payload-%d", size), func(b *testing.B) {
+			fs := vfs.New()
+			s, err := store.Open(fs, "/state")
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, size)
+			for i := range payload {
+				payload[i] = byte(i)
+			}
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Put("survey", fmt.Sprintf("site-%d", i%64), payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreLoad measures the rehydration read path: envelope decode,
+// checksum verification, payload return.
+func BenchmarkStoreLoad(b *testing.B) {
+	fs := vfs.New()
+	s, err := store.Open(fs, "/state")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 4<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := 0; i < 64; i++ {
+		if err := s.Put("survey", fmt.Sprintf("site-%d", i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := s.Get("survey", fmt.Sprintf("site-%d", i%64)); !ok || err != nil {
+			b.Fatalf("load miss: %v", err)
+		}
+	}
+}
+
+// BenchmarkStoreParallel measures mixed load/commit traffic from many
+// goroutines — concurrent engines persisting through one store.
+func BenchmarkStoreParallel(b *testing.B) {
+	fs := vfs.New()
+	s, err := store.Open(fs, "/state")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte(`{"fingerprint":1,"env":{}}`)
+	for i := 0; i < 64; i++ {
+		if err := s.Put("survey", fmt.Sprintf("site-%d", i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			key := fmt.Sprintf("site-%d", i%64)
+			if i%8 == 0 {
+				if err := s.Put("survey", key, payload); err != nil {
+					b.Fatal(err)
+				}
+			} else if _, ok, err := s.Get("survey", key); !ok || err != nil {
+				b.Fatalf("load miss: %v", err)
+			}
+			i++
+		}
+	})
+}

@@ -1,0 +1,344 @@
+// Package store is FEAM's persistence layer: a namespaced record store
+// whose writes go through internal/vfs with the same transactional
+// protocol as library staging (write to a private temp path, then an
+// atomic rename into place), so a record is either fully present at its
+// final path or absent — never half-written.
+//
+// The engine persists environment surveys, binary descriptions, bundles,
+// and site records here so a killed-and-restarted process rehydrates fleet
+// state instead of re-running 25-second site surveys (PAPER.md's phase-II
+// discovery cost). Records are versioned and checksummed; a truncated or
+// corrupt record reads as absent (counted, never fatal), which makes crash
+// recovery a plain Open.
+//
+// Fault injection composes for free: every operation is a vfs operation,
+// so a fault.Hook installed on the backing filesystem exercises the
+// store's error paths exactly as it does staging's.
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"path"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"feam/internal/obs"
+	"feam/internal/vfs"
+)
+
+// Version is the record-envelope format version. Decoders reject any
+// other version as corrupt rather than guessing.
+const Version = 1
+
+// magic is the record header's leading token.
+const magic = "feamstore"
+
+// ErrCorrupt classifies a record that is present but unreadable: bad
+// magic, wrong version, length mismatch, or checksum failure. Get reports
+// it alongside ok=false so callers can distinguish "absent" from
+// "damaged" while treating both as a miss.
+var ErrCorrupt = errors.New("store: record corrupt")
+
+// Option configures a Store at Open time.
+type Option func(*Store)
+
+// WithMetrics wires record-traffic counters into an obs registry
+// (`store_load`, `store_commit`, `store_corrupt`).
+func WithMetrics(m *obs.Registry) Option {
+	return func(s *Store) { s.metrics = m }
+}
+
+// WithTracer emits store_load / store_commit spans for every record read
+// and write; attach the engine's tracer to fold store latency into the
+// same histograms as the rest of the pipeline.
+func WithTracer(t *obs.Tracer) Option {
+	return func(s *Store) { s.tracer = t }
+}
+
+// Store is a namespaced persistent record store over one vfs filesystem.
+// All methods are safe for concurrent use: the backing vfs has no internal
+// locking (sites serialize through the engine's SiteLock instead), so the
+// store guards its filesystem with its own reader/writer lock. Per-record
+// atomicity comes from the rename commit, so two writers racing on one key
+// leave one complete record.
+type Store struct {
+	// mu serializes vfs access. Leaf lock: nothing blocking runs under it.
+	mu      sync.RWMutex
+	fs      *vfs.FS
+	root    string
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+	seq     atomic.Uint64
+
+	loads, commits, corrupt atomic.Int64
+}
+
+// Open returns a store rooted at dir on fs, creating the root and its
+// staging area. Opening an existing root is how a restarted process
+// reattaches to its persisted state.
+func Open(fs *vfs.FS, root string, opts ...Option) (*Store, error) {
+	if fs == nil {
+		return nil, fmt.Errorf("store: nil filesystem")
+	}
+	s := &Store{fs: fs, root: path.Clean(root)}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if err := fs.MkdirAll(s.tmpDir()); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", s.root, err)
+	}
+	return s, nil
+}
+
+func (s *Store) tmpDir() string { return path.Join(s.root, ".tmp") }
+
+func (s *Store) count(c *atomic.Int64, name string) {
+	c.Add(1)
+	if s.metrics != nil {
+		s.metrics.Counter(name).Add(1)
+	}
+}
+
+// validKind restricts namespaces to path-safe literal names.
+func validKind(kind string) error {
+	if kind == "" || strings.HasPrefix(kind, ".") {
+		return fmt.Errorf("store: invalid kind %q", kind)
+	}
+	for _, c := range kind {
+		if !isSafeByte(byte(c)) {
+			return fmt.Errorf("store: invalid kind %q", kind)
+		}
+	}
+	return nil
+}
+
+func isSafeByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '-' || c == '_' || c == '.'
+}
+
+// encodeKey maps an arbitrary record key onto a safe file name; unsafe
+// bytes become %XX escapes (and '%' itself is escaped, so decoding is
+// unambiguous).
+func encodeKey(key string) string {
+	var b strings.Builder
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if isSafeByte(c) && c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		fmt.Fprintf(&b, "%%%02X", c)
+	}
+	if b.Len() == 0 || strings.HasPrefix(b.String(), ".") {
+		return "%" + b.String()
+	}
+	return b.String()
+}
+
+// decodeKey reverses encodeKey; malformed escapes yield ok=false.
+func decodeKey(name string) (string, bool) {
+	name = strings.TrimPrefix(name, "%")
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+2 >= len(name) {
+			return "", false
+		}
+		var v int
+		if _, err := fmt.Sscanf(name[i+1:i+3], "%02X", &v); err != nil {
+			return "", false
+		}
+		b.WriteByte(byte(v))
+		i += 2
+	}
+	return b.String(), true
+}
+
+func (s *Store) recordPath(kind, key string) string {
+	return path.Join(s.root, kind, encodeKey(key)+".rec")
+}
+
+func payloadSum(payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// encodeRecord wraps a payload in the versioned envelope: a one-line
+// header carrying the format version, kind, payload length, and an FNV-64a
+// checksum, followed by the raw payload bytes.
+func encodeRecord(kind string, payload []byte) []byte {
+	header := fmt.Sprintf("%s %d %s %d %016x\n", magic, Version, kind, len(payload), payloadSum(payload))
+	out := make([]byte, 0, len(header)+len(payload))
+	out = append(out, header...)
+	return append(out, payload...)
+}
+
+// decodeRecord validates the envelope and returns the payload. Every
+// mismatch — truncation, bad magic, wrong version or kind, length or
+// checksum disagreement — classifies as ErrCorrupt.
+func decodeRecord(kind string, data []byte) ([]byte, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("%w: missing header", ErrCorrupt)
+	}
+	var gotMagic, gotKind, sumHex string
+	var gotVersion, plen int
+	if _, err := fmt.Sscanf(string(data[:nl]), "%s %d %s %d %s",
+		&gotMagic, &gotVersion, &gotKind, &plen, &sumHex); err != nil {
+		return nil, fmt.Errorf("%w: unparseable header", ErrCorrupt)
+	}
+	if gotMagic != magic || gotVersion != Version || gotKind != kind {
+		return nil, fmt.Errorf("%w: header %q/%d/%q, want %q/%d/%q",
+			ErrCorrupt, gotMagic, gotVersion, gotKind, magic, Version, kind)
+	}
+	payload := data[nl+1:]
+	if len(payload) != plen {
+		return nil, fmt.Errorf("%w: payload %d bytes, header says %d", ErrCorrupt, len(payload), plen)
+	}
+	var sum uint64
+	if _, err := fmt.Sscanf(sumHex, "%016x", &sum); err != nil || sum != payloadSum(payload) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// Put commits a record: the envelope is written to a private temp path,
+// then atomically renamed over the destination. Readers racing a Put see
+// either the old complete record or the new one.
+func (s *Store) Put(kind, key string, payload []byte) error {
+	sp := s.tracer.Start(obs.OpStoreCommit,
+		obs.WithAttr(obs.AttrKind, kind), obs.WithAttr(obs.AttrKey, key))
+	err := s.put(kind, key, payload)
+	sp.End(err)
+	if err == nil {
+		s.count(&s.commits, "store_commit")
+	}
+	return err
+}
+
+func (s *Store) put(kind, key string, payload []byte) error {
+	if err := validKind(kind); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.fs.MkdirAll(path.Join(s.root, kind)); err != nil {
+		return fmt.Errorf("store: put %s/%s: %w", kind, key, err)
+	}
+	tmp := path.Join(s.tmpDir(), fmt.Sprintf("%s-%s-%d", kind, encodeKey(key), s.seq.Add(1)))
+	if err := s.fs.WriteFile(tmp, encodeRecord(kind, payload)); err != nil {
+		return fmt.Errorf("store: put %s/%s: %w", kind, key, err)
+	}
+	dst := s.recordPath(kind, key)
+	// vfs.Rename refuses an existing destination, so the commit removes
+	// the old record first; the temp file survives a failed commit for
+	// inspection-free retry (the next Put uses a fresh sequence number).
+	if s.fs.Exists(dst) {
+		if err := s.fs.Remove(dst); err != nil {
+			return fmt.Errorf("store: put %s/%s: %w", kind, key, err)
+		}
+	}
+	if err := s.fs.Rename(tmp, dst); err != nil {
+		return fmt.Errorf("store: put %s/%s: %w", kind, key, err)
+	}
+	return nil
+}
+
+// Get reads a record. ok=false means the record is absent or damaged; a
+// damaged record additionally reports ErrCorrupt (and counts toward
+// `store_corrupt`) so callers can log it, but the contract for both is
+// the same: treat as a miss and recompute.
+func (s *Store) Get(kind, key string) ([]byte, bool, error) {
+	sp := s.tracer.Start(obs.OpStoreLoad,
+		obs.WithAttr(obs.AttrKind, kind), obs.WithAttr(obs.AttrKey, key))
+	payload, ok, err := s.get(kind, key)
+	sp.End(err)
+	if ok {
+		s.count(&s.loads, "store_load")
+	}
+	if err != nil {
+		s.count(&s.corrupt, "store_corrupt")
+	}
+	return payload, ok, err
+}
+
+func (s *Store) get(kind, key string) ([]byte, bool, error) {
+	if err := validKind(kind); err != nil {
+		return nil, false, nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, err := s.fs.ReadFileShared(s.recordPath(kind, key))
+	if err != nil {
+		return nil, false, nil
+	}
+	payload, err := decodeRecord(kind, data)
+	if err != nil {
+		return nil, false, fmt.Errorf("%s/%s: %w", kind, key, err)
+	}
+	return payload, true, nil
+}
+
+// List returns the sorted keys of every decodable record name in a kind;
+// a missing namespace is an empty list.
+func (s *Store) List(kind string) ([]string, error) {
+	if err := validKind(kind); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	infos, err := s.fs.ReadDir(path.Join(s.root, kind))
+	if err != nil {
+		if errors.Is(err, vfs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: list %s: %w", kind, err)
+	}
+	var keys []string
+	for _, fi := range infos {
+		name, found := strings.CutSuffix(fi.Name, ".rec")
+		if !found {
+			continue
+		}
+		if key, ok := decodeKey(name); ok {
+			keys = append(keys, key)
+		}
+	}
+	return keys, nil
+}
+
+// Delete removes a record; deleting an absent record is a no-op.
+func (s *Store) Delete(kind, key string) error {
+	if err := validKind(kind); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.fs.Remove(s.recordPath(kind, key))
+	if err != nil && !errors.Is(err, vfs.ErrNotExist) {
+		return fmt.Errorf("store: delete %s/%s: %w", kind, key, err)
+	}
+	return nil
+}
+
+// Stats is a lifetime summary of record traffic.
+type Stats struct {
+	Loads   int64
+	Commits int64
+	Corrupt int64
+}
+
+// Stats reports lifetime load/commit/corrupt counts.
+func (s *Store) Stats() Stats {
+	return Stats{Loads: s.loads.Load(), Commits: s.commits.Load(), Corrupt: s.corrupt.Load()}
+}

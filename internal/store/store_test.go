@@ -1,0 +1,264 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"feam/internal/fault"
+	"feam/internal/obs"
+	"feam/internal/store"
+	"feam/internal/vfs"
+)
+
+func openStore(t *testing.T, opts ...store.Option) (*store.Store, *vfs.FS) {
+	t.Helper()
+	fs := vfs.New()
+	s, err := store.Open(fs, "/state", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, fs
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	metrics := obs.NewRegistry()
+	s, _ := openStore(t, store.WithMetrics(metrics))
+	payload := []byte(`{"fingerprint":7}`)
+	if err := s.Put("survey", "india", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("survey", "india")
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v, %v", got, ok, err)
+	}
+	if _, ok, _ := s.Get("survey", "nowhere"); ok {
+		t.Fatal("absent record returned ok")
+	}
+	if _, ok, _ := s.Get("bundle", "india"); ok {
+		t.Fatal("kind namespaces must not alias")
+	}
+	if metrics.Counter("store_commit").Load() != 1 || metrics.Counter("store_load").Load() != 1 {
+		t.Fatalf("commit/load counters = %d/%d, want 1/1",
+			metrics.Counter("store_commit").Load(), metrics.Counter("store_load").Load())
+	}
+}
+
+func TestOverwriteIsAtomicReplace(t *testing.T) {
+	s, _ := openStore(t)
+	if err := s.Put("bdc", "app", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("bdc", "app", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("bdc", "app")
+	if err != nil || !ok || string(got) != "v2" {
+		t.Fatalf("Get after overwrite = %q, %v, %v", got, ok, err)
+	}
+	keys, err := s.List("bdc")
+	if err != nil || len(keys) != 1 {
+		t.Fatalf("List = %v, %v", keys, err)
+	}
+}
+
+// TestRestartReattach: a fresh Store over the same filesystem and root —
+// the killed-and-restarted process — sees every committed record.
+func TestRestartReattach(t *testing.T) {
+	s, fs := openStore(t)
+	if err := s.Put("survey", "ranger", []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := store.Open(fs, "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := reopened.Get("survey", "ranger")
+	if err != nil || !ok || string(got) != "state" {
+		t.Fatalf("reopened Get = %q, %v, %v", got, ok, err)
+	}
+}
+
+// TestCorruptRecordsReadAsMisses: truncation, payload damage, header
+// damage, and version skew all classify as ErrCorrupt with ok=false —
+// crash recovery never propagates a fatal error.
+func TestCorruptRecordsReadAsMisses(t *testing.T) {
+	metrics := obs.NewRegistry()
+	s, fs := openStore(t, store.WithMetrics(metrics))
+	if err := s.Put("survey", "vic", []byte("precious survey data")); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := fs.Glob("/state/survey", "*.rec")
+	if err != nil || len(paths) != 1 {
+		t.Fatalf("record files = %v, %v", paths, err)
+	}
+	rec := paths[0]
+	original, err := fs.ReadFile(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		if err := fs.WriteFile(rec, original); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cases := map[string][]byte{
+		"truncated":      original[:len(original)-5],
+		"payload-flip":   append(append([]byte{}, original[:len(original)-1]...), original[len(original)-1]^0xFF),
+		"header-garbage": append([]byte("not a header\n"), original...),
+		"empty":          {},
+	}
+	for name, data := range cases {
+		if err := fs.WriteFile(rec, data); err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := s.Get("survey", "vic")
+		if ok || got != nil {
+			t.Errorf("%s: corrupt record returned ok with %q", name, got)
+		}
+		if !errors.Is(err, store.ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+		restore()
+	}
+	if got, ok, err := s.Get("survey", "vic"); !ok || err != nil || string(got) != "precious survey data" {
+		t.Fatalf("restored record unreadable: %q, %v, %v", got, ok, err)
+	}
+	if c := metrics.Counter("store_corrupt").Load(); c != int64(len(cases)) {
+		t.Fatalf("store_corrupt = %d, want %d", c, len(cases))
+	}
+}
+
+func TestKeyEncodingAndList(t *testing.T) {
+	s, _ := openStore(t)
+	keys := []string{"plain", "with/slash", "sha:ab01", "..dotty", "sp ace"}
+	for _, k := range keys {
+		if err := s.Put("site", k, []byte(k)); err != nil {
+			t.Fatalf("put %q: %v", k, err)
+		}
+	}
+	got, err := s.List("site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("List = %v, want %d keys", got, len(keys))
+	}
+	for _, k := range keys {
+		data, ok, err := s.Get("site", k)
+		if err != nil || !ok || string(data) != k {
+			t.Fatalf("round trip %q: %q, %v, %v", k, data, ok, err)
+		}
+	}
+	if empty, err := s.List("nothing-here"); err != nil || len(empty) != 0 {
+		t.Fatalf("List of empty kind = %v, %v", empty, err)
+	}
+	if err := s.Put("../escape", "k", nil); err == nil {
+		t.Fatal("path-traversal kind accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, _ := openStore(t)
+	if err := s.Put("survey", "gone", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("survey", "gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("survey", "gone"); ok {
+		t.Fatal("deleted record still readable")
+	}
+	if err := s.Delete("survey", "gone"); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+// TestFaultInjectionThroughVFS: the store's only I/O path is the vfs, so
+// a fault hook on the filesystem exercises the store's error handling; a
+// failed commit must leave the previous record intact.
+func TestFaultInjectionThroughVFS(t *testing.T) {
+	s, fs := openStore(t)
+	if err := s.Put("bundle", "app", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	script := &fault.Script{}
+	fs.SetOpHook(fault.Hook(script))
+
+	script.FailNext(fault.Transient, "write")
+	if err := s.Put("bundle", "app", []byte("v2")); err == nil {
+		t.Fatal("faulted write did not surface")
+	}
+	if got, ok, err := s.Get("bundle", "app"); !ok || err != nil || string(got) != "v1" {
+		t.Fatalf("failed commit damaged the previous record: %q, %v, %v", got, ok, err)
+	}
+
+	script.FailNext(fault.Transient, "rename")
+	if err := s.Put("bundle", "app", []byte("v3")); err == nil {
+		t.Fatal("faulted rename did not surface")
+	}
+	if got, _, _ := s.Get("bundle", "app"); string(got) == "v3" {
+		t.Fatal("record updated despite failed rename")
+	}
+
+	fs.SetOpHook(nil)
+	if err := s.Put("bundle", "app", []byte("v4")); err != nil {
+		t.Fatalf("store did not recover once faults cleared: %v", err)
+	}
+	if got, ok, _ := s.Get("bundle", "app"); !ok || string(got) != "v4" {
+		t.Fatalf("post-recovery record = %q", got)
+	}
+}
+
+// TestStoreSpans: with a tracer attached, every Put/Get emits a
+// store_commit / store_load span feeding the shared histograms.
+func TestStoreSpans(t *testing.T) {
+	tr := obs.NewTracer(64)
+	metrics := obs.NewRegistry()
+	tr.AddSink(obs.NewRegistrySink(metrics))
+	s, _ := openStore(t, store.WithTracer(tr), store.WithMetrics(metrics))
+	if err := s.Put("survey", "x", []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("survey", "x"); !ok {
+		t.Fatal("get failed")
+	}
+	if n := metrics.Histogram(obs.OpStoreCommit).Count(); n != 1 {
+		t.Fatalf("store_commit histogram count = %d, want 1", n)
+	}
+	if n := metrics.Histogram(obs.OpStoreLoad).Count(); n != 1 {
+		t.Fatalf("store_load histogram count = %d, want 1", n)
+	}
+}
+
+// TestConcurrentPuts: concurrent writers on overlapping keys always leave
+// complete records (run under -race).
+func TestConcurrentPuts(t *testing.T) {
+	s, _ := openStore(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", (seed+i)%10)
+				if err := s.Put("survey", key, []byte(key)); err != nil {
+					t.Error(err)
+					return
+				}
+				if data, ok, err := s.Get("survey", key); ok && (err != nil || string(data) != key) {
+					t.Errorf("torn read for %s: %q, %v", key, data, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Commits == 0 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
