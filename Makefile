@@ -2,7 +2,7 @@ GO ?= go
 STATICCHECK ?= staticcheck
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race fault obs lint fuzz bench bench-json bench-smoke
+.PHONY: build vet test race fault obs lint fuzz bench bench-json bench-smoke scenario
 
 build:
 	$(GO) build ./...
@@ -41,13 +41,22 @@ lint: vet
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
+# Scenario suite: validate the committed corpus with the CLI, then replay
+# every scenario as a race-detected subtest (failed scenarios print their
+# human-readable assertion diffs).
+scenario:
+	$(GO) run ./cmd/feam-sim validate testdata/scenarios/*.yaml
+	$(GO) test -race -count=1 ./internal/scenario/
+
 # Bounded fuzzing smoke run over the attacker-facing parsers: the ELF
-# reader and the soname/symbol-version parsers. The go tool accepts one
-# -fuzz pattern per invocation, hence three runs.
+# reader, the soname/symbol-version parsers, and the scenario YAML
+# loader. The go tool accepts one -fuzz pattern per invocation, hence the
+# separate runs.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzParseSoname -fuzztime $(FUZZTIME) ./internal/libver/
 	$(GO) test -run xxx -fuzz FuzzSymverRequirements -fuzztime $(FUZZTIME) ./internal/libver/
 	$(GO) test -run xxx -fuzz FuzzParseELF -fuzztime $(FUZZTIME) ./internal/elfimg/
+	$(GO) test -run xxx -fuzz FuzzScenarioYAML -fuzztime $(FUZZTIME) ./internal/scenario/
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

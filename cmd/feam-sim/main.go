@@ -1,0 +1,229 @@
+// Command feam-sim runs YAML fleet scenarios through the FEAM engine: it
+// builds the declared synthetic fleet, replays the event timeline (site
+// churn, glibc upgrades, fault spikes, outages, engine restarts), and
+// checks the scenario's assertions against the predictions, spans, and
+// metrics the run produced.
+//
+// Subcommands:
+//
+//	feam-sim validate <file>...   load and validate scenarios, run nothing
+//	feam-sim list <file>...       one-line summary per scenario
+//	feam-sim run [flags] <file>...  execute scenarios and check assertions
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"feam/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "feam-sim: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "feam-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: feam-sim <command> [flags] <scenario.yaml>...
+
+commands:
+  run       execute scenarios and check their assertions
+  validate  load and validate scenario files without running them
+  list      print a one-line summary per scenario
+
+run flags:
+  -json      print the full result JSON for each scenario to stdout
+  -out DIR   write each scenario's result JSON to DIR/<name>.json
+  -v         print the event log while running
+`)
+}
+
+// load reads and validates one scenario file.
+func load(path string) (*scenario.Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := scenario.Load(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return sc, nil
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("validate: no scenario files given")
+	}
+	bad := 0
+	for _, path := range fs.Args() {
+		sc, err := load(path)
+		if err != nil {
+			fmt.Printf("FAIL %s\n  %v\n", path, err)
+			bad++
+			continue
+		}
+		fmt.Printf("ok   %s (%s: %d events, %d assertions)\n",
+			path, sc.Name, len(sc.Events), len(sc.Assertions))
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d scenario files failed validation", bad, fs.NArg())
+	}
+	return nil
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("list: no scenario files given")
+	}
+	for _, path := range fs.Args() {
+		sc, err := load(path)
+		if err != nil {
+			return err
+		}
+		sites := "table2 base"
+		if n := countGroupSites(sc); n > 0 {
+			if sc.Fleet.Base == "" {
+				sites = fmt.Sprintf("%d sites", n)
+			} else {
+				sites = fmt.Sprintf("table2 base + %d sites", n)
+			}
+		}
+		fmt.Printf("%-32s %-24s %s\n", sc.Name, sites, sc.Description)
+	}
+	return nil
+}
+
+func countGroupSites(sc *scenario.Scenario) int {
+	n := 0
+	for _, g := range sc.Fleet.Groups {
+		c := g.Count
+		if c < 1 {
+			c = 1
+		}
+		n += c
+	}
+	return n
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "print each result as JSON to stdout")
+	outDir := fs.String("out", "", "write each result JSON to this directory")
+	verbose := fs.Bool("v", false, "print the event log while running")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("run: no scenario files given")
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	failed := 0
+	for _, path := range fs.Args() {
+		sc, err := load(path)
+		if err != nil {
+			return err
+		}
+		opts := scenario.RunOptions{}
+		if *verbose {
+			opts.Log = os.Stderr
+		}
+		res, err := scenario.Run(context.Background(), sc, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		if *outDir != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			name := filepath.Join(*outDir, res.Scenario+".json")
+			if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				return err
+			}
+		} else {
+			printResult(path, res)
+		}
+		if !res.Passed {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", failed, fs.NArg())
+	}
+	return nil
+}
+
+// printResult renders a human-readable pass/fail summary, with the diff
+// for every failed assertion.
+func printResult(path string, res *scenario.Result) {
+	status := "PASS"
+	if !res.Passed {
+		status = "FAIL"
+	}
+	fmt.Printf("%s %s (%s): %d sites, %d events, %d/%d assertions\n",
+		status, res.Scenario, path, res.Sites, len(res.Events),
+		len(res.Assertions)-res.Failed, len(res.Assertions))
+	for _, a := range res.Assertions {
+		if a.OK {
+			continue
+		}
+		fmt.Printf("  assertion %d failed: %s\n", a.Index, a.Description)
+		if a.Diff != "" {
+			fmt.Print(indent(a.Diff, "    "))
+		}
+	}
+}
+
+func indent(s, prefix string) string {
+	out := ""
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			if i > start {
+				out += prefix + s[start:i] + "\n"
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -21,6 +21,7 @@ import (
 	"feam/internal/obs"
 	"feam/internal/registry"
 	"feam/internal/report"
+	"feam/internal/scenario"
 	"feam/internal/sitemodel"
 	"feam/internal/store"
 	"feam/internal/testbed"
@@ -62,7 +63,9 @@ func main() {
 		exportMetrics(eng, *metricsOut)
 		return
 	}
-	tb, err := testbed.Build()
+	// The five-site Table II fleet is built through the scenario fleet
+	// builder, the single definition shared with feam-sim.
+	tb, err := scenario.BuildFleet(scenario.FleetSpec{Base: scenario.FleetBaseTable2})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "feam-testbed:", err)
 		os.Exit(1)
@@ -194,7 +197,7 @@ func runFaults(eng *feam.Engine, tb *testbed.Testbed, rate, transientFrac float6
 		Phase: "source", BinaryPath: binPath,
 		SerialScript: serial, ParallelScript: parallel,
 	}
-	bundle, _, err := eng.RunSourcePhase(ctx, cfg, src, &batchRunner{inner: experiment.NewSimRunner(sim), tb: tb})
+	bundle, _, err := eng.RunSourcePhase(ctx, cfg, src, &scenario.BatchRunner{Inner: experiment.NewSimRunner(sim), TB: tb})
 	src.RestoreEnv(snap)
 	if err != nil {
 		return err
@@ -210,7 +213,7 @@ func runFaults(eng *feam.Engine, tb *testbed.Testbed, rate, transientFrac float6
 	// (script generation, %CMD% substitution, parse round-trip, queue wait)
 	// with the fault injector underneath, so a probe can fail either in the
 	// batch layer or in the execution itself.
-	runner := &batchRunner{inner: &fault.FaultyRunner{Inner: experiment.NewSimProbeRunner(sim), Inj: inj}, tb: tb}
+	runner := &scenario.BatchRunner{Inner: &fault.FaultyRunner{Inner: experiment.NewSimProbeRunner(sim), Inj: inj}, TB: tb}
 	var targets []*sitemodel.Site
 	for _, s := range tb.Sites {
 		if s.Name == from {

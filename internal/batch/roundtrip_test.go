@@ -1,0 +1,155 @@
+package batch
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGenerateSubstituteParseRoundTrip drives the exact round-trip FEAM
+// performs on submission scripts — render the manager's native directives,
+// substitute the probe command for %CMD%, parse the script back — across
+// every manager flavor, and checks what survives. SGE expresses
+// parallelism as one slot count ("-pe mpi N"), so nodes×tasks legitimately
+// collapses into tasks there; the table encodes that lossiness explicitly.
+func TestGenerateSubstituteParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		spec ScriptSpec
+		// want is the spec Parse should recover after the round-trip.
+		want ScriptSpec
+	}{
+		{
+			name: "pbs",
+			spec: ScriptSpec{Manager: PBS, JobName: "feam-probe", Queue: "debug",
+				Nodes: 2, Tasks: 8, WallTime: 10 * time.Minute, Command: CmdPlaceholder},
+			want: ScriptSpec{Manager: PBS, JobName: "feam-probe", Queue: "debug",
+				Nodes: 2, Tasks: 8, WallTime: 10 * time.Minute},
+		},
+		{
+			name: "pbs no queue",
+			spec: ScriptSpec{Manager: PBS, JobName: "j", Nodes: 1, Tasks: 1,
+				WallTime: time.Hour, Command: CmdPlaceholder},
+			want: ScriptSpec{Manager: PBS, JobName: "j", Nodes: 1, Tasks: 1,
+				WallTime: time.Hour},
+		},
+		{
+			name: "sge collapses nodes into slots",
+			spec: ScriptSpec{Manager: SGE, JobName: "feam-probe", Queue: "debug",
+				Nodes: 2, Tasks: 4, WallTime: 30 * time.Minute, Command: CmdPlaceholder},
+			// "-pe mpi 8" comes back as 8 tasks on 1 node.
+			want: ScriptSpec{Manager: SGE, JobName: "feam-probe", Queue: "debug",
+				Nodes: 1, Tasks: 8, WallTime: 30 * time.Minute},
+		},
+		{
+			name: "slurm",
+			spec: ScriptSpec{Manager: SLURM, JobName: "feam-probe", Queue: "debug",
+				Nodes: 3, Tasks: 16, WallTime: 90 * time.Minute, Command: CmdPlaceholder},
+			want: ScriptSpec{Manager: SLURM, JobName: "feam-probe", Queue: "debug",
+				Nodes: 3, Tasks: 16, WallTime: 90 * time.Minute},
+		},
+		{
+			name: "walltime over a day keeps rolling hours",
+			spec: ScriptSpec{Manager: PBS, JobName: "long", Nodes: 1, Tasks: 1,
+				WallTime: 26*time.Hour + 3*time.Minute + 4*time.Second, Command: CmdPlaceholder},
+			want: ScriptSpec{Manager: PBS, JobName: "long", Nodes: 1, Tasks: 1,
+				WallTime: 26*time.Hour + 3*time.Minute + 4*time.Second},
+		},
+	}
+	const cmd = "mpirun -np 8 ./cg.x"
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			script := Generate(tc.spec)
+			if !strings.Contains(script, CmdPlaceholder) {
+				t.Fatalf("generated script lost the placeholder:\n%s", script)
+			}
+			substituted := Substitute(script, cmd)
+			if strings.Contains(substituted, CmdPlaceholder) {
+				t.Fatalf("placeholder survived substitution:\n%s", substituted)
+			}
+			got, err := Parse(substituted)
+			if err != nil {
+				t.Fatalf("Parse: %v\nscript:\n%s", err, substituted)
+			}
+			tc.want.Command = cmd
+			if got != tc.want {
+				t.Errorf("round-trip mismatch\n got: %+v\nwant: %+v\nscript:\n%s", got, tc.want, substituted)
+			}
+		})
+	}
+}
+
+// TestParsePartialScripts exercises Parse against hand-written scripts
+// with missing, reordered, or unknown directives — the shape of real
+// user-supplied templates.
+func TestParsePartialScripts(t *testing.T) {
+	cases := []struct {
+		name   string
+		script string
+		want   ScriptSpec
+	}{
+		{
+			name:   "pbs minimal",
+			script: "#!/bin/sh\n#PBS -N x\n./a.out\n",
+			want:   ScriptSpec{Manager: PBS, JobName: "x", Nodes: 1, Tasks: 1, Command: "./a.out"},
+		},
+		{
+			name:   "pbs combined resource list",
+			script: "#PBS -N x\n#PBS -l nodes=4:ppn=2,walltime=01:30:00\nrun\n",
+			want: ScriptSpec{Manager: PBS, JobName: "x", Nodes: 4, Tasks: 2,
+				WallTime: 90 * time.Minute, Command: "run"},
+		},
+		{
+			name:   "pbs malformed counts fall back",
+			script: "#PBS -N x\n#PBS -l nodes=lots:ppn=many\nrun\n",
+			want:   ScriptSpec{Manager: PBS, JobName: "x", Nodes: 1, Tasks: 1, Command: "run"},
+		},
+		{
+			name:   "unknown directives are ignored",
+			script: "#PBS -N x\n#PBS -M ops@example.org\n#PBS -j oe\nrun\n",
+			want:   ScriptSpec{Manager: PBS, JobName: "x", Nodes: 1, Tasks: 1, Command: "run"},
+		},
+		{
+			name:   "last command wins",
+			script: "#SBATCH --job-name=x\nmodule load mpi\nmpirun ./a.out\n",
+			want:   ScriptSpec{Manager: SLURM, JobName: "x", Nodes: 1, Tasks: 1, Command: "mpirun ./a.out"},
+		},
+		{
+			name:   "slurm truncated time ignored",
+			script: "#SBATCH --job-name=x\n#SBATCH --time=15\nrun\n",
+			want:   ScriptSpec{Manager: SLURM, JobName: "x", Nodes: 1, Tasks: 1, Command: "run"},
+		},
+		{
+			name:   "sge bare directives",
+			script: "#$ -N x\n#$ -l h_rt=00:05:00\nrun\n",
+			want: ScriptSpec{Manager: SGE, JobName: "x", Nodes: 1, Tasks: 1,
+				WallTime: 5 * time.Minute, Command: "run"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Parse(tc.script)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if got != tc.want {
+				t.Errorf("got %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseRejectsDirectivelessScripts: a script with no recognizable
+// scheduler directives cannot identify its manager and must error rather
+// than silently defaulting.
+func TestParseRejectsDirectivelessScripts(t *testing.T) {
+	for _, script := range []string{
+		"",
+		"#!/bin/sh\n./a.out\n",
+		"# just a comment\nmpirun ./a.out\n",
+	} {
+		if _, err := Parse(script); err == nil {
+			t.Errorf("Parse(%q) succeeded, want directive error", script)
+		}
+	}
+}

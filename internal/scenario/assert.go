@@ -1,0 +1,394 @@
+// assert.go evaluates a scenario's declarative assertions against the
+// finished run and renders human-readable diffs for the failures — the
+// part of the simulator that turns "site X should flip to not-ready after
+// the upgrade" into a CI-checkable statement.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"feam/internal/feam"
+)
+
+// determinant name keys used in YAML and JSON output.
+const (
+	detKeyISA        = "isa"
+	detKeyCLibrary   = "clibrary"
+	detKeyMPI        = "mpi"
+	detKeySharedLibs = "sharedlibs"
+)
+
+func parseDeterminant(s string) (feam.Determinant, error) {
+	switch s {
+	case detKeyISA:
+		return feam.DetISA, nil
+	case detKeyCLibrary, "c_library":
+		return feam.DetCLibrary, nil
+	case detKeyMPI, "mpistack", "mpi_stack":
+		return feam.DetMPIStack, nil
+	case detKeySharedLibs, "shared_libs":
+		return feam.DetSharedLibs, nil
+	default:
+		return 0, fmt.Errorf("unknown determinant %q (want isa, clibrary, mpi, or sharedlibs)", s)
+	}
+}
+
+func determinantKey(d feam.Determinant) string {
+	switch d {
+	case feam.DetISA:
+		return detKeyISA
+	case feam.DetCLibrary:
+		return detKeyCLibrary
+	case feam.DetMPIStack:
+		return detKeyMPI
+	case feam.DetSharedLibs:
+		return detKeySharedLibs
+	}
+	return fmt.Sprintf("determinant-%d", int(d))
+}
+
+func parseOutcome(s string) (feam.Outcome, error) {
+	switch s {
+	case "pass":
+		return feam.Pass, nil
+	case "fail":
+		return feam.Fail, nil
+	case "resolved":
+		return feam.Resolved, nil
+	case "not evaluated", "unknown":
+		return feam.Unknown, nil
+	default:
+		return 0, fmt.Errorf("unknown outcome %q (want pass, fail, resolved, or \"not evaluated\")", s)
+	}
+}
+
+// error classes a prediction assertion can expect.
+const (
+	errClassNone            = "none"
+	errClassAny             = "any"
+	errClassSiteUnavailable = "site_unavailable"
+	errClassProbeFailed     = "probe_failed"
+)
+
+func parseErrorClass(s string) (string, error) {
+	switch s {
+	case "", errClassNone, errClassAny, errClassSiteUnavailable, errClassProbeFailed:
+		return s, nil
+	default:
+		return "", fmt.Errorf("unknown error class %q (want none, any, site_unavailable, or probe_failed)", s)
+	}
+}
+
+// errorClass names an assessment error by the engine's sentinel it wraps.
+func errorClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, feam.ErrSiteUnavailable):
+		return errClassSiteUnavailable
+	case errors.Is(err, feam.ErrProbeFailed):
+		return errClassProbeFailed
+	default:
+		return "error"
+	}
+}
+
+// assertionDesc is the one-line identity of an assertion in results and
+// diffs.
+func assertionDesc(i int, a Assertion) string {
+	var parts []string
+	switch a.Type {
+	case AssertPrediction:
+		parts = append(parts, "site="+a.Site)
+	case AssertSpans:
+		parts = append(parts, "op="+a.Op)
+		if a.Site != "" {
+			parts = append(parts, "site="+a.Site)
+		}
+		if a.Since != "" {
+			parts = append(parts, "since="+a.Since)
+		}
+	case AssertMetric:
+		parts = append(parts, "metric="+a.Metric)
+	case AssertRanking:
+		parts = append(parts, "first="+a.First)
+	}
+	if a.Survey != "" {
+		parts = append(parts, "survey="+a.Survey)
+	}
+	return fmt.Sprintf("assertions[%d] %s{%s}", i, a.Type, strings.Join(parts, ", "))
+}
+
+// evaluate checks one assertion against the run state.
+func (r *runner) evaluate(i int, a Assertion) AssertionResult {
+	ar := AssertionResult{Index: i, Description: assertionDesc(i, a), OK: true}
+	fail := func(format string, args ...any) {
+		ar.OK = false
+		if ar.Diff != "" {
+			ar.Diff += "\n"
+		}
+		ar.Diff += fmt.Sprintf("%s: %s", ar.Description, fmt.Sprintf(format, args...))
+	}
+
+	switch a.Type {
+	case AssertPrediction:
+		assessment, diag, ok := r.lookupAssessment(a)
+		if !ok {
+			fail("%s", diag)
+			return ar
+		}
+		r.checkPrediction(a, assessment, fail)
+
+	case AssertSpans:
+		counts, err := r.sinceCounts(a.Since)
+		if err != nil {
+			fail("%v", err)
+			return ar
+		}
+		got := counts[opKey{op: a.Op, site: a.Site}]
+		if a.Min != nil && got < *a.Min {
+			fail("%d %s span(s), want >= %d", got, a.Op, *a.Min)
+		}
+		if a.Max != nil && got > *a.Max {
+			fail("%d %s span(s), want <= %d", got, a.Op, *a.Max)
+		}
+
+	case AssertMetric:
+		got := r.metrics.Counter(a.Metric).Load()
+		if a.Min != nil && got < *a.Min {
+			fail("metric %s = %d, want >= %d", a.Metric, got, *a.Min)
+		}
+		if a.Max != nil && got > *a.Max {
+			fail("metric %s = %d, want <= %d", a.Metric, got, *a.Max)
+		}
+
+	case AssertRanking:
+		assessments, diag, ok := r.lookupSurvey(a.Survey)
+		if !ok {
+			fail("%s", diag)
+			return ar
+		}
+		if len(assessments) == 0 {
+			fail("survey ranked no sites")
+			return ar
+		}
+		if first := assessments[0].Site; first != a.First {
+			fail("best-ranked site is %s, want %s\n%s", first, a.First, rankingTable(assessments))
+		}
+
+	case AssertSummary:
+		assessments, diag, ok := r.lookupSurvey(a.Survey)
+		if !ok {
+			fail("%s", diag)
+			return ar
+		}
+		sum := summarizeSurvey(assessments)
+		check := func(what string, got int, want *int) {
+			if want != nil && got != *want {
+				fail("%d %s site(s), want %d\n%s", got, what, *want, surveyTable(assessments))
+			}
+		}
+		check("ready", sum.Ready, a.ReadyCount)
+		check("not-ready", sum.NotReady, a.NotReadyCount)
+		check("errored", sum.Errors, a.ErrorCount)
+
+	default:
+		fail("unknown assertion type %q", a.Type)
+	}
+	return ar
+}
+
+// lookupSurvey resolves an assertion's survey reference (default: the
+// last survey executed).
+func (r *runner) lookupSurvey(name string) ([]feam.SiteAssessment, string, bool) {
+	if name == "" {
+		if len(r.surveyOrder) == 0 {
+			return nil, "the timeline ran no survey", false
+		}
+		name = r.surveyOrder[len(r.surveyOrder)-1]
+	}
+	assessments, ok := r.surveys[name]
+	if !ok {
+		return nil, fmt.Sprintf("no survey named %q ran (surveys: %s)",
+			name, strings.Join(r.surveyOrder, ", ")), false
+	}
+	return assessments, "", true
+}
+
+func (r *runner) lookupAssessment(a Assertion) (feam.SiteAssessment, string, bool) {
+	assessments, diag, ok := r.lookupSurvey(a.Survey)
+	if !ok {
+		return feam.SiteAssessment{}, diag, false
+	}
+	for _, as := range assessments {
+		if as.Site == a.Site {
+			return as, "", true
+		}
+	}
+	var names []string
+	for _, as := range assessments {
+		names = append(names, as.Site)
+	}
+	sort.Strings(names)
+	return feam.SiteAssessment{}, fmt.Sprintf("survey has no assessment for site %q (sites: %s)",
+		a.Site, strings.Join(names, ", ")), false
+}
+
+// checkPrediction applies a prediction assertion's expectations to one
+// assessment, reporting each mismatch with the assessment's trail.
+func (r *runner) checkPrediction(a Assertion, as feam.SiteAssessment, fail func(string, ...any)) {
+	if a.Error != "" {
+		got := errorClass(as.Err)
+		want := a.Error
+		okErr := false
+		switch want {
+		case errClassNone:
+			okErr = as.Err == nil
+		case errClassAny:
+			okErr = as.Err != nil
+		default:
+			okErr = got == want
+		}
+		if !okErr {
+			detail := "nil"
+			if as.Err != nil {
+				detail = fmt.Sprintf("%s (%v)", got, as.Err)
+			}
+			fail("assessment error is %s, want %s", detail, want)
+		}
+	}
+	p := as.Prediction
+	if a.Ready != nil {
+		switch {
+		case p == nil:
+			fail("no prediction to check ready against (assessment error: %v)", as.Err)
+		case p.Ready != *a.Ready:
+			fail("ready = %v, want %v\n%s", p.Ready, *a.Ready, predictionTrail(p))
+		}
+	}
+	if a.Determinant != "" {
+		det, err := parseDeterminant(a.Determinant)
+		if err != nil {
+			fail("%v", err)
+			return
+		}
+		want, err := parseOutcome(a.Outcome)
+		if err != nil {
+			fail("%v", err)
+			return
+		}
+		switch {
+		case p == nil:
+			fail("no prediction to check determinant %s against (assessment error: %v)", a.Determinant, as.Err)
+		case p.Determinants[det].Outcome != want:
+			res := p.Determinants[det]
+			fail("determinant %s = %s, want %s\n%s", a.Determinant, res.Outcome, want, predictionTrail(p))
+		}
+	}
+	if a.ReasonContains != "" {
+		text := assessmentText(as)
+		if !strings.Contains(text, a.ReasonContains) {
+			fail("nothing in the assessment mentions %q\n%s", a.ReasonContains, indent(text))
+		}
+	}
+}
+
+// predictionTrail renders the determinant ladder and failure reasons — the
+// body of a readable assertion diff.
+func predictionTrail(p *feam.Prediction) string {
+	var b strings.Builder
+	b.WriteString("  determinant trail:\n")
+	for _, d := range feam.Determinants() {
+		res := p.Determinants[d]
+		fmt.Fprintf(&b, "    %-10s %s", determinantKey(d), res.Outcome)
+		if res.Detail != "" {
+			fmt.Fprintf(&b, " — %s", res.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	for _, reason := range p.Reasons {
+		fmt.Fprintf(&b, "  reason: %s\n", reason)
+	}
+	if p.SelectedStack != nil {
+		fmt.Fprintf(&b, "  selected stack: %s\n", p.SelectedStack.Key)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// assessmentText flattens everything a ReasonContains check may match:
+// failure reasons, determinant details, unresolved-library diagnoses, and
+// the assessment error.
+func assessmentText(as feam.SiteAssessment) string {
+	var parts []string
+	if as.Err != nil {
+		parts = append(parts, as.Err.Error())
+	}
+	if p := as.Prediction; p != nil {
+		parts = append(parts, p.Reasons...)
+		for _, d := range feam.Determinants() {
+			if detail := p.Determinants[d].Detail; detail != "" {
+				parts = append(parts, detail)
+			}
+		}
+		for lib, why := range p.UnresolvedLibs {
+			parts = append(parts, lib+": "+why)
+		}
+	}
+	return strings.Join(parts, "\n")
+}
+
+// surveyTable lists each assessment on one line — the diff body for
+// summary mismatches.
+func surveyTable(assessments []feam.SiteAssessment) string {
+	var b strings.Builder
+	for _, as := range assessments {
+		switch {
+		case as.Err != nil:
+			fmt.Fprintf(&b, "    %-16s %-10s %v\n", as.Site, errorClass(as.Err), as.Err)
+		case as.Prediction != nil && as.Prediction.Ready:
+			extra := "as-is"
+			if n := len(as.Prediction.ResolvedLibs); n > 0 {
+				extra = fmt.Sprintf("with %d staged libraries", n)
+			}
+			fmt.Fprintf(&b, "    %-16s ready %s\n", as.Site, extra)
+		case as.Prediction != nil:
+			reason := ""
+			if len(as.Prediction.Reasons) > 0 {
+				reason = as.Prediction.Reasons[0]
+			}
+			fmt.Fprintf(&b, "    %-16s not ready: %s\n", as.Site, reason)
+		default:
+			fmt.Fprintf(&b, "    %-16s (no prediction)\n", as.Site)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// rankingTable shows the survey's order — the diff body for ranking
+// mismatches.
+func rankingTable(assessments []feam.SiteAssessment) string {
+	var b strings.Builder
+	for i, as := range assessments {
+		status := "error"
+		if as.Err == nil && as.Prediction != nil {
+			if as.Prediction.Ready {
+				status = "ready"
+			} else {
+				status = "not ready"
+			}
+		}
+		fmt.Fprintf(&b, "    %2d. %-16s %s\n", i+1, as.Site, status)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func indent(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = "    " + l
+	}
+	return strings.Join(lines, "\n")
+}

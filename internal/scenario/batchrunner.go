@@ -1,4 +1,4 @@
-package main
+package scenario
 
 import (
 	"fmt"
@@ -11,17 +11,18 @@ import (
 	"feam/internal/toolchain"
 )
 
-// batchRunner routes every probe execution through the site's simulated
+// BatchRunner routes every probe execution through the site's simulated
 // resource manager instead of invoking it directly: it renders a native
-// submission script for the site's manager flavor (PBS at ranger, SGE at
-// india, SLURM at fir...), substitutes the probe command for the %CMD%
-// placeholder — the round-trip FEAM performs on user-supplied templates —
-// parses the script back to confirm nothing was lost, and submits the job
-// through the site's debug queue so probe runs pay queue wait and show up
-// in CPU-hour accounting.
-type batchRunner struct {
-	inner feam.ProgramRunner
-	tb    *testbed.Testbed
+// submission script for the site's manager flavor (PBS, SGE, SLURM),
+// substitutes the probe command for the %CMD% placeholder — the
+// round-trip FEAM performs on user-supplied templates — parses the script
+// back to confirm nothing was lost, and submits the job through the
+// site's debug queue so probe runs pay queue wait and show up in CPU-hour
+// accounting. Moved here from feam-testbed so both the CLI and the
+// simulator share it.
+type BatchRunner struct {
+	Inner feam.ProgramRunner
+	TB    *testbed.Testbed
 }
 
 const (
@@ -31,14 +32,14 @@ const (
 )
 
 // RunProgram implements feam.ProgramRunner.
-func (r *batchRunner) RunProgram(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
-	cluster := r.tb.Clusters[site.Name]
+func (r *BatchRunner) RunProgram(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
+	cluster := r.TB.Clusters[site.Name]
 	if cluster == nil {
 		// Not a testbed site (imported image): run directly.
-		return r.inner.RunProgram(art, site, stackKey, extraLibDirs)
+		return r.Inner.RunProgram(art, site, stackKey, extraLibDirs)
 	}
 	spec := batch.ScriptSpec{
-		Manager:  r.tb.Specs[site.Name].Manager,
+		Manager:  r.TB.Specs[site.Name].Manager,
 		JobName:  "feam-probe",
 		Queue:    probeQueue,
 		Nodes:    1,
@@ -56,7 +57,7 @@ func (r *batchRunner) RunProgram(art *toolchain.Artifact, site *sitemodel.Site, 
 		return false, fmt.Sprintf("batch: script round-trip lost state (%s %q)", parsed.Manager, parsed.Command)
 	}
 	res, err := cluster.Submit(parsed, func(int) (bool, string, time.Duration) {
-		ok, detail := r.inner.RunProgram(art, site, stackKey, extraLibDirs)
+		ok, detail := r.Inner.RunProgram(art, site, stackKey, extraLibDirs)
 		return ok, detail, probeRuntime
 	}, 1, 0)
 	if err != nil {

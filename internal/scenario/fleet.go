@@ -1,0 +1,314 @@
+// fleet.go expands a FleetSpec into concrete testbed site specs and builds
+// them: the parameter-sweep layer that turns one YAML group into dozens or
+// hundreds of heterogeneous synthetic sites. feam-testbed routes its fleet
+// construction through here too, so the Table II base fleet has exactly
+// one definition.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"feam/internal/batch"
+	"feam/internal/libver"
+	"feam/internal/mpistack"
+	"feam/internal/testbed"
+	"feam/internal/toolchain"
+)
+
+// FleetBaseTable2 names the built-in base fleet: the paper's five Table II
+// evaluation sites.
+const FleetBaseTable2 = "table2"
+
+// table2SiteNames lists the base fleet's site names.
+func table2SiteNames() []string {
+	specs := testbed.DefaultSpecs()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func knownISA(isa string) bool {
+	switch isa {
+	case "x86_64", "i686", "ppc64", "ppc":
+		return true
+	}
+	return false
+}
+
+// parseVersion wraps libver.ParseVersion with a required-field check.
+func parseVersion(s string) (libver.Version, error) {
+	if s == "" {
+		return nil, fmt.Errorf("a version is required")
+	}
+	v, err := libver.ParseVersion(s)
+	if err != nil {
+		return nil, fmt.Errorf("bad version %q", s)
+	}
+	return v, nil
+}
+
+// parseManager maps a YAML manager name to the batch flavor ("" = PBS).
+func parseManager(s string) (batch.Manager, error) {
+	switch s {
+	case "", "pbs":
+		return batch.PBS, nil
+	case "sge":
+		return batch.SGE, nil
+	case "slurm":
+		return batch.SLURM, nil
+	default:
+		return batch.PBS, fmt.Errorf("unknown batch manager %q", s)
+	}
+}
+
+// parseCompiler parses "<family>-<version>", e.g. "gnu-4.1.2".
+func parseCompiler(s string) (toolchain.Compiler, error) {
+	i := strings.IndexByte(s, '-')
+	if i <= 0 || i == len(s)-1 {
+		return toolchain.Compiler{}, fmt.Errorf("compiler %q: want \"family-version\"", s)
+	}
+	fam, ok := toolchain.FamilyFromKey(s[:i])
+	if !ok {
+		return toolchain.Compiler{}, fmt.Errorf("compiler %q: unknown family %q", s, s[:i])
+	}
+	return toolchain.Compiler{Family: fam, Version: s[i+1:]}, nil
+}
+
+// parseStack parses "<impl>-<version>/<family>[+<family>...]", e.g.
+// "openmpi-1.4/gnu+intel". Families must be installed by the group.
+func parseStack(s string, compilers []string) (testbed.StackSpec, error) {
+	impl, version, families, err := splitStackRef(s)
+	if err != nil {
+		return testbed.StackSpec{}, err
+	}
+	ss := testbed.StackSpec{Impl: impl, Version: version}
+	for _, fk := range families {
+		fam, ok := toolchain.FamilyFromKey(fk)
+		if !ok {
+			return testbed.StackSpec{}, fmt.Errorf("stack %q: unknown compiler family %q", s, fk)
+		}
+		found := false
+		for _, c := range compilers {
+			if comp, err := parseCompiler(c); err == nil && comp.Family == fam {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return testbed.StackSpec{}, fmt.Errorf("stack %q wants the %s compiler, which the group does not install", s, fk)
+		}
+		ss.Compilers = append(ss.Compilers, fam)
+	}
+	return ss, nil
+}
+
+// brokenMark identifies one (stack, family) combination to mark broken.
+type brokenMark struct {
+	impl    mpistack.Impl
+	version string
+	family  toolchain.Family
+}
+
+// parseBrokenMark parses "<impl>-<version>/<family>".
+func parseBrokenMark(s string) (brokenMark, error) {
+	impl, version, families, err := splitStackRef(s)
+	if err != nil {
+		return brokenMark{}, err
+	}
+	if len(families) != 1 {
+		return brokenMark{}, fmt.Errorf("broken mark %q: exactly one compiler family expected", s)
+	}
+	fam, ok := toolchain.FamilyFromKey(families[0])
+	if !ok {
+		return brokenMark{}, fmt.Errorf("broken mark %q: unknown compiler family %q", s, families[0])
+	}
+	return brokenMark{impl: impl, version: version, family: fam}, nil
+}
+
+// splitStackRef splits "<impl>-<version>/<family>[+...]" into its parts.
+func splitStackRef(s string) (mpistack.Impl, string, []string, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash <= 0 || slash == len(s)-1 {
+		return 0, "", nil, fmt.Errorf("stack %q: want \"impl-version/family[+family]\"", s)
+	}
+	ref, famPart := s[:slash], s[slash+1:]
+	dash := strings.IndexByte(ref, '-')
+	if dash <= 0 || dash == len(ref)-1 {
+		return 0, "", nil, fmt.Errorf("stack %q: want \"impl-version\" before the slash", s)
+	}
+	impl, ok := mpistack.ImplFromKey(ref[:dash])
+	if !ok {
+		return 0, "", nil, fmt.Errorf("stack %q: unknown MPI implementation %q", s, ref[:dash])
+	}
+	return impl, ref[dash+1:], strings.Split(famPart, "+"), nil
+}
+
+// pick sweeps a list round-robin by site index; empty lists yield def.
+func pick(list []string, i int, def string) string {
+	if len(list) == 0 {
+		return def
+	}
+	return list[i%len(list)]
+}
+
+// ExpandFleet turns a validated FleetSpec into concrete testbed site
+// specs: the base fleet's specs first, then each group expanded to Count
+// sites with its list-valued fields (ISA, glibc) swept round-robin.
+func ExpandFleet(fs FleetSpec) ([]testbed.SiteSpec, error) {
+	var specs []testbed.SiteSpec
+	switch fs.Base {
+	case "":
+	case FleetBaseTable2:
+		specs = testbed.DefaultSpecs()
+	default:
+		return nil, fmt.Errorf("scenario: unknown base fleet %q", fs.Base)
+	}
+	for _, g := range fs.Groups {
+		expanded, err := expandGroup(g)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: group %s: %v", g.Name, err)
+		}
+		specs = append(specs, expanded...)
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			return nil, fmt.Errorf("scenario: duplicate site name %q in fleet", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return specs, nil
+}
+
+// GroupSiteName names the i-th site of a group; single-site groups use
+// the bare group name.
+func GroupSiteName(g FleetGroup, i int) string {
+	if g.Count == 1 {
+		return g.Name
+	}
+	return fmt.Sprintf("%s-%d", g.Name, i)
+}
+
+func expandGroup(g FleetGroup) ([]testbed.SiteSpec, error) {
+	if g.Name == "" {
+		return nil, fmt.Errorf("group needs a name")
+	}
+	count := g.Count
+	if count < 1 {
+		count = 1
+	}
+	manager, err := parseManager(g.Manager)
+	if err != nil {
+		return nil, err
+	}
+	var compilers []toolchain.Compiler
+	for _, c := range g.Compilers {
+		comp, err := parseCompiler(c)
+		if err != nil {
+			return nil, err
+		}
+		compilers = append(compilers, comp)
+	}
+	var stacks []testbed.StackSpec
+	for _, s := range g.Stacks {
+		ss, err := parseStack(s, g.Compilers)
+		if err != nil {
+			return nil, err
+		}
+		stacks = append(stacks, ss)
+	}
+	for _, b := range g.Broken {
+		mark, err := parseBrokenMark(b)
+		if err != nil {
+			return nil, err
+		}
+		applied := false
+		for i := range stacks {
+			if stacks[i].Impl == mark.impl && stacks[i].Version == mark.version {
+				if stacks[i].Broken == nil {
+					stacks[i].Broken = map[toolchain.Family]bool{}
+				}
+				stacks[i].Broken[mark.family] = true
+				applied = true
+			}
+		}
+		if !applied {
+			return nil, fmt.Errorf("broken mark %q matches no declared stack", b)
+		}
+	}
+
+	out := make([]testbed.SiteSpec, 0, count)
+	for i := 0; i < count; i++ {
+		glibcStr := pick(g.Glibc, i, "2.5")
+		glibc, err := parseVersion(glibcStr)
+		if err != nil {
+			return nil, err
+		}
+		spec := testbed.SiteSpec{
+			Name:        GroupSiteName(g, i),
+			Description: fmt.Sprintf("scenario group %s site %d", g.Name, i),
+			SystemType:  orDefault(g.SystemType, "Cluster"),
+			Cores:       g.Cores,
+			ISA:         pick(g.ISA, i, "x86_64"),
+			Distro:      orDefault(g.Distro, "CentOS"),
+			OSVersion:   orDefault(g.OSVersion, "5.6"),
+			Kernel:      orDefault(g.Kernel, "2.6.18-238.el5"),
+			ReleaseFile: orDefault(g.ReleaseFile, "/etc/redhat-release"),
+			Glibc:       glibc,
+			CPUName:     orDefault(g.CPU, "Intel Xeon E5620 (Westmere)"),
+			FeatureLevel: func() int {
+				if g.FeatureLevel > 0 {
+					return g.FeatureLevel
+				}
+				return 2
+			}(),
+			Compilers:         compilers,
+			EnvTool:           g.EnvTool,
+			Infiniband:        g.Infiniband,
+			Manager:           manager,
+			SysErrRate:        g.SysErrRate,
+			CompatFortranLibs: g.CompatFortranLibs,
+			Stacks:            stacks,
+		}
+		if spec.Cores == 0 {
+			spec.Cores = 64
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// BuildFleet materializes a FleetSpec into a built testbed: site
+// filesystems populated, compilers and MPI stacks installed, batch
+// clusters attached. This is the fleet constructor both the simulator and
+// feam-testbed use.
+func BuildFleet(fs FleetSpec) (*testbed.Testbed, error) {
+	specs, err := ExpandFleet(fs)
+	if err != nil {
+		return nil, err
+	}
+	return testbed.BuildFrom(specs)
+}
+
+// BuildGroupSite materializes one extra site from a group template — the
+// site_join churn event. The explicit name must not collide with an
+// already-built site; sweepIndex positions the site in the group's
+// ISA/glibc rotation.
+func BuildGroupSite(g FleetGroup, name string, sweepIndex int) (*testbed.Testbed, error) {
+	single := g
+	single.Count = 1
+	single.Name = name
+	single.ISA = []string{pick(g.ISA, sweepIndex, "x86_64")}
+	single.Glibc = []string{pick(g.Glibc, sweepIndex, "2.5")}
+	return BuildFleet(FleetSpec{Groups: []FleetGroup{single}})
+}

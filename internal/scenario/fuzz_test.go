@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzScenarioYAML throws mutated scenario documents at the loader. The
+// committed corpus seeds the fuzzer, so mutations explore the real schema
+// rather than random bytes. Load must never panic, and anything it
+// accepts must satisfy the invariants the runner depends on.
+func FuzzScenarioYAML(f *testing.F) {
+	files, err := filepath.Glob(filepath.Join(scenarioDir, "*.yaml"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(files) == 0 {
+		f.Fatal("no corpus files to seed from")
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte("name: x\nbinary:\n  plain: true\n"))
+	f.Add([]byte("---\n"))
+	f.Add([]byte("a: [1, 'two', \"three\"]\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Load(data)
+		if err != nil {
+			return
+		}
+		// Loaded scenarios are validated: the invariants the runner
+		// assumes must hold.
+		if sc.Name == "" {
+			t.Fatal("Load accepted a scenario without a name")
+		}
+		total := 0
+		if sc.Fleet.Base == FleetBaseTable2 {
+			total += len(table2SiteNames())
+		}
+		for _, g := range sc.Fleet.Groups {
+			if g.Name == "" {
+				t.Fatal("Load accepted a group without a name")
+			}
+			if g.Count < 1 {
+				t.Fatalf("Load accepted group %q with count %d", g.Name, g.Count)
+			}
+			total += g.Count
+		}
+		if total > maxFleetSites {
+			t.Fatalf("Load accepted a %d-site fleet (cap %d)", total, maxFleetSites)
+		}
+		names := map[string]bool{"start": true}
+		for _, ev := range sc.Events {
+			if !knownAction(ev.Action) {
+				t.Fatalf("Load accepted unknown action %q", ev.Action)
+			}
+			if ev.Name == "" {
+				t.Fatal("Load left an event unnamed")
+			}
+			if names[ev.Name] {
+				t.Fatalf("Load accepted duplicate event name %q", ev.Name)
+			}
+			names[ev.Name] = true
+			if ev.Action == ActionFaultRate && (ev.Rate <= 0 || ev.Rate > 1) {
+				t.Fatalf("Load accepted fault rate %v", ev.Rate)
+			}
+		}
+		for _, a := range sc.Assertions {
+			switch a.Type {
+			case AssertPrediction, AssertSpans, AssertMetric, AssertRanking, AssertSummary:
+			default:
+				t.Fatalf("Load accepted unknown assertion type %q", a.Type)
+			}
+			if (a.Type == AssertSpans || a.Type == AssertMetric) && a.Min == nil && a.Max == nil {
+				t.Fatalf("Load accepted an unbounded %s assertion", a.Type)
+			}
+		}
+	})
+}

@@ -1,0 +1,805 @@
+// Package scenario is the fleet-scale scenario simulator: YAML files
+// declare a fleet of heterogeneous synthetic sites (built from
+// internal/sitemodel templates with parameter sweeps), a deterministic
+// timeline of events (site churn, mid-survey C-library upgrades, library
+// deletions, fault-rate spikes, partial outages, process restarts), and
+// declarative assertions over the resulting predictions, determinant
+// trails, span counts, and metrics.
+//
+// Every hardening PR so far earned its failure modes bespoke Go tests
+// against tiny ad-hoc fleets; the simulator turns each failure mode into a
+// committed scenario file under testdata/scenarios/ that CI replays as a
+// subtest, so regression coverage grows by writing YAML, not test code.
+// The cmd/feam-sim CLI runs, validates, and lists scenario files.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Scenario is one loaded scenario file.
+type Scenario struct {
+	// Name identifies the scenario in results; Description says what it
+	// proves.
+	Name        string
+	Description string
+	// Seed drives every source of scripted nondeterminism: fault policies,
+	// the execution simulator, and sweep assignment. Runs with equal seeds
+	// are identical.
+	Seed int64
+	// Fleet declares the sites to build.
+	Fleet FleetSpec
+	// Binary declares the application whose readiness the scenario
+	// predicts.
+	Binary BinarySpec
+	// Events is the timeline, executed in order of At (ties keep file
+	// order).
+	Events []Event
+	// Assertions are checked after the timeline completes.
+	Assertions []Assertion
+}
+
+// FleetSpec declares the simulated fleet.
+type FleetSpec struct {
+	// Base names a built-in fleet to start from: "" (empty) or "table2"
+	// (the paper's five evaluation sites).
+	Base string
+	// Groups are parameter-sweep site templates expanded into Count sites
+	// each.
+	Groups []FleetGroup
+}
+
+// FleetGroup is a site template plus sweep parameters. Count sites named
+// "<name>-0" ... "<name>-<count-1>" are generated (a single-site group uses
+// the bare name); list-valued fields are swept round-robin across the
+// group's sites.
+type FleetGroup struct {
+	Name  string
+	Count int
+
+	// ISA is the hardware architecture, swept when multiple are given:
+	// "x86_64" (default), "i686", "ppc64", or "ppc".
+	ISA []string
+	// Glibc is the C library release, swept when multiple are given.
+	Glibc []string
+
+	SystemType  string
+	Cores       int
+	Distro      string
+	OSVersion   string
+	Kernel      string
+	ReleaseFile string
+	CPU         string
+	// FeatureLevel is the ground-truth CPU ISA extension level.
+	FeatureLevel int
+	// EnvTool is "modules", "softenv", or "" (path search).
+	EnvTool string
+	// Manager is the batch system: "pbs" (default), "sge", or "slurm".
+	Manager    string
+	Infiniband bool
+	SysErrRate float64
+	// CompatFortranLibs installs the distribution's compatibility Fortran
+	// runtime.
+	CompatFortranLibs bool
+
+	// Compilers lists installations as "<family>-<version>", e.g.
+	// "gnu-4.1.2".
+	Compilers []string
+	// Stacks lists MPI installations as "<impl>-<version>/<family>[+...]",
+	// e.g. "openmpi-1.4/gnu+intel".
+	Stacks []string
+	// Broken marks misconfigured stack builds as "<impl>-<version>/<family>".
+	Broken []string
+}
+
+// BinarySpec declares the application binary. Exactly one of the two modes
+// is used: compile (Workload at Source with Stack) or plain (a synthetic
+// non-MPI executable with a C library requirement).
+type BinarySpec struct {
+	// Name overrides the binary's display name.
+	Name string
+
+	// Workload, Source, Stack select compile mode: build the named
+	// workload (e.g. "cg") at the named fleet site with the named stack.
+	Workload string
+	Source   string
+	Stack    string
+
+	// Plain selects plain mode.
+	Plain bool
+	// Glibc is the plain binary's required C library version (default
+	// "2.3.4", the ladder floor).
+	Glibc string
+	// Needs adds DT_NEEDED dependencies beyond libc to the plain binary.
+	Needs []string
+}
+
+// Event is one timeline entry. Fields beyond At/Name/Action apply per
+// action; Validate rejects inapplicable ones.
+type Event struct {
+	// At orders the timeline (virtual time; nothing sleeps).
+	At time.Duration
+	// Name labels the event for assertions ("event-<index>" when empty).
+	Name string
+	// Action is one of the Action* constants.
+	Action string
+
+	// Targets names the sites an action applies to; empty means every
+	// fleet site. Group names select all of the group's current sites.
+	Targets []string
+
+	// Version is the C library release for ActionUpgradeGlibc.
+	Version string
+	// Path is the file or glob removed by ActionRemoveLibrary.
+	Path string
+	// Rate, Transient, Ops parameterize ActionFaultRate.
+	Rate      float64
+	Transient float64
+	Ops       []string
+	// Group names the fleet group template for ActionSiteJoin.
+	Group string
+	// Resolve enables the resolution model during ActionSurvey (requires
+	// the scenario binary to be compile-mode, which produces a bundle).
+	Resolve bool
+}
+
+// Timeline actions.
+const (
+	// ActionSurvey ranks the current fleet for the scenario binary and
+	// records the assessments under the event name.
+	ActionSurvey = "survey"
+	// ActionUpgradeGlibc swaps the targets' installed C library family to
+	// Version (up- or downgrade); the vfs generation counter invalidates
+	// their cached surveys.
+	ActionUpgradeGlibc = "upgrade_glibc"
+	// ActionRemoveLibrary deletes files matching Path at the targets.
+	ActionRemoveLibrary = "remove_library"
+	// ActionFaultRate starts injecting faults at the targets: vfs
+	// operations and probe runs fail with probability Rate (Transient
+	// fraction retryable), deterministically from the scenario seed.
+	ActionFaultRate = "fault_rate"
+	// ActionClearFaults stops fault injection at the targets.
+	ActionClearFaults = "clear_faults"
+	// ActionOutage takes the targets down: every filesystem operation and
+	// probe fails permanently and their cached surveys are invalidated, so
+	// surveys degrade to site-unavailable assessments.
+	ActionOutage = "outage"
+	// ActionRestore ends an outage.
+	ActionRestore = "restore"
+	// ActionSiteJoin adds a new site built from the Group template.
+	ActionSiteJoin = "site_join"
+	// ActionSiteLeave removes the targets from the fleet.
+	ActionSiteLeave = "site_leave"
+	// ActionRestart kills the engine and rehydrates a fresh one (new
+	// registry, reopened store) — the crash-recovery event.
+	ActionRestart = "restart"
+	// ActionInvalidate drops the targets' cached and persisted surveys.
+	ActionInvalidate = "invalidate"
+)
+
+func knownAction(a string) bool {
+	switch a {
+	case ActionSurvey, ActionUpgradeGlibc, ActionRemoveLibrary, ActionFaultRate,
+		ActionClearFaults, ActionOutage, ActionRestore, ActionSiteJoin,
+		ActionSiteLeave, ActionRestart, ActionInvalidate:
+		return true
+	}
+	return false
+}
+
+// Assertion is one declarative check over the finished run.
+type Assertion struct {
+	// Type is one of the Assert* constants.
+	Type string
+
+	// Survey names the survey event a prediction/summary/ranking assertion
+	// reads (default: the last survey).
+	Survey string
+	// Site scopes prediction and span assertions to one site.
+	Site string
+
+	// Ready is the expected headline answer (prediction).
+	Ready *bool
+	// Determinant/Outcome check one determinant trail entry (prediction):
+	// determinant "isa", "clibrary", "mpi", or "sharedlibs"; outcome
+	// "pass", "fail", "resolved", or "not evaluated".
+	Determinant string
+	Outcome     string
+	// Error expects the assessment error class: "none",
+	// "site_unavailable", "probe_failed", or "any" (prediction).
+	Error string
+	// ReasonContains expects a substring of the prediction's failure
+	// reasons or determinant details (prediction).
+	ReasonContains string
+
+	// Op is the span operation a spans assertion counts (e.g. "discover");
+	// Since restricts the count to spans after the named event.
+	Op    string
+	Since string
+
+	// Metric names the counter a metric assertion reads.
+	Metric string
+
+	// First is the expected top-ranked site (ranking).
+	First string
+
+	// ReadyCount / NotReadyCount / ErrorCount are summary expectations.
+	ReadyCount    *int
+	NotReadyCount *int
+	ErrorCount    *int
+
+	// Min/Max bound counted quantities (spans, metric). Both nil is
+	// rejected for those types.
+	Min *int64
+	Max *int64
+}
+
+// Assertion types.
+const (
+	// AssertPrediction checks one site's assessment in a survey.
+	AssertPrediction = "prediction"
+	// AssertSpans bounds the number of spans of one operation (optionally
+	// per site, optionally since an event).
+	AssertSpans = "spans"
+	// AssertMetric bounds one metrics-registry counter.
+	AssertMetric = "metric"
+	// AssertRanking checks the best-ranked site of a survey.
+	AssertRanking = "ranking"
+	// AssertSummary checks a survey's ready/not-ready/error tallies.
+	AssertSummary = "summary"
+)
+
+// Load parses and validates a scenario document. All structural and
+// semantic problems are reported together, wrapped in one error.
+func Load(data []byte) (*Scenario, error) {
+	doc, err := parseYAML(data)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	d := &decoder{}
+	sc := decodeScenario(d, doc)
+	if errs := append(d.errs, validate(sc)...); len(errs) > 0 {
+		return nil, fmt.Errorf("scenario: %s", strings.Join(errs, "; "))
+	}
+	return sc, nil
+}
+
+// decoder accumulates decode errors so one Load reports every problem.
+type decoder struct {
+	errs []string
+}
+
+func (d *decoder) errf(format string, args ...any) {
+	d.errs = append(d.errs, fmt.Sprintf(format, args...))
+}
+
+// unknown flags keys the schema does not define — the typo guard that
+// keeps a misspelled assertion from silently asserting nothing.
+func (d *decoder) unknown(m map[string]any, path string, known ...string) {
+	var bad []string
+	for k := range m {
+		found := false
+		for _, ok := range known {
+			if k == ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			bad = append(bad, k)
+		}
+	}
+	sort.Strings(bad)
+	for _, k := range bad {
+		d.errf("%s: unknown key %q", path, k)
+	}
+}
+
+func (d *decoder) str(m map[string]any, key, path string) string {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return ""
+	}
+	s, ok := v.(string)
+	if !ok {
+		d.errf("%s.%s: expected a scalar", path, key)
+		return ""
+	}
+	return s
+}
+
+func (d *decoder) integer(m map[string]any, key, path string) int64 {
+	s := d.str(m, key, path)
+	if s == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		d.errf("%s.%s: %q is not an integer", path, key, s)
+		return 0
+	}
+	return n
+}
+
+func (d *decoder) float(m map[string]any, key, path string) float64 {
+	s := d.str(m, key, path)
+	if s == "" {
+		return 0
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		d.errf("%s.%s: %q is not a number", path, key, s)
+		return 0
+	}
+	return f
+}
+
+func (d *decoder) boolean(m map[string]any, key, path string) bool {
+	s := d.str(m, key, path)
+	switch s {
+	case "", "false", "no":
+		return false
+	case "true", "yes":
+		return true
+	default:
+		d.errf("%s.%s: %q is not a boolean", path, key, s)
+		return false
+	}
+}
+
+// optBool distinguishes absent from false.
+func (d *decoder) optBool(m map[string]any, key, path string) *bool {
+	if _, ok := m[key]; !ok {
+		return nil
+	}
+	v := d.boolean(m, key, path)
+	return &v
+}
+
+// optInt distinguishes absent from zero.
+func (d *decoder) optInt(m map[string]any, key, path string) *int {
+	if _, ok := m[key]; !ok {
+		return nil
+	}
+	v := int(d.integer(m, key, path))
+	return &v
+}
+
+// optInt64 distinguishes absent from zero.
+func (d *decoder) optInt64(m map[string]any, key, path string) *int64 {
+	if _, ok := m[key]; !ok {
+		return nil
+	}
+	v := d.integer(m, key, path)
+	return &v
+}
+
+// duration accepts "30s"-style durations and bare integers (seconds).
+func (d *decoder) duration(m map[string]any, key, path string) time.Duration {
+	s := d.str(m, key, path)
+	if s == "" {
+		return 0
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Duration(n) * time.Second
+	}
+	dur, err := time.ParseDuration(s)
+	if err != nil || dur < 0 {
+		d.errf("%s.%s: %q is not a duration", path, key, s)
+		return 0
+	}
+	return dur
+}
+
+// strList accepts a sequence of scalars or a single scalar.
+func (d *decoder) strList(m map[string]any, key, path string) []string {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return nil
+	}
+	switch vv := v.(type) {
+	case string:
+		if vv == "" {
+			return nil
+		}
+		return []string{vv}
+	case []any:
+		out := make([]string, 0, len(vv))
+		for i, item := range vv {
+			s, ok := item.(string)
+			if !ok {
+				d.errf("%s.%s[%d]: expected a scalar", path, key, i)
+				continue
+			}
+			out = append(out, s)
+		}
+		return out
+	default:
+		d.errf("%s.%s: expected a list", path, key)
+		return nil
+	}
+}
+
+// sub returns a nested mapping (nil when absent).
+func (d *decoder) sub(m map[string]any, key, path string) map[string]any {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return nil
+	}
+	mm, ok := v.(map[string]any)
+	if !ok {
+		if s, isStr := v.(string); isStr && s == "" {
+			return nil
+		}
+		d.errf("%s.%s: expected a mapping", path, key)
+		return nil
+	}
+	return mm
+}
+
+// seq returns a nested sequence of mappings.
+func (d *decoder) seq(m map[string]any, key, path string) []map[string]any {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return nil
+	}
+	items, ok := v.([]any)
+	if !ok {
+		if s, isStr := v.(string); isStr && s == "" {
+			return nil
+		}
+		d.errf("%s.%s: expected a sequence", path, key)
+		return nil
+	}
+	out := make([]map[string]any, 0, len(items))
+	for i, item := range items {
+		mm, ok := item.(map[string]any)
+		if !ok {
+			d.errf("%s.%s[%d]: expected a mapping", path, key, i)
+			continue
+		}
+		out = append(out, mm)
+	}
+	return out
+}
+
+func decodeScenario(d *decoder, doc map[string]any) *Scenario {
+	d.unknown(doc, "scenario", "name", "description", "seed", "fleet", "binary", "events", "assertions")
+	sc := &Scenario{
+		Name:        d.str(doc, "name", "scenario"),
+		Description: d.str(doc, "description", "scenario"),
+		Seed:        d.integer(doc, "seed", "scenario"),
+	}
+	if fleet := d.sub(doc, "fleet", "scenario"); fleet != nil {
+		sc.Fleet = decodeFleet(d, fleet)
+	}
+	if bin := d.sub(doc, "binary", "scenario"); bin != nil {
+		sc.Binary = decodeBinary(d, bin)
+	}
+	for i, ev := range d.seq(doc, "events", "scenario") {
+		sc.Events = append(sc.Events, decodeEvent(d, ev, fmt.Sprintf("events[%d]", i)))
+	}
+	for i, as := range d.seq(doc, "assertions", "scenario") {
+		sc.Assertions = append(sc.Assertions, decodeAssertion(d, as, fmt.Sprintf("assertions[%d]", i)))
+	}
+	return sc
+}
+
+func decodeFleet(d *decoder, m map[string]any) FleetSpec {
+	d.unknown(m, "fleet", "base", "groups")
+	fs := FleetSpec{Base: d.str(m, "base", "fleet")}
+	for i, g := range d.seq(m, "groups", "fleet") {
+		fs.Groups = append(fs.Groups, decodeGroup(d, g, fmt.Sprintf("fleet.groups[%d]", i)))
+	}
+	return fs
+}
+
+func decodeGroup(d *decoder, m map[string]any, path string) FleetGroup {
+	d.unknown(m, path, "name", "count", "isa", "glibc", "system_type", "cores",
+		"distro", "os_version", "kernel", "release_file", "cpu", "feature_level",
+		"env_tool", "manager", "infiniband", "sys_err_rate", "compat_fortran_libs",
+		"compilers", "stacks", "broken")
+	g := FleetGroup{
+		Name:              d.str(m, "name", path),
+		Count:             int(d.integer(m, "count", path)),
+		ISA:               d.strList(m, "isa", path),
+		Glibc:             d.strList(m, "glibc", path),
+		SystemType:        d.str(m, "system_type", path),
+		Cores:             int(d.integer(m, "cores", path)),
+		Distro:            d.str(m, "distro", path),
+		OSVersion:         d.str(m, "os_version", path),
+		Kernel:            d.str(m, "kernel", path),
+		ReleaseFile:       d.str(m, "release_file", path),
+		CPU:               d.str(m, "cpu", path),
+		FeatureLevel:      int(d.integer(m, "feature_level", path)),
+		EnvTool:           d.str(m, "env_tool", path),
+		Manager:           d.str(m, "manager", path),
+		Infiniband:        d.boolean(m, "infiniband", path),
+		SysErrRate:        d.float(m, "sys_err_rate", path),
+		CompatFortranLibs: d.boolean(m, "compat_fortran_libs", path),
+		Compilers:         d.strList(m, "compilers", path),
+		Stacks:            d.strList(m, "stacks", path),
+		Broken:            d.strList(m, "broken", path),
+	}
+	if g.Count == 0 {
+		g.Count = 1
+	}
+	return g
+}
+
+func decodeBinary(d *decoder, m map[string]any) BinarySpec {
+	d.unknown(m, "binary", "name", "workload", "source", "stack", "plain", "glibc", "needs")
+	return BinarySpec{
+		Name:     d.str(m, "name", "binary"),
+		Workload: d.str(m, "workload", "binary"),
+		Source:   d.str(m, "source", "binary"),
+		Stack:    d.str(m, "stack", "binary"),
+		Plain:    d.boolean(m, "plain", "binary"),
+		Glibc:    d.str(m, "glibc", "binary"),
+		Needs:    d.strList(m, "needs", "binary"),
+	}
+}
+
+func decodeEvent(d *decoder, m map[string]any, path string) Event {
+	d.unknown(m, path, "at", "name", "action", "target", "targets",
+		"version", "path", "rate", "transient", "ops", "group", "resolve")
+	ev := Event{
+		At:        d.duration(m, "at", path),
+		Name:      d.str(m, "name", path),
+		Action:    d.str(m, "action", path),
+		Targets:   d.strList(m, "targets", path),
+		Version:   d.str(m, "version", path),
+		Path:      d.str(m, "path", path),
+		Rate:      d.float(m, "rate", path),
+		Transient: d.float(m, "transient", path),
+		Ops:       d.strList(m, "ops", path),
+		Group:     d.str(m, "group", path),
+		Resolve:   d.boolean(m, "resolve", path),
+	}
+	if t := d.str(m, "target", path); t != "" {
+		ev.Targets = append([]string{t}, ev.Targets...)
+	}
+	return ev
+}
+
+func decodeAssertion(d *decoder, m map[string]any, path string) Assertion {
+	d.unknown(m, path, "type", "survey", "site", "ready", "determinant",
+		"outcome", "error", "reason_contains", "op", "since", "metric",
+		"first", "ready_count", "not_ready_count", "error_count", "min", "max")
+	return Assertion{
+		Type:           d.str(m, "type", path),
+		Survey:         d.str(m, "survey", path),
+		Site:           d.str(m, "site", path),
+		Ready:          d.optBool(m, "ready", path),
+		Determinant:    d.str(m, "determinant", path),
+		Outcome:        d.str(m, "outcome", path),
+		Error:          d.str(m, "error", path),
+		ReasonContains: d.str(m, "reason_contains", path),
+		Op:             d.str(m, "op", path),
+		Since:          d.str(m, "since", path),
+		Metric:         d.str(m, "metric", path),
+		First:          d.str(m, "first", path),
+		ReadyCount:     d.optInt(m, "ready_count", path),
+		NotReadyCount:  d.optInt(m, "not_ready_count", path),
+		ErrorCount:     d.optInt(m, "error_count", path),
+		Min:            d.optInt64(m, "min", path),
+		Max:            d.optInt64(m, "max", path),
+	}
+}
+
+// maxFleetSites bounds scenario fleets; beyond this the simulator is the
+// wrong tool (and a typo'd count would eat the CI budget).
+const maxFleetSites = 5000
+
+// validate performs semantic checks over a decoded scenario and returns
+// every problem found.
+func validate(sc *Scenario) []string {
+	var errs []string
+	bad := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
+
+	if sc.Name == "" {
+		bad("scenario.name is required")
+	}
+	switch sc.Fleet.Base {
+	case "", FleetBaseTable2:
+	default:
+		bad("fleet.base: unknown base fleet %q", sc.Fleet.Base)
+	}
+	groups := map[string]bool{}
+	total := 0
+	if sc.Fleet.Base == FleetBaseTable2 {
+		total += len(table2SiteNames())
+	}
+	for i, g := range sc.Fleet.Groups {
+		path := fmt.Sprintf("fleet.groups[%d]", i)
+		if g.Name == "" {
+			bad("%s.name is required", path)
+		} else if groups[g.Name] {
+			bad("%s: duplicate group name %q", path, g.Name)
+		}
+		groups[g.Name] = true
+		if g.Count < 1 {
+			bad("%s.count must be at least 1", path)
+		}
+		total += g.Count
+		for _, isa := range g.ISA {
+			if !knownISA(isa) {
+				bad("%s.isa: unknown ISA %q", path, isa)
+			}
+		}
+		for _, v := range g.Glibc {
+			if _, err := parseVersion(v); err != nil {
+				bad("%s.glibc: %v", path, err)
+			}
+		}
+		if _, err := parseManager(g.Manager); err != nil {
+			bad("%s.manager: %v", path, err)
+		}
+		switch g.EnvTool {
+		case "", "modules", "softenv":
+		default:
+			bad("%s.env_tool: unknown tool %q", path, g.EnvTool)
+		}
+		for _, c := range g.Compilers {
+			if _, err := parseCompiler(c); err != nil {
+				bad("%s.compilers: %v", path, err)
+			}
+		}
+		for _, s := range g.Stacks {
+			if _, err := parseStack(s, g.Compilers); err != nil {
+				bad("%s.stacks: %v", path, err)
+			}
+		}
+		for _, s := range g.Broken {
+			if _, err := parseBrokenMark(s); err != nil {
+				bad("%s.broken: %v", path, err)
+			}
+		}
+	}
+	if total > maxFleetSites {
+		bad("fleet declares %d sites; the simulator caps at %d", total, maxFleetSites)
+	}
+
+	b := sc.Binary
+	compileMode := b.Workload != "" || b.Source != "" || b.Stack != ""
+	switch {
+	case b.Plain && compileMode:
+		bad("binary: plain mode and workload/source/stack are mutually exclusive")
+	case compileMode && (b.Workload == "" || b.Source == "" || b.Stack == ""):
+		bad("binary: compile mode needs workload, source, and stack together")
+	case !b.Plain && !compileMode:
+		bad("binary: declare either plain: true or workload/source/stack")
+	}
+	if b.Glibc != "" {
+		if _, err := parseVersion(b.Glibc); err != nil {
+			bad("binary.glibc: %v", err)
+		}
+	}
+
+	// eventActions maps event name → action ("start" marks run begin).
+	eventActions := map[string]string{"start": "start"}
+	surveys := 0
+	for i := range sc.Events {
+		ev := &sc.Events[i]
+		path := fmt.Sprintf("events[%d]", i)
+		if ev.Name == "" {
+			ev.Name = fmt.Sprintf("event-%d", i)
+		}
+		if _, dup := eventActions[ev.Name]; dup {
+			bad("%s: duplicate event name %q", path, ev.Name)
+		}
+		eventActions[ev.Name] = ev.Action
+		if !knownAction(ev.Action) {
+			bad("%s: unknown action %q", path, ev.Action)
+			continue
+		}
+		switch ev.Action {
+		case ActionSurvey:
+			surveys++
+		case ActionUpgradeGlibc:
+			if _, err := parseVersion(ev.Version); err != nil {
+				bad("%s.version: %v", path, err)
+			}
+		case ActionRemoveLibrary:
+			if ev.Path == "" || !strings.HasPrefix(ev.Path, "/") {
+				bad("%s.path: an absolute path or glob is required", path)
+			}
+		case ActionFaultRate:
+			if ev.Rate <= 0 || ev.Rate > 1 {
+				bad("%s.rate must be in (0, 1]", path)
+			}
+			if ev.Transient < 0 || ev.Transient > 1 {
+				bad("%s.transient must be in [0, 1]", path)
+			}
+		case ActionSiteJoin:
+			if ev.Group == "" {
+				bad("%s.group: a fleet group template is required", path)
+			} else if !groups[ev.Group] {
+				bad("%s.group: unknown fleet group %q", path, ev.Group)
+			}
+		case ActionSiteLeave, ActionOutage:
+			if len(ev.Targets) == 0 {
+				bad("%s: %s requires explicit targets", path, ev.Action)
+			}
+		}
+	}
+	if surveys == 0 && len(sc.Assertions) > 0 {
+		needsSurvey := false
+		for _, a := range sc.Assertions {
+			switch a.Type {
+			case AssertPrediction, AssertRanking, AssertSummary:
+				needsSurvey = true
+			}
+		}
+		if needsSurvey {
+			bad("assertions reference survey results but the timeline has no survey event")
+		}
+	}
+
+	for i, a := range sc.Assertions {
+		path := fmt.Sprintf("assertions[%d]", i)
+		if a.Survey != "" {
+			if action, ok := eventActions[a.Survey]; !ok {
+				bad("%s.survey: unknown event %q", path, a.Survey)
+			} else if action != ActionSurvey {
+				bad("%s.survey: event %q is a %s event, not a survey", path, a.Survey, action)
+			}
+		}
+		switch a.Type {
+		case AssertPrediction:
+			if a.Site == "" {
+				bad("%s: prediction assertions need a site", path)
+			}
+			if a.Determinant != "" {
+				if _, err := parseDeterminant(a.Determinant); err != nil {
+					bad("%s.determinant: %v", path, err)
+				}
+				if _, err := parseOutcome(a.Outcome); err != nil {
+					bad("%s.outcome: %v", path, err)
+				}
+			} else if a.Outcome != "" {
+				bad("%s.outcome needs a determinant", path)
+			}
+			if _, err := parseErrorClass(a.Error); err != nil {
+				bad("%s.error: %v", path, err)
+			}
+			if a.Ready == nil && a.Determinant == "" && a.Error == "" && a.ReasonContains == "" {
+				bad("%s: prediction assertion checks nothing", path)
+			}
+		case AssertSpans:
+			if a.Op == "" {
+				bad("%s: spans assertions need an op", path)
+			}
+			if a.Since != "" {
+				if _, ok := eventActions[a.Since]; !ok {
+					bad("%s.since: unknown event %q", path, a.Since)
+				}
+			}
+			if a.Min == nil && a.Max == nil {
+				bad("%s: spans assertions need min and/or max", path)
+			}
+		case AssertMetric:
+			if a.Metric == "" {
+				bad("%s: metric assertions need a metric name", path)
+			}
+			if a.Min == nil && a.Max == nil {
+				bad("%s: metric assertions need min and/or max", path)
+			}
+		case AssertRanking:
+			if a.First == "" {
+				bad("%s: ranking assertions need a first site", path)
+			}
+		case AssertSummary:
+			if a.ReadyCount == nil && a.NotReadyCount == nil && a.ErrorCount == nil {
+				bad("%s: summary assertions need at least one count", path)
+			}
+		default:
+			bad("%s: unknown assertion type %q", path, a.Type)
+		}
+	}
+	return errs
+}

@@ -1,0 +1,391 @@
+// yaml.go implements the YAML subset scenario files are written in. The
+// repo carries no module dependencies (the engine builds with the standard
+// library alone), so instead of importing a YAML package the loader parses
+// the structural subset scenarios actually need:
+//
+//   - block mappings ("key: value", nested by indentation)
+//   - block sequences ("- item", items may be scalars or mappings)
+//   - flow sequences of scalars ("[a, b, c]")
+//   - single- and double-quoted scalars, comments, blank lines
+//
+// Anchors, aliases, multi-document streams, flow mappings, and block
+// scalars are rejected with positioned errors. Every value parses to
+// map[string]any, []any, or string; typing (ints, durations, booleans) is
+// applied by the decoder in scenario.go, which also reports unknown keys.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// yamlError is a parse or decode failure with a 1-based line position.
+type yamlError struct {
+	Line int
+	Msg  string
+}
+
+func (e *yamlError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+	}
+	return e.Msg
+}
+
+func yerrf(line int, format string, args ...any) error {
+	return &yamlError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// yline is one significant source line: indentation depth, content with
+// comments stripped, and its position for error reporting.
+type yline struct {
+	indent int
+	text   string
+	n      int
+}
+
+// parseYAML parses a document into a top-level mapping.
+func parseYAML(data []byte) (map[string]any, error) {
+	lines, err := yamlLines(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	if lines[0].indent != 0 {
+		return nil, yerrf(lines[0].n, "top-level content must start in column one")
+	}
+	p := &yparser{lines: lines}
+	v, err := p.parseNode(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, yerrf(p.lines[p.pos].n, "unexpected content after document")
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, yerrf(lines[0].n, "document must be a mapping")
+	}
+	return m, nil
+}
+
+// yamlLines splits the input into significant lines: indentation counted,
+// comments stripped outside quotes, blank lines and a leading "---" marker
+// dropped. Tabs in indentation are rejected (YAML forbids them, and they
+// make depth ambiguous).
+func yamlLines(data []byte) ([]yline, error) {
+	var out []yline
+	for i, raw := range strings.Split(string(data), "\n") {
+		n := i + 1
+		indent := 0
+		for indent < len(raw) && raw[indent] == ' ' {
+			indent++
+		}
+		if indent < len(raw) && raw[indent] == '\t' {
+			return nil, yerrf(n, "tab in indentation; use spaces")
+		}
+		text := strings.TrimRight(stripComment(raw[indent:]), " \r")
+		if text == "" {
+			continue
+		}
+		if text == "---" && len(out) == 0 {
+			continue
+		}
+		if strings.HasPrefix(text, "---") || strings.HasPrefix(text, "...") {
+			return nil, yerrf(n, "multi-document streams are not supported")
+		}
+		for _, marker := range []string{"&", "*", "|", ">"} {
+			if strings.HasPrefix(text, marker) {
+				return nil, yerrf(n, "%q-style YAML (anchors, aliases, block scalars) is not supported", marker)
+			}
+		}
+		out = append(out, yline{indent: indent, text: text, n: n})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing "#..." comment, respecting quotes. A '#'
+// only opens a comment at line start or after whitespace, as in YAML.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else if c == '\\' && quote == '"' {
+				i++
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+type yparser struct {
+	lines []yline
+	pos   int
+}
+
+// parseNode parses the block starting at the current position, whose lines
+// share the given indentation.
+func (p *yparser) parseNode(indent int) (any, error) {
+	ln := p.lines[p.pos]
+	if ln.text == "-" || strings.HasPrefix(ln.text, "- ") {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+// parseMapping parses consecutive "key: value" lines at one indentation.
+func (p *yparser) parseMapping(indent int) (map[string]any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, yerrf(ln.n, "unexpected indentation (expected column %d)", indent+1)
+		}
+		if ln.text == "-" || strings.HasPrefix(ln.text, "- ") {
+			return nil, yerrf(ln.n, "sequence item inside a mapping")
+		}
+		key, rest, err := splitKey(ln.text, ln.n)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, yerrf(ln.n, "duplicate key %q", key)
+		}
+		p.pos++
+		if rest == "" {
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				v, err := p.parseNode(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+				m[key] = v
+			} else {
+				m[key] = "" // "key:" with no value
+			}
+			continue
+		}
+		v, err := parseInline(rest, ln.n)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+	}
+	return m, nil
+}
+
+// parseSequence parses consecutive "- item" lines at one indentation.
+func (p *yparser) parseSequence(indent int) ([]any, error) {
+	out := []any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, yerrf(ln.n, "unexpected indentation (expected column %d)", indent+1)
+		}
+		if ln.text != "-" && !strings.HasPrefix(ln.text, "- ") {
+			return nil, yerrf(ln.n, "expected a sequence item (\"- ...\")")
+		}
+		rest := strings.TrimLeft(strings.TrimPrefix(ln.text, "-"), " ")
+		switch {
+		case rest == "":
+			p.pos++
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				v, err := p.parseNode(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, v)
+			} else {
+				out = append(out, "")
+			}
+		case looksLikeKey(rest):
+			// Inline mapping item: "- key: value". Rewrite this line to the
+			// key's own column and parse a mapping from there, so further
+			// keys of the same item continue at that indentation.
+			offset := len(ln.text) - len(rest)
+			p.lines[p.pos] = yline{indent: ln.indent + offset, text: rest, n: ln.n}
+			item, err := p.parseMapping(ln.indent + offset)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, item)
+		default:
+			p.pos++
+			v, err := parseInline(rest, ln.n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// looksLikeKey reports whether a sequence-item body opens a mapping
+// ("key:" or "key: value" with an identifier key).
+func looksLikeKey(s string) bool {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 {
+		return false
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return false
+	}
+	return isIdentifier(s[:i])
+}
+
+// isIdentifier matches the unquoted key alphabet: letters, digits,
+// underscores, dots and dashes, starting with a letter or underscore.
+func isIdentifier(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case i > 0 && (c >= '0' && c <= '9' || c == '-' || c == '.'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitKey splits "key: value" (or "key:") into its parts.
+func splitKey(s string, n int) (key, rest string, err error) {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 {
+		return "", "", yerrf(n, "expected \"key: value\", got %q", s)
+	}
+	key = s[:i]
+	if !isIdentifier(key) {
+		return "", "", yerrf(n, "invalid key %q (unquoted identifier expected)", key)
+	}
+	rest = strings.TrimLeft(s[i+1:], " ")
+	if rest != "" && s[i+1] != ' ' {
+		return "", "", yerrf(n, "missing space after %q:", key)
+	}
+	return key, rest, nil
+}
+
+// parseInline parses a value that shares the line with its key: a flow
+// sequence or a scalar.
+func parseInline(s string, n int) (any, error) {
+	if strings.HasPrefix(s, "[") {
+		return parseFlowSeq(s, n)
+	}
+	if strings.HasPrefix(s, "{") {
+		return nil, yerrf(n, "flow mappings ({...}) are not supported")
+	}
+	return parseScalar(s, n)
+}
+
+// parseFlowSeq parses "[a, b, c]" into a slice of scalars.
+func parseFlowSeq(s string, n int) ([]any, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, yerrf(n, "unterminated flow sequence %q", s)
+	}
+	body := strings.TrimSpace(s[1 : len(s)-1])
+	out := []any{}
+	if body == "" {
+		return out, nil
+	}
+	for _, part := range splitFlowItems(body) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, yerrf(n, "empty element in flow sequence %q", s)
+		}
+		if strings.HasPrefix(part, "[") || strings.HasPrefix(part, "{") {
+			return nil, yerrf(n, "nested flow collections are not supported")
+		}
+		v, err := parseScalar(part, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// splitFlowItems splits a flow-sequence body on commas outside quotes.
+func splitFlowItems(s string) []string {
+	var parts []string
+	var quote byte
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else if c == '\\' && quote == '"' {
+				i++
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == ',':
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// parseScalar parses one scalar. Quoted strings lose their quotes (double
+// quotes honor \\, \", \n, \t); everything else stays a raw string — the
+// decoder applies typing where a typed field expects it.
+func parseScalar(s string, n int) (any, error) {
+	switch {
+	case strings.HasPrefix(s, "'"):
+		if len(s) < 2 || !strings.HasSuffix(s, "'") {
+			return nil, yerrf(n, "unterminated single-quoted scalar %q", s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	case strings.HasPrefix(s, `"`):
+		if len(s) < 2 || !strings.HasSuffix(s, `"`) || strings.HasSuffix(s, `\"`) {
+			return nil, yerrf(n, "unterminated double-quoted scalar %q", s)
+		}
+		var b strings.Builder
+		body := s[1 : len(s)-1]
+		for i := 0; i < len(body); i++ {
+			c := body[i]
+			if c != '\\' {
+				b.WriteByte(c)
+				continue
+			}
+			i++
+			if i >= len(body) {
+				return nil, yerrf(n, "dangling escape in %q", s)
+			}
+			switch body[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"':
+				b.WriteByte(body[i])
+			default:
+				return nil, yerrf(n, "unsupported escape \\%c in %q", body[i], s)
+			}
+		}
+		return b.String(), nil
+	default:
+		return s, nil
+	}
+}

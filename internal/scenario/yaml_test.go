@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLStructure(t *testing.T) {
+	doc := `
+# leading comment
+name: demo
+description: "a: quoted # not a comment"
+seed: 42
+fleet:
+  base: table2
+  groups:
+    - name: pool
+      count: 3
+      isa: [x86_64, ppc64]
+      glibc: ["2.5", '2.12']
+events:
+  - at: 0s
+    action: survey
+  - at: 1m
+    action: upgrade_glibc
+    target: pool
+    version: "2.12"
+empty:
+`
+	got, err := parseYAML([]byte(doc))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	want := map[string]any{
+		"name":        "demo",
+		"description": "a: quoted # not a comment",
+		"seed":        "42",
+		"fleet": map[string]any{
+			"base": "table2",
+			"groups": []any{
+				map[string]any{
+					"name":  "pool",
+					"count": "3",
+					"isa":   []any{"x86_64", "ppc64"},
+					"glibc": []any{"2.5", "2.12"},
+				},
+			},
+		},
+		"events": []any{
+			map[string]any{"at": "0s", "action": "survey"},
+			map[string]any{"at": "1m", "action": "upgrade_glibc", "target": "pool", "version": "2.12"},
+		},
+		"empty": "",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parsed document mismatch\n got: %#v\nwant: %#v", got, want)
+	}
+}
+
+func TestParseYAMLScalars(t *testing.T) {
+	cases := []struct {
+		in   string
+		want any
+	}{
+		{`k: plain`, "plain"},
+		{`k: 'single ''quoted'''`, "single 'quoted'"},
+		{`k: "tab\tnewline\nquote\" done"`, "tab\tnewline\nquote\" done"},
+		{`k: [a, "b, c", 'd']`, []any{"a", "b, c", "d"}},
+		{`k: []`, []any{}},
+		{`k: value # trailing comment`, "value"},
+		{`k: http://host/path#frag`, "http://host/path#frag"}, // '#' only after space
+	}
+	for _, tc := range cases {
+		m, err := parseYAML([]byte(tc.in))
+		if err != nil {
+			t.Errorf("parseYAML(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(m["k"], tc.want) {
+			t.Errorf("parseYAML(%q) = %#v, want %#v", tc.in, m["k"], tc.want)
+		}
+	}
+}
+
+func TestParseYAMLLeadingDocumentMarker(t *testing.T) {
+	m, err := parseYAML([]byte("---\nname: x\n"))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	if m["name"] != "x" {
+		t.Errorf("name = %#v, want %q", m["name"], "x")
+	}
+}
+
+// TestParseYAMLErrors checks that every rejected construct carries its
+// source line and a message naming the problem.
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		line int
+		msg  string
+	}{
+		{"tab indent", "a: 1\n\tb: 2\n", 2, "tab in indentation"},
+		{"anchor", "a: 1\n&anchor b: 2\n", 2, "not supported"},
+		{"alias", "*x\n", 1, "not supported"},
+		{"block scalar", "|\n  text\n", 1, "not supported"},
+		{"multi-doc", "a: 1\n---\nb: 2\n", 2, "multi-document"},
+		{"flow mapping", "a: {k: v}\n", 1, "flow mappings"},
+		{"duplicate key", "a: 1\na: 2\n", 2, `duplicate key "a"`},
+		{"bad key", "a b: 1\n", 1, "invalid key"},
+		{"no colon", "justtext\n", 1, "expected \"key: value\""},
+		{"missing space after colon", "a:1\n", 1, "missing space"},
+		{"over-indent in mapping", "a: 1\n  b: 2\n", 2, "unexpected indentation"},
+		{"seq item in mapping", "a: 1\n- b\n", 2, "sequence item inside a mapping"},
+		{"unterminated flow seq", "a: [1, 2\n", 1, "unterminated flow sequence"},
+		{"nested flow seq", "a: [[1], 2]\n", 1, "nested flow collections"},
+		{"empty flow element", "a: [1, , 2]\n", 1, "empty element"},
+		{"unterminated single quote", "a: 'oops\n", 1, "unterminated single-quoted"},
+		{"unterminated double quote", "a: \"oops\n", 1, "unterminated double-quoted"},
+		{"bad escape", `a: "x\q"` + "\n", 1, "unsupported escape"},
+		{"top-level sequence", "- a\n- b\n", 1, "document must be a mapping"},
+		{"indented start", "  a: 1\n", 1, "column one"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("parseYAML(%q) succeeded, want error containing %q", tc.in, tc.msg)
+			}
+			ye, ok := err.(*yamlError)
+			if !ok {
+				t.Fatalf("error is %T, want *yamlError: %v", err, err)
+			}
+			if ye.Line != tc.line {
+				t.Errorf("error line = %d, want %d (%v)", ye.Line, tc.line, err)
+			}
+			if !strings.Contains(ye.Msg, tc.msg) {
+				t.Errorf("error %q does not mention %q", ye.Msg, tc.msg)
+			}
+		})
+	}
+}
+
+// TestParseYAMLInlineSequenceMappings covers the "- key: value" rewrite:
+// later keys of the item continue at the key's column, and sibling items
+// restart at the dash.
+func TestParseYAMLInlineSequenceMappings(t *testing.T) {
+	doc := `
+items:
+  - name: a
+    value: 1
+  - name: b
+    nested:
+      deep: true
+  - plain-scalar
+  -
+`
+	m, err := parseYAML([]byte(doc))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	items, ok := m["items"].([]any)
+	if !ok || len(items) != 4 {
+		t.Fatalf("items = %#v, want 4-element sequence", m["items"])
+	}
+	first := items[0].(map[string]any)
+	if first["name"] != "a" || first["value"] != "1" {
+		t.Errorf("items[0] = %#v", first)
+	}
+	second := items[1].(map[string]any)
+	nested, ok := second["nested"].(map[string]any)
+	if !ok || nested["deep"] != "true" {
+		t.Errorf("items[1] = %#v", second)
+	}
+	if items[2] != "plain-scalar" || items[3] != "" {
+		t.Errorf("items[2:] = %#v", items[2:])
+	}
+}
+
+func TestParseYAMLEmptyDocument(t *testing.T) {
+	for _, in := range []string{"", "\n\n", "# only comments\n"} {
+		m, err := parseYAML([]byte(in))
+		if err != nil {
+			t.Errorf("parseYAML(%q): %v", in, err)
+		}
+		if len(m) != 0 {
+			t.Errorf("parseYAML(%q) = %#v, want empty mapping", in, m)
+		}
+	}
+}

@@ -131,6 +131,49 @@ func (s *Site) InstallCLibrary() error {
 	return nil
 }
 
+// UpgradeCLibrary replaces the site's installed C-library family with
+// release v — the administrator action (an OS update or rollback) that
+// changes a site's compatibility surface mid-survey. The old family's
+// files and link names are removed from the system library directory, the
+// new family is installed, and the resulting filesystem mutations bump the
+// vfs generation counter, so every cached survey of the site is
+// invalidated by fingerprint without any explicit cache call.
+func (s *Site) UpgradeCLibrary(v libver.Version) error {
+	dir := s.SystemLibDir()
+	old := s.Glibc
+	loader := "ld-linux-x86-64.so.2"
+	if s.Arch.Class == elfimg.Class32 {
+		loader = "ld-linux.so.2"
+	}
+	removals := []string{
+		fmt.Sprintf("libc-%s.so", old), "libc.so.6",
+		fmt.Sprintf("ld-%s.so", old), loader,
+		"libgcc_s.so.1", "libgcc_s.so",
+	}
+	for _, c := range []struct {
+		stem  string
+		major int
+	}{{"m", 6}, {"pthread", 0}, {"rt", 1}, {"dl", 2}, {"util", 1}, {"nsl", 1}, {"crypt", 1}} {
+		removals = append(removals,
+			fmt.Sprintf("lib%s-%s.so", c.stem, old),
+			fmt.Sprintf("lib%s.so.%d", c.stem, c.major),
+			fmt.Sprintf("lib%s.so", c.stem))
+	}
+	for _, name := range removals {
+		p := dir + "/" + name
+		// Lstat, not Exists: the symlink entries must go even when their
+		// target file was already removed earlier in the sweep.
+		if _, err := s.fs.Lstat(p); err != nil {
+			continue
+		}
+		if err := s.fs.Remove(p); err != nil {
+			return fmt.Errorf("sitemodel: upgrading C library at %s: %v", s.Name, err)
+		}
+	}
+	s.Glibc = v
+	return s.InstallCLibrary()
+}
+
 // baseVerNeed is the GLIBC reference set system companion libraries carry:
 // the lowest ladder entry available, which always resolves.
 func baseVerNeed(glibc libver.Version) []string {

@@ -37,6 +37,11 @@ type SiteSpec struct {
 	SystemType  string
 	Cores       int
 
+	// ISA is the hardware architecture: "x86_64" (the default and the only
+	// one Table II uses), "i686", "ppc64", or "ppc". Scenario fleets use
+	// the others to exercise the ISA determinant's failure path.
+	ISA string
+
 	Distro      string
 	OSVersion   string
 	Kernel      string
@@ -200,10 +205,26 @@ func BuildFrom(specs []SiteSpec) (*Testbed, error) {
 	return tb, nil
 }
 
+// ArchForISA maps an ISA name to its machine/class pair; unknown names
+// fall back to x86_64.
+func ArchForISA(isa string) (elfimg.Machine, elfimg.Class) {
+	switch isa {
+	case "i686":
+		return elfimg.EM386, elfimg.Class32
+	case "ppc":
+		return elfimg.EMPPC, elfimg.Class32
+	case "ppc64":
+		return elfimg.EMPPC64, elfimg.Class64
+	default:
+		return elfimg.EMX8664, elfimg.Class64
+	}
+}
+
 func buildSite(spec SiteSpec) (*sitemodel.Site, error) {
+	machine, class := ArchForISA(spec.ISA)
 	site := sitemodel.New(spec.Name,
 		sitemodel.Arch{
-			Machine: elfimg.EMX8664, Class: elfimg.Class64,
+			Machine: machine, Class: class,
 			CPUName: spec.CPUName, FeatureLevel: spec.FeatureLevel,
 		},
 		sitemodel.OSInfo{
