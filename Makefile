@@ -2,7 +2,28 @@ GO ?= go
 STATICCHECK ?= staticcheck
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race fault obs lint fuzz bench bench-json bench-smoke scenario
+.PHONY: build vet test race fault obs lint fuzz bench bench-json bench-smoke scenario serve-smoke
+
+# Serving-layer smoke: boot feam-server on the 120-site mixed-ISA fleet,
+# drive it with feam-load for a short burst, then SIGTERM it and require
+# a clean drain. feam-load exits non-zero if any request was not 2xx, and
+# the report lands in BENCH_PR8.json.
+SERVE_ADDR ?= 127.0.0.1:8091
+SERVE_DURATION ?= 5s
+
+serve-smoke:
+	$(GO) build -o bin/feam-server ./cmd/feam-server
+	$(GO) build -o bin/feam-load ./cmd/feam-load
+	./bin/feam-server -addr $(SERVE_ADDR) -fleet testdata/scenarios/isa-mix.yaml & \
+	SERVER_PID=$$!; \
+	trap 'kill $$SERVER_PID 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		if ./bin/feam-load -addr http://$(SERVE_ADDR) -clients 1 -duration 100ms -out /dev/null 2>/dev/null; then break; fi; \
+		sleep 0.2; \
+	done; \
+	./bin/feam-load -addr http://$(SERVE_ADDR) -clients 32 -duration $(SERVE_DURATION) -out BENCH_PR8.json || exit 1; \
+	kill -TERM $$SERVER_PID; \
+	wait $$SERVER_PID
 
 build:
 	$(GO) build ./...

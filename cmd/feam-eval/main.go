@@ -15,7 +15,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"strings"
 
@@ -25,6 +24,7 @@ import (
 	"feam/internal/obs"
 	"feam/internal/registry"
 	"feam/internal/report"
+	"feam/internal/server"
 	"feam/internal/store"
 	"feam/internal/testbed"
 	"feam/internal/vfs"
@@ -128,7 +128,8 @@ func run(cfg evalConfig) error {
 	if cfg.debugAddr != "" {
 		go func() {
 			handler := obs.DebugHandler(eng.Metrics(), eng.Tracer())
-			if err := http.ListenAndServe(cfg.debugAddr, handler); err != nil {
+			srv := server.NewHTTPServer(cfg.debugAddr, handler)
+			if err := server.ListenAndServe(context.Background(), srv, 0); err != nil {
 				fmt.Fprintln(os.Stderr, "feam-eval: debug server:", err)
 			}
 		}()

@@ -1,0 +1,235 @@
+// Command feam-load drives a running feam-server with N concurrent
+// clients for a fixed duration and reports throughput and latency
+// percentiles. Every client POSTs single /v1/predict requests using the
+// server's built-in probe binary, rotating across the fleet, so many
+// clients asking about the same (binary, site) pair land in the same
+// coalesced flight — the report's hit-rate shows how much work the
+// singleflight layer saved.
+//
+// Usage:
+//
+//	feam-load [-addr http://localhost:8080] [-clients 32] [-duration 10s] \
+//	          [-sites 0] [-hot 0.25] [-out BENCH_PR8.json]
+//
+// -hot sends that fraction of each client's requests to the first fleet
+// site instead of rotating, modelling the popular-binary hot spot that
+// makes coalescing pay; at 0 every request rotates and flights rarely
+// overlap.
+//
+// The JSON report carries total requests, requests/sec, p50/p90/p99
+// latency in milliseconds, the non-2xx count, and the server-side
+// coalescing hit-rate scraped from /metrics.json. Exit status is non-zero
+// if any request failed or returned a non-2xx status.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type result struct {
+	latency time.Duration
+	ok      bool
+}
+
+type report struct {
+	Addr            string  `json:"addr"`
+	Clients         int     `json:"clients"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Sites           int     `json:"sites"`
+	Requests        int     `json:"requests"`
+	NonOK           int     `json:"non_2xx"`
+	RequestsPerSec  float64 `json:"requests_per_sec"`
+	P50Millis       float64 `json:"p50_ms"`
+	P90Millis       float64 `json:"p90_ms"`
+	P99Millis       float64 `json:"p99_ms"`
+	CoalesceHitRate float64 `json:"coalesce_hit_rate"`
+	Coalesced       int64   `json:"coalesced"`
+	PredictLeads    int64   `json:"predict_leads"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "feam-server base URL")
+		clients  = flag.Int("clients", 32, "concurrent clients")
+		duration = flag.Duration("duration", 10*time.Second, "load duration")
+		sites    = flag.Int("sites", 0, "rotate across this many fleet sites (0 = all)")
+		hot      = flag.Float64("hot", 0.25, "fraction of requests aimed at one hot site (0..1)")
+		out      = flag.String("out", "BENCH_PR8.json", "report path")
+	)
+	flag.Parse()
+	if err := run(*addr, *clients, *duration, *sites, *hot, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "feam-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, clients int, duration time.Duration, siteCap int, hot float64, out string) error {
+	addr = strings.TrimRight(addr, "/")
+	names, err := fleetSites(addr)
+	if err != nil {
+		return fmt.Errorf("listing fleet: %w", err)
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("server at %s reports an empty fleet", addr)
+	}
+	if siteCap > 0 && siteCap < len(names) {
+		names = names[:siteCap]
+	}
+	fmt.Fprintf(os.Stderr, "feam-load: %d clients x %s against %d sites at %s\n",
+		clients, duration, len(names), addr)
+
+	// One transport with enough idle connections that clients are not
+	// serialized by connection churn.
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = clients * 2
+	tr.MaxIdleConnsPerHost = clients * 2
+	hc := &http.Client{Transport: tr, Timeout: 30 * time.Second}
+
+	var (
+		mu      sync.Mutex
+		results []result
+	)
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Every hotEvery-th request targets the hot site; the rest
+			// rotate across the fleet.
+			hotEvery := 0
+			if hot > 0 {
+				hotEvery = int(1 / hot)
+			}
+			var local []result
+			for j := 0; time.Now().Before(deadline); j++ {
+				site := names[(c+j)%len(names)]
+				if hotEvery > 0 && j%hotEvery == 0 {
+					site = names[0]
+				}
+				body := fmt.Sprintf(`{"site":%q,"name":"app"}`, site)
+				t0 := time.Now()
+				resp, err := hc.Post(addr+"/v1/predict", "application/json",
+					strings.NewReader(body))
+				lat := time.Since(t0)
+				ok := err == nil && resp.StatusCode/100 == 2
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				local = append(local, result{latency: lat, ok: ok})
+			}
+			mu.Lock()
+			results = append(results, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := report{
+		Addr:            addr,
+		Clients:         clients,
+		DurationSeconds: elapsed.Seconds(),
+		Sites:           len(names),
+		Requests:        len(results),
+	}
+	lats := make([]time.Duration, 0, len(results))
+	for _, r := range results {
+		if !r.ok {
+			rep.NonOK++
+		}
+		lats = append(lats, r.latency)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.RequestsPerSec = float64(len(results)) / elapsed.Seconds()
+	rep.P50Millis = millisAt(lats, 0.50)
+	rep.P90Millis = millisAt(lats, 0.90)
+	rep.P99Millis = millisAt(lats, 0.99)
+	rep.PredictLeads, rep.Coalesced, rep.CoalesceHitRate = scrapeCoalescing(hc, addr)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"feam-load: %d requests in %.1fs = %.0f req/s (p50 %.2fms p99 %.2fms, coalesce %.0f%%, non-2xx %d) -> %s\n",
+		rep.Requests, rep.DurationSeconds, rep.RequestsPerSec,
+		rep.P50Millis, rep.P99Millis, rep.CoalesceHitRate*100, rep.NonOK, out)
+	if rep.NonOK > 0 {
+		return fmt.Errorf("%d of %d requests were not 2xx", rep.NonOK, rep.Requests)
+	}
+	return nil
+}
+
+// fleetSites asks the server which sites it serves.
+func fleetSites(addr string) ([]string, error) {
+	resp, err := http.Get(addr + "/v1/sites")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/sites: status %d", resp.StatusCode)
+	}
+	var body struct {
+		Sites []struct {
+			Name string `json:"name"`
+		} `json:"sites"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(body.Sites))
+	for i, s := range body.Sites {
+		names[i] = s.Name
+	}
+	return names, nil
+}
+
+// scrapeCoalescing reads the server's request counters from /metrics.json.
+// A scrape failure degrades to zeros rather than failing the run — the
+// latency numbers stand on their own.
+func scrapeCoalescing(hc *http.Client, addr string) (leads, coalesced int64, rate float64) {
+	resp, err := hc.Get(addr + "/metrics.json")
+	if err != nil {
+		return 0, 0, 0
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return 0, 0, 0
+	}
+	total := snap.Counters["http_predict_requests"]
+	coalesced = snap.Counters["http_predict_coalesced"]
+	leads = total - coalesced
+	if total > 0 {
+		rate = float64(coalesced) / float64(total)
+	}
+	return leads, coalesced, rate
+}
+
+// millisAt returns the q-quantile of sorted latencies in milliseconds.
+func millisAt(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}

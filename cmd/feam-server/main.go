@@ -1,0 +1,78 @@
+// Command feam-server runs FEAM as a service: a fleet of simulated sites
+// behind a JSON API. Scientists (or feam-load) POST a binary and a target
+// site to /v1/predict and get the execution-readiness verdict the paper's
+// pipeline computes; /v1/sites lists the fleet and /v1/survey/{site}
+// serves a site's discovered environment. The standard observability
+// surface (/metrics, /metrics.json, /trace, /debug/pprof) shares the mux.
+//
+// Identical concurrent predictions are coalesced singleflight-style, so a
+// thundering herd of clients asking about the same binary costs one
+// evaluation. On SIGINT/SIGTERM the server stops accepting, drains
+// in-flight predictions, and commits the fleet inventory to its store
+// before exiting.
+//
+// Usage:
+//
+//	feam-server [-addr :8080] [-fleet fleet.yaml] [-workers N] [-grace 10s]
+//
+// Without -fleet the paper's five-site Table II testbed is served. A fleet
+// file is the same YAML shape the scenario runner uses — either a bare
+// fleet document or a scenario file's `fleet:` block.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"feam/internal/scenario"
+	"feam/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		fleet   = flag.String("fleet", "", "fleet spec YAML (default: the Table II five-site testbed)")
+		workers = flag.Int("workers", 0, "batch fan-out width (0 = engine default)")
+		seed    = flag.Int64("seed", 42, "probe simulator seed")
+		grace   = flag.Duration("grace", server.DefaultShutdownGrace, "shutdown drain window")
+	)
+	flag.Parse()
+	if err := run(*addr, *fleet, *workers, *seed, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "feam-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, fleetPath string, workers int, seed int64, grace time.Duration) error {
+	fs := scenario.FleetSpec{Base: scenario.FleetBaseTable2}
+	if fleetPath != "" {
+		data, err := os.ReadFile(fleetPath)
+		if err != nil {
+			return err
+		}
+		fs, err = scenario.LoadFleet(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fleetPath, err)
+		}
+	}
+
+	s, err := server.New(server.Config{Fleet: fs, Workers: workers, Seed: seed})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "feam-server: serving %d sites on %s\n", s.Sites(), addr)
+	err = s.Run(ctx, addr, grace)
+	st := s.CoalescerStats()
+	fmt.Fprintf(os.Stderr, "feam-server: shut down (leads=%d coalesced=%d hit-rate=%.2f)\n",
+		st.Leads, st.Coalesced, st.HitRate())
+	return err
+}

@@ -8,7 +8,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,6 +21,7 @@ import (
 	"feam/internal/registry"
 	"feam/internal/report"
 	"feam/internal/scenario"
+	"feam/internal/server"
 	"feam/internal/sitemodel"
 	"feam/internal/store"
 	"feam/internal/testbed"
@@ -122,7 +122,8 @@ func buildEngine(traceOut, debugAddr string) (*feam.Engine, func(), error) {
 	if debugAddr != "" {
 		go func() {
 			handler := obs.DebugHandler(eng.Metrics(), eng.Tracer())
-			if err := http.ListenAndServe(debugAddr, handler); err != nil {
+			srv := server.NewHTTPServer(debugAddr, handler)
+			if err := server.ListenAndServe(context.Background(), srv, 0); err != nil {
 				fmt.Fprintln(os.Stderr, "feam-testbed: debug server:", err)
 			}
 		}()
@@ -219,7 +220,7 @@ func runFaults(eng *feam.Engine, tb *testbed.Testbed, rate, transientFrac float6
 		if s.Name == from {
 			continue
 		}
-		s.FS().SetOpHook(fault.Hook(inj))
+		s.FS().SetOpHook(fault.Hook(ctx, inj))
 		defer s.FS().SetOpHook(nil)
 		targets = append(targets, s)
 	}

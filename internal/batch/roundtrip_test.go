@@ -55,6 +55,20 @@ func TestGenerateSubstituteParseRoundTrip(t *testing.T) {
 			want: ScriptSpec{Manager: PBS, JobName: "long", Nodes: 1, Tasks: 1,
 				WallTime: 26*time.Hour + 3*time.Minute + 4*time.Second},
 		},
+		{
+			name: "slurm walltime over a day uses day form",
+			spec: ScriptSpec{Manager: SLURM, JobName: "long", Nodes: 2, Tasks: 8,
+				WallTime: 48*time.Hour + 30*time.Minute, Command: CmdPlaceholder},
+			want: ScriptSpec{Manager: SLURM, JobName: "long", Nodes: 2, Tasks: 8,
+				WallTime: 48*time.Hour + 30*time.Minute},
+		},
+		{
+			name: "sge walltime over a day keeps rolling hours",
+			spec: ScriptSpec{Manager: SGE, JobName: "long", Nodes: 1, Tasks: 4,
+				WallTime: 30 * time.Hour, Command: CmdPlaceholder},
+			want: ScriptSpec{Manager: SGE, JobName: "long", Nodes: 1, Tasks: 4,
+				WallTime: 30 * time.Hour},
+		},
 	}
 	const cmd = "mpirun -np 8 ./cg.x"
 	for _, tc := range cases {
@@ -100,11 +114,6 @@ func TestParsePartialScripts(t *testing.T) {
 				WallTime: 90 * time.Minute, Command: "run"},
 		},
 		{
-			name:   "pbs malformed counts fall back",
-			script: "#PBS -N x\n#PBS -l nodes=lots:ppn=many\nrun\n",
-			want:   ScriptSpec{Manager: PBS, JobName: "x", Nodes: 1, Tasks: 1, Command: "run"},
-		},
-		{
 			name:   "unknown directives are ignored",
 			script: "#PBS -N x\n#PBS -M ops@example.org\n#PBS -j oe\nrun\n",
 			want:   ScriptSpec{Manager: PBS, JobName: "x", Nodes: 1, Tasks: 1, Command: "run"},
@@ -115,9 +124,17 @@ func TestParsePartialScripts(t *testing.T) {
 			want:   ScriptSpec{Manager: SLURM, JobName: "x", Nodes: 1, Tasks: 1, Command: "mpirun ./a.out"},
 		},
 		{
-			name:   "slurm truncated time ignored",
+			// A bare SLURM --time= value is minutes, per sbatch(1).
+			name:   "slurm bare time is minutes",
 			script: "#SBATCH --job-name=x\n#SBATCH --time=15\nrun\n",
-			want:   ScriptSpec{Manager: SLURM, JobName: "x", Nodes: 1, Tasks: 1, Command: "run"},
+			want: ScriptSpec{Manager: SLURM, JobName: "x", Nodes: 1, Tasks: 1,
+				WallTime: 15 * time.Minute, Command: "run"},
+		},
+		{
+			name:   "slurm day form",
+			script: "#SBATCH --job-name=x\n#SBATCH --time=2-00:30:00\nrun\n",
+			want: ScriptSpec{Manager: SLURM, JobName: "x", Nodes: 1, Tasks: 1,
+				WallTime: 48*time.Hour + 30*time.Minute, Command: "run"},
 		},
 		{
 			name:   "sge bare directives",
@@ -134,6 +151,91 @@ func TestParsePartialScripts(t *testing.T) {
 			}
 			if got != tc.want {
 				t.Errorf("got %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseWallSLURMForms pins the six --time= syntaxes sbatch accepts.
+// The bare-number and day forms used to parse as zero, which then passed
+// Submit's MaxWallTime check.
+func TestParseWallSLURMForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"90", 90 * time.Minute},
+		{"30:15", 30*time.Minute + 15*time.Second},
+		{"01:30:00", 90 * time.Minute},
+		{"2-00", 48 * time.Hour},
+		{"2-00:30", 48*time.Hour + 30*time.Minute},
+		{"2-00:30:00", 48*time.Hour + 30*time.Minute},
+	}
+	for _, tc := range cases {
+		got, err := parseWall(tc.in)
+		if err != nil {
+			t.Errorf("parseWall(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseWall(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestParseWallSecondsForms pins PBS walltime= / SGE h_rt= semantics,
+// where a bare number is seconds.
+func TestParseWallSecondsForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"90", 90 * time.Second},
+		{"30:15", 30*time.Minute + 15*time.Second},
+		{"26:03:04", 26*time.Hour + 3*time.Minute + 4*time.Second},
+	}
+	for _, tc := range cases {
+		got, err := parseWallSeconds(tc.in)
+		if err != nil {
+			t.Errorf("parseWallSeconds(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseWallSeconds(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestParseRejectsMalformedDirectives: malformed walltimes and counts
+// must surface as positioned errors from Parse, never as silent defaults
+// that bypass queue limits.
+func TestParseRejectsMalformedDirectives(t *testing.T) {
+	cases := []struct {
+		name    string
+		script  string
+		errWant string
+	}{
+		{"slurm bad time", "#SBATCH --time=soon\nrun\n", "walltime"},
+		{"slurm too many time parts", "#SBATCH --time=1:2:3:4\nrun\n", "walltime"},
+		{"slurm bad nodes", "#SBATCH --nodes=lots\nrun\n", "--nodes"},
+		{"slurm bad ntasks", "#SBATCH --ntasks-per-node=-2\nrun\n", "--ntasks"},
+		{"slurm zero nodes", "#SBATCH --nodes=0\nrun\n", "--nodes"},
+		{"pbs bad walltime", "#PBS -l walltime=later\nrun\n", "walltime"},
+		{"pbs bad nodes", "#PBS -l nodes=lots:ppn=many\nrun\n", "nodes"},
+		{"pbs bad ppn", "#PBS -l nodes=2:ppn=many\nrun\n", "ppn"},
+		{"sge bad h_rt", "#$ -l h_rt=1:2:3:4\nrun\n", "h_rt"},
+		{"sge bad pe slots", "#$ -pe mpi lots\nrun\n", "-pe"},
+		{"mixed managers", "#PBS -N x\n#SBATCH --time=10\nrun\n", "line 2"},
+		{"mixed sge into slurm", "#SBATCH --job-name=x\n#$ -N y\nrun\n", "line 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.script)
+			if err == nil {
+				t.Fatalf("Parse accepted malformed script:\n%s", tc.script)
+			}
+			if !strings.Contains(err.Error(), tc.errWant) {
+				t.Errorf("error %q does not mention %q", err, tc.errWant)
 			}
 		})
 	}

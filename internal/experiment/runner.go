@@ -8,6 +8,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,7 +26,7 @@ import (
 // would, launches the probe, and reports the outcome text FEAM would read
 // from the job's output.
 func NewSimRunner(sim *execsim.Simulator) feam.RunnerFunc {
-	return func(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
+	return func(_ context.Context, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
 		var rec *sitemodel.StackRecord
 		snap := site.SnapshotEnv()
 		defer site.RestoreEnv(snap)
@@ -60,13 +61,13 @@ func NewSimProbeRunner(sim *execsim.Simulator) *SimProbeRunner {
 }
 
 // RunProgram implements feam.ProgramRunner.
-func (r *SimProbeRunner) RunProgram(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
-	res := r.RunProbe(art, site, stackKey, extraLibDirs)
+func (r *SimProbeRunner) RunProgram(ctx context.Context, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
+	res := r.RunProbe(ctx, art, site, stackKey, extraLibDirs)
 	return res.Success, res.Detail
 }
 
 // RunProbe implements fault.ProbeRunner.
-func (r *SimProbeRunner) RunProbe(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) fault.ProbeResult {
+func (r *SimProbeRunner) RunProbe(_ context.Context, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) fault.ProbeResult {
 	var rec *sitemodel.StackRecord
 	snap := site.SnapshotEnv()
 	defer site.RestoreEnv(snap)
@@ -96,10 +97,10 @@ func (r *SimProbeRunner) RunProbe(art *toolchain.Artifact, site *sitemodel.Site,
 // cluster — the §VI.C "running on compute nodes does use allocation hours"
 // measurement.
 func NewBatchRunner(sim *execsim.Simulator, tb *testbed.Testbed) feam.RunnerFunc {
-	return func(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
+	return func(ctx context.Context, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
 		cluster := tb.Clusters[site.Name]
 		if cluster == nil {
-			return NewSimRunner(sim)(art, site, stackKey, extraLibDirs)
+			return NewSimRunner(sim)(ctx, art, site, stackKey, extraLibDirs)
 		}
 		var rec *sitemodel.StackRecord
 		snap := site.SnapshotEnv()

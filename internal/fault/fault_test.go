@@ -38,7 +38,7 @@ func TestPolicyDeterministicRate(t *testing.T) {
 	run := func(seed int64) (faults, transients int) {
 		p := &Policy{Rate: 0.3, TransientFraction: 0.5, Seed: seed}
 		for i := 0; i < 1000; i++ {
-			if err := p.Fail("write", fmt.Sprintf("/f%d", i)); err != nil {
+			if err := p.Fail(context.Background(), "write", fmt.Sprintf("/f%d", i)); err != nil {
 				faults++
 				if IsTransient(err) {
 					transients++
@@ -64,16 +64,40 @@ func TestPolicyDeterministicRate(t *testing.T) {
 	}
 }
 
+// TestPolicyLatencyHonorsCancellation: an injected latency must not
+// outlive the caller — a cancelled Predict used to block for the full
+// simulated slow-filesystem delay. A cancelled wait surfaces the ctx
+// error and is not counted as an injected fault.
+func TestPolicyLatencyHonorsCancellation(t *testing.T) {
+	p := &Policy{Rate: 1, TransientFraction: 1, Latency: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := p.Fail(ctx, "write", "/x")
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled Fail still slept the injected latency")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if _, ok := AsFault(err); ok {
+		t.Error("cancellation was classified as an injected fault")
+	}
+	if p.Injected() != 0 {
+		t.Errorf("Injected() = %d after cancelled wait", p.Injected())
+	}
+}
+
 func TestPolicyOpFilterAndZeroValue(t *testing.T) {
 	var zero Policy
-	if err := zero.Fail("write", "/x"); err != nil {
+	if err := zero.Fail(context.Background(), "write", "/x"); err != nil {
 		t.Error("zero policy injected a fault")
 	}
 	p := &Policy{Rate: 1, TransientFraction: 1, Ops: []string{"setattr"}}
-	if err := p.Fail("write", "/x"); err != nil {
+	if err := p.Fail(context.Background(), "write", "/x"); err != nil {
 		t.Error("op filter did not exclude write")
 	}
-	if err := p.Fail("setattr", "/x"); err == nil {
+	if err := p.Fail(context.Background(), "setattr", "/x"); err == nil {
 		t.Error("op filter excluded its own op")
 	}
 }
@@ -83,7 +107,7 @@ func TestScriptInjector(t *testing.T) {
 	s.FailNth(Permanent, "write", 3)
 	var errs []error
 	for i := 0; i < 4; i++ {
-		errs = append(errs, s.Fail("write", fmt.Sprintf("/f%d", i)))
+		errs = append(errs, s.Fail(context.Background(), "write", fmt.Sprintf("/f%d", i)))
 	}
 	if errs[0] != nil || errs[1] != nil {
 		t.Error("first two writes should pass")
@@ -104,10 +128,10 @@ func TestScriptInjector(t *testing.T) {
 	// Op matching: non-matching ops pass through without consuming.
 	var s2 Script
 	s2.FailNext(Transient, "probe")
-	if err := s2.Fail("write", "/x"); err != nil {
+	if err := s2.Fail(context.Background(), "write", "/x"); err != nil {
 		t.Error("mismatched op consumed the script")
 	}
-	if err := s2.Fail("probe", "site/stack"); err == nil || !IsTransient(err) {
+	if err := s2.Fail(context.Background(), "probe", "site/stack"); err == nil || !IsTransient(err) {
 		t.Errorf("probe fault = %v", err)
 	}
 
@@ -115,16 +139,16 @@ func TestScriptInjector(t *testing.T) {
 	// must not shift which matching operation fails.
 	var s3 Script
 	s3.FailNth(Permanent, "write", 2)
-	if err := s3.Fail("removeall", "/stage"); err != nil {
+	if err := s3.Fail(context.Background(), "removeall", "/stage"); err != nil {
 		t.Error("removeall consumed a write pass")
 	}
-	if err := s3.Fail("write", "/f1"); err != nil {
+	if err := s3.Fail(context.Background(), "write", "/f1"); err != nil {
 		t.Error("first write should pass")
 	}
-	if err := s3.Fail("setattr", "/f1"); err != nil {
+	if err := s3.Fail(context.Background(), "setattr", "/f1"); err != nil {
 		t.Error("setattr consumed the write fault")
 	}
-	if err := s3.Fail("write", "/f2"); err == nil {
+	if err := s3.Fail(context.Background(), "write", "/f2"); err == nil {
 		t.Error("second write should fail")
 	}
 }

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
@@ -12,8 +13,9 @@ import (
 // from worker goroutines.
 type Injector interface {
 	// Fail returns nil to let the operation proceed, or a *Fault to make
-	// it fail.
-	Fail(op, path string) error
+	// it fail. Cancelling ctx aborts any injected latency; the ctx error
+	// is returned in place of a fault.
+	Fail(ctx context.Context, op, path string) error
 }
 
 // Policy is a deterministic rate-based injector: each (op, path, sequence)
@@ -43,7 +45,7 @@ type Policy struct {
 func (p *Policy) Injected() uint64 { return p.injected.Load() }
 
 // Fail implements Injector.
-func (p *Policy) Fail(op, path string) error {
+func (p *Policy) Fail(ctx context.Context, op, path string) error {
 	if p == nil || p.Rate <= 0 {
 		return nil
 	}
@@ -63,8 +65,11 @@ func (p *Policy) Fail(op, path string) error {
 	if p.unit("fault", op, path, n) >= p.Rate {
 		return nil
 	}
-	if p.Latency > 0 {
-		time.Sleep(p.Latency)
+	// The injected latency must honor cancellation: a cancelled Predict
+	// has no business waiting out a simulated slow filesystem. A cancelled
+	// wait is the caller's error, not an injected fault.
+	if err := Sleep(ctx, p.Latency); err != nil {
+		return err
 	}
 	class := Permanent
 	if p.unit("class", op, path, n) < p.TransientFraction {
@@ -133,8 +138,9 @@ func (s *Script) FailNth(class Class, op string, n int) {
 	s.queue = append(s.queue, scriptEntry{op: op, fault: &Fault{Class: class, Op: op}})
 }
 
-// Fail implements Injector.
-func (s *Script) Fail(op, path string) error {
+// Fail implements Injector. The script never sleeps, so ctx is unused
+// beyond satisfying the interface.
+func (s *Script) Fail(_ context.Context, op, path string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.queue) == 0 {
@@ -167,10 +173,14 @@ func (s *Script) Remaining() int {
 }
 
 // Hook adapts an Injector to the vfs operation-hook signature
-// (vfs.FS.SetOpHook). A nil injector clears the hook.
-func Hook(inj Injector) func(op, path string) error {
+// (vfs.FS.SetOpHook), binding the installer's ctx into every hook call —
+// vfs operations carry no context of their own. A nil injector clears
+// the hook.
+func Hook(ctx context.Context, inj Injector) func(op, path string) error {
 	if inj == nil {
 		return nil
 	}
-	return inj.Fail
+	return func(op, path string) error {
+		return inj.Fail(ctx, op, path)
+	}
 }

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"strings"
 
 	"feam/internal/sitemodel"
@@ -11,7 +12,7 @@ import (
 // to feam.ProgramRunner (declared here too so this package can wrap
 // runners without importing the prediction pipeline).
 type Runner interface {
-	RunProgram(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (success bool, detail string)
+	RunProgram(ctx context.Context, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (success bool, detail string)
 }
 
 // ProbeResult is the structured outcome of one probe-program execution.
@@ -34,7 +35,7 @@ type ProbeResult struct {
 // failures. The prediction pipeline prefers it over RunProgram's
 // (bool, string) and falls back to ClassifyDetail otherwise.
 type ProbeRunner interface {
-	RunProbe(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) ProbeResult
+	RunProbe(ctx context.Context, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) ProbeResult
 }
 
 // ClassifyDetail derives a ProbeResult from a legacy (success, detail)
@@ -61,15 +62,15 @@ type FaultyRunner struct {
 }
 
 // RunProgram implements Runner.
-func (f *FaultyRunner) RunProgram(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
-	res := f.RunProbe(art, site, stackKey, extraLibDirs)
+func (f *FaultyRunner) RunProgram(ctx context.Context, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
+	res := f.RunProbe(ctx, art, site, stackKey, extraLibDirs)
 	return res.Success, res.Detail
 }
 
 // RunProbe implements ProbeRunner.
-func (f *FaultyRunner) RunProbe(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) ProbeResult {
+func (f *FaultyRunner) RunProbe(ctx context.Context, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) ProbeResult {
 	if f.Inj != nil {
-		if err := f.Inj.Fail("probe", site.Name+"/"+stackKey); err != nil {
+		if err := f.Inj.Fail(ctx, "probe", site.Name+"/"+stackKey); err != nil {
 			return ProbeResult{
 				Success:   false,
 				Detail:    err.Error(),
@@ -78,8 +79,8 @@ func (f *FaultyRunner) RunProbe(art *toolchain.Artifact, site *sitemodel.Site, s
 		}
 	}
 	if pr, ok := f.Inner.(ProbeRunner); ok {
-		return pr.RunProbe(art, site, stackKey, extraLibDirs)
+		return pr.RunProbe(ctx, art, site, stackKey, extraLibDirs)
 	}
-	ok, detail := f.Inner.RunProgram(art, site, stackKey, extraLibDirs)
+	ok, detail := f.Inner.RunProgram(ctx, art, site, stackKey, extraLibDirs)
 	return ClassifyDetail(ok, detail)
 }

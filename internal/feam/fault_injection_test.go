@@ -39,7 +39,7 @@ func TestStagingRollbackIsAllOrNothing(t *testing.T) {
 
 	var script fault.Script
 	script.FailNth(fault.Permanent, "write", 2)
-	india.FS().SetOpHook(fault.Hook(&script))
+	india.FS().SetOpHook(fault.Hook(ctx, &script))
 	defer india.FS().SetOpHook(nil)
 
 	env, err := eng.Discover(ctx, india)
@@ -97,7 +97,7 @@ func TestStagingRetriesTransientFaultThenCommits(t *testing.T) {
 
 	var script fault.Script
 	script.FailNext(fault.Transient, "write")
-	india.FS().SetOpHook(fault.Hook(&script))
+	india.FS().SetOpHook(fault.Hook(ctx, &script))
 	defer india.FS().SetOpHook(nil)
 
 	env, err := eng.Discover(ctx, india)
@@ -338,7 +338,7 @@ func TestRankSitesContainsPanickingRunner(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng, _ := faultEngine()
-	panicky := feam.RunnerFunc(func(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extra []string) (bool, string) {
+	panicky := feam.RunnerFunc(func(_ context.Context, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extra []string) (bool, string) {
 		panic("runner exploded")
 	})
 	sites := []*sitemodel.Site{tb.ByName["india"], tb.ByName["blacklight"]}

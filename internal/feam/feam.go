@@ -25,6 +25,7 @@
 package feam
 
 import (
+	"context"
 	"fmt"
 
 	"feam/internal/sitemodel"
@@ -109,13 +110,13 @@ type DeterminantResult struct {
 // load <key>`-style selection means at the site; an empty key runs without
 // an MPI stack (serial probes).
 type ProgramRunner interface {
-	RunProgram(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (success bool, detail string)
+	RunProgram(ctx context.Context, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (success bool, detail string)
 }
 
 // RunnerFunc adapts a function to ProgramRunner.
-type RunnerFunc func(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string)
+type RunnerFunc func(ctx context.Context, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string)
 
 // RunProgram implements ProgramRunner.
-func (f RunnerFunc) RunProgram(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
-	return f(art, site, stackKey, extraLibDirs)
+func (f RunnerFunc) RunProgram(ctx context.Context, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
+	return f(ctx, art, site, stackKey, extraLibDirs)
 }

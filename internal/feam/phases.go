@@ -160,7 +160,7 @@ func (e *Engine) RunSourcePhase(ctx context.Context, cfg *Config, site *sitemode
 					obs.WithSite(site.Name), obs.WithBinary(cfg.BinaryPath),
 					obs.WithAttr(obs.AttrStack, env.Loaded.Key),
 					obs.WithAttr(obs.AttrAttempt, "1"))
-				ok, detail := runner.RunProgram(hello, site, env.Loaded.Key, nil)
+				ok, detail := runner.RunProgram(ctx, hello, site, env.Loaded.Key, nil)
 				psp.SetAttr(obs.AttrSuccess, strconv.FormatBool(ok))
 				if !ok {
 					psp.SetAttr(obs.AttrDetail, detail)

@@ -203,11 +203,11 @@ func compilerFamilyOf(comment string) string {
 // result. Runners that implement fault.ProbeRunner classify their own
 // failures; legacy (bool, string) runners are classified from the output
 // text by fault.ClassifyDetail.
-func probeOnce(r ProgramRunner, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) fault.ProbeResult {
+func probeOnce(ctx context.Context, r ProgramRunner, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) fault.ProbeResult {
 	if pr, ok := r.(fault.ProbeRunner); ok {
-		return pr.RunProbe(art, site, stackKey, extraLibDirs)
+		return pr.RunProbe(ctx, art, site, stackKey, extraLibDirs)
 	}
-	ok, detail := r.RunProgram(art, site, stackKey, extraLibDirs)
+	ok, detail := r.RunProgram(ctx, art, site, stackKey, extraLibDirs)
 	return fault.ClassifyDetail(ok, detail)
 }
 
@@ -225,7 +225,7 @@ func runProbe(ec *EvalContext, art *toolchain.Artifact, stackKey string, extraLi
 			obs.WithParent(ec.span), obs.WithSite(site.Name),
 			obs.WithAttr(obs.AttrStack, stackKey),
 			obs.WithAttr(obs.AttrAttempt, strconv.Itoa(attempt)))
-		res = probeOnce(ec.Opts.Runner, art, site, stackKey, extraLibDirs)
+		res = probeOnce(ec.Context, ec.Opts.Runner, art, site, stackKey, extraLibDirs)
 		sp.SetAttr(obs.AttrSuccess, strconv.FormatBool(res.Success))
 		if !res.Success {
 			sp.SetAttr(obs.AttrDetail, res.Detail)

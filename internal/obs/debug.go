@@ -19,6 +19,14 @@ import (
 // empty documents.
 func DebugHandler(reg *Registry, tracer *Tracer) http.Handler {
 	mux := http.NewServeMux()
+	RegisterDebug(mux, reg, tracer)
+	return mux
+}
+
+// RegisterDebug installs the debug routes on an existing mux, so a server
+// that owns its own mux (feam-server) can mount them beside its API
+// routes instead of running a second listener.
+func RegisterDebug(mux *http.ServeMux, reg *Registry, tracer *Tracer) {
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -43,5 +51,4 @@ func DebugHandler(reg *Registry, tracer *Tracer) http.Handler {
 		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
 		_ = tracer.WriteJSONL(w)
 	})
-	return mux
 }

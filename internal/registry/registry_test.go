@@ -1,6 +1,7 @@
 package registry_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -182,7 +183,7 @@ func TestSiteLockIdentity(t *testing.T) {
 // stores, and surfaces on Register.
 func TestFaultHook(t *testing.T) {
 	script := &fault.Script{}
-	r := registry.New(registry.WithFaultHook(fault.Hook(script)))
+	r := registry.New(registry.WithFaultHook(fault.Hook(context.Background(), script)))
 	site := newSite(t, "flaky")
 
 	script.FailNext(fault.Permanent, "register")

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -32,11 +33,11 @@ const (
 )
 
 // RunProgram implements feam.ProgramRunner.
-func (r *BatchRunner) RunProgram(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
+func (r *BatchRunner) RunProgram(ctx context.Context, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
 	cluster := r.TB.Clusters[site.Name]
 	if cluster == nil {
 		// Not a testbed site (imported image): run directly.
-		return r.Inner.RunProgram(art, site, stackKey, extraLibDirs)
+		return r.Inner.RunProgram(ctx, art, site, stackKey, extraLibDirs)
 	}
 	spec := batch.ScriptSpec{
 		Manager:  r.TB.Specs[site.Name].Manager,
@@ -57,7 +58,7 @@ func (r *BatchRunner) RunProgram(art *toolchain.Artifact, site *sitemodel.Site, 
 		return false, fmt.Sprintf("batch: script round-trip lost state (%s %q)", parsed.Manager, parsed.Command)
 	}
 	res, err := cluster.Submit(parsed, func(int) (bool, string, time.Duration) {
-		ok, detail := r.Inner.RunProgram(art, site, stackKey, extraLibDirs)
+		ok, detail := r.Inner.RunProgram(ctx, art, site, stackKey, extraLibDirs)
 		return ok, detail, probeRuntime
 	}, 1, 0)
 	if err != nil {

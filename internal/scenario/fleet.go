@@ -20,6 +20,98 @@ import (
 // evaluation sites.
 const FleetBaseTable2 = "table2"
 
+// LoadFleet parses a fleet spec from a YAML document. It accepts both a
+// full scenario document (only its fleet: section is used — feam-server
+// can point straight at an existing scenario file) and a bare fleet
+// document with top-level base:/groups: keys.
+func LoadFleet(data []byte) (FleetSpec, error) {
+	doc, err := parseYAML(data)
+	if err != nil {
+		return FleetSpec{}, fmt.Errorf("fleet: %w", err)
+	}
+	d := &decoder{}
+	var fs FleetSpec
+	if _, ok := doc["fleet"]; ok {
+		if sub := d.sub(doc, "fleet", "document"); sub != nil {
+			fs = decodeFleet(d, sub)
+		}
+	} else {
+		fs = decodeFleet(d, doc)
+	}
+	if errs := append(d.errs, validateFleet(fs)...); len(errs) > 0 {
+		return FleetSpec{}, fmt.Errorf("fleet: %s", strings.Join(errs, "; "))
+	}
+	return fs, nil
+}
+
+// validateFleet performs the fleet-level semantic checks shared by
+// scenario validation and standalone fleet loading.
+func validateFleet(fs FleetSpec) []string {
+	var errs []string
+	bad := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
+
+	switch fs.Base {
+	case "", FleetBaseTable2:
+	default:
+		bad("fleet.base: unknown base fleet %q", fs.Base)
+	}
+	groups := map[string]bool{}
+	total := 0
+	if fs.Base == FleetBaseTable2 {
+		total += len(table2SiteNames())
+	}
+	for i, g := range fs.Groups {
+		path := fmt.Sprintf("fleet.groups[%d]", i)
+		if g.Name == "" {
+			bad("%s.name is required", path)
+		} else if groups[g.Name] {
+			bad("%s: duplicate group name %q", path, g.Name)
+		}
+		groups[g.Name] = true
+		if g.Count < 1 {
+			bad("%s.count must be at least 1", path)
+		}
+		total += g.Count
+		for _, isa := range g.ISA {
+			if !knownISA(isa) {
+				bad("%s.isa: unknown ISA %q", path, isa)
+			}
+		}
+		for _, v := range g.Glibc {
+			if _, err := parseVersion(v); err != nil {
+				bad("%s.glibc: %v", path, err)
+			}
+		}
+		if _, err := parseManager(g.Manager); err != nil {
+			bad("%s.manager: %v", path, err)
+		}
+		switch g.EnvTool {
+		case "", "modules", "softenv":
+		default:
+			bad("%s.env_tool: unknown tool %q", path, g.EnvTool)
+		}
+		for _, c := range g.Compilers {
+			if _, err := parseCompiler(c); err != nil {
+				bad("%s.compilers: %v", path, err)
+			}
+		}
+		for _, s := range g.Stacks {
+			if _, err := parseStack(s, g.Compilers); err != nil {
+				bad("%s.stacks: %v", path, err)
+			}
+		}
+		for _, s := range g.Broken {
+			if _, err := parseBrokenMark(s); err != nil {
+				bad("%s.broken: %v", path, err)
+			}
+		}
+	}
+	if total > maxFleetSites {
+		bad("fleet declares %d sites; the simulator caps at %d", total, maxFleetSites)
+	}
+	return errs
+}
+
 // table2SiteNames lists the base fleet's site names.
 func table2SiteNames() []string {
 	specs := testbed.DefaultSpecs()

@@ -379,12 +379,12 @@ type routedRunner struct {
 	inner feam.ProgramRunner
 }
 
-func (rr *routedRunner) RunProgram(art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
+func (rr *routedRunner) RunProgram(ctx context.Context, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) (bool, string) {
 	if p := rr.r.faults[site.Name]; p != nil {
 		f := &fault.FaultyRunner{Inner: rr.inner, Inj: p}
-		return f.RunProgram(art, site, stackKey, extraLibDirs)
+		return f.RunProgram(ctx, art, site, stackKey, extraLibDirs)
 	}
-	return rr.inner.RunProgram(art, site, stackKey, extraLibDirs)
+	return rr.inner.RunProgram(ctx, art, site, stackKey, extraLibDirs)
 }
 
 // resolveTargets maps event target names to current fleet sites: exact
@@ -504,7 +504,7 @@ func (r *runner) execute(ctx context.Context, ev Event) error {
 				Ops:               ev.Ops,
 			}
 			r.faults[s.Name] = p
-			s.FS().SetOpHook(fault.Hook(p))
+			s.FS().SetOpHook(fault.Hook(ctx, p))
 		}
 		return nil
 
@@ -545,7 +545,7 @@ func (r *runner) execute(ctx context.Context, ev Event) error {
 		for _, s := range sites {
 			delete(r.outages, s.Name)
 			if p := r.faults[s.Name]; p != nil {
-				s.FS().SetOpHook(fault.Hook(p))
+				s.FS().SetOpHook(fault.Hook(ctx, p))
 			} else {
 				s.FS().SetOpHook(nil)
 			}

@@ -604,64 +604,11 @@ func validate(sc *Scenario) []string {
 	if sc.Name == "" {
 		bad("scenario.name is required")
 	}
-	switch sc.Fleet.Base {
-	case "", FleetBaseTable2:
-	default:
-		bad("fleet.base: unknown base fleet %q", sc.Fleet.Base)
-	}
+	errs = append(errs, validateFleet(sc.Fleet)...)
+	// Event validation below needs the group names for site_join refs.
 	groups := map[string]bool{}
-	total := 0
-	if sc.Fleet.Base == FleetBaseTable2 {
-		total += len(table2SiteNames())
-	}
-	for i, g := range sc.Fleet.Groups {
-		path := fmt.Sprintf("fleet.groups[%d]", i)
-		if g.Name == "" {
-			bad("%s.name is required", path)
-		} else if groups[g.Name] {
-			bad("%s: duplicate group name %q", path, g.Name)
-		}
+	for _, g := range sc.Fleet.Groups {
 		groups[g.Name] = true
-		if g.Count < 1 {
-			bad("%s.count must be at least 1", path)
-		}
-		total += g.Count
-		for _, isa := range g.ISA {
-			if !knownISA(isa) {
-				bad("%s.isa: unknown ISA %q", path, isa)
-			}
-		}
-		for _, v := range g.Glibc {
-			if _, err := parseVersion(v); err != nil {
-				bad("%s.glibc: %v", path, err)
-			}
-		}
-		if _, err := parseManager(g.Manager); err != nil {
-			bad("%s.manager: %v", path, err)
-		}
-		switch g.EnvTool {
-		case "", "modules", "softenv":
-		default:
-			bad("%s.env_tool: unknown tool %q", path, g.EnvTool)
-		}
-		for _, c := range g.Compilers {
-			if _, err := parseCompiler(c); err != nil {
-				bad("%s.compilers: %v", path, err)
-			}
-		}
-		for _, s := range g.Stacks {
-			if _, err := parseStack(s, g.Compilers); err != nil {
-				bad("%s.stacks: %v", path, err)
-			}
-		}
-		for _, s := range g.Broken {
-			if _, err := parseBrokenMark(s); err != nil {
-				bad("%s.broken: %v", path, err)
-			}
-		}
-	}
-	if total > maxFleetSites {
-		bad("fleet declares %d sites; the simulator caps at %d", total, maxFleetSites)
 	}
 
 	b := sc.Binary

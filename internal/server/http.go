@@ -1,0 +1,90 @@
+// Package server is FEAM's serving layer: a hardened HTTP stack and the
+// prediction control plane feam-server exposes. The paper frames FEAM as
+// a service scientists consult before migrating a binary; this package is
+// that service — a registry+store-backed engine behind a small JSON API,
+// with singleflight deduplication of identical concurrent predictions.
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// HTTP server hardening defaults. The debug listeners used to run bare
+// http.ListenAndServe with no header timeout — one slow-loris client
+// could pin a connection forever — and no shutdown path at all.
+const (
+	// DefaultReadHeaderTimeout bounds how long a client may dribble its
+	// request headers.
+	DefaultReadHeaderTimeout = 5 * time.Second
+	// DefaultReadTimeout bounds reading one full request.
+	DefaultReadTimeout = 30 * time.Second
+	// DefaultWriteTimeout bounds writing one full response (pprof
+	// profiles can legitimately take tens of seconds).
+	DefaultWriteTimeout = 90 * time.Second
+	// DefaultIdleTimeout reaps idle keep-alive connections.
+	DefaultIdleTimeout = 2 * time.Minute
+	// DefaultShutdownGrace is how long Serve waits for in-flight
+	// requests to drain after the context is cancelled.
+	DefaultShutdownGrace = 10 * time.Second
+)
+
+// NewHTTPServer returns an http.Server with the hardening defaults every
+// FEAM listener shares: header/read/write/idle timeouts and a bounded
+// header size. Both the CLIs' -debug-addr listeners and feam-server
+// build on it.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		ReadTimeout:       DefaultReadTimeout,
+		WriteTimeout:      DefaultWriteTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
+// ListenAndServe listens on srv.Addr and runs Serve: the server runs
+// until ctx is cancelled, then drains in-flight requests for up to grace
+// (0 means DefaultShutdownGrace) before closing.
+func ListenAndServe(ctx context.Context, srv *http.Server, grace time.Duration) error {
+	ln, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ctx, srv, ln, grace)
+}
+
+// Serve runs srv on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes, in-flight requests get up to grace
+// (0 means DefaultShutdownGrace) to finish, and only then are
+// connections torn down. Returns nil on a clean shutdown, the serve
+// error otherwise.
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, grace time.Duration) error {
+	if grace <= 0 {
+		grace = DefaultShutdownGrace
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	// ctx is already cancelled; the drain deadline needs a live parent.
+	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), grace)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		// Drain deadline exceeded: cut the remaining connections.
+		_ = srv.Close()
+		return err
+	}
+	return nil
+}

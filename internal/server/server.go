@@ -1,0 +1,449 @@
+package server
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"feam/internal/elfimg"
+	"feam/internal/execsim"
+	"feam/internal/experiment"
+	"feam/internal/feam"
+	"feam/internal/obs"
+	"feam/internal/registry"
+	"feam/internal/scenario"
+	"feam/internal/store"
+	"feam/internal/testbed"
+	"feam/internal/vfs"
+)
+
+// Config configures a FEAM prediction service.
+type Config struct {
+	// Fleet declares the sites the service answers for.
+	Fleet scenario.FleetSpec
+	// Seed drives the deterministic probe simulator.
+	Seed int64
+	// Workers bounds batch fan-out (0 = the engine default).
+	Workers int
+	// MaxBinaryBytes caps the decoded size of a request's binary
+	// (0 = DefaultMaxBinaryBytes).
+	MaxBinaryBytes int64
+	// TraceCapacity sizes the tracer ring (0 = the tracer default).
+	TraceCapacity int
+}
+
+// DefaultMaxBinaryBytes caps client-supplied binaries at 8 MiB.
+const DefaultMaxBinaryBytes = 8 << 20
+
+// Server is the FEAM control plane: an engine over a sharded registry and
+// a persistent store, a fleet of sites, and a coalescer that deduplicates
+// identical concurrent predictions. Zero-value is not usable; construct
+// with New.
+type Server struct {
+	cfg     Config
+	tb      *testbed.Testbed
+	eng     *feam.Engine
+	co      *feam.Coalescer
+	runner  feam.ProgramRunner
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+	st      *store.Store
+
+	// defaultBin is the built-in minimal probe binary used by requests
+	// that carry no binary of their own; defaultDesc is its description,
+	// computed once so the hot serving path neither re-parses nor
+	// re-hashes it per request.
+	defaultBin  []byte
+	defaultDesc *feam.BinaryDescription
+
+	mux *http.ServeMux
+
+	// predicting tracks in-flight prediction work so Commit can drain it
+	// even when invoked outside the HTTP shutdown path.
+	predicting sync.WaitGroup
+}
+
+// New builds the service: fleet construction, engine stack (tracer,
+// metrics, sharded registry, persistent store on an isolated state
+// filesystem), and the HTTP routes.
+func New(cfg Config) (*Server, error) {
+	tb, err := scenario.BuildFleet(cfg.Fleet)
+	if err != nil {
+		return nil, fmt.Errorf("server: building fleet: %w", err)
+	}
+	metricsReg := obs.NewRegistry()
+	tracer := obs.NewTracer(cfg.TraceCapacity)
+	st, err := store.Open(vfs.New(), "/state",
+		store.WithMetrics(metricsReg), store.WithTracer(tracer))
+	if err != nil {
+		return nil, fmt.Errorf("server: opening store: %w", err)
+	}
+	engOpts := []feam.Option{
+		feam.WithTracer(tracer),
+		feam.WithMetrics(metricsReg),
+		feam.WithRegistry(registry.New(registry.WithMetrics(metricsReg))),
+		feam.WithStore(st),
+	}
+	if cfg.Workers > 0 {
+		engOpts = append(engOpts, feam.WithWorkers(cfg.Workers))
+	}
+	eng := feam.New(engOpts...)
+
+	sim := execsim.NewSimulator(cfg.Seed)
+	sim.TransientRate = 0 // the service answers deterministically
+
+	s := &Server{
+		cfg:     cfg,
+		tb:      tb,
+		eng:     eng,
+		co:      feam.NewCoalescer(eng),
+		runner:  experiment.NewSimProbeRunner(sim),
+		metrics: metricsReg,
+		tracer:  tracer,
+		st:      st,
+		defaultBin: elfimg.MustBuild(elfimg.Spec{
+			Class: elfimg.Class64, Machine: elfimg.EMX8664, Type: elfimg.TypeExec,
+			Interp: "/lib64/ld-linux-x86-64.so.2",
+			Needed: []string{"libc.so.6"},
+			VerNeeds: []elfimg.VerNeed{
+				{File: "libc.so.6", Versions: []string{"GLIBC_2.3.4"}},
+			},
+		}),
+	}
+	s.defaultDesc, err = eng.Describe(context.Background(), s.defaultBin, "app")
+	if err != nil {
+		return nil, fmt.Errorf("server: describing built-in binary: %w", err)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /v1/sites", s.handleSites)
+	s.mux.HandleFunc("GET /v1/survey/{site}", s.handleSurvey)
+	obs.RegisterDebug(s.mux, metricsReg, tracer)
+	return s, nil
+}
+
+// Handler returns the service's HTTP surface: the /v1 API plus the
+// standard debug routes (/metrics, /metrics.json, /trace, /debug/pprof,
+// /debug/vars) on one mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine exposes the underlying engine (tests count spans through its
+// tracer and metrics).
+func (s *Server) Engine() *feam.Engine { return s.eng }
+
+// CoalescerStats reports in-flight deduplication counters.
+func (s *Server) CoalescerStats() feam.CoalescerStats { return s.co.Stats() }
+
+// Sites returns the fleet size.
+func (s *Server) Sites() int { return len(s.tb.Sites) }
+
+// Run serves the API on addr until ctx is cancelled (SIGTERM in
+// feam-server), then drains in-flight predictions for up to grace and
+// commits the store. The drain has two layers: http.Server.Shutdown
+// waits for active handlers, and Commit waits for prediction work and
+// persists the final state.
+func (s *Server) Run(ctx context.Context, addr string, grace time.Duration) error {
+	srv := NewHTTPServer(addr, s.Handler())
+	serveErr := ListenAndServe(ctx, srv, grace)
+	if err := s.Commit(context.WithoutCancel(ctx)); err != nil {
+		if serveErr == nil {
+			return fmt.Errorf("server: committing store on shutdown: %w", err)
+		}
+		return serveErr
+	}
+	return serveErr
+}
+
+// Commit waits for in-flight prediction work and persists the shutdown
+// state: every fleet site's inventory record plus a service manifest
+// (fleet size, request counters, coalescing stats), so a restarted
+// server — or an operator reading the store — sees what this process
+// knew. The engine has already persisted surveys and descriptions as
+// they were computed; Commit completes the picture.
+func (s *Server) Commit(ctx context.Context) error {
+	s.predicting.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	type siteRecord struct {
+		Name       string `json:"name"`
+		SystemType string `json:"system_type,omitempty"`
+		Arch       string `json:"arch,omitempty"`
+		OS         string `json:"os,omitempty"`
+		Glibc      string `json:"glibc,omitempty"`
+		Cores      int    `json:"cores,omitempty"`
+	}
+	for _, site := range s.tb.Sites {
+		rec := siteRecord{
+			Name:       site.Name,
+			SystemType: site.SystemType,
+			Arch:       site.Arch.CPUName,
+			OS:         site.OS.Distro + " " + site.OS.Version,
+			Glibc:      site.Glibc.String(),
+			Cores:      site.Cores,
+		}
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("server: encoding site record %s: %w", site.Name, err)
+		}
+		if err := s.st.Put(feam.KindSite, site.Name, payload); err != nil {
+			return fmt.Errorf("server: persisting site record %s: %w", site.Name, err)
+		}
+	}
+	st := s.co.Stats()
+	manifest := map[string]any{
+		"sites":          len(s.tb.Sites),
+		"predict_leads":  st.Leads,
+		"coalesced":      st.Coalesced,
+		"coalesce_rate":  st.HitRate(),
+		"clean_shutdown": true,
+	}
+	payload, err := json.Marshal(manifest)
+	if err != nil {
+		return fmt.Errorf("server: encoding manifest: %w", err)
+	}
+	if err := s.st.Put("server", "manifest", payload); err != nil {
+		return fmt.Errorf("server: persisting manifest: %w", err)
+	}
+	return nil
+}
+
+// ---- /v1/predict ----
+
+// PredictRequest is one prediction query. An empty BinaryB64 evaluates
+// the server's built-in minimal probe binary — feam-load uses this to
+// keep request bodies small.
+type PredictRequest struct {
+	// Site names the target site (required).
+	Site string `json:"site"`
+	// Name labels a client-supplied binary in descriptions and spans;
+	// the built-in binary is always described as "app".
+	Name string `json:"name,omitempty"`
+	// BinaryB64 is the application image, base64-encoded.
+	BinaryB64 string `json:"binary_b64,omitempty"`
+	// Probe runs hello-world probes through the simulated batch layer
+	// instead of presence-only stack checks.
+	Probe bool `json:"probe,omitempty"`
+}
+
+// PredictResponse is one prediction answer.
+type PredictResponse struct {
+	Site         string            `json:"site"`
+	Binary       string            `json:"binary,omitempty"`
+	Ready        bool              `json:"ready"`
+	Coalesced    bool              `json:"coalesced"`
+	Determinants map[string]string `json:"determinants,omitempty"`
+	Reasons      []string          `json:"reasons,omitempty"`
+	Error        string            `json:"error,omitempty"`
+}
+
+// predictBody is the wire shape: either a single request or a batch.
+type predictBody struct {
+	PredictRequest
+	Requests []PredictRequest `json:"requests,omitempty"`
+}
+
+// batchResponse wraps fan-out results.
+type batchResponse struct {
+	Results []PredictResponse `json:"results"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Counter("http_predict_requests").Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBinaryBytes()*2))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var pb predictBody
+	if err := json.Unmarshal(body, &pb); err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(pb.Requests) == 0 {
+		resp, status := s.predictOne(r.Context(), pb.PredictRequest)
+		s.reply(w, status, resp)
+		return
+	}
+	// Batch: fan out through the engine's bounded worker width. Every
+	// entry gets an answer at its input index; per-entry failures are
+	// reported in-place, and the batch itself is 200 unless every entry
+	// failed.
+	results := make([]PredictResponse, len(pb.Requests))
+	statuses := make([]int, len(pb.Requests))
+	workers := s.eng.Workers()
+	if workers > len(pb.Requests) {
+		workers = len(pb.Requests)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, req := range pb.Requests {
+		wg.Add(1)
+		go func(i int, req PredictRequest) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], statuses[i] = s.predictOne(r.Context(), req)
+		}(i, req)
+	}
+	wg.Wait()
+	status := http.StatusOK
+	allFailed := true
+	for _, st := range statuses {
+		if st == http.StatusOK {
+			allFailed = false
+		}
+	}
+	if allFailed {
+		status = http.StatusBadGateway
+	}
+	s.reply(w, status, batchResponse{Results: results})
+}
+
+// predictOne answers one prediction through the coalescer.
+func (s *Server) predictOne(ctx context.Context, req PredictRequest) (PredictResponse, int) {
+	resp := PredictResponse{Site: req.Site}
+	site, ok := s.tb.ByName[req.Site]
+	if !ok {
+		resp.Error = fmt.Sprintf("unknown site %q", req.Site)
+		return resp, http.StatusNotFound
+	}
+	// Requests without a binary evaluate the built-in one through its
+	// precomputed description — the hot path for load generation, and the
+	// shape the coalescer dedupes hardest (no per-request hashing).
+	evalReq := feam.EvalRequest{
+		Binary: s.defaultBin, Desc: s.defaultDesc, Site: site,
+	}
+	if req.BinaryB64 != "" {
+		decoded, err := base64.StdEncoding.DecodeString(req.BinaryB64)
+		if err != nil {
+			resp.Error = "binary_b64: " + err.Error()
+			return resp, http.StatusBadRequest
+		}
+		if int64(len(decoded)) > s.maxBinaryBytes() {
+			resp.Error = fmt.Sprintf("binary exceeds %d bytes", s.maxBinaryBytes())
+			return resp, http.StatusRequestEntityTooLarge
+		}
+		name := req.Name
+		if name == "" {
+			name = "app"
+		}
+		evalReq = feam.EvalRequest{Binary: decoded, BinaryName: name, Site: site}
+	}
+	if req.Probe {
+		evalReq.Options.Runner = s.runner
+	}
+
+	s.predicting.Add(1)
+	defer s.predicting.Done()
+	pred, coalesced, err := s.co.Predict(ctx, evalReq)
+	resp.Coalesced = coalesced
+	if coalesced {
+		s.metrics.Counter("http_predict_coalesced").Add(1)
+	}
+	if err != nil {
+		resp.Error = err.Error()
+		if pred == nil {
+			return resp, http.StatusBadGateway
+		}
+		// A partial prediction (determinant trail up to the fault) still
+		// ships beside the error.
+	}
+	if pred != nil {
+		resp.Binary = pred.Binary
+		resp.Ready = pred.Ready
+		resp.Reasons = pred.Reasons
+		resp.Determinants = map[string]string{}
+		for _, d := range feam.Determinants() {
+			resp.Determinants[d.String()] = pred.Determinants[d].Outcome.String()
+		}
+	}
+	if err != nil {
+		return resp, http.StatusBadGateway
+	}
+	return resp, http.StatusOK
+}
+
+// ---- /v1/sites ----
+
+// SiteInfo is one fleet entry in the /v1/sites listing.
+type SiteInfo struct {
+	Name       string `json:"name"`
+	SystemType string `json:"system_type,omitempty"`
+	Arch       string `json:"arch,omitempty"`
+	OS         string `json:"os,omitempty"`
+	Glibc      string `json:"glibc,omitempty"`
+	Cores      int    `json:"cores,omitempty"`
+	Stacks     int    `json:"stacks"`
+}
+
+func (s *Server) handleSites(w http.ResponseWriter, _ *http.Request) {
+	out := make([]SiteInfo, 0, len(s.tb.Sites))
+	for _, site := range s.tb.Sites {
+		out = append(out, SiteInfo{
+			Name:       site.Name,
+			SystemType: site.SystemType,
+			Arch:       site.Arch.CPUName,
+			OS:         site.OS.Distro + " " + site.OS.Version,
+			Glibc:      site.Glibc.String(),
+			Cores:      site.Cores,
+			Stacks:     len(site.Stacks),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	s.reply(w, http.StatusOK, map[string]any{"sites": out})
+}
+
+// ---- /v1/survey/{site} ----
+
+func (s *Server) handleSurvey(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("site")
+	site, ok := s.tb.ByName[name]
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown site %q", name)
+		return
+	}
+	// Discovery follows the engine's locking discipline; repeat surveys
+	// are fingerprint-gated cache hits.
+	lock := s.eng.SiteLock(name)
+	lock.Lock()
+	env, err := s.eng.Discover(r.Context(), site)
+	lock.Unlock()
+	if err != nil {
+		s.fail(w, http.StatusBadGateway, "survey of %s failed: %v", name, err)
+		return
+	}
+	s.reply(w, http.StatusOK, env)
+}
+
+// ---- helpers ----
+
+func (s *Server) maxBinaryBytes() int64 {
+	if s.cfg.MaxBinaryBytes > 0 {
+		return s.cfg.MaxBinaryBytes
+	}
+	return DefaultMaxBinaryBytes
+}
+
+func (s *Server) reply(w http.ResponseWriter, status int, v any) {
+	if status < 300 {
+		s.metrics.Counter("http_2xx").Add(1)
+	} else {
+		s.metrics.Counter("http_errors").Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.reply(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,319 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"feam/internal/obs"
+	"feam/internal/scenario"
+)
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(Config{Fleet: scenario.FleetSpec{Base: scenario.FleetBaseTable2}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func postPredict(t *testing.T, url string, body string) (int, PredictResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/predict", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/predict: %v", err)
+	}
+	defer resp.Body.Close()
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatalf("decoding predict response: %v", err)
+	}
+	return resp.StatusCode, pr
+}
+
+// TestSitesEndpoint: the fleet listing is complete, sorted, and carries
+// the inventory fields operators select sites by.
+func TestSitesEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/sites")
+	if err != nil {
+		t.Fatalf("GET /v1/sites: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/sites = %d, want 200", resp.StatusCode)
+	}
+	var body struct {
+		Sites []SiteInfo `json:"sites"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding sites: %v", err)
+	}
+	if len(body.Sites) != s.Sites() {
+		t.Fatalf("listed %d sites, want %d", len(body.Sites), s.Sites())
+	}
+	for i := 1; i < len(body.Sites); i++ {
+		if body.Sites[i-1].Name >= body.Sites[i].Name {
+			t.Errorf("sites out of order: %q before %q", body.Sites[i-1].Name, body.Sites[i].Name)
+		}
+	}
+	for _, si := range body.Sites {
+		if si.Arch == "" || si.Glibc == "" || si.Cores == 0 {
+			t.Errorf("site %s missing inventory fields: %+v", si.Name, si)
+		}
+	}
+}
+
+// TestSurveyEndpoint: surveys serve the discovered environment and repeat
+// surveys are fingerprint-gated — one discover span no matter how often
+// the endpoint is hit.
+func TestSurveyEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/v1/survey/india")
+		if err != nil {
+			t.Fatalf("GET /v1/survey/india: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/survey/india = %d: %s", resp.StatusCode, body)
+		}
+		var env map[string]any
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatalf("survey is not JSON: %v", err)
+		}
+	}
+	if got := s.Engine().Metrics().Histogram(obs.OpDiscover).Count(); got != 1 {
+		t.Errorf("discover spans after 3 surveys = %d, want 1", got)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/survey/nonesuch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /v1/survey/nonesuch = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestPredictRepeatIdentical: the ISSUE acceptance check — repeated
+// identical predict requests produce exactly one discover span, whether
+// they arrive sequentially (survey cache) or concurrently (coalescer +
+// survey cache).
+func TestPredictRepeatIdentical(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const K = 12
+	var wg sync.WaitGroup
+	errs := make([]error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+				strings.NewReader(`{"site":"india","name":"app"}`))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if got := s.Engine().Metrics().Histogram(obs.OpDiscover).Count(); got != 1 {
+		t.Errorf("discover spans after %d identical predicts = %d, want 1", K, got)
+	}
+	st := s.CoalescerStats()
+	if st.Leads+st.Coalesced != K {
+		t.Errorf("coalescer saw %d+%d requests, want %d", st.Leads, st.Coalesced, K)
+	}
+}
+
+// TestPredictSingle: a lone request answers with the determinant ladder
+// and a readiness verdict.
+func TestPredictSingle(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, pr := postPredict(t, ts.URL, `{"site":"india"}`)
+	if status != http.StatusOK {
+		t.Fatalf("predict = %d (%s), want 200", status, pr.Error)
+	}
+	if pr.Site != "india" || pr.Binary != "app" {
+		t.Errorf("predict identity = %q/%q, want india/app", pr.Site, pr.Binary)
+	}
+	if len(pr.Determinants) == 0 {
+		t.Error("predict returned no determinant outcomes")
+	}
+
+	status, pr = postPredict(t, ts.URL, `{"site":"nonesuch"}`)
+	if status != http.StatusNotFound || pr.Error == "" {
+		t.Errorf("unknown-site predict = %d %q, want 404 with error", status, pr.Error)
+	}
+
+	status, pr = postPredict(t, ts.URL, `{"site":"india","binary_b64":"!!!"}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("bad base64 predict = %d, want 400", status)
+	}
+}
+
+// TestPredictBatch: batched requests fan out and every entry answers at
+// its input index; a bad entry fails in place without sinking the batch.
+func TestPredictBatch(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var reqs []string
+	for i := 0; i < 3; i++ {
+		reqs = append(reqs, `{"site":"india","name":"app"}`)
+	}
+	reqs = append(reqs, `{"site":"nonesuch"}`)
+	body := `{"requests":[` + strings.Join(reqs, ",") + `]}`
+
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("batch predict = %d: %s", resp.StatusCode, raw)
+	}
+	var br batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatalf("decoding batch: %v", err)
+	}
+	if len(br.Results) != 4 {
+		t.Fatalf("batch returned %d results, want 4", len(br.Results))
+	}
+	for i := 0; i < 3; i++ {
+		if br.Results[i].Error != "" {
+			t.Errorf("results[%d] failed: %s", i, br.Results[i].Error)
+		}
+		if br.Results[i].Site != "india" {
+			t.Errorf("results[%d].Site = %q, want india", i, br.Results[i].Site)
+		}
+	}
+	if br.Results[3].Error == "" {
+		t.Error("results[3] (unknown site) should carry an error")
+	}
+}
+
+// TestGracefulDrainAndCommit: cancelling the serve context must not cut
+// an in-flight prediction — Serve drains it to a 200 — and the follow-up
+// Commit persists the fleet inventory and a clean-shutdown manifest.
+func TestGracefulDrainAndCommit(t *testing.T) {
+	s := newTestServer(t)
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/predict" {
+			once.Do(func() { close(entered) })
+			<-gate
+		}
+		s.Handler().ServeHTTP(w, r)
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewHTTPServer(ln.Addr().String(), slow)
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- Serve(ctx, srv, ln, 30*time.Second) }()
+
+	reqDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post("http://"+ln.Addr().String()+"/v1/predict",
+			"application/json", bytes.NewReader([]byte(`{"site":"india"}`)))
+		if err != nil {
+			reqDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(resp.Body)
+			reqDone <- fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+			return
+		}
+		reqDone <- nil
+	}()
+
+	<-entered
+	cancel() // SIGTERM equivalent: stop accepting, drain in-flight
+
+	select {
+	case err := <-serveDone:
+		t.Fatalf("Serve returned %v before the in-flight request finished", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(gate)
+	if err := <-reqDone; err != nil {
+		t.Fatalf("in-flight request during shutdown: %v", err)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve = %v, want nil after clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+
+	if err := s.Commit(context.Background()); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	names, err := s.Engine().StoredSites()
+	if err != nil {
+		t.Fatalf("StoredSites: %v", err)
+	}
+	if len(names) != s.Sites() {
+		t.Errorf("committed %d site records, want %d", len(names), s.Sites())
+	}
+	raw, ok, err := s.st.Get("server", "manifest")
+	if err != nil || !ok {
+		t.Fatalf("manifest record: ok=%v err=%v", ok, err)
+	}
+	var manifest map[string]any
+	if err := json.Unmarshal(raw, &manifest); err != nil {
+		t.Fatalf("manifest JSON: %v", err)
+	}
+	if manifest["clean_shutdown"] != true {
+		t.Errorf("manifest = %v, want clean_shutdown true", manifest)
+	}
+}

@@ -2,6 +2,7 @@ package store_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -186,7 +187,7 @@ func TestFaultInjectionThroughVFS(t *testing.T) {
 		t.Fatal(err)
 	}
 	script := &fault.Script{}
-	fs.SetOpHook(fault.Hook(script))
+	fs.SetOpHook(fault.Hook(context.Background(), script))
 
 	script.FailNext(fault.Transient, "write")
 	if err := s.Put("bundle", "app", []byte("v2")); err == nil {
