@@ -82,16 +82,25 @@ fuzz:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
-# Benchmark packages: the paper-table suite at the root plus the PR6
+# Benchmark packages: the paper-table suite at the root (including the
+# PR9 survey-throughput and zero-copy View benchmarks) plus the PR6
 # layering benchmarks (registry hit rate, store commit latency).
 BENCH_PKGS = . ./internal/registry ./internal/store
 
-# Full benchmark run rendered to committed JSON. BENCH_PR6.json carries
-# the registry hit-rate and store commit-latency numbers for this PR.
+# Full benchmark run rendered to committed JSON. BENCH_PR9.json carries
+# the sharded-survey throughput and View allocs/op numbers for this PR.
 bench-json:
-	$(GO) test -run xxx -bench . -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -out BENCH_PR6.json
+	$(GO) test -run xxx -bench . -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -out BENCH_PR9.json
+
+# Fold every committed BENCH_*.json into one trajectory array, oldest PR
+# first, so numbers are diffable across PRs.
+bench-trajectory:
+	$(GO) run ./cmd/benchjson -merge -out BENCH_trajectory.json
 
 # Quick CI variant: a fixed tiny iteration count proves the benchmarks
-# and the JSON renderer still work without paying for stable numbers.
+# and the JSON renderer still work without paying for stable numbers,
+# and the AllocsPerRun gate fails the job if the zero-copy View accessor
+# path ever allocates again.
 bench-smoke:
-	$(GO) test -run xxx -bench . -benchtime 10x $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -out BENCH_smoke.json
+	$(GO) test -run xxx -bench . -benchtime 10x -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -out BENCH_smoke.json
+	$(GO) test -run 'TestViewParseAllocs' -count=1 -v ./internal/elfimg/

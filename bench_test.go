@@ -7,6 +7,7 @@ package feam_bench
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -15,7 +16,10 @@ import (
 	"feam/internal/experiment"
 	"feam/internal/feam"
 	"feam/internal/ldso"
+	"feam/internal/libver"
 	"feam/internal/mpistack"
+	"feam/internal/scenario"
+	"feam/internal/sitemodel"
 	"feam/internal/testbed"
 	"feam/internal/toolchain"
 	"feam/internal/workload"
@@ -218,6 +222,31 @@ func BenchmarkELFBuildParse(b *testing.B) {
 			}
 		}
 	})
+	// The zero-copy path: a reused Parser walking every accessor. Run
+	// with -benchmem, the allocs/op column is the number CI gates on.
+	b.Run("view", func(b *testing.B) {
+		var p elfimg.Parser
+		var sink int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, err := p.Parse(img)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += len(v.Interp()) + len(v.Soname())
+			for j := 0; j < v.NeededCount(); j++ {
+				sink += len(v.NeededAt(j))
+			}
+			v.VerNeeds(func(entry int, version []byte) bool {
+				sink += len(v.VerNeedFileAt(entry)) + len(version)
+				return true
+			})
+			v.Comments(func(c []byte) bool { sink += len(c); return true })
+		}
+		if sink == 0 {
+			b.Fatal("no data observed")
+		}
+	})
 }
 
 // BenchmarkLdsoResolve measures the dynamic-loader closure over a fully
@@ -404,6 +433,122 @@ func BenchmarkEngineDiscoveryCache(b *testing.B) {
 				}
 			}
 		}
+	})
+}
+
+var (
+	fleetOnce sync.Once
+	fleetTB   *testbed.Testbed
+	fleetErr  error
+)
+
+// fleetTestbed builds the 120-site mixed-ISA fleet from the scenario
+// corpus once and shares it across survey benchmarks.
+func fleetTestbed(b *testing.B) *testbed.Testbed {
+	b.Helper()
+	fleetOnce.Do(func() {
+		data, err := os.ReadFile("testdata/scenarios/isa-mix.yaml")
+		if err != nil {
+			fleetErr = err
+			return
+		}
+		spec, err := scenario.LoadFleet(data)
+		if err != nil {
+			fleetErr = err
+			return
+		}
+		fleetTB, fleetErr = scenario.BuildFleet(spec)
+	})
+	if fleetErr != nil {
+		b.Fatal(fleetErr)
+	}
+	return fleetTB
+}
+
+// BenchmarkSurveyFleet measures EDC survey throughput over the 120-site
+// mixed-ISA fleet from the scenario corpus. The cold variant surveys the
+// whole fleet with a fresh engine every iteration. The incremental variant
+// upgrades one site's C library and re-surveys the fleet (one real survey,
+// 119 cache hits). The glibc-rollout variant is the headline incremental
+// number: a fleet-wide C-library update touches every site's system
+// library directory, so all 120 sites need a real re-survey — but only
+// the one affected shard per site should be re-walked. All report sites/s
+// so BENCH_*.json carries an absolute throughput number across PRs.
+func BenchmarkSurveyFleet(b *testing.B) {
+	tb := fleetTestbed(b)
+	ctx := context.Background()
+	sites := tb.Sites
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := feam.New()
+			for _, site := range sites {
+				env, err := eng.Discover(ctx, site)
+				if err != nil || env.Glibc == nil {
+					b.Fatalf("survey failed: %v", err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(sites))*float64(b.N)/b.Elapsed().Seconds(), "sites/s")
+	})
+	b.Run("incremental-glibc-upgrade", func(b *testing.B) {
+		eng := feam.New()
+		for _, site := range sites {
+			if _, err := eng.Discover(ctx, site); err != nil {
+				b.Fatal(err)
+			}
+		}
+		target := tb.ByName["grid-0"]
+		versions := []libver.Version{libver.MustParseVersion("2.12"), libver.MustParseVersion("2.5")}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The upgrade itself (ELF rebuilds) is site-admin work, not
+			// survey work; keep it off the clock.
+			b.StopTimer()
+			if err := target.UpgradeCLibrary(versions[i%2]); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			for _, site := range sites {
+				env, err := eng.Discover(ctx, site)
+				if err != nil || env.Glibc == nil {
+					b.Fatalf("survey failed: %v", err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(sites))*float64(b.N)/b.Elapsed().Seconds(), "sites/s")
+	})
+	b.Run("glibc-rollout", func(b *testing.B) {
+		eng := feam.New()
+		for _, site := range sites {
+			if _, err := eng.Discover(ctx, site); err != nil {
+				b.Fatal(err)
+			}
+		}
+		banners := []string{
+			"GNU C Library stable release version 2.12, by Roland McGrath et al.",
+			"GNU C Library stable release version 2.5, by Roland McGrath et al.",
+		}
+		wants := []string{"2.12", "2.5"}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Rolling the new C library out (banner update on every site)
+			// is site-admin work; only the re-surveys are on the clock.
+			b.StopTimer()
+			for _, site := range sites {
+				libc := site.SystemLibDir() + "/libc.so.6"
+				if err := site.FS().SetAttr(libc, sitemodel.AttrExecOutput, banners[i%2]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			for _, site := range sites {
+				env, err := eng.Discover(ctx, site)
+				if err != nil || env.Glibc.String() != wants[i%2] {
+					b.Fatalf("survey stale after rollout: %v glibc=%v", err, env.Glibc)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(sites))*float64(b.N)/b.Elapsed().Seconds(), "sites/s")
 	})
 }
 

@@ -7,6 +7,14 @@
 // units such as the registry's hit_rate.
 //
 //	go test -run xxx -bench . -benchmem ./... | go run ./cmd/benchjson -out BENCH.json
+//
+// With -merge it instead combines previously committed BENCH_*.json files
+// into one trajectory array, so numbers are diffable across PRs:
+//
+//	go run ./cmd/benchjson -merge -out BENCH_trajectory.json BENCH_PR6.json BENCH_PR8.json
+//
+// Files are listed in argument order (or discovered as BENCH_*.json in the
+// working directory when no arguments are given).
 package main
 
 import (
@@ -15,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,11 +52,26 @@ type Document struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// TrajectoryEntry is one PR's document inside a merged trajectory, labeled
+// by the source file it came from (BENCH_PR6.json -> "PR6").
+type TrajectoryEntry struct {
+	Label  string `json:"label"`
+	Source string `json:"source"`
+	Document
+}
+
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
+	merge := flag.Bool("merge", false, "merge BENCH_*.json files (args, or ./BENCH_*.json) into a trajectory array")
 	flag.Parse()
 
-	doc, err := parse(bufio.NewScanner(os.Stdin))
+	var doc interface{}
+	var err error
+	if *merge {
+		doc, err = mergeFiles(flag.Args())
+	} else {
+		doc, err = parse(bufio.NewScanner(os.Stdin))
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -65,6 +90,74 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// mergeFiles reads each benchmark document and returns the trajectory
+// array. With no explicit paths it discovers BENCH_*.json in the working
+// directory; discovered files sort by the numeric PR suffix (PR6 before
+// PR10) so the trajectory reads oldest-to-newest.
+func mergeFiles(paths []string) ([]TrajectoryEntry, error) {
+	if len(paths) == 0 {
+		glob, err := filepath.Glob("BENCH_*.json")
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range glob {
+			// A previous merge output is not an input document.
+			if !strings.Contains(filepath.Base(p), "trajectory") {
+				paths = append(paths, p)
+			}
+		}
+		sort.Slice(paths, func(i, j int) bool {
+			ni, oki := prNumber(paths[i])
+			nj, okj := prNumber(paths[j])
+			if oki && okj && ni != nj {
+				return ni < nj
+			}
+			if oki != okj {
+				return oki // numbered entries precede smoke/trajectory files
+			}
+			return paths[i] < paths[j]
+		})
+	}
+	entries := make([]TrajectoryEntry, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var d Document
+		if err := json.Unmarshal(data, &d); err != nil {
+			return nil, fmt.Errorf("%s: %v", p, err)
+		}
+		// A previously merged trajectory has no top-level benchmarks and
+		// would nest silently — reject it instead.
+		if len(d.Benchmarks) == 0 {
+			return nil, fmt.Errorf("%s: no benchmarks (not a benchjson document?)", p)
+		}
+		entries = append(entries, TrajectoryEntry{
+			Label:    strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json"),
+			Source:   filepath.Base(p),
+			Document: d,
+		})
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("no BENCH_*.json files to merge")
+	}
+	return entries, nil
+}
+
+// prNumber extracts N from a BENCH_PR<N>.json basename.
+func prNumber(path string) (int, bool) {
+	base := filepath.Base(path)
+	if !strings.HasPrefix(base, "BENCH_PR") || !strings.HasSuffix(base, ".json") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_PR"), ".json"))
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
 func parse(sc *bufio.Scanner) (*Document, error) {

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: feam/internal/feam
+cpu: Test CPU
+BenchmarkSurveyFleet/cold-8    	     100	   6520000 ns/op	      18.4 sites/ms
+BenchmarkViewAccessors-8       	 1000000	      1042 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	feam/internal/feam	2.1s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader(benchOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.CPU != "Test CPU" {
+		t.Errorf("header = %q/%q/%q", doc.GOOS, doc.GOARCH, doc.CPU)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Package != "feam/internal/feam" || b.Iterations != 100 {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	if len(b.Metrics) != 2 || b.Metrics[1].Unit != "sites/ms" {
+		t.Errorf("first benchmark metrics = %+v", b.Metrics)
+	}
+	allocs := doc.Benchmarks[1]
+	if len(allocs.Metrics) != 3 || allocs.Metrics[2].Unit != "allocs/op" || allocs.Metrics[2].Value != 0 {
+		t.Errorf("allocs metrics = %+v", allocs.Metrics)
+	}
+}
+
+func TestMergeFilesTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, pkg string) string {
+		doc := `{"goos":"linux","benchmarks":[{"package":"` + pkg +
+			`","name":"BenchmarkX","iterations":1,"metrics":[{"value":1,"unit":"ns/op"}]}]}`
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p6 := write("BENCH_PR6.json", "a")
+	p9 := write("BENCH_PR9.json", "b")
+
+	entries, err := mergeFiles([]string{p6, p9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("merged %d entries, want 2", len(entries))
+	}
+	if entries[0].Label != "PR6" || entries[1].Label != "PR9" {
+		t.Errorf("labels = %q, %q", entries[0].Label, entries[1].Label)
+	}
+	if entries[0].Source != "BENCH_PR6.json" {
+		t.Errorf("source = %q", entries[0].Source)
+	}
+	if entries[1].Benchmarks[0].Package != "b" {
+		t.Errorf("entry 1 package = %q", entries[1].Benchmarks[0].Package)
+	}
+}
+
+func TestMergeFilesDiscoversAndOrders(t *testing.T) {
+	dir := t.TempDir()
+	doc := `{"benchmarks":[{"package":"p","name":"BenchmarkX","iterations":1,"metrics":[{"value":1,"unit":"ns/op"}]}]}`
+	// Written out of order on purpose: numeric ordering must put PR6
+	// before PR10, and the non-PR smoke file last.
+	for _, name := range []string{"BENCH_PR10.json", "BENCH_smoke.json", "BENCH_PR6.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	entries, err := mergeFiles(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labels []string
+	for _, e := range entries {
+		labels = append(labels, e.Label)
+	}
+	want := []string{"PR6", "PR10", "smoke"}
+	if strings.Join(labels, ",") != strings.Join(want, ",") {
+		t.Errorf("discovered order = %v, want %v", labels, want)
+	}
+}
+
+func TestMergeFilesRejectsEmptyDocument(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "BENCH_bad.json")
+	if err := os.WriteFile(p, []byte(`{"benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mergeFiles([]string{p}); err == nil {
+		t.Fatal("merging a benchmark-free document should fail")
+	}
+}

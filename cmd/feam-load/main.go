@@ -176,29 +176,51 @@ func run(addr string, clients int, duration time.Duration, siteCap int, hot floa
 	return nil
 }
 
-// fleetSites asks the server which sites it serves.
+// fleetSites asks the server which sites it serves, walking the v1
+// listing's cursor pages so large fleets arrive completely.
 func fleetSites(addr string) ([]string, error) {
-	resp, err := http.Get(addr + "/v1/sites")
-	if err != nil {
-		return nil, err
+	var names []string
+	cursor := ""
+	for {
+		url := addr + "/v1/sites?limit=256"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		var env struct {
+			Data struct {
+				Sites []struct {
+					Name string `json:"name"`
+				} `json:"sites"`
+				NextCursor string `json:"next_cursor"`
+			} `json:"data"`
+			Error *struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			if env.Error != nil {
+				return nil, fmt.Errorf("GET /v1/sites: %s: %s", env.Error.Code, env.Error.Message)
+			}
+			return nil, fmt.Errorf("GET /v1/sites: status %d", resp.StatusCode)
+		}
+		for _, s := range env.Data.Sites {
+			names = append(names, s.Name)
+		}
+		if env.Data.NextCursor == "" {
+			return names, nil
+		}
+		cursor = env.Data.NextCursor
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /v1/sites: status %d", resp.StatusCode)
-	}
-	var body struct {
-		Sites []struct {
-			Name string `json:"name"`
-		} `json:"sites"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		return nil, err
-	}
-	names := make([]string, len(body.Sites))
-	for i, s := range body.Sites {
-		names[i] = s.Name
-	}
-	return names, nil
 }
 
 // scrapeCoalescing reads the server's request counters from /metrics.json.

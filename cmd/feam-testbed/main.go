@@ -16,7 +16,6 @@ import (
 	"feam/internal/experiment"
 	"feam/internal/fault"
 	"feam/internal/feam"
-	"feam/internal/metrics"
 	"feam/internal/obs"
 	"feam/internal/registry"
 	"feam/internal/report"
@@ -25,8 +24,8 @@ import (
 	"feam/internal/sitemodel"
 	"feam/internal/store"
 	"feam/internal/testbed"
-	"feam/internal/vfs"
 	"feam/internal/toolchain"
+	"feam/internal/vfs"
 	"feam/internal/workload"
 )
 
@@ -184,9 +183,6 @@ func runFaults(eng *feam.Engine, tb *testbed.Testbed, rate, transientFrac float6
 		return err
 	}
 
-	var counters metrics.EngineCounters
-	eng.AddObserver(feam.NewCountersObserver(&counters))
-
 	// Source phase runs clean — the faults model target-site flakiness.
 	snap := src.SnapshotEnv()
 	if err := testbed.ActivateStack(src, stackKey); err != nil {
@@ -266,7 +262,7 @@ func runFaults(eng *feam.Engine, tb *testbed.Testbed, rate, transientFrac float6
 		}
 	}
 	fmt.Printf("\nfaults injected: %d\n", inj.Injected())
-	fmt.Printf("engine: %s\n", counters.String())
+	fmt.Printf("engine: %s\n", report.EngineActivity(eng.Metrics()))
 	fmt.Printf("batch accounting (probe jobs through each site's manager):\n")
 	for _, s := range append([]*sitemodel.Site{src}, targets...) {
 		c := tb.Clusters[s.Name]

@@ -19,7 +19,6 @@ import (
 	"feam/internal/execsim"
 	"feam/internal/experiment"
 	"feam/internal/feam"
-	"feam/internal/metrics"
 	"feam/internal/obs"
 	"feam/internal/registry"
 	"feam/internal/report"
@@ -52,7 +51,6 @@ func main() {
 
 func run(codeName, className, from, stackKey, to string, basic bool, seed int64, workers int, verbose bool) error {
 	ctx := context.Background()
-	var counters metrics.EngineCounters
 	// Construct the engine's three layers explicitly: shared metrics, a
 	// sharded site registry over them, and a persistent store (in-memory
 	// vfs here — the simulated world has no host disk) so surveys, binary
@@ -71,12 +69,11 @@ func run(codeName, className, from, stackKey, to string, basic bool, seed int64,
 		feam.WithMetrics(metricsReg),
 		feam.WithRegistry(sites),
 		feam.WithStore(st),
-		feam.WithObserver(feam.NewCountersObserver(&counters)),
 	)
 	if verbose {
 		defer func() {
 			fmt.Printf("\n%s", report.Latency(eng.Metrics()))
-			fmt.Printf("\nengine: %s\n", counters.String())
+			fmt.Printf("\nengine: %s\n", report.EngineActivity(eng.Metrics()))
 			rst := sites.Stats()
 			sst := st.Stats()
 			fmt.Printf("registry: %d sites, %d surveys, %d descriptions cached (%d hits / %d misses, %d evicted)\n",

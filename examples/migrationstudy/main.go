@@ -18,7 +18,6 @@ import (
 	"feam/internal/execsim"
 	"feam/internal/experiment"
 	"feam/internal/feam"
-	"feam/internal/metrics"
 	"feam/internal/report"
 	"feam/internal/testbed"
 	"feam/internal/workload"
@@ -47,13 +46,11 @@ func main() {
 	// surveyed only when its state actually changed, and its per-site
 	// locks let one worker per site run concurrently.
 	eng := feam.New()
-	var counters metrics.EngineCounters
-	eng.AddObserver(feam.NewCountersObserver(&counters))
 	ev, err := experiment.RunWithEngine(context.Background(), eng, tb, ts, sim, len(tb.Sites))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("engine: %s\n\n", counters.String())
+	fmt.Printf("engine: %s\n\n", report.EngineActivity(eng.Metrics()))
 
 	fmt.Print(report.Table3(ev))
 	fmt.Println()

@@ -16,7 +16,6 @@ import (
 	"log"
 
 	"feam/internal/feam"
-	"feam/internal/metrics"
 	"feam/internal/report"
 	"feam/internal/testbed"
 )
@@ -31,8 +30,6 @@ func main() {
 	// description — repeat surveys of an unchanged site are free.
 	ctx := context.Background()
 	eng := feam.New()
-	var counters metrics.EngineCounters
-	eng.AddObserver(feam.NewCountersObserver(&counters))
 
 	fmt.Println("What the EDC discovers at each site:")
 	fmt.Println()
@@ -63,9 +60,14 @@ func main() {
 			log.Fatalf("re-survey at %s: %v", site.Name, err)
 		}
 	}
+	hits := eng.Metrics().Counter("edc_hits").Load()
+	misses := eng.Metrics().Counter("edc_misses").Load()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
 	fmt.Printf("engine after re-survey: %.0f%% EDC cache hit rate (%d lookups)\n\n",
-		100*metrics.HitRate(&counters.EDCHits, &counters.EDCMisses),
-		counters.EDCHits.Load()+counters.EDCMisses.Load())
+		100*rate, hits+misses)
 
 	fmt.Println("Reference (testbed ground truth, Table II):")
 	fmt.Println()

@@ -25,7 +25,8 @@ var LockOrder = &Analyzer{
 // reentries. Holding the engine's leaf mutex across any of them is a
 // bug even when it happens to pass the race detector.
 var lockBlockers = map[string]bool{
-	"RunProgram": true, "RunProbe": true, "runProbe": true, "probeOnce": true,
+	"RunProgram": true, "RunProbe": true, "runProbe": true,
+	"OpenBatch": true, "BeginProbeBatch": true,
 	"CompileHello": true, "CompileSerialHello": true,
 	"Retry": true, "RetryWithHook": true, "Sleep": true,
 	"Evaluate": true, "Predict": true, "Discover": true, "Describe": true,

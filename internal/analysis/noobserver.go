@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// NoObserver keeps the deleted legacy Observer path deleted. PR 3 adapted
+// the pre-tracing Observer interface onto the span stream as a shim; PR 9
+// removed the shim entirely — engine activity is observed through
+// WithTracer/WithMetrics (span sinks and the metrics registry). Any
+// reappearance of the old entry points is a regression, not a feature:
+// they duplicate the span stream under a second vocabulary and split the
+// event counts operators rely on.
+var NoObserver = &Analyzer{
+	Name: "noobserver",
+	Doc: "the legacy Observer path (WithObserver/AddObserver/NewCountersObserver/" +
+		"NopObserver) was removed in favor of WithTracer/WithMetrics span sinks; " +
+		"do not reintroduce it",
+	Run: runNoObserver,
+}
+
+// observerNames are the removed entry points, as both call targets and
+// declarations.
+var observerNames = map[string]bool{
+	"WithObserver": true, "AddObserver": true,
+	"NewCountersObserver": true, "NopObserver": true,
+}
+
+func runNoObserver(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fb := range funcBodies(f) {
+			if fb.decl.Name != nil && observerNames[fb.decl.Name.Name] {
+				pass.Reportf(fb.decl.Pos(), "declaration of %s reintroduces the removed Observer path; observe the engine through WithTracer/WithMetrics instead", fb.decl.Name.Name)
+			}
+			ast.Inspect(fb.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := ""
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					name = fun.Name
+				case *ast.SelectorExpr:
+					name = fun.Sel.Name
+				}
+				if observerNames[name] {
+					pass.Reportf(call.Pos(), "call to %s uses the removed Observer path; attach a span sink via the tracer or read the metrics registry instead", name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

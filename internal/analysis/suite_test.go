@@ -37,6 +37,10 @@ func TestLockOrderGolden(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.LockOrder, "lockorder")
 }
 
+func TestNoObserverGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NoObserver, "noobserver")
+}
+
 // TestRepoIsClean runs the full suite over the real tree — the same check
 // `go run ./cmd/feam-lint ./...` performs in CI. Any finding here is a
 // regression against an invariant the earlier PRs introduced.
@@ -54,10 +58,10 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
-// TestAnalyzersRegistered pins the suite composition: five analyzers, the
+// TestAnalyzersRegistered pins the suite composition: six analyzers, the
 // names feam-lint and //lint:ignore annotations refer to.
 func TestAnalyzersRegistered(t *testing.T) {
-	want := []string{"spanend", "faultwrap", "vfsonly", "ctxfirst", "lockorder"}
+	want := []string{"spanend", "faultwrap", "vfsonly", "ctxfirst", "lockorder", "noobserver"}
 	got := analysis.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,25 @@
+// Package noobserver seeds golden violations for the noobserver analyzer:
+// the legacy Observer entry points must stay deleted.
+package noobserver
+
+type engine struct{}
+
+func (e *engine) AddSink(s any)     {}
+func (e *engine) addWatcher(s any)  {}
+func (e *engine) AddObserver(o any) {} // want `declaration of AddObserver reintroduces the removed Observer path`
+
+func WithObserver(o any) func() { // want `declaration of WithObserver reintroduces the removed Observer path`
+	return func() {}
+}
+
+func legal(e *engine) {
+	// Span sinks and metrics registries are the supported observation
+	// path; nothing here should fire.
+	e.AddSink(nil)
+	e.addWatcher(nil)
+}
+
+func creepsBack(e *engine) {
+	e.AddObserver(nil)    // want `call to AddObserver uses the removed Observer path`
+	_ = WithObserver(nil) // want `call to WithObserver uses the removed Observer path`
+}

@@ -1,13 +1,15 @@
 package elfimg
 
 import (
-	"encoding/binary"
 	"fmt"
 	"strings"
 )
 
 // File is the parsed view of an ELF image — the metadata FEAM's Binary
 // Description Component extracts with objdump/readelf on a real system.
+// It materializes every field up front; callers on the survey hot path
+// that only need a few fields should use Parser/View instead, which
+// aliases the input and does not allocate.
 type File struct {
 	Class   Class
 	Machine Machine
@@ -72,50 +74,7 @@ func (f *File) VersionRefsFor(depName string) []string {
 // ErrNotELF is returned for images without the ELF magic.
 var ErrNotELF = fmt.Errorf("elfimg: not an ELF file")
 
-type reader struct {
-	data []byte
-	le   binary.ByteOrder
-	cls  Class
-}
-
-func (r *reader) u16(off uint64) (uint16, error) {
-	if off+2 > uint64(len(r.data)) {
-		return 0, fmt.Errorf("elfimg: truncated at %d", off)
-	}
-	return r.le.Uint16(r.data[off:]), nil
-}
-
-func (r *reader) u32(off uint64) (uint32, error) {
-	if off+4 > uint64(len(r.data)) {
-		return 0, fmt.Errorf("elfimg: truncated at %d", off)
-	}
-	return r.le.Uint32(r.data[off:]), nil
-}
-
-func (r *reader) u64(off uint64) (uint64, error) {
-	if off+8 > uint64(len(r.data)) {
-		return 0, fmt.Errorf("elfimg: truncated at %d", off)
-	}
-	return r.le.Uint64(r.data[off:]), nil
-}
-
-func (r *reader) bytes(off, n uint64) ([]byte, error) {
-	if off+n > uint64(len(r.data)) || off+n < off {
-		return nil, fmt.Errorf("elfimg: truncated slice [%d:%d)", off, off+n)
-	}
-	return r.data[off : off+n], nil
-}
-
-type sectionHdr struct {
-	name   string
-	shType uint32
-	addr   uint64
-	offset uint64
-	size   uint64
-	link   uint32
-	info   uint32
-}
-
+// progHdr is one decoded program header.
 type progHdr struct {
 	pType  uint32
 	offset uint64
@@ -123,575 +82,74 @@ type progHdr struct {
 	filesz uint64
 }
 
-// Parse decodes an ELF image. It prefers the section-header view and falls
-// back to the program-header (dynamic segment) view for images whose section
-// table is missing or unusable.
+// Parse decodes an ELF image into a fully materialized File. It is a
+// compatibility shim over Parser/View: the View does the decoding, and
+// this copies every field out so the result is independent of the input
+// slice. It prefers the section-header view and falls back to the
+// program-header (dynamic segment) view for images whose section table
+// is missing or unusable.
 func Parse(data []byte) (*File, error) {
-	if len(data) < 52 {
-		return nil, ErrNotELF
-	}
-	if data[0] != 0x7f || data[1] != 'E' || data[2] != 'L' || data[3] != 'F' {
-		return nil, ErrNotELF
-	}
-	cls := Class(data[4])
-	if cls != Class32 && cls != Class64 {
-		return nil, fmt.Errorf("elfimg: unknown ELF class %d", data[4])
-	}
-	if data[5] != 1 {
-		return nil, fmt.Errorf("elfimg: only little-endian images are supported")
-	}
-	r := &reader{data: data, le: binary.LittleEndian, cls: cls}
-
-	f := &File{Class: cls}
-	var shoff, phoff uint64
-	var shnum, phnum, shentsize, phentsize, shstrndx uint16
-	var err error
-	if cls == Class32 {
-		var t, m uint16
-		if t, err = r.u16(16); err != nil {
-			return nil, err
-		}
-		if m, err = r.u16(18); err != nil {
-			return nil, err
-		}
-		f.Type, f.Machine = FileType(t), Machine(m)
-		p32, _ := r.u32(28)
-		s32, _ := r.u32(32)
-		phoff, shoff = uint64(p32), uint64(s32)
-		phentsize, _ = r.u16(42)
-		phnum, _ = r.u16(44)
-		shentsize, _ = r.u16(46)
-		shnum, _ = r.u16(48)
-		shstrndx, _ = r.u16(50)
-	} else {
-		var t, m uint16
-		if t, err = r.u16(16); err != nil {
-			return nil, err
-		}
-		if m, err = r.u16(18); err != nil {
-			return nil, err
-		}
-		f.Type, f.Machine = FileType(t), Machine(m)
-		phoff, _ = r.u64(32)
-		shoff, _ = r.u64(40)
-		phentsize, _ = r.u16(54)
-		phnum, _ = r.u16(56)
-		shentsize, _ = r.u16(58)
-		shnum, _ = r.u16(60)
-		shstrndx, _ = r.u16(62)
-	}
-	if f.Type != TypeExec && f.Type != TypeDyn {
-		return nil, fmt.Errorf("elfimg: unsupported object type %v", f.Type)
-	}
-
-	phdrs, err := parsePhdrs(r, phoff, phnum, phentsize)
+	var p Parser
+	v, err := p.Parse(data)
 	if err != nil {
 		return nil, err
 	}
-	for _, ph := range phdrs {
-		if ph.pType == ptInterp {
-			raw, err := r.bytes(ph.offset, ph.filesz)
-			if err != nil {
-				return nil, err
-			}
-			f.Interp = strings.TrimRight(string(raw), "\x00")
-		}
-	}
-
-	if shoff != 0 && shnum > 0 {
-		if err := parseWithSections(r, f, shoff, shnum, shentsize, shstrndx); err == nil {
-			f.HasSections = true
-			return f, nil
-		}
-	}
-	// Fallback: dynamic segment only.
-	if err := parseFromSegments(r, f, phdrs); err != nil {
-		return nil, err
-	}
-	return f, nil
+	return v.Materialize(), nil
 }
 
-func parsePhdrs(r *reader, phoff uint64, phnum, phentsize uint16) ([]progHdr, error) {
-	out := make([]progHdr, 0, phnum)
-	for i := 0; i < int(phnum); i++ {
-		base := phoff + uint64(i)*uint64(phentsize)
-		pType, err := r.u32(base)
-		if err != nil {
-			return nil, err
+// Materialize copies the View out into a File that owns its memory.
+func (v *View) Materialize() *File {
+	f := &File{
+		Class:       v.Class(),
+		Machine:     v.Machine(),
+		Type:        v.Type(),
+		HasSections: v.HasSections(),
+		Interp:      strings.TrimRight(string(v.Interp()), "\x00"),
+	}
+	if s := v.Soname(); v.soname >= 0 {
+		f.Soname = string(s)
+	}
+	if s := v.RPath(); v.rpath >= 0 {
+		f.RPath = string(s)
+	}
+	if s := v.RunPath(); v.runpath >= 0 {
+		f.RunPath = string(s)
+	}
+	for i := 0; i < v.NeededCount(); i++ {
+		f.Needed = append(f.Needed, string(v.NeededAt(i)))
+	}
+	if n := v.VerNeedCount(); n > 0 {
+		f.VerNeeds = make([]VerNeed, n)
+		for i := 0; i < n; i++ {
+			f.VerNeeds[i].File = string(v.VerNeedFileAt(i))
 		}
-		var ph progHdr
-		ph.pType = pType
-		if r.cls == Class32 {
-			o, _ := r.u32(base + 4)
-			v, _ := r.u32(base + 8)
-			fz, _ := r.u32(base + 16)
-			ph.offset, ph.vaddr, ph.filesz = uint64(o), uint64(v), uint64(fz)
+		v.VerNeeds(func(entry int, version []byte) bool {
+			f.VerNeeds[entry].Versions = append(f.VerNeeds[entry].Versions, string(version))
+			return true
+		})
+	}
+	v.VerDefs(func(version []byte) bool {
+		f.VerDefs = append(f.VerDefs, string(version))
+		return true
+	})
+	v.Comments(func(comment []byte) bool {
+		f.Comments = append(f.Comments, string(comment))
+		return true
+	})
+	v.DynSymbols(func(sym SymbolRef) bool {
+		if sym.Imported {
+			f.Imports = append(f.Imports, ImportedSymbol{
+				Name:    string(sym.Name),
+				Version: string(sym.Version),
+				Library: string(sym.Library),
+			})
 		} else {
-			ph.offset, _ = r.u64(base + 8)
-			ph.vaddr, _ = r.u64(base + 16)
-			ph.filesz, _ = r.u64(base + 32)
+			f.Exports = append(f.Exports, ExportedSymbol{
+				Name:    string(sym.Name),
+				Version: string(sym.Version),
+			})
 		}
-		out = append(out, ph)
-	}
-	return out, nil
-}
-
-func parseWithSections(r *reader, f *File, shoff uint64, shnum, shentsize, shstrndx uint16) error {
-	hdrs := make([]sectionHdr, shnum)
-	nameOffs := make([]uint32, shnum)
-	for i := 0; i < int(shnum); i++ {
-		base := shoff + uint64(i)*uint64(shentsize)
-		no, err := r.u32(base)
-		if err != nil {
-			return err
-		}
-		nameOffs[i] = no
-		var s sectionHdr
-		s.shType, _ = r.u32(base + 4)
-		if r.cls == Class32 {
-			a, _ := r.u32(base + 12)
-			o, _ := r.u32(base + 16)
-			sz, _ := r.u32(base + 20)
-			s.addr, s.offset, s.size = uint64(a), uint64(o), uint64(sz)
-			s.link, _ = r.u32(base + 24)
-			s.info, _ = r.u32(base + 28)
-		} else {
-			s.addr, _ = r.u64(base + 16)
-			s.offset, _ = r.u64(base + 24)
-			s.size, _ = r.u64(base + 32)
-			s.link, _ = r.u32(base + 40)
-			s.info, _ = r.u32(base + 44)
-		}
-		hdrs[i] = s
-	}
-	if int(shstrndx) >= len(hdrs) {
-		return fmt.Errorf("elfimg: shstrndx %d out of range", shstrndx)
-	}
-	strs := hdrs[shstrndx]
-	strData, err := r.bytes(strs.offset, strs.size)
-	if err != nil {
-		return err
-	}
-	nameAt := func(off uint32) string {
-		if int(off) >= len(strData) {
-			return ""
-		}
-		end := int(off)
-		for end < len(strData) && strData[end] != 0 {
-			end++
-		}
-		return string(strData[off:end])
-	}
-	for i := range hdrs {
-		hdrs[i].name = nameAt(nameOffs[i])
-	}
-
-	var dynamic, comment *sectionHdr
-	var verneedSec, verdefSec *sectionHdr
-	var dynsymSec, versymSec *sectionHdr
-	for i := range hdrs {
-		h := &hdrs[i]
-		switch {
-		case h.shType == shtDynamic:
-			dynamic = h
-		case h.name == ".comment":
-			comment = h
-		case h.shType == shtGnuVerneed:
-			verneedSec = h
-		case h.shType == shtGnuVerdef:
-			verdefSec = h
-		case h.shType == shtDynsym:
-			dynsymSec = h
-		case h.shType == shtGnuVersym:
-			versymSec = h
-		}
-	}
-	if dynamic == nil {
-		return fmt.Errorf("elfimg: no dynamic section")
-	}
-	if int(dynamic.link) >= len(hdrs) {
-		return fmt.Errorf("elfimg: dynamic sh_link out of range")
-	}
-	dynstrHdr := hdrs[dynamic.link]
-	dynstr, err := r.bytes(dynstrHdr.offset, dynstrHdr.size)
-	if err != nil {
-		return err
-	}
-	if err := parseDynamic(r, f, dynamic.offset, dynamic.size, dynstr); err != nil {
-		return err
-	}
-	verIdx := map[uint16][2]string{} // versym index -> (library, version)
-	if verneedSec != nil {
-		vns, idx, err := parseVerneed(r, verneedSec.offset, verneedSec.size, int(verneedSec.info), dynstr)
-		if err != nil {
-			return err
-		}
-		f.VerNeeds = vns
-		for k, v := range idx {
-			verIdx[k] = v
-		}
-	}
-	if verdefSec != nil {
-		vds, idx, err := parseVerdef(r, verdefSec.offset, verdefSec.size, int(verdefSec.info), dynstr)
-		if err != nil {
-			return err
-		}
-		f.VerDefs = vds
-		for k, v := range idx {
-			verIdx[k] = [2]string{"", v}
-		}
-	}
-	if dynsymSec != nil {
-		if err := parseDynsym(r, f, dynsymSec, versymSec, dynstr, verIdx); err != nil {
-			return err
-		}
-	}
-	if comment != nil {
-		raw, err := r.bytes(comment.offset, comment.size)
-		if err != nil {
-			return err
-		}
-		for _, part := range strings.Split(string(raw), "\x00") {
-			if part != "" {
-				f.Comments = append(f.Comments, part)
-			}
-		}
-	}
-	return nil
-}
-
-// parseFromSegments recovers the dynamic metadata using only program
-// headers, the way the dynamic loader itself would.
-func parseFromSegments(r *reader, f *File, phdrs []progHdr) error {
-	var dyn *progHdr
-	for i := range phdrs {
-		if phdrs[i].pType == ptDynamic {
-			dyn = &phdrs[i]
-			break
-		}
-	}
-	if dyn == nil {
-		return fmt.Errorf("elfimg: no PT_DYNAMIC segment")
-	}
-	vaddrToOff := func(vaddr uint64) (uint64, bool) {
-		for _, ph := range phdrs {
-			if ph.pType == ptLoad && vaddr >= ph.vaddr && vaddr < ph.vaddr+ph.filesz {
-				return ph.offset + (vaddr - ph.vaddr), true
-			}
-		}
-		return 0, false
-	}
-	// First pass to locate the string table and version tables.
-	entsize := uint64(16)
-	if r.cls == Class32 {
-		entsize = 8
-	}
-	var strtabAddr, strsz, verneedAddr, verdefAddr uint64
-	var verneedNum, verdefNum int
-	type rawDyn struct {
-		tag int64
-		val uint64
-	}
-	var entries []rawDyn
-	for off := dyn.offset; off+entsize <= dyn.offset+dyn.filesz; off += entsize {
-		var tag int64
-		var val uint64
-		if r.cls == Class32 {
-			t, err := r.u32(off)
-			if err != nil {
-				return err
-			}
-			v, _ := r.u32(off + 4)
-			tag, val = int64(int32(t)), uint64(v)
-		} else {
-			t, err := r.u64(off)
-			if err != nil {
-				return err
-			}
-			val, _ = r.u64(off + 8)
-			tag = int64(t)
-		}
-		if tag == dtNull {
-			break
-		}
-		entries = append(entries, rawDyn{tag, val})
-		switch tag {
-		case dtStrtab:
-			strtabAddr = val
-		case dtStrsz:
-			strsz = val
-		case dtVerneed:
-			verneedAddr = val
-		case dtVerneednum:
-			verneedNum = int(val)
-		case dtVerdef:
-			verdefAddr = val
-		case dtVerdefnum:
-			verdefNum = int(val)
-		}
-	}
-	strOff, ok := vaddrToOff(strtabAddr)
-	if !ok {
-		return fmt.Errorf("elfimg: DT_STRTAB address %#x not mapped", strtabAddr)
-	}
-	dynstr, err := r.bytes(strOff, strsz)
-	if err != nil {
-		return err
-	}
-	strAt := func(off uint64) string {
-		if off >= uint64(len(dynstr)) {
-			return ""
-		}
-		end := off
-		for end < uint64(len(dynstr)) && dynstr[end] != 0 {
-			end++
-		}
-		return string(dynstr[off:end])
-	}
-	for _, e := range entries {
-		switch e.tag {
-		case dtNeeded:
-			f.Needed = append(f.Needed, strAt(e.val))
-		case dtSoname:
-			f.Soname = strAt(e.val)
-		case dtRpath:
-			f.RPath = strAt(e.val)
-		case dtRunpath:
-			f.RunPath = strAt(e.val)
-		}
-	}
-	if verneedAddr != 0 {
-		if off, ok := vaddrToOff(verneedAddr); ok {
-			vns, _, err := parseVerneed(r, off, uint64(len(r.data))-off, verneedNum, dynstr)
-			if err != nil {
-				return err
-			}
-			f.VerNeeds = vns
-		}
-	}
-	if verdefAddr != 0 {
-		if off, ok := vaddrToOff(verdefAddr); ok {
-			vds, _, err := parseVerdef(r, off, uint64(len(r.data))-off, verdefNum, dynstr)
-			if err != nil {
-				return err
-			}
-			f.VerDefs = vds
-		}
-	}
-	return nil
-}
-
-func parseDynamic(r *reader, f *File, off, size uint64, dynstr []byte) error {
-	entsize := uint64(16)
-	if r.cls == Class32 {
-		entsize = 8
-	}
-	strAt := func(o uint64) string {
-		if o >= uint64(len(dynstr)) {
-			return ""
-		}
-		end := o
-		for end < uint64(len(dynstr)) && dynstr[end] != 0 {
-			end++
-		}
-		return string(dynstr[o:end])
-	}
-	for cur := off; cur+entsize <= off+size; cur += entsize {
-		var tag int64
-		var val uint64
-		if r.cls == Class32 {
-			t, err := r.u32(cur)
-			if err != nil {
-				return err
-			}
-			v, _ := r.u32(cur + 4)
-			tag, val = int64(int32(t)), uint64(v)
-		} else {
-			t, err := r.u64(cur)
-			if err != nil {
-				return err
-			}
-			val, _ = r.u64(cur + 8)
-			tag = int64(t)
-		}
-		switch tag {
-		case dtNull:
-			return nil
-		case dtNeeded:
-			f.Needed = append(f.Needed, strAt(val))
-		case dtSoname:
-			f.Soname = strAt(val)
-		case dtRpath:
-			f.RPath = strAt(val)
-		case dtRunpath:
-			f.RunPath = strAt(val)
-		}
-	}
-	return nil
-}
-
-func parseVerneed(r *reader, off, maxSize uint64, count int, dynstr []byte) ([]VerNeed, map[uint16][2]string, error) {
-	strAt := func(o uint32) string {
-		if uint64(o) >= uint64(len(dynstr)) {
-			return ""
-		}
-		end := int(o)
-		for end < len(dynstr) && dynstr[end] != 0 {
-			end++
-		}
-		return string(dynstr[o:end])
-	}
-	var out []VerNeed
-	idxOf := map[uint16][2]string{}
-	// A hostile count cannot exceed one entry per 16 bytes of table.
-	if max := int(maxSize / 16); count > max {
-		count = max
-	}
-	cur := off
-	for i := 0; i < count; i++ {
-		if cur+16 > off+maxSize {
-			return nil, nil, fmt.Errorf("elfimg: truncated verneed")
-		}
-		cnt, err := r.u16(cur + 2)
-		if err != nil {
-			return nil, nil, err
-		}
-		fileOff, _ := r.u32(cur + 4)
-		auxOff, _ := r.u32(cur + 8)
-		next, _ := r.u32(cur + 12)
-		vn := VerNeed{File: strAt(fileOff)}
-		aux := cur + uint64(auxOff)
-		for j := 0; j < int(cnt); j++ {
-			other, err := r.u16(aux + 6)
-			if err != nil {
-				return nil, nil, err
-			}
-			nameOff, err := r.u32(aux + 8)
-			if err != nil {
-				return nil, nil, err
-			}
-			auxNext, _ := r.u32(aux + 12)
-			name := strAt(nameOff)
-			vn.Versions = append(vn.Versions, name)
-			idxOf[other] = [2]string{vn.File, name}
-			if auxNext == 0 {
-				break
-			}
-			aux += uint64(auxNext)
-		}
-		out = append(out, vn)
-		if next == 0 {
-			break
-		}
-		cur += uint64(next)
-	}
-	return out, idxOf, nil
-}
-
-func parseVerdef(r *reader, off, maxSize uint64, count int, dynstr []byte) ([]string, map[uint16]string, error) {
-	strAt := func(o uint32) string {
-		if uint64(o) >= uint64(len(dynstr)) {
-			return ""
-		}
-		end := int(o)
-		for end < len(dynstr) && dynstr[end] != 0 {
-			end++
-		}
-		return string(dynstr[o:end])
-	}
-	var out []string
-	idxOf := map[uint16]string{}
-	// A hostile count cannot exceed one entry per 20 bytes of table.
-	if max := int(maxSize / 20); count > max {
-		count = max
-	}
-	cur := off
-	for i := 0; i < count; i++ {
-		if cur+20 > off+maxSize {
-			return nil, nil, fmt.Errorf("elfimg: truncated verdef")
-		}
-		ndx, err := r.u16(cur + 4)
-		if err != nil {
-			return nil, nil, err
-		}
-		auxOff, err := r.u32(cur + 12)
-		if err != nil {
-			return nil, nil, err
-		}
-		next, _ := r.u32(cur + 16)
-		nameOff, err := r.u32(cur + uint64(auxOff))
-		if err != nil {
-			return nil, nil, err
-		}
-		name := strAt(nameOff)
-		out = append(out, name)
-		idxOf[ndx] = name
-		if next == 0 {
-			break
-		}
-		cur += uint64(next)
-	}
-	return out, idxOf, nil
-}
-
-// parseDynsym decodes the dynamic symbol table and its parallel versym
-// array into imported/exported symbols with version bindings.
-func parseDynsym(r *reader, f *File, dynsym, versym *sectionHdr, dynstr []byte, verIdx map[uint16][2]string) error {
-	syment := uint64(24)
-	if r.cls == Class32 {
-		syment = 16
-	}
-	if dynsym.size%syment != 0 {
-		return fmt.Errorf("elfimg: dynsym size %d not a multiple of %d", dynsym.size, syment)
-	}
-	count := int(dynsym.size / syment)
-	strAt := func(o uint32) string {
-		if uint64(o) >= uint64(len(dynstr)) {
-			return ""
-		}
-		end := int(o)
-		for end < len(dynstr) && dynstr[end] != 0 {
-			end++
-		}
-		return string(dynstr[o:end])
-	}
-	versionAt := func(slot int) (lib, ver string) {
-		if versym == nil {
-			return "", ""
-		}
-		v, err := r.u16(versym.offset + uint64(slot)*2)
-		if err != nil {
-			return "", ""
-		}
-		v &= 0x7fff // clear the hidden bit
-		if v <= verNdxGlobal {
-			return "", ""
-		}
-		pair := verIdx[v]
-		return pair[0], pair[1]
-	}
-	for slot := 1; slot < count; slot++ {
-		base := dynsym.offset + uint64(slot)*syment
-		nameOff, err := r.u32(base)
-		if err != nil {
-			return err
-		}
-		var shndx uint16
-		if r.cls == Class32 {
-			shndx, _ = r.u16(base + 14)
-		} else {
-			shndx, _ = r.u16(base + 6)
-		}
-		name := strAt(nameOff)
-		if name == "" {
-			continue
-		}
-		lib, ver := versionAt(slot)
-		if shndx == 0 { // SHN_UNDEF: imported
-			f.Imports = append(f.Imports, ImportedSymbol{Name: name, Version: ver, Library: lib})
-		} else {
-			f.Exports = append(f.Exports, ExportedSymbol{Name: name, Version: ver})
-		}
-	}
-	return nil
+		return true
+	})
+	return f
 }

@@ -1,0 +1,199 @@
+package elfimg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// viewSpec is a representative application binary: interpreter, nine
+// dependencies, glibc version references, and a toolchain comment.
+var viewSpec = Spec{
+	Class: Class64, Machine: EMX8664, Type: TypeExec,
+	Interp: "/lib64/ld-linux-x86-64.so.2",
+	Needed: []string{"libmpi.so.0", "libopen-rte.so.0", "libopen-pal.so.0",
+		"libnsl.so.1", "libutil.so.1", "libgfortran.so.1", "libm.so.6",
+		"libpthread.so.0", "libc.so.6"},
+	VerNeeds: []VerNeed{{File: "libc.so.6", Versions: []string{"GLIBC_2.0", "GLIBC_2.3.4"}}},
+	Comments: []string{"GCC: (GNU) 4.1.2"},
+	TextSize: 4 << 10,
+}
+
+// TestViewMatchesParse pins the View accessors against the materializing
+// Parse shim on the same image: every field the File carries must be
+// reachable through the View with identical content.
+func TestViewMatchesParse(t *testing.T) {
+	img := MustBuild(viewSpec)
+	f, err := Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Parser
+	v, err := p.Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Class() != f.Class || v.Machine() != f.Machine || v.Type() != f.Type {
+		t.Fatalf("header mismatch: view %v/%v/%v file %v/%v/%v",
+			v.Class(), v.Machine(), v.Type(), f.Class, f.Machine, f.Type)
+	}
+	if got := string(v.Interp()); got != f.Interp {
+		t.Fatalf("interp: view %q file %q", got, f.Interp)
+	}
+	if v.NeededCount() != len(f.Needed) {
+		t.Fatalf("needed count: view %d file %d", v.NeededCount(), len(f.Needed))
+	}
+	for i, want := range f.Needed {
+		if got := string(v.NeededAt(i)); got != want {
+			t.Fatalf("needed[%d]: view %q file %q", i, got, want)
+		}
+	}
+	if v.VerNeedCount() != len(f.VerNeeds) {
+		t.Fatalf("verneed count: view %d file %d", v.VerNeedCount(), len(f.VerNeeds))
+	}
+	var pairs int
+	v.VerNeeds(func(entry int, version []byte) bool {
+		file := string(v.VerNeedFileAt(entry))
+		if file != f.VerNeeds[entry].File {
+			t.Fatalf("verneed entry %d: view file %q want %q", entry, file, f.VerNeeds[entry].File)
+		}
+		want := f.VerNeeds[entry].Versions[pairs]
+		if string(version) != want {
+			t.Fatalf("verneed version: view %q want %q", version, want)
+		}
+		pairs++
+		return true
+	})
+	if pairs != len(f.VerNeeds[0].Versions) {
+		t.Fatalf("verneed pairs: view %d want %d", pairs, len(f.VerNeeds[0].Versions))
+	}
+	var comments []string
+	v.Comments(func(c []byte) bool { comments = append(comments, string(c)); return true })
+	if len(comments) != len(f.Comments) || comments[0] != f.Comments[0] {
+		t.Fatalf("comments: view %v file %v", comments, f.Comments)
+	}
+	var imports, exports int
+	v.DynSymbols(func(sym SymbolRef) bool {
+		if sym.Imported {
+			want := f.Imports[imports]
+			if string(sym.Name) != want.Name || string(sym.Version) != want.Version || string(sym.Library) != want.Library {
+				t.Fatalf("import %d: view %q/%q/%q want %+v", imports, sym.Name, sym.Version, sym.Library, want)
+			}
+			imports++
+		} else {
+			want := f.Exports[exports]
+			if string(sym.Name) != want.Name || string(sym.Version) != want.Version {
+				t.Fatalf("export %d: view %q/%q want %+v", exports, sym.Name, sym.Version, want)
+			}
+			exports++
+		}
+		return true
+	})
+	if imports != len(f.Imports) || exports != len(f.Exports) {
+		t.Fatalf("symbols: view %d/%d file %d/%d", imports, exports, len(f.Imports), len(f.Exports))
+	}
+}
+
+// TestViewSharedLibrary covers soname/verdef accessors on a shared object.
+func TestViewSharedLibrary(t *testing.T) {
+	img := MustBuild(Spec{
+		Class: Class64, Machine: EMX8664, Type: TypeDyn,
+		Soname:  "libc.so.6",
+		VerDefs: []string{"GLIBC_2.0", "GLIBC_2.3.4", "GLIBC_2.5"},
+	})
+	var p Parser
+	v, err := p.Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v.Soname(), []byte("libc.so.6")) {
+		t.Fatalf("soname: %q", v.Soname())
+	}
+	var defs []string
+	v.VerDefs(func(ver []byte) bool { defs = append(defs, string(ver)); return true })
+	want := []string{"GLIBC_2.0", "GLIBC_2.3.4", "GLIBC_2.5"}
+	if len(defs) != len(want) {
+		t.Fatalf("verdefs: %v", defs)
+	}
+	for i := range want {
+		if defs[i] != want[i] {
+			t.Fatalf("verdefs: %v want %v", defs, want)
+		}
+	}
+	if v.RPath() != nil || v.RunPath() != nil {
+		t.Fatalf("unexpected rpath/runpath: %q %q", v.RPath(), v.RunPath())
+	}
+}
+
+// TestViewParseAllocs is the diet regression gate: a warmed-up Parser must
+// parse and walk every accessor with zero heap allocations per image.
+// CI fails if this number ever becomes nonzero.
+func TestViewParseAllocs(t *testing.T) {
+	exe := MustBuild(viewSpec)
+	lib := MustBuild(Spec{
+		Class: Class64, Machine: EMX8664, Type: TypeDyn,
+		Soname:  "libc.so.6",
+		VerDefs: []string{"GLIBC_2.0", "GLIBC_2.3.4"},
+	})
+	var p Parser
+	for _, img := range [][]byte{exe, lib} {
+		if _, err := p.Parse(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sink int
+	walk := func(img []byte) {
+		v, err := p.Parse(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink += len(v.Interp()) + len(v.Soname()) + len(v.RPath()) + len(v.RunPath())
+		for i := 0; i < v.NeededCount(); i++ {
+			sink += len(v.NeededAt(i))
+		}
+		v.VerNeeds(func(entry int, version []byte) bool {
+			sink += len(v.VerNeedFileAt(entry)) + len(version)
+			return true
+		})
+		v.VerDefs(func(version []byte) bool { sink += len(version); return true })
+		v.Comments(func(c []byte) bool { sink += len(c); return true })
+		v.DynSymbols(func(sym SymbolRef) bool {
+			sink += len(sym.Name) + len(sym.Version) + len(sym.Library)
+			return true
+		})
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		walk(exe)
+		walk(lib)
+	})
+	if allocs != 0 {
+		t.Fatalf("View parse+accessor path allocated %.1f times per run, want 0", allocs)
+	}
+	if sink == 0 {
+		t.Fatal("walk did not observe any data")
+	}
+}
+
+// TestParserReuseInvalidation documents the aliasing contract: a second
+// Parse on the same Parser repoints the View at the new image.
+func TestParserReuseInvalidation(t *testing.T) {
+	a := MustBuild(Spec{Class: Class64, Machine: EMX8664, Type: TypeDyn, Soname: "liba.so.1"})
+	b := MustBuild(Spec{Class: Class64, Machine: EMX8664, Type: TypeDyn, Soname: "libb.so.2"})
+	var p Parser
+	v, err := p.Parse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v.Soname()) != "liba.so.1" {
+		t.Fatalf("first parse: %q", v.Soname())
+	}
+	v2, err := p.Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != v {
+		t.Fatal("Parser should reuse its View storage")
+	}
+	if string(v.Soname()) != "libb.so.2" {
+		t.Fatalf("after reuse: %q", v.Soname())
+	}
+}

@@ -51,7 +51,6 @@ func TestSharedEngineRace(t *testing.T) {
 
 	ctx := context.Background()
 	eng := feam.New()
-	eng.AddObserver(feam.NopObserver{})
 
 	var wg sync.WaitGroup
 	errs := make(chan error, 8)

@@ -91,6 +91,64 @@ func (r *SimProbeRunner) RunProbe(_ context.Context, art *toolchain.Artifact, si
 	}
 }
 
+// BeginProbeBatch implements fault.BatchProbeRunner: the environment
+// snapshot, stack lookup, and stack activation happen once for the whole
+// probe session instead of once per probe; Close restores the environment.
+// A session whose stack cannot be activated still opens — every probe in it
+// reports the setup failure, matching what per-probe execution would say.
+func (r *SimProbeRunner) BeginProbeBatch(_ context.Context, site *sitemodel.Site, stackKey string) fault.ProbeBatch {
+	b := &simProbeBatch{sim: r.Sim, site: site, snap: site.SnapshotEnv()}
+	if stackKey != "" {
+		b.rec = site.FindStack(stackKey)
+		if b.rec == nil {
+			site.RestoreEnv(b.snap)
+			return &failedProbeBatch{detail: fmt.Sprintf("stack %s not installed", stackKey)}
+		}
+		if err := testbed.ActivateStack(site, stackKey); err != nil {
+			site.RestoreEnv(b.snap)
+			return &failedProbeBatch{detail: err.Error()}
+		}
+	}
+	return b
+}
+
+// simProbeBatch is one open probe session against the simulator: the stack
+// environment stays activated across probes and is restored on Close.
+type simProbeBatch struct {
+	sim  *execsim.Simulator
+	site *sitemodel.Site
+	rec  *sitemodel.StackRecord
+	snap sitemodel.Snapshot
+}
+
+// RunProbe implements fault.ProbeBatch.
+func (b *simProbeBatch) RunProbe(_ context.Context, art *toolchain.Artifact, extraLibDirs []string) fault.ProbeResult {
+	res := b.sim.Run(execsim.Request{
+		Art: art, Site: b.site, Stack: b.rec, ExtraLibDirs: extraLibDirs,
+	})
+	return fault.ProbeResult{
+		Success:    res.Success(),
+		Detail:     res.Detail,
+		MissingLib: res.Class == execsim.FailMissingLib,
+		Transient:  res.Transient(),
+	}
+}
+
+// Close implements fault.ProbeBatch.
+func (b *simProbeBatch) Close() { b.site.RestoreEnv(b.snap) }
+
+// failedProbeBatch is a probe session whose setup failed; every probe
+// reports the setup failure.
+type failedProbeBatch struct{ detail string }
+
+// RunProbe implements fault.ProbeBatch.
+func (b *failedProbeBatch) RunProbe(context.Context, *toolchain.Artifact, []string) fault.ProbeResult {
+	return fault.ProbeResult{Detail: b.detail}
+}
+
+// Close implements fault.ProbeBatch.
+func (b *failedProbeBatch) Close() {}
+
 // NewBatchRunner is NewSimRunner routed through each site's batch system:
 // probe programs are submitted to the debug queue with the paper's retry
 // policy, so queue waits and CPU-hour accounting accrue on the site's

@@ -53,6 +53,58 @@ func ClassifyDetail(success bool, detail string) ProbeResult {
 	return res
 }
 
+// ProbeBatch is one open probe session against a fixed (site, stack) pair:
+// several probe executions sharing whatever per-session setup the runner
+// amortizes — environment activation, submission-script rendering and
+// round-trip validation, job-allocation bookkeeping. A batch is used from
+// one goroutine and must be closed exactly once; Close releases the
+// session state (restoring any environment the session activated).
+type ProbeBatch interface {
+	RunProbe(ctx context.Context, art *toolchain.Artifact, extraLibDirs []string) ProbeResult
+	Close()
+}
+
+// BatchProbeRunner is implemented by runners that can amortize per-probe
+// setup across a session. BeginProbeBatch may return nil to decline (for
+// example when the site has no batch system); callers go through OpenBatch,
+// which falls back to per-probe execution.
+type BatchProbeRunner interface {
+	BeginProbeBatch(ctx context.Context, site *sitemodel.Site, stackKey string) ProbeBatch
+}
+
+// OpenBatch opens a probe session on r against one (site, stack) pair.
+// Runners implementing BatchProbeRunner get their native session; everyone
+// else gets a pass-through batch that repeats setup per probe, so callers
+// always probe through the batch interface.
+func OpenBatch(ctx context.Context, r Runner, site *sitemodel.Site, stackKey string) ProbeBatch {
+	if br, ok := r.(BatchProbeRunner); ok {
+		if b := br.BeginProbeBatch(ctx, site, stackKey); b != nil {
+			return b
+		}
+	}
+	return &singleProbeBatch{r: r, site: site, stackKey: stackKey}
+}
+
+// singleProbeBatch adapts an unbatched runner to the ProbeBatch interface:
+// each probe pays full setup, exactly as a direct RunProbe would.
+type singleProbeBatch struct {
+	r        Runner
+	site     *sitemodel.Site
+	stackKey string
+}
+
+// RunProbe implements ProbeBatch.
+func (b *singleProbeBatch) RunProbe(ctx context.Context, art *toolchain.Artifact, extraLibDirs []string) ProbeResult {
+	if pr, ok := b.r.(ProbeRunner); ok {
+		return pr.RunProbe(ctx, art, b.site, b.stackKey, extraLibDirs)
+	}
+	ok, detail := b.r.RunProgram(ctx, art, b.site, b.stackKey, extraLibDirs)
+	return ClassifyDetail(ok, detail)
+}
+
+// Close implements ProbeBatch.
+func (b *singleProbeBatch) Close() {}
+
 // FaultyRunner wraps a probe runner with an injector: before each probe
 // the injector may fail the run outright, simulating batch-system or
 // launch-path flakiness independent of the program under test.
@@ -84,3 +136,38 @@ func (f *FaultyRunner) RunProbe(ctx context.Context, art *toolchain.Artifact, si
 	ok, detail := f.Inner.RunProgram(ctx, art, site, stackKey, extraLibDirs)
 	return ClassifyDetail(ok, detail)
 }
+
+// BeginProbeBatch implements BatchProbeRunner: the inner runner's session
+// setup is amortized as usual, while the injector stays consulted on every
+// probe — injected flakiness is per-execution, not per-session.
+func (f *FaultyRunner) BeginProbeBatch(ctx context.Context, site *sitemodel.Site, stackKey string) ProbeBatch {
+	return &faultyBatch{
+		inner: OpenBatch(ctx, f.Inner, site, stackKey),
+		inj:   f.Inj,
+		key:   site.Name + "/" + stackKey,
+	}
+}
+
+// faultyBatch interposes the injector in front of an open probe session.
+type faultyBatch struct {
+	inner ProbeBatch
+	inj   Injector
+	key   string
+}
+
+// RunProbe implements ProbeBatch.
+func (b *faultyBatch) RunProbe(ctx context.Context, art *toolchain.Artifact, extraLibDirs []string) ProbeResult {
+	if b.inj != nil {
+		if err := b.inj.Fail(ctx, "probe", b.key); err != nil {
+			return ProbeResult{
+				Success:   false,
+				Detail:    err.Error(),
+				Transient: IsTransient(err),
+			}
+		}
+	}
+	return b.inner.RunProbe(ctx, art, extraLibDirs)
+}
+
+// Close implements ProbeBatch.
+func (b *faultyBatch) Close() { b.inner.Close() }

@@ -83,14 +83,20 @@ func Discover(site *sitemodel.Site) (*EnvironmentDescription, error) {
 	return DefaultEngine().Discover(context.Background(), site)
 }
 
-// discoverSite is the uncached survey.
-func discoverSite(site *sitemodel.Site) (*EnvironmentDescription, error) {
+// surveySite is the uncached survey: the system surface first (a failure
+// there means the site is unreachable), then the sharded filesystem index,
+// then the glibc and MPI-stack determinations merged out of it.
+func (e *Engine) surveySite(ctx context.Context, site *sitemodel.Site) (*EnvironmentDescription, error) {
 	env := &EnvironmentDescription{SiteName: site.Name}
-	if err := discoverSystem(site, env); err != nil {
+	if err := e.discoverSystemCached(site, env); err != nil {
 		return nil, err
 	}
-	discoverGlibc(site, env)
-	discoverStacks(site, env)
+	shards, err := e.surveyShards(ctx, site)
+	if err != nil {
+		return nil, err
+	}
+	discoverGlibc(site, env, shards)
+	e.discoverStacks(site, env, shards)
 	return env, nil
 }
 
@@ -135,20 +141,34 @@ func discoverSystem(site *sitemodel.Site, env *EnvironmentDescription) error {
 
 // discoverGlibc determines the C library version: first by "executing" the
 // C library binary and parsing its banner, then by falling back to the
-// library's own version-definition table (the C library API path).
-func discoverGlibc(site *sitemodel.Site, env *EnvironmentDescription) {
-	libcPath, ok := searchLibrary(site, "libc.so.6")
-	if !ok {
+// library's own version-definition table (the C library API path). The
+// library is located through the shard index; a whole-filesystem search
+// remains as the last resort for a C library living outside every
+// discovery root.
+func discoverGlibc(site *sitemodel.Site, env *EnvironmentDescription, shards []*shardRecord) {
+	if lib, ok := findShardLib(shards, "libc.so.6"); ok {
+		// The version was resolved at walk time (banner, then version
+		// definitions); an empty source means neither technique worked.
+		if lib.GlibcSource != "" {
+			if v, err := libver.ParseVersion(lib.Glibc); err == nil {
+				env.Glibc, env.GlibcSource = v, lib.GlibcSource
+			}
+		}
 		return
 	}
-	if banner, ok := site.FS().Attr(libcPath, sitemodel.AttrExecOutput); ok {
+	// Last resort: a C library living outside every discovery root, found
+	// by the legacy whole-filesystem search and resolved live.
+	p, found := searchLibrary(site, "libc.so.6")
+	if !found {
+		return
+	}
+	if banner, ok := site.FS().Attr(p, sitemodel.AttrExecOutput); ok {
 		if v, ok := parseGlibcBanner(banner); ok {
 			env.Glibc, env.GlibcSource = v, "exec-banner"
 			return
 		}
 	}
-	// Fallback: read the version definitions out of the library image.
-	if data, err := site.FS().ReadFileShared(libcPath); err == nil {
+	if data, err := site.FS().ReadFileShared(p); err == nil {
 		if f, err := elfimg.Parse(data); err == nil {
 			if v := libver.HighestGlibc(f.VerDefs); !v.IsZero() {
 				env.Glibc, env.GlibcSource = v, "api"
@@ -158,24 +178,47 @@ func discoverGlibc(site *sitemodel.Site, env *EnvironmentDescription) {
 }
 
 // parseGlibcBanner extracts "2.5" from "GNU C Library stable release
-// version 2.5, by ...".
+// version 2.5, by ...". It scans in place rather than splitting the banner
+// into fields: the call sits on the per-site survey path, where a
+// fleet-wide C-library rollout parses one banner per re-surveyed site.
 func parseGlibcBanner(banner string) (libver.Version, bool) {
-	fields := strings.Fields(banner)
-	for i, f := range fields {
-		if f == "version" && i+1 < len(fields) {
-			vs := strings.TrimSuffix(fields[i+1], ",")
-			if v, err := libver.ParseVersion(vs); err == nil {
-				return v, true
-			}
+	const kw = "version"
+	rest := banner
+	for {
+		i := strings.Index(rest, kw)
+		if i < 0 {
+			return nil, false
+		}
+		wordStart := i == 0 || isBannerSpace(rest[i-1])
+		j := i + len(kw)
+		wordEnd := j < len(rest) && isBannerSpace(rest[j])
+		rest = rest[j:]
+		if !wordStart || !wordEnd {
+			continue
+		}
+		k := 0
+		for k < len(rest) && isBannerSpace(rest[k]) {
+			k++
+		}
+		e := k
+		for e < len(rest) && !isBannerSpace(rest[e]) {
+			e++
+		}
+		vs := strings.TrimSuffix(rest[k:e], ",")
+		if v, err := libver.ParseVersion(vs); err == nil {
+			return v, true
 		}
 	}
-	return nil, false
+}
+
+func isBannerSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
 }
 
 // discoverStacks enumerates MPI stacks via user-environment management
-// tools, falling back to filesystem searches for MPI libraries and compiler
-// wrappers.
-func discoverStacks(site *sitemodel.Site, env *EnvironmentDescription) {
+// tools, falling back to the shard index's record of MPI libraries and a
+// PATH scan for compiler wrappers.
+func (e *Engine) discoverStacks(site *sitemodel.Site, env *EnvironmentDescription, shards []*shardRecord) {
 	tool := site.EnvTool()
 	if tool != nil {
 		env.EnvTool = tool.Name()
@@ -197,49 +240,45 @@ func discoverStacks(site *sitemodel.Site, env *EnvironmentDescription) {
 			return
 		}
 	}
-	// Path search: find MPI libraries and wrappers, parse the installation
-	// path naming scheme, and confirm compiler versions from wrapper
-	// banners.
-	prefixes := map[string]bool{}
-	for _, pattern := range []string{"libmpi.so*", "libmpich.so*"} {
-		hits, err := site.FS().Glob("/opt", pattern)
-		if err != nil {
+	// Path search: installation prefixes were parsed into stack records at
+	// walk time; merge them across shards (deduplicating by prefix), then
+	// add installations only reachable through PATH wrappers.
+	byPrefix := map[string]StackInfo{}
+	for _, rec := range shards {
+		if rec == nil {
 			continue
 		}
-		for _, h := range hits {
-			if i := strings.Index(h, "/lib/"); i > 0 {
-				prefixes[h[:i]] = true
-			}
+		for _, s := range rec.Stacks {
+			byPrefix[s.Prefix] = s
 		}
 	}
-	// Wrappers reachable via PATH also reveal installations.
-	for _, dir := range envmgmt.SplitPathVar(site.Getenv("PATH")) {
-		if site.FS().Exists(dir + "/mpicc") {
-			prefixes[strings.TrimSuffix(dir, "/bin")] = true
+	mpiccDirs := e.mpiccDirsCached(site)
+	for _, dir := range mpiccDirs {
+		prefix := strings.TrimSuffix(dir, "/bin")
+		if _, ok := byPrefix[prefix]; ok {
+			continue
+		}
+		base := prefix[strings.LastIndexByte(prefix, '/')+1:]
+		if info, ok := stackFromKey(site, base, "path-search"); ok {
+			info.Prefix = prefix
+			byPrefix[prefix] = info
 		}
 	}
-	keys := make([]string, 0, len(prefixes))
-	for p := range prefixes {
+	keys := make([]string, 0, len(byPrefix))
+	for p := range byPrefix {
 		keys = append(keys, p)
 	}
 	sort.Strings(keys)
 	for _, prefix := range keys {
-		base := prefix[strings.LastIndexByte(prefix, '/')+1:]
-		if info, ok := stackFromKey(site, base, "path-search"); ok {
-			info.Prefix = prefix
-			env.Available = append(env.Available, info)
-		}
+		env.Available = append(env.Available, byPrefix[prefix])
 	}
-	// Loaded stack: an mpicc on PATH identifies the active installation.
-	for _, dir := range envmgmt.SplitPathVar(site.Getenv("PATH")) {
-		if !site.FS().Exists(dir + "/mpicc") {
-			continue
-		}
+	// Loaded stack: the first mpicc on PATH identifies the active
+	// installation.
+	for _, dir := range mpiccDirs {
 		prefix := strings.TrimSuffix(dir, "/bin")
-		base := prefix[strings.LastIndexByte(prefix, '/')+1:]
-		if info, ok := stackFromKey(site, base, "path-search"); ok {
-			info.Prefix = prefix
-			env.Loaded = &info
+		if info, ok := byPrefix[prefix]; ok {
+			loaded := info
+			env.Loaded = &loaded
 			break
 		}
 	}

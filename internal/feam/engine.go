@@ -7,9 +7,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"hash/fnv"
-	"io"
 	"runtime"
-	"sort"
 	"sync"
 
 	"feam/internal/fault"
@@ -48,8 +46,9 @@ type Engine struct {
 
 	// tracer and reg are fixed at construction: every pipeline operation
 	// emits spans through tracer, and reg holds the latency histograms and
-	// event counters a registry sink derives from them. Legacy Observers
-	// are adapted onto the same span stream (see observerSink).
+	// event counters a registry sink derives from them. External observers
+	// attach span sinks to the tracer or read the registry; there is no
+	// separate callback vocabulary.
 	tracer *obs.Tracer
 	reg    *obs.Registry
 }
@@ -96,17 +95,6 @@ func (e *Engine) Workers() int { return e.workers }
 
 // RetryPolicy returns the engine's transient-fault retry policy.
 func (e *Engine) RetryPolicy() fault.RetryPolicy { return e.retry }
-
-// AddObserver registers a hook for engine events. Observers must be safe
-// for concurrent notification; they are invoked from worker goroutines.
-// The observer is adapted onto the engine's span stream, so it sees the
-// same events it did before the tracing layer existed.
-func (e *Engine) AddObserver(o Observer) {
-	if o == nil {
-		return
-	}
-	e.tracer.AddSink(&observerSink{o: o})
-}
 
 // SiteLock returns the registry's serialization lock for a site name,
 // creating it on first use. Everything that mutates a site's filesystem or
@@ -166,20 +154,9 @@ func (e *Engine) Describe(ctx context.Context, data []byte, name string) (*Binar
 // mutation generation (module files, installed libraries, staged copies).
 func siteFingerprint(site *sitemodel.Site) uint64 {
 	h := fnv.New64a()
-	env := site.Environ()
-	keys := make([]string, 0, len(env))
-	for k := range env {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		io.WriteString(h, k)
-		h.Write([]byte{0})
-		io.WriteString(h, env[k])
-		h.Write([]byte{1})
-	}
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], site.FS().Generation())
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], site.EnvFingerprint())
+	binary.LittleEndian.PutUint64(buf[8:], site.FS().Generation())
 	h.Write(buf[:])
 	return h.Sum64()
 }
@@ -228,7 +205,7 @@ func (e *Engine) discoverCached(ctx context.Context, site *sitemodel.Site) (*Env
 
 	sp := e.tracer.Start(obs.OpDiscover,
 		obs.WithParent(obs.SpanFromContext(ctx)), obs.WithSite(site.Name))
-	env, err := discoverSite(site)
+	env, err := e.surveySite(obs.ContextWithSpan(ctx, sp), site)
 	if err != nil {
 		sp.End(err)
 		return nil, false, err

@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"feam/internal/feam"
-	"feam/internal/metrics"
 )
 
 // TestEngineEDCCache: repeat discovery of an unchanged site is served from
@@ -16,8 +15,8 @@ func TestEngineEDCCache(t *testing.T) {
 	site := minimalSite(t)
 	ctx := context.Background()
 	eng := feam.New()
-	var counters metrics.EngineCounters
-	eng.AddObserver(feam.NewCountersObserver(&counters))
+	edcHits := eng.Metrics().Counter("edc_hits")
+	edcMisses := eng.Metrics().Counter("edc_misses")
 
 	env1, err := eng.Discover(ctx, site)
 	if err != nil {
@@ -30,9 +29,9 @@ func TestEngineEDCCache(t *testing.T) {
 	if env1 != env2 {
 		t.Error("unchanged site should be served from the EDC cache")
 	}
-	if counters.EDCHits.Load() != 1 || counters.EDCMisses.Load() != 1 {
+	if edcHits.Load() != 1 || edcMisses.Load() != 1 {
 		t.Errorf("edc hits=%d misses=%d, want 1/1",
-			counters.EDCHits.Load(), counters.EDCMisses.Load())
+			edcHits.Load(), edcMisses.Load())
 	}
 
 	// Environment mutation changes the fingerprint.
@@ -58,12 +57,12 @@ func TestEngineEDCCache(t *testing.T) {
 	}
 
 	// Explicit invalidation also forces a fresh survey.
-	before := counters.EDCMisses.Load()
+	before := edcMisses.Load()
 	eng.InvalidateSite(site.Name)
 	if _, err := eng.Discover(ctx, site); err != nil {
 		t.Fatal(err)
 	}
-	if counters.EDCMisses.Load() != before+1 {
+	if edcMisses.Load() != before+1 {
 		t.Error("InvalidateSite should force a cache miss")
 	}
 }
@@ -94,8 +93,6 @@ func TestEngineBDCCache(t *testing.T) {
 	art := compileAt(t, tb, "india", "openmpi-1.4-gnu", "ep")
 	ctx := context.Background()
 	eng := feam.New()
-	var counters metrics.EngineCounters
-	eng.AddObserver(feam.NewCountersObserver(&counters))
 
 	d1, err := eng.Describe(ctx, art.Bytes, "ep.A")
 	if err != nil {
@@ -120,9 +117,10 @@ func TestEngineBDCCache(t *testing.T) {
 	if d3 == d1 || d3.ContentHash != d1.ContentHash {
 		t.Error("renamed binary should re-describe under the same content hash")
 	}
-	if counters.BDCHits.Load() != 1 || counters.BDCMisses.Load() != 2 {
-		t.Errorf("bdc hits=%d misses=%d, want 1/2",
-			counters.BDCHits.Load(), counters.BDCMisses.Load())
+	hits := eng.Metrics().Counter("bdc_hits").Load()
+	misses := eng.Metrics().Counter("bdc_misses").Load()
+	if hits != 1 || misses != 2 {
+		t.Errorf("bdc hits=%d misses=%d, want 1/2", hits, misses)
 	}
 }
 
@@ -200,14 +198,12 @@ func TestEngineEvaluateNoInlineDeterminants(t *testing.T) {
 
 // TestEngineConcurrentSharedUse: many goroutines share one engine for
 // discovery, description and evaluation against the same sites. Run under
-// -race this exercises the cache and observer locking.
+// -race this exercises the cache and metrics locking.
 func TestEngineConcurrentSharedUse(t *testing.T) {
 	tb := sharedTestbed(t)
 	art := compileAt(t, tb, "india", "openmpi-1.4-gnu", "ep")
 	ctx := context.Background()
 	eng := feam.New()
-	var counters metrics.EngineCounters
-	eng.AddObserver(feam.NewCountersObserver(&counters))
 
 	var wg sync.WaitGroup
 	errs := make(chan error, 64)
@@ -244,15 +240,13 @@ func TestEngineConcurrentSharedUse(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if counters.Evaluations.Load() != int64(8*len(tb.Sites)) {
-		t.Errorf("evaluations = %d, want %d", counters.Evaluations.Load(), 8*len(tb.Sites))
+	if got := eng.Metrics().Counter("evaluations").Load(); got != int64(8*len(tb.Sites)) {
+		t.Errorf("evaluations = %d, want %d", got, 8*len(tb.Sites))
 	}
-	if counters.EDCHits.Load() == 0 {
+	if eng.Metrics().Counter("edc_hits").Load() == 0 {
 		t.Error("concurrent re-discovery should hit the EDC cache")
 	}
 }
-
-var _ feam.Observer = feam.NopObserver{}
 
 // TestBundleRoundTripContentHash: the content hash survives bundle
 // encode/decode so staged-directory derivation is stable across transport.

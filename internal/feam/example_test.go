@@ -8,8 +8,8 @@ import (
 	"feam/internal/fault"
 	"feam/internal/feam"
 	"feam/internal/libver"
-	"feam/internal/metrics"
 	"feam/internal/mpistack"
+	"feam/internal/obs"
 	"feam/internal/sitemodel"
 )
 
@@ -49,13 +49,12 @@ func ExampleIdentify() {
 }
 
 // ExampleNew builds an engine with functional options: a bounded ranking
-// fan-out, a single-attempt retry policy, and a metrics observer.
+// fan-out, a single-attempt retry policy, and a shared metrics registry.
 func ExampleNew() {
-	var counters metrics.EngineCounters
 	eng := feam.New(
 		feam.WithWorkers(2),
 		feam.WithRetryPolicy(fault.RetryPolicy{MaxAttempts: 1}),
-		feam.WithObserver(feam.NewCountersObserver(&counters)),
+		feam.WithMetrics(obs.NewRegistry()),
 	)
 	fmt.Println(eng.Tracer() != nil)
 	fmt.Println(eng.Metrics() != nil)

@@ -11,19 +11,17 @@ import (
 	"feam/internal/experiment"
 	"feam/internal/fault"
 	"feam/internal/feam"
-	"feam/internal/metrics"
+	"feam/internal/obs"
 	"feam/internal/registry"
 	"feam/internal/sitemodel"
 	"feam/internal/toolchain"
 )
 
-// faultEngine returns a fresh engine with counters attached, so each test
-// observes only its own retry/rollback activity.
-func faultEngine() (*feam.Engine, *metrics.EngineCounters) {
+// faultEngine returns a fresh engine plus its private metrics registry, so
+// each test observes only its own retry/rollback activity.
+func faultEngine() (*feam.Engine, *obs.Registry) {
 	eng := feam.New()
-	counters := &metrics.EngineCounters{}
-	eng.AddObserver(feam.NewCountersObserver(counters))
-	return eng, counters
+	return eng, eng.Metrics()
 }
 
 // TestStagingRollbackIsAllOrNothing breaks the second staging write with a
@@ -77,10 +75,10 @@ func TestStagingRollbackIsAllOrNothing(t *testing.T) {
 	if india.FS().Exists(pred.StageDir + ".staging") {
 		t.Errorf("staging temp dir survived rollback")
 	}
-	if got := counters.StagingRollbacks.Load(); got != 1 {
+	if got := counters.Counter("staging_rollbacks").Load(); got != 1 {
 		t.Errorf("StagingRollbacks = %d, want 1", got)
 	}
-	if got := counters.StagingCommits.Load(); got != 0 {
+	if got := counters.Counter("staging_commits").Load(); got != 0 {
 		t.Errorf("StagingCommits = %d, want 0", got)
 	}
 }
@@ -127,13 +125,13 @@ func TestStagingRetriesTransientFaultThenCommits(t *testing.T) {
 	if india.FS().Exists(pred.StageDir + ".staging") {
 		t.Error("staging temp dir survived commit")
 	}
-	if got := counters.StagingRetries.Load(); got != 1 {
+	if got := counters.Counter("staging_retries").Load(); got != 1 {
 		t.Errorf("StagingRetries = %d, want 1", got)
 	}
-	if got := counters.StagingCommits.Load(); got != 1 {
+	if got := counters.Counter("staging_commits").Load(); got != 1 {
 		t.Errorf("StagingCommits = %d, want 1", got)
 	}
-	if got := counters.StagingRollbacks.Load(); got != 0 {
+	if got := counters.Counter("staging_rollbacks").Load(); got != 0 {
 		t.Errorf("StagingRollbacks = %d, want 0", got)
 	}
 }
@@ -173,7 +171,7 @@ func TestProbeRetriesTransientFault(t *testing.T) {
 		t.Errorf("MPI determinant = %+v, want Pass after transient retry",
 			pred.Determinants[feam.DetMPIStack])
 	}
-	if got := counters.ProbeRetries.Load(); got != 1 {
+	if got := counters.Counter("probe_retries").Load(); got != 1 {
 		t.Errorf("ProbeRetries = %d, want 1", got)
 	}
 }
@@ -207,7 +205,7 @@ func TestProbePermanentFaultFailsFast(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := counters.ProbeRetries.Load(); got != 0 {
+	if got := counters.Counter("probe_retries").Load(); got != 0 {
 		t.Errorf("ProbeRetries = %d, want 0 (permanent faults fail fast)", got)
 	}
 	if script.Injected() != 1 {

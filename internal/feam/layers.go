@@ -23,6 +23,12 @@ type SiteRegistry interface {
 	StoreSurvey(site *sitemodel.Site, fingerprint uint64, value any)
 	LookupDescription(hash, name string) (any, bool)
 	StoreDescription(hash, name string, value any)
+	// LookupShard and StoreShard cache one survey-shard walk result
+	// (*shardRecord) per (site, shard root), validated by the root's vfs
+	// tree stamp: a stamp mismatch — any mutation under the root — is a
+	// miss, which is what makes whole-site re-surveys incremental.
+	LookupShard(site *sitemodel.Site, root string, stamp uint64) (any, bool)
+	StoreShard(site *sitemodel.Site, root string, stamp uint64, value any)
 	Invalidate(name string)
 }
 
@@ -47,6 +53,10 @@ const (
 	KindBundle = "bundle"
 	// KindSite holds one siteRecord per site name (fleet inventory).
 	KindSite = "site"
+	// KindShard holds one shardRecord per site name + fnv-hashed shard
+	// root, keyed by the root's tree stamp. Stale records are harmless:
+	// a stamp mismatch reads as a miss and the shard is re-walked.
+	KindShard = "shard"
 )
 
 // surveyRecord is the persisted form of one environment survey: the EDC

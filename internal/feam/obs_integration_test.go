@@ -8,7 +8,6 @@ import (
 	"feam/internal/elfimg"
 	"feam/internal/fault"
 	"feam/internal/feam"
-	"feam/internal/metrics"
 	"feam/internal/obs"
 	"feam/internal/registry"
 	"feam/internal/sitemodel"
@@ -215,13 +214,12 @@ func TestPredictEvaluateEquivalence(t *testing.T) {
 }
 
 // TestFunctionalOptionsWireTheEngine: every option must land on the
-// constructed engine — shared tracer/registry instances, observers
-// adapted onto the tracer, and a custom ladder honored.
+// constructed engine — shared tracer/registry instances, the registry
+// sink feeding span-derived counters, and a custom ladder honored.
 func TestFunctionalOptionsWireTheEngine(t *testing.T) {
 	ctx := context.Background()
 	tr := obs.NewTracer(64)
 	reg := obs.NewRegistry()
-	var counters metrics.EngineCounters
 	shared := registry.New(registry.WithMetrics(reg))
 	eng := feam.New(
 		feam.WithTracer(tr),
@@ -229,7 +227,6 @@ func TestFunctionalOptionsWireTheEngine(t *testing.T) {
 		feam.WithRegistry(shared),
 		feam.WithWorkers(2),
 		feam.WithRetryPolicy(fault.RetryPolicy{MaxAttempts: 1}),
-		feam.WithObserver(feam.NewCountersObserver(&counters)),
 		feam.WithEvaluators(feam.DefaultEvaluators()),
 	)
 	if eng.Tracer() != tr {
@@ -253,8 +250,8 @@ func TestFunctionalOptionsWireTheEngine(t *testing.T) {
 	if !pred.Ready {
 		t.Fatalf("prediction = %+v", pred)
 	}
-	if got := counters.Evaluations.Load(); got != 1 {
-		t.Errorf("observer evaluations = %d, want 1 (WithObserver not wired)", got)
+	if got := reg.Counter("evaluations").Load(); got != 1 {
+		t.Errorf("evaluations counter = %d, want 1 (registry sink not wired)", got)
 	}
 	if got := reg.Histogram(obs.OpEvaluate).Count(); got != 1 {
 		t.Errorf("registry evaluate count = %d, want 1 (registry sink not wired)", got)

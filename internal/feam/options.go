@@ -20,7 +20,6 @@ type engineConfig struct {
 	metrics    *obs.Registry
 	sites      SiteRegistry
 	store      Store
-	observers  []Observer
 }
 
 // WithEvaluators sets the determinant registry. The slice is captured
@@ -43,17 +42,6 @@ func WithWorkers(n int) Option {
 // runs and staging writes. The zero policy disables retries.
 func WithRetryPolicy(p fault.RetryPolicy) Option {
 	return func(c *engineConfig) { c.retry = p }
-}
-
-// WithObserver registers a legacy Observer; it is adapted onto the span
-// stream, so it sees exactly the events AddObserver delivered before the
-// tracing layer existed. May be given multiple times.
-func WithObserver(o Observer) Option {
-	return func(c *engineConfig) {
-		if o != nil {
-			c.observers = append(c.observers, o)
-		}
-	}
 }
 
 // WithTracer sets the engine's span tracer. Sharing one tracer across
@@ -123,8 +111,5 @@ func New(opts ...Option) *Engine {
 		reg:        cfg.metrics,
 	}
 	e.tracer.AddSink(obs.NewRegistrySink(e.reg))
-	for _, o := range cfg.observers {
-		e.AddObserver(o)
-	}
 	return e
 }

@@ -199,24 +199,15 @@ func compilerFamilyOf(comment string) string {
 	}
 }
 
-// probeOnce executes one probe-program run and returns a structured
-// result. Runners that implement fault.ProbeRunner classify their own
-// failures; legacy (bool, string) runners are classified from the output
-// text by fault.ClassifyDetail.
-func probeOnce(ctx context.Context, r ProgramRunner, art *toolchain.Artifact, site *sitemodel.Site, stackKey string, extraLibDirs []string) fault.ProbeResult {
-	if pr, ok := r.(fault.ProbeRunner); ok {
-		return pr.RunProbe(ctx, art, site, stackKey, extraLibDirs)
-	}
-	ok, detail := r.RunProgram(ctx, art, site, stackKey, extraLibDirs)
-	return fault.ClassifyDetail(ok, detail)
-}
-
-// runProbe executes a probe program under the engine's retry policy:
-// transient failures (batch-system wobble, injected transient faults) are
-// retried with backoff; permanent failures and successes return
-// immediately. Every attempt emits one probe span; retries are events on
-// the enclosing span, carrying the nominal backoff about to be slept.
-func runProbe(ec *EvalContext, art *toolchain.Artifact, stackKey string, extraLibDirs []string) fault.ProbeResult {
+// runProbe executes a probe program through an open probe session, under
+// the engine's retry policy: transient failures (batch-system wobble,
+// injected transient faults) are retried with backoff; permanent failures
+// and successes return immediately. Every attempt emits one probe span;
+// retries are events on the enclosing span, carrying the nominal backoff
+// about to be slept. Runners that classify their own failures do so inside
+// the session; legacy (bool, string) runners are classified from the
+// output text by fault.ClassifyDetail in the session adapter.
+func runProbe(ec *EvalContext, pb fault.ProbeBatch, art *toolchain.Artifact, stackKey string, extraLibDirs []string) fault.ProbeResult {
 	site := ec.Site
 	policy := ec.Engine.RetryPolicy()
 	var res fault.ProbeResult
@@ -225,7 +216,7 @@ func runProbe(ec *EvalContext, art *toolchain.Artifact, stackKey string, extraLi
 			obs.WithParent(ec.span), obs.WithSite(site.Name),
 			obs.WithAttr(obs.AttrStack, stackKey),
 			obs.WithAttr(obs.AttrAttempt, strconv.Itoa(attempt)))
-		res = probeOnce(ec.Context, ec.Opts.Runner, art, site, stackKey, extraLibDirs)
+		res = pb.RunProbe(ec.Context, art, extraLibDirs)
 		sp.SetAttr(obs.AttrSuccess, strconv.FormatBool(res.Success))
 		if !res.Success {
 			sp.SetAttr(obs.AttrDetail, res.Detail)
@@ -256,6 +247,11 @@ func testStack(ec *EvalContext, cand *StackInfo, presenceOnly bool) (bool, strin
 	snap := site.SnapshotEnv()
 	defer site.RestoreEnv(snap)
 	loadStackEnv(site, cand)
+	// One probe session per candidate: the runner's per-session setup
+	// (environment activation, submission-script template validation) is
+	// paid once and shared by both hello-world probes below.
+	pb := fault.OpenBatch(ec.Context, opts.Runner, site, cand.Key)
+	defer pb.Close()
 
 	tested := false
 	// Native compile test: possible when the stack's compiler is present.
@@ -264,7 +260,7 @@ func testStack(ec *EvalContext, cand *StackInfo, presenceOnly bool) (bool, strin
 			rec := stackRecordFromInfo(cand)
 			hello, err := toolchain.CompileHello(rec, site)
 			if err == nil {
-				res := runProbe(ec, hello, cand.Key, nil)
+				res := runProbe(ec, pb, hello, cand.Key, nil)
 				if !res.Success {
 					return false, "native hello world failed: " + res.Detail
 				}
@@ -279,7 +275,7 @@ func testStack(ec *EvalContext, cand *StackInfo, presenceOnly bool) (bool, strin
 	// launch failures (ABI breaks, symbol-version mismatches, misconfigured
 	// stacks) do.
 	if opts.Bundle != nil && opts.Bundle.MPIHello != nil {
-		res := runProbe(ec, opts.Bundle.MPIHello, cand.Key, nil)
+		res := runProbe(ec, pb, opts.Bundle.MPIHello, cand.Key, nil)
 		if !res.Success && !res.MissingLib {
 			return false, "source-site hello world failed: " + res.Detail
 		}

@@ -6,7 +6,6 @@ package metrics
 
 import (
 	"fmt"
-	"sync/atomic"
 )
 
 // Confusion counts prediction-vs-actual outcomes. "Positive" means
@@ -87,50 +86,6 @@ func RelativeIncrease(before, after Rate) float64 {
 		return 0
 	}
 	return 100 * float64(after.Num-before.Num) / float64(before.Num)
-}
-
-// EngineCounters aggregates prediction-engine activity: cache
-// effectiveness of the memoized binary/environment descriptions,
-// evaluation volume, and probe-program executions. All fields are atomic
-// so engine workers update them without coordination; the zero value is
-// ready to use. The engine feeds it through its Observer hook.
-type EngineCounters struct {
-	// BDCHits/BDCMisses count binary-description cache lookups.
-	BDCHits, BDCMisses atomic.Int64
-	// EDCHits/EDCMisses count environment-discovery cache lookups.
-	EDCHits, EDCMisses atomic.Int64
-	// Evaluations counts completed TEC evaluations; ReadyPredictions the
-	// subset that predicted execution readiness.
-	Evaluations, ReadyPredictions atomic.Int64
-	// ProbeRuns counts probe-program executions; ProbeFailures the subset
-	// that failed.
-	ProbeRuns, ProbeFailures atomic.Int64
-	// ProbeRetries counts probe attempts repeated after a transient
-	// failure; StagingRetries the same for staging writes.
-	ProbeRetries, StagingRetries atomic.Int64
-	// StagingCommits counts atomically published stage directories;
-	// StagingRollbacks counts staging transactions undone after a fault.
-	StagingCommits, StagingRollbacks atomic.Int64
-}
-
-// HitRate returns hits/(hits+misses) for a cache counter pair (0 when no
-// lookups happened).
-func HitRate(hits, misses *atomic.Int64) float64 {
-	h, m := hits.Load(), misses.Load()
-	if h+m == 0 {
-		return 0
-	}
-	return float64(h) / float64(h+m)
-}
-
-// String renders a one-line activity summary.
-func (c *EngineCounters) String() string {
-	return fmt.Sprintf("evaluations %d (%d ready), bdc cache %d/%d, edc cache %d/%d, probes %d (%d failed, %d retried), staging %d committed/%d rolled back (%d retried writes)",
-		c.Evaluations.Load(), c.ReadyPredictions.Load(),
-		c.BDCHits.Load(), c.BDCHits.Load()+c.BDCMisses.Load(),
-		c.EDCHits.Load(), c.EDCHits.Load()+c.EDCMisses.Load(),
-		c.ProbeRuns.Load(), c.ProbeFailures.Load(), c.ProbeRetries.Load(),
-		c.StagingCommits.Load(), c.StagingRollbacks.Load(), c.StagingRetries.Load())
 }
 
 // Tally counts occurrences by string key.

@@ -10,7 +10,7 @@
 //   - Tracer: spans (operation + site + determinant with parent links,
 //     status, attributes and point-in-time events) collected in an
 //     in-memory ring buffer and exportable as JSONL. Sinks observe span
-//     lifecycle; the legacy feam.Observer is implemented as one such sink.
+//     lifecycle; the registry sink derives all engine counters from them.
 //   - Histogram: log-bucketed latency histograms recorded with atomics
 //     only, safe for concurrent recording from engine workers without
 //     coordination.
@@ -31,6 +31,11 @@ const (
 	OpDescribe = "describe"
 	// OpDiscover is one Environment Discovery Component survey.
 	OpDiscover = "discover"
+	// OpShardWalk is one shard-directory walk inside a survey. Only shards
+	// whose tree stamp changed since the cached record are walked, so the
+	// span count is the observable measure of survey incrementality: an
+	// unchanged site emits none, a C-library upgrade emits exactly one.
+	OpShardWalk = "shard_walk"
 	// OpEvaluate is one Target Evaluation Component run over the
 	// determinant ladder.
 	OpEvaluate = "evaluate"

@@ -38,7 +38,10 @@ type Tracer struct {
 	next   int
 	filled bool
 	total  uint64
-	sinks  []Sink
+	// sinks holds an immutable snapshot swapped wholesale on AddSink, so
+	// the per-span fan-out (several notifications per traced operation)
+	// reads it with one atomic load instead of taking a lock.
+	sinks atomic.Pointer[[]Sink]
 }
 
 // NewTracer returns a tracer whose ring buffer holds up to capacity
@@ -57,13 +60,20 @@ func (t *Tracer) AddSink(s Sink) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.sinks = append(t.sinks, s)
+	var next []Sink
+	if cur := t.sinks.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, s)
+	t.sinks.Store(&next)
 }
 
 func (t *Tracer) snapshotSinks() []Sink {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.sinks[:len(t.sinks):len(t.sinks)]
+	cur := t.sinks.Load()
+	if cur == nil {
+		return nil
+	}
+	return *cur
 }
 
 // SpanOpt configures a span at Start time (identity fields must be set

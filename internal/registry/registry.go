@@ -86,16 +86,25 @@ type Registry struct {
 	hook     func(op, key string) error
 
 	hits, misses, evictions atomic.Int64
+	// Exported counters are resolved once at construction so the hot
+	// lookup path never takes the metrics registry's name-lookup lock.
+	hitCtr, missCtr, evictCtr *obs.Counter
 }
 
 // shard is one lock domain: a slice of the site table plus the LRU-bounded
 // survey/description caches. The mutex is a leaf lock — nothing blocking
 // (surveys, probes, store I/O) may run while it is held.
+//
+// walks holds survey-shard walk records (not to be confused with the
+// registry's own lock shards): one entry per (site, discovery root),
+// colocated in the site's lock domain so Invalidate clears them together
+// with the site's survey.
 type shard struct {
 	mu      sync.RWMutex
 	sites   map[string]*siteEntry
 	surveys map[string]*list.Element
 	descs   map[descKey]*list.Element
+	walks   map[walkKey]*list.Element
 	lru     list.List
 }
 
@@ -115,6 +124,19 @@ type surveyEntry struct {
 	site        *sitemodel.Site
 	fingerprint uint64
 	value       any
+}
+
+// walkKey identifies one survey-shard walk record: site name plus the
+// discovery root that was walked.
+type walkKey struct{ name, root string }
+
+// walkEntry caches one shard walk under the tree stamp and site object it
+// was computed for; a stamp or site-pointer mismatch is a miss.
+type walkEntry struct {
+	key   walkKey
+	site  *sitemodel.Site
+	stamp uint64
+	value any
 }
 
 // descKey identifies a binary description: content hash plus the name it
@@ -140,6 +162,12 @@ func New(opts ...Option) *Registry {
 		s.sites = map[string]*siteEntry{}
 		s.surveys = map[string]*list.Element{}
 		s.descs = map[descKey]*list.Element{}
+		s.walks = map[walkKey]*list.Element{}
+	}
+	if r.metrics != nil {
+		r.hitCtr = r.metrics.Counter("registry_hit")
+		r.missCtr = r.metrics.Counter("registry_miss")
+		r.evictCtr = r.metrics.Counter("registry_evict")
 	}
 	return r
 }
@@ -158,10 +186,10 @@ func (r *Registry) fail(op, key string) error {
 	return r.hook(op, key)
 }
 
-func (r *Registry) count(c *atomic.Int64, name string) {
+func (r *Registry) count(c *atomic.Int64, ctr *obs.Counter) {
 	c.Add(1)
-	if r.metrics != nil {
-		r.metrics.Counter(name).Add(1)
+	if ctr != nil {
+		ctr.Add(1)
 	}
 }
 
@@ -241,7 +269,7 @@ func (r *Registry) SiteLock(name string) *sync.Mutex {
 // sharing the name — is a miss.
 func (r *Registry) LookupSurvey(site *sitemodel.Site, fingerprint uint64) (any, bool) {
 	if site == nil || r.fail("lookup", site.Name) != nil {
-		r.count(&r.misses, "registry_miss")
+		r.count(&r.misses, r.missCtr)
 		return nil, false
 	}
 	s := r.shardFor(site.Name)
@@ -252,11 +280,11 @@ func (r *Registry) LookupSurvey(site *sitemodel.Site, fingerprint uint64) (any, 
 		ent := el.Value.(*surveyEntry)
 		if ent.site == site && ent.fingerprint == fingerprint {
 			s.lru.MoveToFront(el)
-			r.count(&r.hits, "registry_hit")
+			r.count(&r.hits, r.hitCtr)
 			return ent.value, true
 		}
 	}
-	r.count(&r.misses, "registry_miss")
+	r.count(&r.misses, r.missCtr)
 	return nil, false
 }
 
@@ -280,12 +308,58 @@ func (r *Registry) StoreSurvey(site *sitemodel.Site, fingerprint uint64, value a
 	s.surveys[site.Name] = s.lru.PushFront(ent)
 }
 
+// LookupShard returns the cached shard-walk record for a site and
+// discovery root when the entry was computed for the same site object
+// under the same tree stamp; any mismatch — a mutation under the root,
+// eviction, or a different Site object sharing the name — is a miss.
+func (r *Registry) LookupShard(site *sitemodel.Site, root string, stamp uint64) (any, bool) {
+	if site == nil || r.fail("lookup", site.Name) != nil {
+		r.count(&r.misses, r.missCtr)
+		return nil, false
+	}
+	key := walkKey{name: site.Name, root: root}
+	s := r.shardFor(site.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.walks[key]; ok {
+		ent := el.Value.(*walkEntry)
+		if ent.site == site && ent.stamp == stamp {
+			s.lru.MoveToFront(el)
+			r.count(&r.hits, r.hitCtr)
+			return ent.value, true
+		}
+	}
+	r.count(&r.misses, r.missCtr)
+	return nil, false
+}
+
+// StoreShard caches a shard-walk record for a site object under the
+// root's tree stamp, evicting the shard's least recently used entry when
+// full.
+func (r *Registry) StoreShard(site *sitemodel.Site, root string, stamp uint64, value any) {
+	if site == nil || r.fail("store", site.Name) != nil {
+		return
+	}
+	key := walkKey{name: site.Name, root: root}
+	s := r.shardFor(site.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.walks[key]; ok {
+		ent := el.Value.(*walkEntry)
+		ent.site, ent.stamp, ent.value = site, stamp, value
+		s.lru.MoveToFront(el)
+		return
+	}
+	r.evictLocked(s)
+	s.walks[key] = s.lru.PushFront(&walkEntry{key: key, site: site, stamp: stamp, value: value})
+}
+
 // LookupDescription returns the cached binary description for a content
 // hash and name.
 func (r *Registry) LookupDescription(hash, name string) (any, bool) {
 	key := descKey{hash: hash, name: name}
 	if r.fail("lookup", name) != nil {
-		r.count(&r.misses, "registry_miss")
+		r.count(&r.misses, r.missCtr)
 		return nil, false
 	}
 	s := r.shardFor(hash + "\x00" + name)
@@ -293,10 +367,10 @@ func (r *Registry) LookupDescription(hash, name string) (any, bool) {
 	defer s.mu.Unlock()
 	if el, ok := s.descs[key]; ok {
 		s.lru.MoveToFront(el)
-		r.count(&r.hits, "registry_hit")
+		r.count(&r.hits, r.hitCtr)
 		return el.Value.(*descEntry).value, true
 	}
-	r.count(&r.misses, "registry_miss")
+	r.count(&r.misses, r.missCtr)
 	return nil, false
 }
 
@@ -333,15 +407,17 @@ func (r *Registry) evictLocked(s *shard) {
 			delete(s.surveys, ent.name)
 		case *descEntry:
 			delete(s.descs, ent.key)
+		case *walkEntry:
+			delete(s.walks, ent.key)
 		}
-		r.count(&r.evictions, "registry_evict")
+		r.count(&r.evictions, r.evictCtr)
 	}
 }
 
-// Invalidate drops a site's cached survey. The site table entry and its
-// lock survive; normal mutations are caught by fingerprint, so this exists
-// for callers that manage site state outside the site's filesystem and
-// environment.
+// Invalidate drops a site's cached survey and shard-walk records. The
+// site table entry and its lock survive; normal mutations are caught by
+// fingerprint and tree stamp, so this exists for callers that manage site
+// state outside the site's filesystem and environment.
 func (r *Registry) Invalidate(name string) {
 	if r.fail("invalidate", name) != nil {
 		return
@@ -353,6 +429,12 @@ func (r *Registry) Invalidate(name string) {
 		s.lru.Remove(el)
 		delete(s.surveys, name)
 	}
+	for key, el := range s.walks {
+		if key.name == name {
+			s.lru.Remove(el)
+			delete(s.walks, key)
+		}
+	}
 }
 
 // Stats is a point-in-time summary of registry occupancy and traffic.
@@ -360,9 +442,11 @@ type Stats struct {
 	Sites        int
 	Surveys      int
 	Descriptions int
-	Hits         int64
-	Misses       int64
-	Evictions    int64
+	// ShardWalks counts cached survey-shard walk records.
+	ShardWalks int
+	Hits       int64
+	Misses     int64
+	Evictions  int64
 }
 
 // Stats reports current occupancy plus lifetime hit/miss/eviction counts.
@@ -378,6 +462,7 @@ func (r *Registry) Stats() Stats {
 		st.Sites += len(s.sites)
 		st.Surveys += len(s.surveys)
 		st.Descriptions += len(s.descs)
+		st.ShardWalks += len(s.walks)
 		s.mu.RUnlock()
 	}
 	return st

@@ -50,6 +50,22 @@ func Latency(reg *obs.Registry) string {
 	return b.String()
 }
 
+// EngineActivity renders a one-line engine activity summary from the
+// metrics registry's span-derived counters — the replacement for the
+// removed Observer-fed EngineCounters line. Counter names match the
+// RegistrySink vocabulary (evaluations, bdc_hits/bdc_misses, probe_runs,
+// staging_commits, ...), so any registry fed by an engine via WithMetrics
+// renders here.
+func EngineActivity(reg *obs.Registry) string {
+	c := func(name string) int64 { return reg.Counter(name).Load() }
+	return fmt.Sprintf("evaluations %d (%d ready), bdc cache %d/%d, edc cache %d/%d, probes %d (%d failed, %d retried), staging %d committed/%d rolled back (%d retried writes)",
+		c("evaluations"), c("ready_predictions"),
+		c("bdc_hits"), c("bdc_hits")+c("bdc_misses"),
+		c("edc_hits"), c("edc_hits")+c("edc_misses"),
+		c("probe_runs"), c("probe_failures"), c("probe_retries"),
+		c("staging_commits"), c("staging_rollbacks"), c("staging_retries"))
+}
+
 // roundLatency trims durations to three significant time units so the
 // table stays readable across nanosecond-to-second scales.
 func roundLatency(d time.Duration) string {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"feam/internal/batch"
+	"feam/internal/fault"
 	"feam/internal/feam"
 	"feam/internal/sitemodel"
 	"feam/internal/testbed"
@@ -66,3 +67,88 @@ func (r *BatchRunner) RunProgram(ctx context.Context, art *toolchain.Artifact, s
 	}
 	return res.Success, res.Output
 }
+
+// BeginProbeBatch implements fault.BatchProbeRunner: the submission-script
+// template is rendered, parsed back, and validated once per probe session
+// instead of once per probe, and the inner runner's own session setup is
+// opened once alongside it. Each probe then submits a copy of the validated
+// spec carrying its own command. Sites without a cluster decline batching
+// (return nil) so fault.OpenBatch falls back to direct execution.
+func (r *BatchRunner) BeginProbeBatch(ctx context.Context, site *sitemodel.Site, stackKey string) fault.ProbeBatch {
+	cluster := r.TB.Clusters[site.Name]
+	if cluster == nil {
+		return nil
+	}
+	spec := batch.ScriptSpec{
+		Manager:  r.TB.Specs[site.Name].Manager,
+		JobName:  "feam-probe",
+		Queue:    probeQueue,
+		Nodes:    1,
+		Tasks:    4,
+		WallTime: probeWalltime,
+		Command:  batch.CmdPlaceholder,
+	}
+	parsed, err := batch.Parse(batch.Generate(spec))
+	if err != nil {
+		return &failedBatch{detail: "batch: generated script unparseable: " + err.Error()}
+	}
+	if parsed.Manager != spec.Manager || parsed.Command != batch.CmdPlaceholder {
+		return &failedBatch{detail: fmt.Sprintf("batch: script round-trip lost state (%s %q)", parsed.Manager, parsed.Command)}
+	}
+	return &clusterProbeBatch{
+		cluster: cluster,
+		spec:    parsed,
+		inner:   fault.OpenBatch(ctx, r.Inner, site, stackKey),
+	}
+}
+
+// clusterProbeBatch is one open probe session against a site's cluster: the
+// validated script spec is reused for every submission, with only the probe
+// command swapped in.
+type clusterProbeBatch struct {
+	cluster *batch.Cluster
+	spec    batch.ScriptSpec
+	inner   fault.ProbeBatch
+}
+
+// RunProbe implements fault.ProbeBatch.
+func (b *clusterProbeBatch) RunProbe(ctx context.Context, art *toolchain.Artifact, extraLibDirs []string) fault.ProbeResult {
+	spec := b.spec
+	spec.Command = fmt.Sprintf("mpirun -np %d ./%s", spec.Nodes*spec.Tasks, art.Name)
+	var last fault.ProbeResult
+	res, err := b.cluster.Submit(spec, func(int) (bool, string, time.Duration) {
+		last = b.inner.RunProbe(ctx, art, extraLibDirs)
+		return last.Success, last.Detail, probeRuntime
+	}, 1, 0)
+	if err != nil {
+		return fault.ClassifyDetail(false, "batch: "+err.Error())
+	}
+	if res.Output == last.Detail {
+		// The job ran the probe and its output is the probe's own detail:
+		// keep the inner runner's structured classification.
+		return fault.ProbeResult{
+			Success:    res.Success,
+			Detail:     res.Output,
+			MissingLib: last.MissingLib,
+			Transient:  last.Transient,
+		}
+	}
+	// Queue-level outcome (walltime kill, scheduler text): classify from
+	// the output the way the unbatched path would.
+	return fault.ClassifyDetail(res.Success, res.Output)
+}
+
+// Close implements fault.ProbeBatch.
+func (b *clusterProbeBatch) Close() { b.inner.Close() }
+
+// failedBatch is a probe session whose script template failed validation;
+// every probe reports the validation failure.
+type failedBatch struct{ detail string }
+
+// RunProbe implements fault.ProbeBatch.
+func (b *failedBatch) RunProbe(context.Context, *toolchain.Artifact, []string) fault.ProbeResult {
+	return fault.ClassifyDetail(false, b.detail)
+}
+
+// Close implements fault.ProbeBatch.
+func (b *failedBatch) Close() {}

@@ -387,6 +387,17 @@ func (rr *routedRunner) RunProgram(ctx context.Context, art *toolchain.Artifact,
 	return rr.inner.RunProgram(ctx, art, site, stackKey, extraLibDirs)
 }
 
+// BeginProbeBatch implements fault.BatchProbeRunner, threading the per-site
+// fault policy into the opened session (the injector fires per probe even
+// though the session setup is shared).
+func (rr *routedRunner) BeginProbeBatch(ctx context.Context, site *sitemodel.Site, stackKey string) fault.ProbeBatch {
+	if p := rr.r.faults[site.Name]; p != nil {
+		f := &fault.FaultyRunner{Inner: rr.inner, Inj: p}
+		return fault.OpenBatch(ctx, f, site, stackKey)
+	}
+	return fault.OpenBatch(ctx, rr.inner, site, stackKey)
+}
+
 // resolveTargets maps event target names to current fleet sites: exact
 // site names, or group names selecting every current member of the group.
 // An empty target list selects the whole fleet.

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -214,6 +215,51 @@ func (s *Server) Commit(ctx context.Context) error {
 	return nil
 }
 
+// ---- v1 envelope ----
+
+// Error codes carried in the v1 envelope. Clients branch on these, not on
+// message text.
+const (
+	// CodeBadRequest marks malformed input (unreadable body, bad JSON,
+	// invalid base64, bad query parameters).
+	CodeBadRequest = "bad_request"
+	// CodeNotFound marks references to sites the fleet does not serve.
+	CodeNotFound = "not_found"
+	// CodeTooLarge marks binaries over the configured size cap.
+	CodeTooLarge = "payload_too_large"
+	// CodeUpstream marks prediction or survey work that failed behind the
+	// API (engine faults, batch faults).
+	CodeUpstream = "upstream_failed"
+)
+
+// APIError is the machine-readable error half of the v1 envelope.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Envelope is the uniform v1 response shape: every endpoint answers
+// {"data": ...} on success and {"error": {"code", "message"}} on failure.
+// A partial prediction that failed mid-ladder carries both.
+type Envelope struct {
+	Data  any       `json:"data,omitempty"`
+	Error *APIError `json:"error,omitempty"`
+}
+
+// codeForStatus maps an HTTP status to its envelope error code.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusRequestEntityTooLarge:
+		return CodeTooLarge
+	default:
+		return CodeUpstream
+	}
+}
+
 // ---- /v1/predict ----
 
 // PredictRequest is one prediction query. An empty BinaryB64 evaluates
@@ -232,7 +278,7 @@ type PredictRequest struct {
 	Probe bool `json:"probe,omitempty"`
 }
 
-// PredictResponse is one prediction answer.
+// PredictResponse is one prediction answer (the envelope's data half).
 type PredictResponse struct {
 	Site         string            `json:"site"`
 	Binary       string            `json:"binary,omitempty"`
@@ -240,7 +286,6 @@ type PredictResponse struct {
 	Coalesced    bool              `json:"coalesced"`
 	Determinants map[string]string `json:"determinants,omitempty"`
 	Reasons      []string          `json:"reasons,omitempty"`
-	Error        string            `json:"error,omitempty"`
 }
 
 // predictBody is the wire shape: either a single request or a batch.
@@ -249,9 +294,16 @@ type predictBody struct {
 	Requests []PredictRequest `json:"requests,omitempty"`
 }
 
+// PredictResult is one batch entry's answer, mirroring the top-level
+// envelope shape so single and batched responses read the same way.
+type PredictResult struct {
+	Data  *PredictResponse `json:"data,omitempty"`
+	Error *APIError        `json:"error,omitempty"`
+}
+
 // batchResponse wraps fan-out results.
 type batchResponse struct {
-	Results []PredictResponse `json:"results"`
+	Results []PredictResult `json:"results"`
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -267,15 +319,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(pb.Requests) == 0 {
-		resp, status := s.predictOne(r.Context(), pb.PredictRequest)
-		s.reply(w, status, resp)
+		resp, apiErr, status := s.predictOne(r.Context(), pb.PredictRequest)
+		var data any
+		if resp != nil {
+			data = resp // keep a nil *PredictResponse out of the envelope
+		}
+		s.replyEnvelope(w, status, data, apiErr)
 		return
 	}
 	// Batch: fan out through the engine's bounded worker width. Every
 	// entry gets an answer at its input index; per-entry failures are
 	// reported in-place, and the batch itself is 200 unless every entry
 	// failed.
-	results := make([]PredictResponse, len(pb.Requests))
+	results := make([]PredictResult, len(pb.Requests))
 	statuses := make([]int, len(pb.Requests))
 	workers := s.eng.Workers()
 	if workers > len(pb.Requests) {
@@ -289,7 +345,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], statuses[i] = s.predictOne(r.Context(), req)
+			var resp *PredictResponse
+			resp, results[i].Error, statuses[i] = s.predictOne(r.Context(), req)
+			results[i].Data = resp
 		}(i, req)
 	}
 	wg.Wait()
@@ -303,16 +361,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if allFailed {
 		status = http.StatusBadGateway
 	}
-	s.reply(w, status, batchResponse{Results: results})
+	s.replyEnvelope(w, status, batchResponse{Results: results}, nil)
 }
 
-// predictOne answers one prediction through the coalescer.
-func (s *Server) predictOne(ctx context.Context, req PredictRequest) (PredictResponse, int) {
-	resp := PredictResponse{Site: req.Site}
+// predictOne answers one prediction through the coalescer. The response is
+// nil on failures that produced nothing; a partial prediction (determinant
+// trail up to the fault) comes back beside its error.
+func (s *Server) predictOne(ctx context.Context, req PredictRequest) (*PredictResponse, *APIError, int) {
 	site, ok := s.tb.ByName[req.Site]
 	if !ok {
-		resp.Error = fmt.Sprintf("unknown site %q", req.Site)
-		return resp, http.StatusNotFound
+		return nil, &APIError{Code: CodeNotFound, Message: fmt.Sprintf("unknown site %q", req.Site)}, http.StatusNotFound
 	}
 	// Requests without a binary evaluate the built-in one through its
 	// precomputed description — the hot path for load generation, and the
@@ -323,12 +381,10 @@ func (s *Server) predictOne(ctx context.Context, req PredictRequest) (PredictRes
 	if req.BinaryB64 != "" {
 		decoded, err := base64.StdEncoding.DecodeString(req.BinaryB64)
 		if err != nil {
-			resp.Error = "binary_b64: " + err.Error()
-			return resp, http.StatusBadRequest
+			return nil, &APIError{Code: CodeBadRequest, Message: "binary_b64: " + err.Error()}, http.StatusBadRequest
 		}
 		if int64(len(decoded)) > s.maxBinaryBytes() {
-			resp.Error = fmt.Sprintf("binary exceeds %d bytes", s.maxBinaryBytes())
-			return resp, http.StatusRequestEntityTooLarge
+			return nil, &APIError{Code: CodeTooLarge, Message: fmt.Sprintf("binary exceeds %d bytes", s.maxBinaryBytes())}, http.StatusRequestEntityTooLarge
 		}
 		name := req.Name
 		if name == "" {
@@ -343,17 +399,9 @@ func (s *Server) predictOne(ctx context.Context, req PredictRequest) (PredictRes
 	s.predicting.Add(1)
 	defer s.predicting.Done()
 	pred, coalesced, err := s.co.Predict(ctx, evalReq)
-	resp.Coalesced = coalesced
+	resp := &PredictResponse{Site: req.Site, Coalesced: coalesced}
 	if coalesced {
 		s.metrics.Counter("http_predict_coalesced").Add(1)
-	}
-	if err != nil {
-		resp.Error = err.Error()
-		if pred == nil {
-			return resp, http.StatusBadGateway
-		}
-		// A partial prediction (determinant trail up to the fault) still
-		// ships beside the error.
 	}
 	if pred != nil {
 		resp.Binary = pred.Binary
@@ -365,9 +413,16 @@ func (s *Server) predictOne(ctx context.Context, req PredictRequest) (PredictRes
 		}
 	}
 	if err != nil {
-		return resp, http.StatusBadGateway
+		apiErr := &APIError{Code: CodeUpstream, Message: err.Error()}
+		if pred == nil {
+			// Nothing to ship: the error stands alone.
+			return nil, apiErr, http.StatusBadGateway
+		}
+		// A partial prediction (determinant trail up to the fault) still
+		// ships beside the error.
+		return resp, apiErr, http.StatusBadGateway
 	}
-	return resp, http.StatusOK
+	return resp, nil, http.StatusOK
 }
 
 // ---- /v1/sites ----
@@ -383,7 +438,25 @@ type SiteInfo struct {
 	Stacks     int    `json:"stacks"`
 }
 
-func (s *Server) handleSites(w http.ResponseWriter, _ *http.Request) {
+// SitesPage is one page of the fleet listing. NextCursor is set when more
+// sites follow; pass it back as ?cursor to continue.
+type SitesPage struct {
+	Sites      []SiteInfo `json:"sites"`
+	NextCursor string     `json:"next_cursor,omitempty"`
+}
+
+func (s *Server) handleSites(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.fail(w, http.StatusBadRequest, "limit: want a non-negative integer, got %q", v)
+			return
+		}
+		limit = n
+	}
+	cursor := r.URL.Query().Get("cursor")
+
 	out := make([]SiteInfo, 0, len(s.tb.Sites))
 	for _, site := range s.tb.Sites {
 		out = append(out, SiteInfo{
@@ -397,7 +470,19 @@ func (s *Server) handleSites(w http.ResponseWriter, _ *http.Request) {
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	s.reply(w, http.StatusOK, map[string]any{"sites": out})
+	// The cursor is the last name of the previous page; the listing is
+	// name-sorted, so resumption is a binary search rather than offset
+	// arithmetic that breaks when the fleet changes between pages.
+	if cursor != "" {
+		i := sort.Search(len(out), func(i int) bool { return out[i].Name > cursor })
+		out = out[i:]
+	}
+	page := SitesPage{Sites: out}
+	if limit > 0 && len(out) > limit {
+		page.Sites = out[:limit]
+		page.NextCursor = out[limit-1].Name
+	}
+	s.replyEnvelope(w, http.StatusOK, page, nil)
 }
 
 // ---- /v1/survey/{site} ----
@@ -419,7 +504,7 @@ func (s *Server) handleSurvey(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadGateway, "survey of %s failed: %v", name, err)
 		return
 	}
-	s.reply(w, http.StatusOK, env)
+	s.replyEnvelope(w, http.StatusOK, env, nil)
 }
 
 // ---- helpers ----
@@ -431,7 +516,10 @@ func (s *Server) maxBinaryBytes() int64 {
 	return DefaultMaxBinaryBytes
 }
 
-func (s *Server) reply(w http.ResponseWriter, status int, v any) {
+// replyEnvelope writes the uniform v1 response shape. data may be nil
+// (error-only), apiErr may be nil (success), or both may be set (a partial
+// answer beside its error).
+func (s *Server) replyEnvelope(w http.ResponseWriter, status int, data any, apiErr *APIError) {
 	if status < 300 {
 		s.metrics.Counter("http_2xx").Add(1)
 	} else {
@@ -441,9 +529,10 @@ func (s *Server) reply(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_ = enc.Encode(Envelope{Data: data, Error: apiErr})
 }
 
 func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
-	s.reply(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	s.replyEnvelope(w, status, nil,
+		&APIError{Code: codeForStatus(status), Message: fmt.Sprintf(format, args...)})
 }

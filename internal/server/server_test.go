@@ -27,18 +27,42 @@ func newTestServer(t *testing.T) *Server {
 	return s
 }
 
-func postPredict(t *testing.T, url string, body string) (int, PredictResponse) {
+// predictEnvelope is the wire shape of a single /v1/predict answer with
+// the data half bound to its concrete type.
+type predictEnvelope struct {
+	Data  *PredictResponse `json:"data"`
+	Error *APIError        `json:"error"`
+}
+
+func postPredict(t *testing.T, url string, body string) (int, predictEnvelope) {
 	t.Helper()
 	resp, err := http.Post(url+"/v1/predict", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatalf("POST /v1/predict: %v", err)
 	}
 	defer resp.Body.Close()
-	var pr PredictResponse
-	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+	var env predictEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		t.Fatalf("decoding predict response: %v", err)
 	}
-	return resp.StatusCode, pr
+	return resp.StatusCode, env
+}
+
+func getSites(t *testing.T, url string) (int, SitesPage, *APIError) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var env struct {
+		Data  SitesPage `json:"data"`
+		Error *APIError `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decoding sites page: %v", err)
+	}
+	return resp.StatusCode, env.Data, env.Error
 }
 
 // TestSitesEndpoint: the fleet listing is complete, sorted, and carries
@@ -48,32 +72,71 @@ func TestSitesEndpoint(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	resp, err := http.Get(ts.URL + "/v1/sites")
-	if err != nil {
-		t.Fatalf("GET /v1/sites: %v", err)
+	status, page, apiErr := getSites(t, ts.URL+"/v1/sites")
+	if status != http.StatusOK || apiErr != nil {
+		t.Fatalf("GET /v1/sites = %d (%+v), want 200", status, apiErr)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /v1/sites = %d, want 200", resp.StatusCode)
+	if len(page.Sites) != s.Sites() {
+		t.Fatalf("listed %d sites, want %d", len(page.Sites), s.Sites())
 	}
-	var body struct {
-		Sites []SiteInfo `json:"sites"`
+	if page.NextCursor != "" {
+		t.Errorf("unpaginated listing carries next_cursor %q", page.NextCursor)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		t.Fatalf("decoding sites: %v", err)
-	}
-	if len(body.Sites) != s.Sites() {
-		t.Fatalf("listed %d sites, want %d", len(body.Sites), s.Sites())
-	}
-	for i := 1; i < len(body.Sites); i++ {
-		if body.Sites[i-1].Name >= body.Sites[i].Name {
-			t.Errorf("sites out of order: %q before %q", body.Sites[i-1].Name, body.Sites[i].Name)
+	for i := 1; i < len(page.Sites); i++ {
+		if page.Sites[i-1].Name >= page.Sites[i].Name {
+			t.Errorf("sites out of order: %q before %q", page.Sites[i-1].Name, page.Sites[i].Name)
 		}
 	}
-	for _, si := range body.Sites {
+	for _, si := range page.Sites {
 		if si.Arch == "" || si.Glibc == "" || si.Cores == 0 {
 			t.Errorf("site %s missing inventory fields: %+v", si.Name, si)
 		}
+	}
+}
+
+// TestSitesPagination: walking ?limit/?cursor pages reassembles exactly the
+// unpaginated listing, and a bad limit is a machine-readable bad_request.
+func TestSitesPagination(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, full, _ := getSites(t, ts.URL+"/v1/sites")
+	var walked []SiteInfo
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > len(full.Sites) {
+			t.Fatalf("pagination did not terminate after %d pages", pages)
+		}
+		url := ts.URL + "/v1/sites?limit=2"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		status, page, apiErr := getSites(t, url)
+		if status != http.StatusOK || apiErr != nil {
+			t.Fatalf("paged GET /v1/sites = %d (%+v), want 200", status, apiErr)
+		}
+		if len(page.Sites) > 2 {
+			t.Fatalf("page of %d sites exceeds limit 2", len(page.Sites))
+		}
+		walked = append(walked, page.Sites...)
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if len(walked) != len(full.Sites) {
+		t.Fatalf("pagination walked %d sites, want %d", len(walked), len(full.Sites))
+	}
+	for i := range walked {
+		if walked[i] != full.Sites[i] {
+			t.Errorf("walked[%d] = %+v, want %+v", i, walked[i], full.Sites[i])
+		}
+	}
+
+	status, _, apiErr := getSites(t, ts.URL+"/v1/sites?limit=bogus")
+	if status != http.StatusBadRequest || apiErr == nil || apiErr.Code != CodeBadRequest {
+		t.Errorf("bad limit = %d (%+v), want 400 %s", status, apiErr, CodeBadRequest)
 	}
 }
 
@@ -95,9 +158,15 @@ func TestSurveyEndpoint(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("GET /v1/survey/india = %d: %s", resp.StatusCode, body)
 		}
-		var env map[string]any
+		var env struct {
+			Data  map[string]any `json:"data"`
+			Error *APIError      `json:"error"`
+		}
 		if err := json.Unmarshal(body, &env); err != nil {
 			t.Fatalf("survey is not JSON: %v", err)
+		}
+		if len(env.Data) == 0 || env.Error != nil {
+			t.Fatalf("survey envelope = %+v, want non-empty data and no error", env)
 		}
 	}
 	if got := s.Engine().Metrics().Histogram(obs.OpDiscover).Count(); got != 1 {
@@ -165,25 +234,25 @@ func TestPredictSingle(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	status, pr := postPredict(t, ts.URL, `{"site":"india"}`)
-	if status != http.StatusOK {
-		t.Fatalf("predict = %d (%s), want 200", status, pr.Error)
+	status, env := postPredict(t, ts.URL, `{"site":"india"}`)
+	if status != http.StatusOK || env.Error != nil || env.Data == nil {
+		t.Fatalf("predict = %d (%+v), want 200 with data", status, env.Error)
 	}
-	if pr.Site != "india" || pr.Binary != "app" {
-		t.Errorf("predict identity = %q/%q, want india/app", pr.Site, pr.Binary)
+	if env.Data.Site != "india" || env.Data.Binary != "app" {
+		t.Errorf("predict identity = %q/%q, want india/app", env.Data.Site, env.Data.Binary)
 	}
-	if len(pr.Determinants) == 0 {
+	if len(env.Data.Determinants) == 0 {
 		t.Error("predict returned no determinant outcomes")
 	}
 
-	status, pr = postPredict(t, ts.URL, `{"site":"nonesuch"}`)
-	if status != http.StatusNotFound || pr.Error == "" {
-		t.Errorf("unknown-site predict = %d %q, want 404 with error", status, pr.Error)
+	status, env = postPredict(t, ts.URL, `{"site":"nonesuch"}`)
+	if status != http.StatusNotFound || env.Error == nil || env.Error.Code != CodeNotFound {
+		t.Errorf("unknown-site predict = %d %+v, want 404 %s", status, env.Error, CodeNotFound)
 	}
 
-	status, pr = postPredict(t, ts.URL, `{"site":"india","binary_b64":"!!!"}`)
-	if status != http.StatusBadRequest {
-		t.Errorf("bad base64 predict = %d, want 400", status)
+	status, env = postPredict(t, ts.URL, `{"site":"india","binary_b64":"!!!"}`)
+	if status != http.StatusBadRequest || env.Error == nil || env.Error.Code != CodeBadRequest {
+		t.Errorf("bad base64 predict = %d %+v, want 400 %s", status, env.Error, CodeBadRequest)
 	}
 }
 
@@ -210,23 +279,27 @@ func TestPredictBatch(t *testing.T) {
 		raw, _ := io.ReadAll(resp.Body)
 		t.Fatalf("batch predict = %d: %s", resp.StatusCode, raw)
 	}
-	var br batchResponse
-	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+	var env struct {
+		Data  batchResponse `json:"data"`
+		Error *APIError     `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		t.Fatalf("decoding batch: %v", err)
 	}
+	br := env.Data
 	if len(br.Results) != 4 {
 		t.Fatalf("batch returned %d results, want 4", len(br.Results))
 	}
 	for i := 0; i < 3; i++ {
-		if br.Results[i].Error != "" {
-			t.Errorf("results[%d] failed: %s", i, br.Results[i].Error)
+		if br.Results[i].Error != nil {
+			t.Errorf("results[%d] failed: %+v", i, br.Results[i].Error)
 		}
-		if br.Results[i].Site != "india" {
-			t.Errorf("results[%d].Site = %q, want india", i, br.Results[i].Site)
+		if br.Results[i].Data == nil || br.Results[i].Data.Site != "india" {
+			t.Errorf("results[%d] = %+v, want data for india", i, br.Results[i])
 		}
 	}
-	if br.Results[3].Error == "" {
-		t.Error("results[3] (unknown site) should carry an error")
+	if br.Results[3].Error == nil || br.Results[3].Error.Code != CodeNotFound {
+		t.Errorf("results[3] (unknown site) = %+v, want %s", br.Results[3].Error, CodeNotFound)
 	}
 }
 

@@ -12,9 +12,13 @@ package sitemodel
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"path"
+	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"feam/internal/elfimg"
 	"feam/internal/envmgmt"
@@ -113,6 +117,16 @@ type Site struct {
 
 	fs  *vfs.FS
 	env map[string]string
+
+	// envFP memoizes EnvFingerprint between environment mutations. The
+	// flag and value are atomics only so a reader racing a (contract-
+	// violating) unlocked mutation degrades to a recompute instead of a
+	// torn read; the env map itself still requires external serialization.
+	envFP      atomic.Uint64
+	envFPValid atomic.Bool
+	// envTool memoizes EnvTool detection per filesystem content
+	// generation (same racing-reader rationale as envFP).
+	envTool atomic.Pointer[envToolMemo]
 }
 
 // New creates an empty site with a standard directory skeleton and default
@@ -197,11 +211,37 @@ func (s *Site) Getenv(key string) string { return s.env[key] }
 
 // Setenv sets an environment variable (envmgmt.Environment).
 func (s *Site) Setenv(key, value string) {
+	s.envFPValid.Store(false)
 	if value == "" {
 		delete(s.env, key)
 		return
 	}
 	s.env[key] = value
+}
+
+// EnvFingerprint condenses the environment variables into a hash, memoized
+// until the next Setenv/RestoreEnv. Survey caching compares it on every
+// engine operation, so repeat lookups must not re-sort the environment.
+func (s *Site) EnvFingerprint() uint64 {
+	if s.envFPValid.Load() {
+		return s.envFP.Load()
+	}
+	h := fnv.New64a()
+	keys := make([]string, 0, len(s.env))
+	for k := range s.env {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		io.WriteString(h, k)
+		h.Write([]byte{0})
+		io.WriteString(h, s.env[k])
+		h.Write([]byte{1})
+	}
+	fp := h.Sum64()
+	s.envFP.Store(fp)
+	s.envFPValid.Store(true)
+	return fp
 }
 
 // Environ returns a copy of the environment map.
@@ -419,13 +459,26 @@ func (s *Site) HasInterconnect(name string) bool {
 // (Environment Modules preferred, then SoftEnv), via the same detection a
 // user would perform.
 func (s *Site) EnvTool() envmgmt.Tool {
+	gen := s.fs.ContentGeneration()
+	if m := s.envTool.Load(); m != nil && m.gen == gen {
+		return m.tool
+	}
+	var tool envmgmt.Tool
 	if m := envmgmt.DetectModules(s); m != nil {
-		return m
+		tool = m
+	} else if se := envmgmt.DetectSoftEnv(s); se != nil {
+		tool = se
 	}
-	if se := envmgmt.DetectSoftEnv(s); se != nil {
-		return se
-	}
-	return nil
+	s.envTool.Store(&envToolMemo{gen: gen, tool: tool})
+	return tool
+}
+
+// envToolMemo caches EnvTool detection for one content generation.
+// Detection only probes directory and file existence, so attribute
+// updates never invalidate it.
+type envToolMemo struct {
+	gen  uint64
+	tool envmgmt.Tool
 }
 
 // Snapshot captures the mutable environment so callers can make temporary
@@ -441,6 +494,7 @@ func (s *Site) SnapshotEnv() Snapshot {
 
 // RestoreEnv reinstates a snapshot taken earlier.
 func (s *Site) RestoreEnv(snap Snapshot) {
+	s.envFPValid.Store(false)
 	s.env = make(map[string]string, len(snap.env))
 	for k, v := range snap.env {
 		s.env[k] = v

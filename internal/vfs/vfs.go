@@ -17,6 +17,7 @@ import (
 	"path"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // FileKind distinguishes node types.
@@ -49,6 +50,19 @@ type node struct {
 	target   string           // KindSymlink
 	mode     uint32           // permission bits; 0755 dirs, 0644 files by default
 	attrs    map[string]string
+	// ver is the filesystem generation at which this node was last created
+	// or mutated in place (content replacement, attribute change). TreeStamp
+	// folds it into subtree fingerprints so a same-size content rewrite is
+	// still visible without hashing file data.
+	ver uint64
+	// stampVal caches the node's subtree stamp; it is valid while stampEpoch
+	// equals the filesystem's stamp epoch. Mutations invalidate the cache
+	// along the mutated path's ancestor chain (or bump the epoch when the
+	// path cannot be resolved), so a re-stamp after a single-file change
+	// re-hashes that file and its ancestors while siblings are served from
+	// their caches. Both fields are guarded by FS.stampMu.
+	stampVal   uint64
+	stampEpoch uint64
 }
 
 // FS is an in-memory filesystem rooted at "/". The zero value is not usable;
@@ -59,17 +73,55 @@ type FS struct {
 	// Callers use it as a cheap change detector: equal generations mean no
 	// mutation happened in between. See Generation.
 	gen uint64
+	// contentGen counts every mutation except extended-attribute updates.
+	// See ContentGeneration.
+	contentGen uint64
 	// opHook, when set, runs before every public read or mutation with the
 	// operation name and target path; a non-nil return fails the operation
 	// with that error. It is the fault-injection seam: simulated sites fail
 	// the way real parallel filesystems do, without special-casing any
 	// caller. See SetOpHook.
 	opHook func(op, path string) error
+	// stamps memoizes TreeStamp results keyed by canonical subtree root.
+	// Entries are invalidated by path containment on every mutation, so a
+	// write under /lib64 drops the /lib64 stamp (and any enclosing one)
+	// while leaving sibling subtrees' stamps valid. stampMu guards the memo
+	// maps and the per-node stamp caches, and is held across a whole stamp
+	// computation: concurrent TreeStamp readers are safe (they serialize),
+	// but — like the rest of the filesystem — mutations must not race reads.
+	stampMu sync.Mutex
+	stamps  map[string]uint64
+	// stampEpoch versions the per-node stamp caches: a node's cached stamp
+	// is valid only while its stampEpoch matches. Bumping the epoch is the
+	// wholesale invalidation used when a mutated path cannot be resolved.
+	stampEpoch uint64
+	// cachesLive records that some stamp or resolution cache has ever been
+	// populated, letting mutations on never-stamped filesystems (testbed
+	// construction does millions) skip invalidation entirely.
+	cachesLive bool
+	// resolved caches successful path resolutions for TreeStamp lookups
+	// (path as given by the caller -> canonical path plus the resolved
+	// node). Any mutation that can change how a path resolves — everything
+	// except attribute updates is treated as such — clears it wholesale, so
+	// a cached node pointer is always the node the path still resolves to
+	// (attribute updates mutate nodes in place, never move them); the cache
+	// exists to make repeated stamps of unchanged roots map-lookup cheap,
+	// not to survive structural churn.
+	resolved map[string]resolvedEntry
+}
+
+// resolvedEntry is one resolution-cache record: the canonical path and the
+// node it resolved to.
+type resolvedEntry struct {
+	rp string
+	n  *node
 }
 
 // New returns an empty filesystem containing only the root directory.
 func New() *FS {
-	return &FS{root: &node{kind: KindDir, children: map[string]*node{}, mode: 0o755}}
+	// The stamp epoch starts above zero so a fresh node's zero stampEpoch
+	// always reads as an invalid cache.
+	return &FS{root: &node{kind: KindDir, children: map[string]*node{}, mode: 0o755}, stampEpoch: 1}
 }
 
 // Generation returns the filesystem's mutation counter. It increases on
@@ -77,6 +129,235 @@ func New() *FS {
 // attribute changes), so two equal readings bracket a mutation-free window.
 // Discovery caches key their fingerprints on it.
 func (fs *FS) Generation() uint64 { return fs.gen }
+
+// ContentGeneration is Generation minus extended-attribute updates: it
+// advances on namespace and file-content mutations but not on SetAttr.
+// Caches of derived filesystem facts that never read attributes (directory
+// layouts, search-path membership, tool detection) key on it so they
+// survive attribute churn like simulated banner updates.
+func (fs *FS) ContentGeneration() uint64 { return fs.contentGen }
+
+// mutated records one state change at p: the generation advances and any
+// memoized tree stamp whose subtree contains p (or is contained by it) is
+// dropped. p should be the path the mutation was addressed to; the parent
+// directory is resolved so symlinked prefixes invalidate the canonical
+// subtree. When the canonical location cannot be determined the whole memo
+// is cleared — correctness over retention. attrOnly marks extended-
+// attribute updates, which leave the content generation and the resolution
+// cache intact (attributes cannot change how any path resolves).
+func (fs *FS) mutated(p string, attrOnly bool) {
+	fs.gen++
+	if !attrOnly {
+		fs.contentGen++
+	}
+	fs.stampMu.Lock()
+	defer fs.stampMu.Unlock()
+	if !fs.cachesLive {
+		return
+	}
+	if !attrOnly {
+		clear(fs.resolved)
+	}
+	q := ""
+	if cp, err := clean(p); err == nil {
+		if cp == "/" {
+			q = "/"
+		} else {
+			dir, base := path.Split(cp)
+			if n, rp, err := fs.lookup(dir, true); err == nil && n.kind == KindDir {
+				q = path.Join(rp, base)
+			}
+		}
+	}
+	if q == "" {
+		fs.stampEpoch++
+		clear(fs.stamps)
+		return
+	}
+	fs.clearNodeChain(q)
+	for k := range fs.stamps {
+		if pathContains(k, q) || pathContains(q, k) {
+			delete(fs.stamps, k)
+		}
+	}
+}
+
+// clearNodeChain invalidates the per-node stamp caches along the canonical
+// path q, from the root down to (and including) q's own node. Descendants
+// of a renamed or attribute-touched node keep their caches: their subtree
+// stamps fold only their own names and versions, which the mutation did not
+// change. Caller holds stampMu.
+func (fs *FS) clearNodeChain(q string) {
+	n := fs.root
+	n.stampEpoch = 0
+	for _, name := range splitPath(q) {
+		c, ok := n.children[name]
+		if !ok {
+			return
+		}
+		c.stampEpoch = 0
+		n = c
+	}
+}
+
+// pathContains reports whether the subtree rooted at a contains b (both
+// cleaned absolute paths; a contains itself).
+func pathContains(a, b string) bool {
+	return a == "/" || a == b || strings.HasPrefix(b, a+"/")
+}
+
+// TreeStamp returns a fingerprint of the subtree rooted at p: its shape
+// (names and kinds), file sizes, symlink targets, and per-node mutation
+// versions. Equal stamps mean the subtree is unchanged; any create, write,
+// remove, rename, or attribute change under p yields a new stamp. Stamps
+// are memoized per canonical root and survive mutations elsewhere in the
+// filesystem, which is what makes sharded discovery incremental: after a
+// library upgrade only the affected directory's stamp recomputes.
+func (fs *FS) TreeStamp(p string) (uint64, error) {
+	s, _, err := fs.TreeStampVisit(p, nil)
+	return s, err
+}
+
+// TreeStampVisit is TreeStamp fused with a subtree traversal: when the
+// stamp has to be recomputed, visit (if non-nil) is invoked once per node
+// in the subtree (order unspecified) with the node's parent directory and
+// name. When the stamp is served from the memo no traversal happens and
+// visit never runs; the visited return distinguishes the two. Callers use
+// this to re-derive per-subtree indexes in the same pass that detects the
+// subtree changed, instead of stamping and then walking the same nodes
+// twice. visit runs with the filesystem's stamp lock held and must not
+// call back into the filesystem.
+func (fs *FS) TreeStampVisit(p string, visit func(dir, name string, info FileInfo)) (stamp uint64, visited bool, err error) {
+	if err := fs.opErr("walk", p); err != nil {
+		return 0, false, err
+	}
+	fs.stampMu.Lock()
+	defer fs.stampMu.Unlock()
+	ent, haveEnt := fs.resolved[p]
+	if haveEnt {
+		if s, ok := fs.stamps[ent.rp]; ok {
+			return s, false, nil
+		}
+	}
+	n, rp := ent.n, ent.rp
+	if !haveEnt {
+		var lerr error
+		n, rp, lerr = fs.lookup(p, true)
+		if lerr != nil {
+			return 0, false, &PathError{Op: "stamp", Path: p, Err: lerr}
+		}
+	}
+	s := stampNode(path.Dir(rp), path.Base(rp), n, visit, fs.stampEpoch)
+	if fs.stamps == nil {
+		fs.stamps = map[string]uint64{}
+	}
+	if fs.resolved == nil {
+		fs.resolved = map[string]resolvedEntry{}
+	}
+	fs.stamps[rp] = s
+	fs.resolved[p] = resolvedEntry{rp: rp, n: n}
+	fs.cachesLive = true
+	return s, true, nil
+}
+
+// FNV-1a, inlined: stamping is on the survey hot path, and going through
+// hash.Hash costs an interface dispatch and a byte-slice conversion per
+// field, which profiles as a large share of an incremental re-survey.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvString folds a string into the hash eight bytes per multiply round
+// (instead of one): entry names are hashed for every node of a re-stamped
+// subtree, so the byte-wise schedule showed up in fleet re-survey profiles.
+func fnvString(h uint64, s string) uint64 {
+	for len(s) >= 8 {
+		v := uint64(s[0]) | uint64(s[1])<<8 | uint64(s[2])<<16 | uint64(s[3])<<24 |
+			uint64(s[4])<<32 | uint64(s[5])<<40 | uint64(s[6])<<48 | uint64(s[7])<<56
+		h = (h ^ v) * fnvPrime64
+		s = s[8:]
+	}
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+// fnvUint64 folds a 64-bit value into the hash in two rounds (halves
+// instead of bytes): stamping mixes two of these per node, and the byte-wise
+// schedule was measurable across a fleet re-survey. Two multiply rounds
+// disperse counters and sizes just as well for fingerprinting purposes.
+func fnvUint64(h, v uint64) uint64 {
+	h = (h ^ (v & 0xffffffff)) * fnvPrime64
+	return (h ^ (v >> 32)) * fnvPrime64
+}
+
+// stampNode folds one node (and, for directories, its children) into a
+// subtree stamp, forwarding each node to visit when set. Children are
+// combined commutatively (a wrapping sum of their subtree stamps) so no
+// per-directory name sort or allocation is needed; each child's stamp
+// covers its own name, which keeps renames visible. dir is the node's
+// parent directory — child path prefixes are only materialized for
+// directories, so a visit that filters by name stays allocation-light.
+// Nodes whose cached stamp is still valid under epoch are not re-hashed;
+// with a visitor they are traversed visit-only, so the callback still sees
+// every node of the subtree. Caller holds stampMu.
+func stampNode(dir, name string, n *node, visit func(dir, name string, info FileInfo), epoch uint64) uint64 {
+	if n.stampEpoch == epoch {
+		if visit != nil {
+			visitSubtree(dir, name, n, visit)
+		}
+		return n.stampVal
+	}
+	h := fnvString(fnvOffset64, name)
+	h = (h ^ uint64(n.kind)) * fnvPrime64
+	h = fnvUint64(h, n.ver)
+	if visit != nil {
+		// Path is deliberately left empty: joining dir and name for every
+		// node would defeat the single-pass design, and most visitors
+		// filter by name before caring about the full path.
+		fi := FileInfo{Name: name, Kind: n.kind, Target: n.target}
+		if n.kind == KindFile {
+			fi.Size = len(n.data)
+		}
+		visit(dir, name, fi)
+	}
+	switch n.kind {
+	case KindFile:
+		h = fnvUint64(h, uint64(len(n.data)))
+	case KindSymlink:
+		h = fnvString(h, n.target)
+	case KindDir:
+		var sub string
+		if visit != nil && len(n.children) > 0 {
+			sub = path.Join(dir, name)
+		}
+		var sum uint64
+		for cname, c := range n.children {
+			sum += stampNode(sub, cname, c, visit, epoch)
+		}
+		h = fnvUint64(h, sum)
+	}
+	n.stampVal, n.stampEpoch = h, epoch
+	return h
+}
+
+// visitSubtree replays the visit callbacks for a subtree served from the
+// per-node stamp cache: the same traversal as stampNode, minus the hashing.
+func visitSubtree(dir, name string, n *node, visit func(dir, name string, info FileInfo)) {
+	fi := FileInfo{Name: name, Kind: n.kind, Target: n.target}
+	if n.kind == KindFile {
+		fi.Size = len(n.data)
+	}
+	visit(dir, name, fi)
+	if n.kind == KindDir && len(n.children) > 0 {
+		sub := path.Join(dir, name)
+		for cname, c := range n.children {
+			visitSubtree(sub, cname, c, visit)
+		}
+	}
+}
 
 // SetOpHook installs (or, with nil, clears) the fault-injection hook. The
 // hook is consulted at the top of every public read and mutation; returning
@@ -215,8 +496,10 @@ func (fs *FS) Mkdir(p string) error {
 	if _, ok := parent.children[base]; ok {
 		return &PathError{Op: "mkdir", Path: p, Err: ErrExist}
 	}
-	parent.children[base] = &node{kind: KindDir, children: map[string]*node{}, mode: 0o755}
-	fs.gen++
+	nn := &node{kind: KindDir, children: map[string]*node{}, mode: 0o755}
+	parent.children[base] = nn
+	fs.mutated(p, false)
+	nn.ver = fs.gen
 	return nil
 }
 
@@ -236,24 +519,26 @@ func (fs *FS) mkdirAll(p string) error {
 	if err != nil {
 		return &PathError{Op: "mkdir", Path: p, Err: err}
 	}
-	cur := fs.root
+	cur, curPath := fs.root, "/"
 	for _, name := range splitPath(cp) {
+		childPath := path.Join(curPath, name)
 		child, ok := cur.children[name]
 		if !ok {
 			child = &node{kind: KindDir, children: map[string]*node{}, mode: 0o755}
 			cur.children[name] = child
-			fs.gen++
+			fs.mutated(childPath, false)
+			child.ver = fs.gen
 		} else if child.kind == KindSymlink {
-			resolved, _, err := fs.lookup(path.Join("/", name), true)
+			resolved, rp, err := fs.lookup(childPath, true)
 			if err != nil {
 				return &PathError{Op: "mkdir", Path: p, Err: err}
 			}
-			child = resolved
+			child, childPath = resolved, rp
 		}
 		if child.kind != KindDir {
 			return &PathError{Op: "mkdir", Path: p, Err: ErrNotDir}
 		}
-		cur = child
+		cur, curPath = child, childPath
 	}
 	return nil
 }
@@ -279,8 +564,10 @@ func (fs *FS) WriteFile(p string, data []byte) error {
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	parent.children[base] = &node{kind: KindFile, data: buf, mode: 0o644}
-	fs.gen++
+	nn := &node{kind: KindFile, data: buf, mode: 0o644}
+	parent.children[base] = nn
+	fs.mutated(cp, false)
+	nn.ver = fs.gen
 	return nil
 }
 
@@ -339,8 +626,10 @@ func (fs *FS) Symlink(target, linkPath string) error {
 	if _, ok := parent.children[base]; ok {
 		return &PathError{Op: "symlink", Path: linkPath, Err: ErrExist}
 	}
-	parent.children[base] = &node{kind: KindSymlink, target: target, mode: 0o777}
-	fs.gen++
+	nn := &node{kind: KindSymlink, target: target, mode: 0o777}
+	parent.children[base] = nn
+	fs.mutated(linkPath, false)
+	nn.ver = fs.gen
 	return nil
 }
 
@@ -370,7 +659,7 @@ func (fs *FS) Remove(p string) error {
 		return &PathError{Op: "remove", Path: p, Err: fmt.Errorf("directory not empty")}
 	}
 	delete(parent.children, base)
-	fs.gen++
+	fs.mutated(p, false)
 	return nil
 }
 
@@ -391,7 +680,7 @@ func (fs *FS) RemoveAll(p string) error {
 		return nil
 	}
 	delete(parent.children, base)
-	fs.gen++
+	fs.mutated(p, false)
 	return nil
 }
 
@@ -430,8 +719,9 @@ func (fs *FS) Rename(oldp, newp string) error {
 		return &PathError{Op: "rename", Path: newp, Err: ErrInvalidPath}
 	}
 	delete(oparent.children, obase)
+	fs.mutated(oldp, false)
 	nparent.children[nbase] = moving
-	fs.gen++
+	fs.mutated(cp, false)
 	return nil
 }
 
@@ -534,7 +824,7 @@ func (fs *FS) SetAttr(p, key, value string) error {
 	if err := fs.opErr("setattr", p); err != nil {
 		return err
 	}
-	n, _, err := fs.lookup(p, true)
+	n, rp, err := fs.lookup(p, true)
 	if err != nil {
 		return &PathError{Op: "setattr", Path: p, Err: err}
 	}
@@ -542,7 +832,8 @@ func (fs *FS) SetAttr(p, key, value string) error {
 		n.attrs = map[string]string{}
 	}
 	n.attrs[key] = value
-	fs.gen++
+	fs.mutated(rp, true)
+	n.ver = fs.gen
 	return nil
 }
 
@@ -562,12 +853,37 @@ func (fs *FS) Attrs(p string) map[string]string {
 
 // Attr reads an extended attribute; ok is false when absent.
 func (fs *FS) Attr(p, key string) (value string, ok bool) {
-	n, _, err := fs.lookup(p, true)
-	if err != nil || n.attrs == nil {
+	n := fs.resolveCached(p)
+	if n == nil || n.attrs == nil {
 		return "", false
 	}
 	value, ok = n.attrs[key]
 	return value, ok
+}
+
+// resolveCached resolves p through the resolution cache, falling back to
+// (and priming the cache with) a full lookup. Only successful resolutions
+// are cached; structural mutations clear the cache wholesale, so a cached
+// node is always the node p still resolves to.
+func (fs *FS) resolveCached(p string) *node {
+	fs.stampMu.Lock()
+	ent, ok := fs.resolved[p]
+	fs.stampMu.Unlock()
+	if ok {
+		return ent.n
+	}
+	n, rp, err := fs.lookup(p, true)
+	if err != nil {
+		return nil
+	}
+	fs.stampMu.Lock()
+	if fs.resolved == nil {
+		fs.resolved = map[string]resolvedEntry{}
+	}
+	fs.resolved[p] = resolvedEntry{rp: rp, n: n}
+	fs.cachesLive = true
+	fs.stampMu.Unlock()
+	return n
 }
 
 // WalkFunc visits an entry during Walk. Returning SkipDir for a directory

@@ -2,6 +2,7 @@ package vfs
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -604,5 +605,96 @@ func TestOpHookInjectsFailures(t *testing.T) {
 	}
 	if len(want) > 0 {
 		t.Errorf("hook did not observe ops %v (saw %v)", want, ops)
+	}
+}
+
+// TestTreeStamp pins the subtree-fingerprint contract sharded discovery
+// depends on: stable across reads, changed by any mutation under the root
+// (including same-size content rewrites and attribute changes), and
+// untouched by mutations in sibling subtrees.
+func TestTreeStamp(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/lib64/libc.so.6", []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/opt/stack/lib/libmpi.so.0", []byte("mpi")); err != nil {
+		t.Fatal(err)
+	}
+	lib1, err := fs.TreeStamp("/lib64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt1, err := fs.TreeStamp("/opt/stack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib2, _ := fs.TreeStamp("/lib64"); lib2 != lib1 {
+		t.Fatalf("stamp unstable across reads: %#x vs %#x", lib2, lib1)
+	}
+
+	// Same-size content rewrite must change the stamp.
+	if err := fs.WriteFile("/lib64/libc.so.6", []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	lib2, err := fs.TreeStamp("/lib64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib2 == lib1 {
+		t.Fatal("same-size rewrite did not change the stamp")
+	}
+	// ... while the sibling subtree keeps its stamp.
+	if opt2, _ := fs.TreeStamp("/opt/stack"); opt2 != opt1 {
+		t.Fatalf("sibling subtree stamp changed: %#x vs %#x", opt2, opt1)
+	}
+
+	// Attribute changes are mutations too.
+	if err := fs.SetAttr("/lib64/libc.so.6", "exec.output", "banner"); err != nil {
+		t.Fatal(err)
+	}
+	lib3, _ := fs.TreeStamp("/lib64")
+	if lib3 == lib2 {
+		t.Fatal("SetAttr did not change the stamp")
+	}
+
+	// Creations, removals, and symlinks under the root all invalidate.
+	if err := fs.Symlink("libc.so.6", "/lib64/libc.so"); err != nil {
+		t.Fatal(err)
+	}
+	lib4, _ := fs.TreeStamp("/lib64")
+	if lib4 == lib3 {
+		t.Fatal("symlink creation did not change the stamp")
+	}
+	if err := fs.Remove("/lib64/libc.so"); err != nil {
+		t.Fatal(err)
+	}
+	lib5, _ := fs.TreeStamp("/lib64")
+	if lib5 == lib4 {
+		t.Fatal("removal did not change the stamp")
+	}
+
+	// A rename into the subtree invalidates it.
+	if err := fs.WriteFile("/tmp/new.so", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/tmp/new.so", "/opt/stack/lib/new.so"); err != nil {
+		t.Fatal(err)
+	}
+	if opt3, _ := fs.TreeStamp("/opt/stack"); opt3 == opt1 {
+		t.Fatal("rename into subtree did not change the stamp")
+	}
+
+	// Missing roots error; fault hooks apply.
+	if _, err := fs.TreeStamp("/absent"); err == nil {
+		t.Fatal("TreeStamp on a missing root should fail")
+	}
+	fs.SetOpHook(func(op, p string) error {
+		if op == "walk" {
+			return fmt.Errorf("injected")
+		}
+		return nil
+	})
+	if _, err := fs.TreeStamp("/lib64"); err == nil {
+		t.Fatal("TreeStamp should consult the fault hook")
 	}
 }
