@@ -70,14 +70,15 @@ scenario:
 	$(GO) test -race -count=1 ./internal/scenario/
 
 # Bounded fuzzing smoke run over the attacker-facing parsers: the ELF
-# reader, the soname/symbol-version parsers, and the scenario YAML
-# loader. The go tool accepts one -fuzz pattern per invocation, hence the
-# separate runs.
+# reader, the soname/symbol-version parsers, the scenario YAML loader,
+# and the ABI symbol-index builder. The go tool accepts one -fuzz
+# pattern per invocation, hence the separate runs.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzParseSoname -fuzztime $(FUZZTIME) ./internal/libver/
 	$(GO) test -run xxx -fuzz FuzzSymverRequirements -fuzztime $(FUZZTIME) ./internal/libver/
 	$(GO) test -run xxx -fuzz FuzzParseELF -fuzztime $(FUZZTIME) ./internal/elfimg/
 	$(GO) test -run xxx -fuzz FuzzScenarioYAML -fuzztime $(FUZZTIME) ./internal/scenario/
+	$(GO) test -run xxx -fuzz FuzzSymbolIndex -fuzztime $(FUZZTIME) ./internal/abicheck/
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
@@ -87,10 +88,11 @@ bench:
 # layering benchmarks (registry hit rate, store commit latency).
 BENCH_PKGS = . ./internal/registry ./internal/store
 
-# Full benchmark run rendered to committed JSON. BENCH_PR9.json carries
-# the sharded-survey throughput and View allocs/op numbers for this PR.
+# Full benchmark run rendered to committed JSON. BENCH_PR10.json carries
+# the ABI-resolve (cold vs registry-cached, 0-alloc streaming resolve)
+# numbers for this PR alongside the survey-throughput suite.
 bench-json:
-	$(GO) test -run xxx -bench . -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -out BENCH_PR9.json
+	$(GO) test -run xxx -bench . -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -out BENCH_PR10.json
 
 # Fold every committed BENCH_*.json into one trajectory array, oldest PR
 # first, so numbers are diffable across PRs.
@@ -99,8 +101,9 @@ bench-trajectory:
 
 # Quick CI variant: a fixed tiny iteration count proves the benchmarks
 # and the JSON renderer still work without paying for stable numbers,
-# and the AllocsPerRun gate fails the job if the zero-copy View accessor
-# path ever allocates again.
+# and the AllocsPerRun gates fail the job if the zero-copy View accessor
+# path or the cached ABI resolve path ever allocates again.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 10x -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -out BENCH_smoke.json
 	$(GO) test -run 'TestViewParseAllocs' -count=1 -v ./internal/elfimg/
+	$(GO) test -run 'TestABIResolveAllocs' -count=1 -v ./internal/abicheck/

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"feam/internal/abicheck"
 	"feam/internal/elfimg"
 	"feam/internal/execsim"
 	"feam/internal/experiment"
@@ -549,6 +550,71 @@ func BenchmarkSurveyFleet(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(len(sites))*float64(b.N)/b.Elapsed().Seconds(), "sites/s")
+	})
+}
+
+// BenchmarkABIResolve measures the ABI symbol-resolution analyzer over
+// the 120-site mixed-ISA fleet with a real compiled MPI binary: cold
+// (every site index built from a walk of the site's library roots)
+// against the engine's registry-cached path (indexes stamped by env
+// fingerprint and vfs generation, built once). The cached-resolve
+// variant isolates the streaming resolver on a prebuilt index and a
+// pre-parsed view — run with -benchmem, its allocs/op column is the
+// number CI's bench-smoke gate pins at zero.
+func BenchmarkABIResolve(b *testing.B) {
+	fleet := fleetTestbed(b)
+	tb := benchTestbed(b)
+	art := compileBench(b, tb, "india", "openmpi-1.4-gnu", "cg")
+	ctx := context.Background()
+	sites := fleet.Sites
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := feam.New()
+			for _, site := range sites {
+				if _, err := eng.ABICheck(ctx, site, art.Bytes, art.Name, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(sites))*float64(b.N)/b.Elapsed().Seconds(), "sites/s")
+	})
+	b.Run("registry-cached", func(b *testing.B) {
+		eng := feam.New()
+		for _, site := range sites {
+			if _, err := eng.ABICheck(ctx, site, art.Bytes, art.Name, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, site := range sites {
+				if _, err := eng.ABICheck(ctx, site, art.Bytes, art.Name, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(sites))*float64(b.N)/b.Elapsed().Seconds(), "sites/s")
+	})
+	b.Run("cached-resolve", func(b *testing.B) {
+		ix := abicheck.BuildIndex(fleet.ByName["grid-0"], nil, 0)
+		var p elfimg.Parser
+		v, err := p.Parse(art.Bytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sink int
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix.Resolve(v, func(name, version []byte, verdict abicheck.Verdict, provider string) bool {
+				sink += len(name) + int(verdict)
+				return true
+			})
+		}
+		if sink == 0 {
+			b.Fatal("resolver observed no symbols")
+		}
 	})
 }
 

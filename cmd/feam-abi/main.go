@@ -1,0 +1,167 @@
+// Command feam-abi runs the symbol-level ABI static analyzer: it resolves
+// every undefined dynamic symbol of a binary against each site's
+// exported-symbol index and reports per-symbol verdicts (resolved,
+// missing, version-mismatch, class-conflict). With -agreement it also
+// runs the independent soname-closure checker over the same binary and
+// reports whether the two tools agree — the cross-tool measurement of
+// Sochat & Haines (arXiv:2212.03364).
+//
+// By default the analyzer checks a built-in minimal probe binary against
+// every site of the paper's simulated testbed; -bin substitutes a real
+// binary image, -fleet a YAML fleet (the feam-sim format), and -site
+// narrows the sweep to one site.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"feam/internal/abicheck"
+	"feam/internal/elfimg"
+	"feam/internal/feam"
+	"feam/internal/scenario"
+	"feam/internal/testbed"
+)
+
+type abiConfig struct {
+	fleet     string
+	site      string
+	bin       string
+	name      string
+	agreement bool
+	jsonOut   bool
+}
+
+func main() {
+	var cfg abiConfig
+	flag.StringVar(&cfg.fleet, "fleet", "", "YAML fleet file (feam-sim format); default is the paper testbed")
+	flag.StringVar(&cfg.site, "site", "", "check one site by name; default sweeps the whole fleet")
+	flag.StringVar(&cfg.bin, "bin", "", "binary image to resolve; default is a built-in minimal probe binary")
+	flag.StringVar(&cfg.name, "name", "", "binary name used in reports (default: basename of -bin, or \"app\")")
+	flag.BoolVar(&cfg.agreement, "agreement", true, "also run the independent soname-closure checker and report agreement")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the full per-symbol reports as a JSON array")
+	flag.Parse()
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "feam-abi:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg abiConfig) error {
+	bin, name, err := loadBinary(cfg)
+	if err != nil {
+		return err
+	}
+	tb, err := buildFleet(cfg.fleet)
+	if err != nil {
+		return err
+	}
+	sites := tb.Sites
+	if cfg.site != "" {
+		site, ok := tb.ByName[cfg.site]
+		if !ok {
+			return fmt.Errorf("unknown site %q", cfg.site)
+		}
+		sites = sites[:0:0]
+		sites = append(sites, site)
+	}
+
+	eng := feam.New()
+	reports := make([]*abicheck.Report, 0, len(sites))
+	refused := 0
+	for _, site := range sites {
+		report, err := eng.ABICheck(context.Background(), site, bin, name, cfg.agreement)
+		if err != nil {
+			return fmt.Errorf("site %s: %w", site.Name, err)
+		}
+		reports = append(reports, report)
+		if !report.OK() {
+			refused++
+		}
+	}
+
+	if cfg.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	} else {
+		for _, r := range reports {
+			fmt.Printf("%-12s %s\n", r.Site, r.Summary())
+			if r.Agreement != nil && !r.Agreement.Agree {
+				fmt.Printf("%-12s   tools disagree: %s\n", "", r.Agreement.Detail)
+			}
+			if !r.OK() {
+				for _, line := range r.Diff() {
+					fmt.Printf("%-12s   %s\n", "", line)
+				}
+			}
+		}
+	}
+	if refused > 0 {
+		// Distinct exit code so scripts can branch on "analysis ran but
+		// some site refuses the binary" without parsing output.
+		os.Exit(2)
+	}
+	return nil
+}
+
+// loadBinary reads -bin, or synthesizes the same minimal probe binary the
+// server uses for binary-less requests.
+func loadBinary(cfg abiConfig) ([]byte, string, error) {
+	if cfg.bin == "" {
+		// The probe imports libc's base-version exports plus unversioned
+		// malloc, so the default run exercises every lookup path of the
+		// resolver rather than reporting an empty symbol table.
+		img := elfimg.MustBuild(elfimg.Spec{
+			Class: elfimg.Class64, Machine: elfimg.EMX8664, Type: elfimg.TypeExec,
+			Interp: "/lib64/ld-linux-x86-64.so.2",
+			Needed: []string{"libc.so.6"},
+			VerNeeds: []elfimg.VerNeed{
+				{File: "libc.so.6", Versions: []string{"GLIBC_2.0", "GLIBC_2.3.4"}},
+			},
+			Imports: []elfimg.ImportedSymbol{
+				{Name: "printf", Version: "GLIBC_2.0", Library: "libc.so.6"},
+				{Name: "exit", Version: "GLIBC_2.0", Library: "libc.so.6"},
+				{Name: "memcpy", Version: "GLIBC_2.3.4", Library: "libc.so.6"},
+				{Name: "malloc"},
+			},
+		})
+		name := cfg.name
+		if name == "" {
+			name = "app"
+		}
+		return img, name, nil
+	}
+	data, err := os.ReadFile(cfg.bin)
+	if err != nil {
+		return nil, "", err
+	}
+	name := cfg.name
+	if name == "" {
+		name = filepath.Base(cfg.bin)
+	}
+	return data, name, nil
+}
+
+// buildFleet materializes the site set: a YAML fleet when -fleet is given,
+// the paper's simulated testbed otherwise.
+func buildFleet(path string) (*testbed.Testbed, error) {
+	if path == "" {
+		return testbed.Build()
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := scenario.LoadFleet(data)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.BuildFleet(fs)
+}

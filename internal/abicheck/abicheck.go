@@ -1,0 +1,315 @@
+// Package abicheck is a whole-fleet static analyzer over ELF dynamic-link
+// state: it extracts a binary's undefined dynamic symbols and versioned
+// requirements with the zero-copy elfimg.View walkers, builds a per-site
+// index of every exported symbol the site's shared libraries define, and
+// resolves each import to a per-symbol verdict. Where the paper's
+// determinant ladder (and the ldso probe path) stop at soname presence,
+// abicheck proves the symbols actually bind — the binary-level
+// compatibility notion of Sochat & Haines (arXiv:2212.03364) and the MPI
+// ABI standardization effort (arXiv:2308.11214).
+//
+// The package is engine-agnostic: it sees a sitemodel.Site's filesystem
+// and environment, never the feam engine. Caching (the KindSymIndex
+// registry/store layer) and determinant wiring live in internal/feam.
+package abicheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"feam/internal/elfimg"
+	"feam/internal/envmgmt"
+	"feam/internal/sitemodel"
+	"feam/internal/vfs"
+)
+
+// Verdict classifies one imported symbol against a site index.
+type Verdict uint8
+
+const (
+	// VerdictResolved: a provider with the right ELF class/machine exports
+	// the symbol at the requested version (or any version, for an
+	// unversioned import).
+	VerdictResolved Verdict = iota
+	// VerdictMissing: no site library exports the symbol name at all.
+	VerdictMissing
+	// VerdictVersionMismatch: the name is exported, but never at the
+	// requested version — the classic symbol-version migration failure.
+	VerdictVersionMismatch
+	// VerdictClassConflict: the only exporters are ELF objects of a
+	// different class or machine than the binary — the name exists on the
+	// site but could never bind into this process image.
+	VerdictClassConflict
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictResolved:
+		return "resolved"
+	case VerdictMissing:
+		return "missing"
+	case VerdictVersionMismatch:
+		return "version-mismatch"
+	case VerdictClassConflict:
+		return "class-conflict"
+	default:
+		return fmt.Sprintf("verdict-%d", uint8(v))
+	}
+}
+
+// MarshalText renders the verdict name into JSON reports.
+func (v Verdict) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
+// UnmarshalText parses the verdict name back out of a JSON report.
+func (v *Verdict) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "resolved":
+		*v = VerdictResolved
+	case "missing":
+		*v = VerdictMissing
+	case "version-mismatch":
+		*v = VerdictVersionMismatch
+	case "class-conflict":
+		*v = VerdictClassConflict
+	default:
+		return fmt.Errorf("abicheck: unknown verdict %q", text)
+	}
+	return nil
+}
+
+// provider is one indexed shared object.
+type provider struct {
+	path string
+	cls  elfimg.Class
+	mach elfimg.Machine
+}
+
+// Index is the per-site exported-symbol table. Lookups are two direct
+// map indexes keyed by string(name)/string(version) byte-slice
+// conversions, which the compiler performs without allocating — the
+// cached resolve path is 0 allocs/op.
+type Index struct {
+	site      string
+	stamp     uint64
+	providers []provider
+	// plain maps a symbol name to every provider exporting it at any
+	// version; exact narrows to providers exporting a specific version.
+	plain   map[string][]int32
+	exact   map[string]map[string][]int32
+	symbols int
+}
+
+// Site returns the name the index was built for.
+func (ix *Index) Site() string { return ix.site }
+
+// Stamp returns the env-fingerprint/vfs-generation stamp recorded at
+// build time (zero when the builder was fed directly).
+func (ix *Index) Stamp() uint64 { return ix.stamp }
+
+// Libraries returns the number of indexed shared objects.
+func (ix *Index) Libraries() int { return len(ix.providers) }
+
+// Symbols returns the number of distinct exported symbol names.
+func (ix *Index) Symbols() int { return ix.symbols }
+
+// IndexBuilder accumulates shared objects into an Index. It reuses one
+// elfimg.Parser across objects; name and version bytes are copied out of
+// the parser's view before the next Parse, so the finished Index owns
+// its strings.
+type IndexBuilder struct {
+	parser elfimg.Parser
+	seen   map[string]bool
+	ix     *Index
+}
+
+// NewIndexBuilder starts an index for the named site.
+func NewIndexBuilder(site string, stamp uint64) *IndexBuilder {
+	return &IndexBuilder{
+		seen: map[string]bool{},
+		ix: &Index{
+			site:  site,
+			stamp: stamp,
+			plain: map[string][]int32{},
+			exact: map[string]map[string][]int32{},
+		},
+	}
+}
+
+// AddObject parses one candidate file and indexes its exports. Non-ELF
+// data, executables, and symbol-less images are skipped silently: lib
+// directories legitimately hold linker scripts and text stubs, and the
+// builder must never reject a site for unreadable bystander files.
+func (b *IndexBuilder) AddObject(path string, data []byte) {
+	v, err := b.parser.Parse(data)
+	if err != nil || v.Type() != elfimg.TypeDyn {
+		return
+	}
+	b.AddView(path, v)
+}
+
+// AddView indexes the exports of an already-parsed view.
+func (b *IndexBuilder) AddView(path string, v *elfimg.View) {
+	id := int32(len(b.ix.providers))
+	b.ix.providers = append(b.ix.providers, provider{
+		path: path, cls: v.Class(), mach: v.Machine(),
+	})
+	used := false
+	v.Exports(func(name, version []byte) bool {
+		used = true
+		n := string(name)
+		if _, ok := b.ix.plain[n]; !ok {
+			b.ix.symbols++
+		}
+		b.ix.plain[n] = append(b.ix.plain[n], id)
+		if len(version) > 0 {
+			vm := b.ix.exact[n]
+			if vm == nil {
+				vm = map[string][]int32{}
+				b.ix.exact[n] = vm
+			}
+			vm[string(version)] = append(vm[string(version)], id)
+		}
+		return true
+	})
+	if !used {
+		// No exports: drop the provider again so Libraries() counts only
+		// objects that contribute to the symbol surface.
+		b.ix.providers = b.ix.providers[:id]
+	}
+}
+
+// Index returns the accumulated index.
+func (b *IndexBuilder) Index() *Index { return b.ix }
+
+// Roots lists the directories whose shared objects form a site's symbol
+// surface: LD_LIBRARY_PATH entries (so a loaded MPI stack's libraries
+// are indexed), the ld.so.conf default directories, and each installed
+// package's /opt/<pkg>/lib — the same universe the survey shards cover.
+func Roots(site *sitemodel.Site) []string {
+	var roots []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if d != "" && !seen[d] {
+			seen[d] = true
+			roots = append(roots, d)
+		}
+	}
+	for _, d := range envmgmt.SplitPathVar(site.Getenv("LD_LIBRARY_PATH")) {
+		add(d)
+	}
+	for _, d := range site.DefaultLibDirs() {
+		add(d)
+	}
+	if entries, err := site.FS().ReadDir("/opt"); err == nil {
+		for _, ent := range entries {
+			add("/opt/" + ent.Name + "/lib")
+		}
+	}
+	sort.Strings(roots)
+	return roots
+}
+
+// BuildIndex walks the given roots (Roots(site) when nil) and indexes
+// every shared object found. Files appearing under multiple names
+// (soname and development symlinks) are indexed once, under their
+// resolved path.
+func BuildIndex(site *sitemodel.Site, roots []string, stamp uint64) *Index {
+	if roots == nil {
+		roots = Roots(site)
+	}
+	b := NewIndexBuilder(site.Name, stamp)
+	fs := site.FS()
+	for _, root := range roots {
+		_ = fs.Walk(root, func(p string, info vfs.FileInfo) error {
+			if info.Kind == vfs.KindDir || !strings.Contains(info.Name, ".so") {
+				return nil
+			}
+			real, err := fs.ResolvePath(p)
+			if err != nil {
+				real = p
+			}
+			if b.seen[real] {
+				return nil
+			}
+			b.seen[real] = true
+			data, err := fs.ReadFileShared(real)
+			if err != nil {
+				return nil
+			}
+			b.AddObject(real, data)
+			return nil
+		})
+	}
+	return b.ix
+}
+
+// lookup classifies one import. The map indexes convert byte slices in
+// place (no allocation); provider paths are pre-existing strings.
+func (ix *Index) lookup(name, version []byte, cls elfimg.Class, mach elfimg.Machine) (Verdict, string) {
+	ids := ix.plain[string(name)]
+	if len(ids) == 0 {
+		return VerdictMissing, ""
+	}
+	if len(version) == 0 {
+		if id, ok := ix.firstCompatible(ids, cls, mach); ok {
+			return VerdictResolved, ix.providers[id].path
+		}
+		return VerdictClassConflict, ix.providers[ids[0]].path
+	}
+	if vm := ix.exact[string(name)]; vm != nil {
+		if vids := vm[string(version)]; len(vids) > 0 {
+			if id, ok := ix.firstCompatible(vids, cls, mach); ok {
+				return VerdictResolved, ix.providers[id].path
+			}
+			return VerdictClassConflict, ix.providers[vids[0]].path
+		}
+	}
+	if _, ok := ix.firstCompatible(ids, cls, mach); ok {
+		return VerdictVersionMismatch, ix.providers[ids[0]].path
+	}
+	return VerdictClassConflict, ix.providers[ids[0]].path
+}
+
+func (ix *Index) firstCompatible(ids []int32, cls elfimg.Class, mach elfimg.Machine) (int32, bool) {
+	for _, id := range ids {
+		p := &ix.providers[id]
+		if p.cls == cls && p.mach == mach {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// Provides reports whether a compatible provider exports the named
+// symbol (at any version).
+func (ix *Index) Provides(name string, cls elfimg.Class, mach elfimg.Machine) bool {
+	_, ok := ix.firstCompatible(ix.plain[name], cls, mach)
+	return ok
+}
+
+// ProvidesAll reports whether every named symbol has a compatible
+// provider — the "standardized symbol surface" test behind the
+// ABI-standard MPI stack class.
+func (ix *Index) ProvidesAll(names []string, cls elfimg.Class, mach elfimg.Machine) bool {
+	for _, n := range names {
+		if !ix.Provides(n, cls, mach) {
+			return false
+		}
+	}
+	return true
+}
+
+// Resolve streams per-symbol verdicts for every imported dynamic symbol
+// of v, in symbol-table order, until fn returns false. name and version
+// alias v's underlying data and must not be retained; provider is the
+// exporting object's path ("" for missing symbols). The walk performs
+// no allocations — this is the registry-cached hot path the
+// BenchmarkABIResolve gate pins at 0 allocs/op.
+func (ix *Index) Resolve(v *elfimg.View, fn func(name, version []byte, verdict Verdict, provider string) bool) {
+	cls, mach := v.Class(), v.Machine()
+	v.Imports(func(sym elfimg.SymbolRef) bool {
+		verdict, prov := ix.lookup(sym.Name, sym.Version, cls, mach)
+		return fn(sym.Name, sym.Version, verdict, prov)
+	})
+}

@@ -1,0 +1,136 @@
+package abicheck
+
+import (
+	"fmt"
+	"testing"
+
+	"feam/internal/elfimg"
+	"feam/internal/ldso"
+	"feam/internal/vfs"
+)
+
+// fuzzLibSeeds are realistic shared libraries rendered by the elfimg
+// builder — verdef tables, versioned and unversioned exports, both
+// classes — so mutation starts from inputs the defined-symbol and verdef
+// walkers actually accept.
+func fuzzLibSeeds() [][]byte {
+	seeds := [][]byte{
+		nil,
+		[]byte("\x7fELF"),
+		[]byte("not a library"),
+	}
+	specs := []elfimg.Spec{
+		{Class: elfimg.Class64, Machine: elfimg.EMX8664, Type: elfimg.TypeDyn,
+			Soname:  "libc.so.6",
+			VerDefs: []string{"libc.so.6", "GLIBC_2.0", "GLIBC_2.3.4"},
+			Exports: []elfimg.ExportedSymbol{
+				{Name: "printf", Version: "GLIBC_2.0"},
+				{Name: "malloc", Version: "GLIBC_2.0"},
+				{Name: "memcpy", Version: "GLIBC_2.3.4"},
+			}},
+		{Class: elfimg.Class64, Machine: elfimg.EMX8664, Type: elfimg.TypeDyn,
+			Soname:  "libmpich.so.1",
+			Needed:  []string{"libc.so.6"},
+			VerDefs: []string{"libmpich.so.1", "MPICH_1.2"},
+			Exports: []elfimg.ExportedSymbol{
+				{Name: "MPI_Init", Version: "MPICH_1.2"},
+				{Name: "MPI_Finalize"},
+			}},
+		{Class: elfimg.Class32, Machine: elfimg.EM386, Type: elfimg.TypeDyn,
+			Soname:  "libm.so.6",
+			VerDefs: []string{"libm.so.6", "GLIBC_2.0"},
+			Exports: []elfimg.ExportedSymbol{{Name: "sqrt", Version: "GLIBC_2.0"}}},
+	}
+	for _, spec := range specs {
+		seeds = append(seeds, elfimg.MustBuild(spec))
+	}
+	return seeds
+}
+
+// fuzzProbe is the fixed binary every fuzzed index resolves: a versioned
+// import, unversioned imports, and a symbol nothing provides, so every
+// verdict class is reachable depending on what the mutated library still
+// exports.
+func fuzzProbe() []byte {
+	return elfimg.MustBuild(elfimg.Spec{
+		Class: elfimg.Class64, Machine: elfimg.EMX8664, Type: elfimg.TypeExec,
+		Interp: "/lib64/ld-linux-x86-64.so.2",
+		Needed: []string{"libc.so.6"},
+		VerNeeds: []elfimg.VerNeed{
+			{File: "libc.so.6", Versions: []string{"GLIBC_2.0"}},
+		},
+		Imports: []elfimg.ImportedSymbol{
+			{Name: "printf", Version: "GLIBC_2.0", Library: "libc.so.6"},
+			{Name: "MPI_Init"},
+			{Name: "no_such_symbol_anywhere"},
+		},
+	})
+}
+
+// FuzzSymbolIndex throws mutated library images at the index builder: the
+// defined-symbol and verdef walkers must reject garbage without a panic,
+// and whatever index results must resolve a fixed binary deterministically
+// — including through a snapshot round-trip, the persistence path.
+func FuzzSymbolIndex(f *testing.F) {
+	for _, seed := range fuzzLibSeeds() {
+		f.Add(seed)
+	}
+	probe := fuzzProbe()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := NewIndexBuilder("fuzz", 1)
+		b.AddObject("/lib64/fuzzed.so", data) // must never panic
+		b.AddObject("/lib64/base.so", fuzzLibSeeds()[3])
+		ix := b.Index()
+
+		var p elfimg.Parser
+		v, err := p.Parse(probe)
+		if err != nil {
+			t.Fatalf("fixed probe stopped parsing: %v", err)
+		}
+		first := resolveTrail(ix, v)
+		if second := resolveTrail(ix, v); first != second {
+			t.Fatalf("resolver is nondeterministic:\n%s\nvs\n%s", first, second)
+		}
+
+		report := CheckView(v, "probe", ix)
+		if got := report.Resolved + report.Missing + report.Mismatch + report.Conflicts; got != report.Total {
+			t.Fatalf("verdict counts %d do not sum to total %d", got, report.Total)
+		}
+
+		// The persistence round-trip must preserve every verdict.
+		rehydrated := FromSnapshot(ix.Snapshot())
+		if trail := resolveTrail(rehydrated, v); trail != first {
+			t.Fatalf("snapshot round-trip changed verdicts:\n%s\nvs\n%s", first, trail)
+		}
+
+		// The agreement checker (the independent soname-closure resolver)
+		// must judge the same fuzzed library deterministically too.
+		fs := vfs.New()
+		if err := fs.MkdirAll("/lib64"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteFile("/lib64/libc.so.6", data); err != nil {
+			t.Fatal(err)
+		}
+		opts := ldso.Options{FS: fs, DefaultDirs: []string{"/lib64"}}
+		a1, err1 := Compare(CheckView(v, "probe", ix), probe, "probe", opts)
+		a2, err2 := Compare(CheckView(v, "probe", ix), probe, "probe", opts)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("agreement checker errors nondeterministically: %v vs %v", err1, err2)
+		}
+		if err1 == nil && *a1 != *a2 {
+			t.Fatalf("agreement checker is nondeterministic: %+v vs %+v", a1, a2)
+		}
+	})
+}
+
+// resolveTrail renders the streaming resolver's full output as one string
+// for determinism comparison.
+func resolveTrail(ix *Index, v *elfimg.View) string {
+	var out string
+	ix.Resolve(v, func(name, version []byte, verdict Verdict, provider string) bool {
+		out += fmt.Sprintf("%s@%s=%s<%s>\n", name, version, verdict, provider)
+		return true
+	})
+	return out
+}

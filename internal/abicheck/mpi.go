@@ -1,0 +1,23 @@
+package abicheck
+
+// StandardMPISymbols is the standardized MPI entry-point surface the
+// testbed's binaries draw on — the symbol set every conforming
+// implementation exports under the MPI ABI standardization proposal
+// (arXiv:2308.11214). A stack of any implementation whose libraries
+// provide this surface belongs to the "ABI-standard" compatibility
+// class: binaries built against one implementation can bind against
+// another.
+var StandardMPISymbols = []string{
+	"MPI_Init",
+	"MPI_Comm_rank",
+	"MPI_Comm_size",
+	"MPI_Send",
+	"MPI_Recv",
+	"MPI_Finalize",
+	"MPI_Allreduce",
+	"MPI_Bcast",
+	"MPI_Alltoall",
+	"MPI_Put",
+	"MPI_Win_create",
+	"MPI_Type_create_struct",
+}

@@ -1,0 +1,99 @@
+package abicheck
+
+import (
+	"sort"
+
+	"feam/internal/elfimg"
+)
+
+// SnapshotProvider is one indexed object in serialized form.
+type SnapshotProvider struct {
+	Path    string         `json:"path"`
+	Class   elfimg.Class   `json:"class"`
+	Machine elfimg.Machine `json:"machine"`
+}
+
+// SnapshotExport is one (symbol, version) export edge; Provider indexes
+// the snapshot's provider list.
+type SnapshotExport struct {
+	Name     string `json:"name"`
+	Version  string `json:"version,omitempty"`
+	Provider int32  `json:"provider"`
+}
+
+// Snapshot is the serializable form of an Index, used by the engine's
+// KindSymIndex store layer. Exports are emitted in deterministic
+// (name, version, provider) order so identical indexes serialize
+// identically.
+type Snapshot struct {
+	Site      string             `json:"site"`
+	Stamp     uint64             `json:"stamp"`
+	Providers []SnapshotProvider `json:"providers"`
+	Exports   []SnapshotExport   `json:"exports"`
+}
+
+// Snapshot flattens the index.
+func (ix *Index) Snapshot() *Snapshot {
+	s := &Snapshot{Site: ix.site, Stamp: ix.stamp}
+	for _, p := range ix.providers {
+		s.Providers = append(s.Providers, SnapshotProvider{Path: p.path, Class: p.cls, Machine: p.mach})
+	}
+	names := make([]string, 0, len(ix.plain))
+	for n := range ix.plain {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		versioned := map[int32]bool{}
+		versions := make([]string, 0, len(ix.exact[n]))
+		for v := range ix.exact[n] {
+			versions = append(versions, v)
+		}
+		sort.Strings(versions)
+		for _, v := range versions {
+			for _, id := range ix.exact[n][v] {
+				versioned[id] = true
+				s.Exports = append(s.Exports, SnapshotExport{Name: n, Version: v, Provider: id})
+			}
+		}
+		for _, id := range ix.plain[n] {
+			if !versioned[id] {
+				s.Exports = append(s.Exports, SnapshotExport{Name: n, Provider: id})
+			}
+		}
+	}
+	return s
+}
+
+// FromSnapshot rebuilds a live index. Export edges referencing unknown
+// providers are dropped rather than trusted — snapshots cross a
+// persistence boundary.
+func FromSnapshot(s *Snapshot) *Index {
+	ix := &Index{
+		site:  s.Site,
+		stamp: s.Stamp,
+		plain: map[string][]int32{},
+		exact: map[string]map[string][]int32{},
+	}
+	for _, p := range s.Providers {
+		ix.providers = append(ix.providers, provider{path: p.Path, cls: p.Class, mach: p.Machine})
+	}
+	for _, e := range s.Exports {
+		if e.Provider < 0 || int(e.Provider) >= len(ix.providers) {
+			continue
+		}
+		if _, ok := ix.plain[e.Name]; !ok {
+			ix.symbols++
+		}
+		ix.plain[e.Name] = append(ix.plain[e.Name], e.Provider)
+		if e.Version != "" {
+			vm := ix.exact[e.Name]
+			if vm == nil {
+				vm = map[string][]int32{}
+				ix.exact[e.Name] = vm
+			}
+			vm[e.Version] = append(vm[e.Version], e.Provider)
+		}
+	}
+	return ix
+}

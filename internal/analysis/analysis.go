@@ -81,7 +81,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full FEAM suite in a stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SpanEnd, FaultWrap, VFSOnly, CtxFirst, LockOrder, NoObserver}
+	return []*Analyzer{SpanEnd, FaultWrap, VFSOnly, CtxFirst, LockOrder, NoObserver, ViewAlias}
 }
 
 // ImportName returns the local name under which file imports path: the

@@ -41,6 +41,10 @@ func TestNoObserverGolden(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.NoObserver, "noobserver")
 }
 
+func TestViewAliasGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ViewAlias, "viewalias")
+}
+
 // TestRepoIsClean runs the full suite over the real tree — the same check
 // `go run ./cmd/feam-lint ./...` performs in CI. Any finding here is a
 // regression against an invariant the earlier PRs introduced.
@@ -58,10 +62,10 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
-// TestAnalyzersRegistered pins the suite composition: six analyzers, the
-// names feam-lint and //lint:ignore annotations refer to.
+// TestAnalyzersRegistered pins the suite composition: seven analyzers,
+// the names feam-lint and //lint:ignore annotations refer to.
 func TestAnalyzersRegistered(t *testing.T) {
-	want := []string{"spanend", "faultwrap", "vfsonly", "ctxfirst", "lockorder", "noobserver"}
+	want := []string{"spanend", "faultwrap", "vfsonly", "ctxfirst", "lockorder", "noobserver", "viewalias"}
 	got := analysis.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))

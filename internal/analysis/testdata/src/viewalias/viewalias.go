@@ -1,0 +1,50 @@
+// Package viewalias seeds golden violations for the viewalias analyzer:
+// elfimg.View []byte accessor results escaping the parse that produced
+// them without a copy.
+package viewalias
+
+import "feam/internal/elfimg"
+
+type record struct {
+	soname []byte
+	interp []byte
+	name   string
+}
+
+func badFieldStore(v *elfimg.View, r *record) {
+	r.soname = v.Soname() // want `View.Soname result aliases the parser's arena`
+}
+
+func badComposite(v *elfimg.View) record {
+	return record{interp: v.Interp()} // want `View.Interp result aliases the parser's arena`
+}
+
+func badPositional(v *elfimg.View, i int) [][]byte {
+	return [][]byte{v.NeededAt(i)} // want `View.NeededAt result aliases the parser's arena`
+}
+
+func badReturn(v *elfimg.View, i int) []byte {
+	return v.VerDefAt(i) // want `View.VerDefAt result aliases the parser's arena`
+}
+
+func legalCopies(v *elfimg.View, r *record) []byte {
+	// Copies break the alias: conversions and appends are safe to store
+	// or return.
+	r.name = string(v.Soname())
+	r.soname = append([]byte(nil), v.Soname()...)
+	return append([]byte(nil), v.VerNeedFileAt(0)...)
+}
+
+func legalLocalUse(v *elfimg.View) int {
+	// Reading within the parse's lifetime is the point of the zero-alloc
+	// walkers; locals never fire.
+	s := v.Soname()
+	return len(s) + len(v.Interp())
+}
+
+type cache struct{ interp []byte }
+
+func justifiedAlias(v *elfimg.View, c *cache) {
+	//lint:ignore viewalias the view's backing arena outlives this cache by construction
+	c.interp = v.Interp()
+}

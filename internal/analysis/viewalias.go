@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ViewAlias guards the zero-allocation contract of elfimg.View: the
+// []byte accessors (Interp, Soname, RPath, RunPath, NeededAt,
+// VerNeedFileAt, VerDefAt) return sub-slices of the Parser's internal
+// arena, valid only until the next Parse on the same Parser. Storing one
+// in a struct field, embedding it in a composite literal, or returning it
+// lets the alias outlive the parse that produced it — the next Parser
+// reuse silently rewrites the bytes underneath it. Escaping values must
+// be copied first (string(...) or append([]byte(nil), ...)); local reads
+// within the parse's lifetime are the point of the walkers and stay
+// legal. Justified aliasing (an arena guaranteed to outlive the holder)
+// is annotated //lint:ignore viewalias <why>.
+var ViewAlias = &Analyzer{
+	Name: "viewalias",
+	Doc: "elfimg.View []byte accessor results alias the Parser's arena and die on " +
+		"Parser reuse; copy them (string or append) before storing them in struct " +
+		"fields, composite literals, or returning them",
+	Run: runViewAlias,
+}
+
+// viewAccessors are the View methods returning arena sub-slices.
+var viewAccessors = map[string]bool{
+	"Interp": true, "Soname": true, "RPath": true, "RunPath": true,
+	"NeededAt": true, "VerNeedFileAt": true, "VerDefAt": true,
+}
+
+func runViewAlias(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Only files that can see elfimg can hold a View; the package's
+		// own internals manage the arena and are exempt.
+		if len(importNames(f, "elfimg")) == 0 {
+			continue
+		}
+		for _, fb := range funcBodies(f) {
+			ast.Inspect(fb.body, func(n ast.Node) bool {
+				switch stmt := n.(type) {
+				case *ast.AssignStmt:
+					checkViewAssign(pass, stmt)
+				case *ast.CompositeLit:
+					checkViewComposite(pass, stmt)
+				case *ast.ReturnStmt:
+					checkViewReturn(pass, stmt)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// viewAccessorCall reports whether e is a direct x.Accessor(...) call on
+// one of the arena-aliasing View accessors. Wrapping the call — string(),
+// append(), len() — breaks the match, which is exactly the copy (or
+// non-escape) the invariant asks for.
+func viewAccessorCall(e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !viewAccessors[sel.Sel.Name] {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// checkViewAssign flags accessor results assigned into selector targets
+// (struct fields); plain local variables stay legal.
+func checkViewAssign(pass *Pass, stmt *ast.AssignStmt) {
+	if len(stmt.Lhs) != len(stmt.Rhs) {
+		return
+	}
+	for i, rhs := range stmt.Rhs {
+		name, ok := viewAccessorCall(rhs)
+		if !ok {
+			continue
+		}
+		if sel, isSel := stmt.Lhs[i].(*ast.SelectorExpr); isSel {
+			pass.Reportf(rhs.Pos(),
+				"View.%s result aliases the parser's arena and dies on Parser reuse; copy it before storing it in %s",
+				name, exprText(sel))
+		}
+	}
+}
+
+// checkViewComposite flags accessor results used directly as composite
+// literal elements (keyed or positional).
+func checkViewComposite(pass *Pass, lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		expr := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			expr = kv.Value
+		}
+		if name, ok := viewAccessorCall(expr); ok {
+			pass.Reportf(expr.Pos(),
+				"View.%s result aliases the parser's arena and dies on Parser reuse; copy it before placing it in a composite literal",
+				name)
+		}
+	}
+}
+
+// checkViewReturn flags accessor results returned directly — the alias
+// escapes to a caller who cannot see the Parser's lifetime.
+func checkViewReturn(pass *Pass, stmt *ast.ReturnStmt) {
+	for _, res := range stmt.Results {
+		if name, ok := viewAccessorCall(res); ok {
+			pass.Reportf(res.Pos(),
+				"View.%s result aliases the parser's arena and dies on Parser reuse; copy it before returning it",
+				name)
+		}
+	}
+}

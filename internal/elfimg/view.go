@@ -792,3 +792,45 @@ func (v *View) DynSymbols(fn func(sym SymbolRef) bool) {
 		}
 	}
 }
+
+// DynSymbolCount returns the number of dynamic symbol slots (including
+// slot 0 and unnamed slots, which the walkers skip), or 0 when the image
+// carries no symbol table.
+func (v *View) DynSymbolCount() int {
+	if v.dynsym.size == 0 {
+		return 0
+	}
+	syment := uint64(24)
+	if v.cls == Class32 {
+		syment = 16
+	}
+	return int(v.dynsym.size / syment)
+}
+
+// Imports walks the undefined (imported) dynamic symbols only, in table
+// order, until fn returns false. It is DynSymbols filtered to
+// sym.Imported — the requirement side of an ABI resolution.
+func (v *View) Imports(fn func(sym SymbolRef) bool) {
+	v.DynSymbols(func(sym SymbolRef) bool {
+		if !sym.Imported {
+			return true
+		}
+		return fn(sym)
+	})
+}
+
+// Exports walks the defined dynamic symbols only, in table order, until
+// fn returns false: the provider side of an ABI resolution. version is
+// nil for unversioned exports.
+func (v *View) Exports(fn func(name, version []byte) bool) {
+	v.DynSymbols(func(sym SymbolRef) bool {
+		if sym.Imported {
+			return true
+		}
+		return fn(sym.Name, sym.Version)
+	})
+}
+
+// VerDefAt returns the i-th defined version name, indexing the same table
+// VerDefs walks.
+func (v *View) VerDefAt(i int) []byte { return v.dynstrAt(v.verDefs[i].nameOff) }

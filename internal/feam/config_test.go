@@ -102,12 +102,13 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestDeterminantAndOutcomeStrings(t *testing.T) {
-	if len(Determinants()) != 4 {
-		t.Fatal("the model has four determinants")
+	if len(Determinants()) != 5 {
+		t.Fatal("the model has five determinants (four paper rungs + ABI)")
 	}
 	for d, want := range map[Determinant]string{
 		DetISA: "ISA compatibility", DetCLibrary: "C library compatibility",
 		DetMPIStack: "MPI stack compatibility", DetSharedLibs: "shared library compatibility",
+		DetABI: "ABI symbol resolution",
 	} {
 		if d.String() != want {
 			t.Errorf("%d = %q", d, d.String())

@@ -100,6 +100,12 @@ func (CLibraryEvaluator) Evaluate(ec *EvalContext) error {
 // evaluating without a Runner.
 type MPIStackEvaluator struct {
 	PresenceOnly bool
+	// ABIStandard additionally admits the "ABI-standard" compatibility
+	// class: when no same-implementation stack works, a stack of any
+	// implementation is accepted if its libraries export the standardized
+	// MPI symbol surface the binary imports (arXiv:2308.11214). Off by
+	// default — the paper's ladder matches by implementation name only.
+	ABIStandard bool
 }
 
 func (MPIStackEvaluator) Determinant() Determinant { return DetMPIStack }
@@ -110,6 +116,9 @@ func (m MPIStackEvaluator) Evaluate(ec *EvalContext) error {
 		return nil
 	}
 	selected, detail := selectStack(ec, m.PresenceOnly)
+	if selected == nil && m.ABIStandard {
+		selected, detail = selectStackABIStandard(ec, detail)
+	}
 	if selected == nil {
 		ec.Pred.fail(DetMPIStack, detail)
 		return nil

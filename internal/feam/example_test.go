@@ -100,4 +100,5 @@ func ExampleEngine_Predict() {
 	// C library compatibility: pass
 	// MPI stack compatibility: pass
 	// shared library compatibility: pass
+	// ABI symbol resolution: not evaluated
 }

@@ -44,6 +44,11 @@ const (
 	DetMPIStack
 	// DetSharedLibs: are all required shared library versions available?
 	DetSharedLibs
+	// DetABI: does every undefined dynamic symbol of the binary resolve
+	// against the site's exported-symbol index? This fifth determinant is
+	// not part of the paper's Figure 1 ladder; it is installed by
+	// WithABICheck and stays "not evaluated" under the default ladder.
+	DetABI
 )
 
 func (d Determinant) String() string {
@@ -56,15 +61,19 @@ func (d Determinant) String() string {
 		return "MPI stack compatibility"
 	case DetSharedLibs:
 		return "shared library compatibility"
+	case DetABI:
+		return "ABI symbol resolution"
 	default:
 		return fmt.Sprintf("Determinant(%d)", int(d))
 	}
 }
 
 // Determinants lists the model's questions in evaluation order: ISA and C
-// library first (cheap gates), then MPI stack and shared libraries (§V.C).
+// library first (cheap gates), then MPI stack and shared libraries (§V.C),
+// and finally the symbol-level ABI check (evaluated only when the engine
+// was built WithABICheck).
 func Determinants() []Determinant {
-	return []Determinant{DetISA, DetCLibrary, DetMPIStack, DetSharedLibs}
+	return []Determinant{DetISA, DetCLibrary, DetMPIStack, DetSharedLibs, DetABI}
 }
 
 // Outcome is a determinant's verdict.

@@ -57,6 +57,10 @@ const (
 	// root, keyed by the root's tree stamp. Stale records are harmless:
 	// a stamp mismatch reads as a miss and the shard is re-walked.
 	KindShard = "shard"
+	// KindSymIndex holds one abicheck.Snapshot per site name, stamped
+	// with the env fingerprint + vfs content generation it was built
+	// under; stale records read as misses and the index is rebuilt.
+	KindSymIndex = "symindex"
 )
 
 // surveyRecord is the persisted form of one environment survey: the EDC

@@ -20,6 +20,8 @@ type engineConfig struct {
 	metrics    *obs.Registry
 	sites      SiteRegistry
 	store      Store
+	abiCheck   bool
+	abiAgree   bool
 }
 
 // WithEvaluators sets the determinant registry. The slice is captured
@@ -77,6 +79,17 @@ func WithStore(s Store) Option {
 	return func(c *engineConfig) { c.store = s }
 }
 
+// WithABICheck installs the extended five-determinant ladder
+// (ABIEvaluators): the paper's four rungs with the ABI-standard MPI
+// stack class enabled, plus symbol-level ABI resolution as a fifth
+// determinant. agreement additionally runs the independent
+// soname-closure checker per evaluation and publishes the
+// abi_agree/abi_disagree counters. The option overrides WithEvaluators;
+// the paper-faithful four-rung ladder stays the default without it.
+func WithABICheck(agreement bool) Option {
+	return func(c *engineConfig) { c.abiCheck, c.abiAgree = true, agreement }
+}
+
 // New returns an engine configured by opts. Every engine carries a tracer,
 // a metrics registry, and a site registry (private ones unless injected
 // with WithTracer / WithMetrics / WithRegistry): all pipeline operations
@@ -91,6 +104,9 @@ func New(opts ...Option) *Engine {
 	}
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.abiCheck {
+		cfg.evaluators = ABIEvaluators(cfg.abiAgree)
 	}
 	if cfg.tracer == nil {
 		cfg.tracer = obs.NewTracer(0)

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"feam/internal/abicheck"
 	"feam/internal/elfimg"
 	"feam/internal/envmgmt"
 	"feam/internal/fault"
@@ -77,6 +78,11 @@ type Prediction struct {
 	// ConfigScript is the emitted site-configuration script that sets up
 	// the environment for execution.
 	ConfigScript string
+
+	// ABI is the symbol-resolution report when the ABI determinant ran
+	// (engines built WithABICheck, or an ABIEvaluator in
+	// EvalOptions.Evaluators); nil under the paper's default ladder.
+	ABI *abicheck.Report
 }
 
 // ExtraLibDirs returns the loader directories execution must add (the

@@ -62,6 +62,12 @@ const (
 	// surface (`store_load` / `store_commit`).
 	OpStoreLoad   = "store_load"
 	OpStoreCommit = "store_commit"
+	// OpSymIndex is one per-site exported-symbol index build (a cached
+	// index emits no span); OpABICheck is one symbol-resolution pass over
+	// that index. Their histograms are the ABI analyzer's index-build and
+	// resolve latency surfaces.
+	OpSymIndex = "sym_index"
+	OpABICheck = "abi_check"
 )
 
 // Canonical span event names.

@@ -19,6 +19,7 @@ const (
 	detKeyCLibrary   = "clibrary"
 	detKeyMPI        = "mpi"
 	detKeySharedLibs = "sharedlibs"
+	detKeyABI        = "abi"
 )
 
 func parseDeterminant(s string) (feam.Determinant, error) {
@@ -31,8 +32,10 @@ func parseDeterminant(s string) (feam.Determinant, error) {
 		return feam.DetMPIStack, nil
 	case detKeySharedLibs, "shared_libs":
 		return feam.DetSharedLibs, nil
+	case detKeyABI:
+		return feam.DetABI, nil
 	default:
-		return 0, fmt.Errorf("unknown determinant %q (want isa, clibrary, mpi, or sharedlibs)", s)
+		return 0, fmt.Errorf("unknown determinant %q (want isa, clibrary, mpi, sharedlibs, or abi)", s)
 	}
 }
 
@@ -46,6 +49,8 @@ func determinantKey(d feam.Determinant) string {
 		return detKeyMPI
 	case feam.DetSharedLibs:
 		return detKeySharedLibs
+	case feam.DetABI:
+		return detKeyABI
 	}
 	return fmt.Sprintf("determinant-%d", int(d))
 }

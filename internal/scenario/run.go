@@ -45,10 +45,10 @@ type RunOptions struct {
 
 // Result is the JSON-exportable outcome of one scenario run.
 type Result struct {
-	Scenario    string        `json:"scenario"`
-	Description string        `json:"description,omitempty"`
-	Seed        int64         `json:"seed"`
-	Sites       int           `json:"sites"`
+	Scenario    string         `json:"scenario"`
+	Description string         `json:"description,omitempty"`
+	Seed        int64          `json:"seed"`
+	Sites       int            `json:"sites"`
 	Events      []EventOutcome `json:"events"`
 	// Surveys holds one entry per survey event, keyed by event name.
 	Surveys    map[string]*SurveyResult `json:"surveys,omitempty"`
@@ -71,10 +71,10 @@ type EventOutcome struct {
 
 // SurveyResult summarizes one survey event.
 type SurveyResult struct {
-	Ready    int    `json:"ready"`
-	NotReady int    `json:"not_ready"`
-	Errors   int    `json:"errors"`
-	First    string `json:"first,omitempty"`
+	Ready       int          `json:"ready"`
+	NotReady    int          `json:"not_ready"`
+	Errors      int          `json:"errors"`
+	First       string       `json:"first,omitempty"`
 	Assessments []Assessment `json:"assessments"`
 }
 
@@ -295,13 +295,29 @@ func (r *runner) prepareBinary(ctx context.Context) error {
 		if name == "" {
 			name = "app"
 		}
+		verNeeds := []elfimg.VerNeed{
+			{File: "libc.so.6", Versions: []string{"GLIBC_" + glibc}},
+		}
+		var imports []elfimg.ImportedSymbol
+		for _, imp := range b.Imports {
+			name, version, library, err := parseImport(imp)
+			if err != nil {
+				return fmt.Errorf("scenario: binary.imports: %w", err)
+			}
+			if version != "" && library == "" {
+				library = "libc.so.6"
+			}
+			imports = append(imports, elfimg.ImportedSymbol{Name: name, Version: version, Library: library})
+			if version != "" {
+				verNeeds = addVerNeed(verNeeds, library, version)
+			}
+		}
 		img := elfimg.MustBuild(elfimg.Spec{
 			Class: elfimg.Class64, Machine: elfimg.EMX8664, Type: elfimg.TypeExec,
-			Interp: "/lib64/ld-linux-x86-64.so.2",
-			Needed: append([]string{"libc.so.6"}, b.Needs...),
-			VerNeeds: []elfimg.VerNeed{
-				{File: "libc.so.6", Versions: []string{"GLIBC_" + glibc}},
-			},
+			Interp:   "/lib64/ld-linux-x86-64.so.2",
+			Needed:   append([]string{"libc.so.6"}, b.Needs...),
+			VerNeeds: verNeeds,
+			Imports:  imports,
 		})
 		desc, err := r.eng.Describe(ctx, img, name)
 		if err != nil {
@@ -458,6 +474,12 @@ func (r *runner) execute(ctx context.Context, ev Event) error {
 	switch ev.Action {
 	case ActionSurvey:
 		opts := feam.EvalOptions{Runner: r.probe}
+		if ev.Abi {
+			// The five-determinant ladder with agreement mode on: every
+			// assessment also runs the independent soname-closure checker
+			// and feeds the abi_agree/abi_disagree counters.
+			opts.Evaluators = feam.ABIEvaluators(true)
+		}
 		if ev.Resolve {
 			if r.bundle == nil {
 				return fmt.Errorf("resolve requested but the binary has no source-phase bundle (plain binaries cannot resolve)")
@@ -614,6 +636,20 @@ func (r *runner) execute(ctx context.Context, ev Event) error {
 			r.eng.InvalidateSite(s.Name)
 		}
 		return nil
+
+	case ActionStripSymbol:
+		sites, err := r.resolveTargets(ev.Targets)
+		if err != nil {
+			return err
+		}
+		for _, s := range sites {
+			if err := s.StripExport(ev.Path, ev.Symbol); err != nil {
+				return err
+			}
+			r.logf("  %s: stripped export %s from %s (fs generation %d)",
+				s.Name, ev.Symbol, ev.Path, s.FS().Generation())
+		}
+		return nil
 	}
 	return fmt.Errorf("unknown action %q", ev.Action)
 }
@@ -642,6 +678,24 @@ func removeMatching(s *sitemodel.Site, p string) error {
 		}
 	}
 	return nil
+}
+
+// addVerNeed merges one version requirement into the verneed table,
+// deduplicating files and versions.
+func addVerNeed(vns []elfimg.VerNeed, file, version string) []elfimg.VerNeed {
+	for i := range vns {
+		if vns[i].File != file {
+			continue
+		}
+		for _, v := range vns[i].Versions {
+			if v == version {
+				return vns
+			}
+		}
+		vns[i].Versions = append(vns[i].Versions, version)
+		return vns
+	}
+	return append(vns, elfimg.VerNeed{File: file, Versions: []string{version}})
 }
 
 func hasGlobMeta(p string) bool {

@@ -116,6 +116,11 @@ type BinarySpec struct {
 	Glibc string
 	// Needs adds DT_NEEDED dependencies beyond libc to the plain binary.
 	Needs []string
+	// Imports adds undefined dynamic symbols to the plain binary, each
+	// "name", "name@version:library", or "name@version" — the surface the
+	// ABI determinant resolves. Versioned entries synthesize the matching
+	// version-requirement record.
+	Imports []string
 }
 
 // Event is one timeline entry. Fields beyond At/Name/Action apply per
@@ -134,8 +139,11 @@ type Event struct {
 
 	// Version is the C library release for ActionUpgradeGlibc.
 	Version string
-	// Path is the file or glob removed by ActionRemoveLibrary.
+	// Path is the file or glob removed by ActionRemoveLibrary, or the
+	// library file rewritten by ActionStripSymbol.
 	Path string
+	// Symbol is the exported symbol ActionStripSymbol removes.
+	Symbol string
 	// Rate, Transient, Ops parameterize ActionFaultRate.
 	Rate      float64
 	Transient float64
@@ -145,6 +153,10 @@ type Event struct {
 	// Resolve enables the resolution model during ActionSurvey (requires
 	// the scenario binary to be compile-mode, which produces a bundle).
 	Resolve bool
+	// Abi runs ActionSurvey with the extended five-determinant ladder
+	// (symbol-level ABI resolution, agreement mode on) instead of the
+	// paper's default four.
+	Abi bool
 }
 
 // Timeline actions.
@@ -179,13 +191,18 @@ const (
 	ActionRestart = "restart"
 	// ActionInvalidate drops the targets' cached and persisted surveys.
 	ActionInvalidate = "invalidate"
+	// ActionStripSymbol rewrites the library at Path on the targets with
+	// every export named Symbol removed — the soname survives but the
+	// symbol surface shrinks, the seam between library-level and
+	// symbol-level checking.
+	ActionStripSymbol = "strip_symbol"
 )
 
 func knownAction(a string) bool {
 	switch a {
 	case ActionSurvey, ActionUpgradeGlibc, ActionRemoveLibrary, ActionFaultRate,
 		ActionClearFaults, ActionOutage, ActionRestore, ActionSiteJoin,
-		ActionSiteLeave, ActionRestart, ActionInvalidate:
+		ActionSiteLeave, ActionRestart, ActionInvalidate, ActionStripSymbol:
 		return true
 	}
 	return false
@@ -205,8 +222,8 @@ type Assertion struct {
 	// Ready is the expected headline answer (prediction).
 	Ready *bool
 	// Determinant/Outcome check one determinant trail entry (prediction):
-	// determinant "isa", "clibrary", "mpi", or "sharedlibs"; outcome
-	// "pass", "fail", "resolved", or "not evaluated".
+	// determinant "isa", "clibrary", "mpi", "sharedlibs", or "abi";
+	// outcome "pass", "fail", "resolved", or "not evaluated".
 	Determinant string
 	Outcome     string
 	// Error expects the assessment error class: "none",
@@ -532,7 +549,7 @@ func decodeGroup(d *decoder, m map[string]any, path string) FleetGroup {
 }
 
 func decodeBinary(d *decoder, m map[string]any) BinarySpec {
-	d.unknown(m, "binary", "name", "workload", "source", "stack", "plain", "glibc", "needs")
+	d.unknown(m, "binary", "name", "workload", "source", "stack", "plain", "glibc", "needs", "imports")
 	return BinarySpec{
 		Name:     d.str(m, "name", "binary"),
 		Workload: d.str(m, "workload", "binary"),
@@ -541,12 +558,13 @@ func decodeBinary(d *decoder, m map[string]any) BinarySpec {
 		Plain:    d.boolean(m, "plain", "binary"),
 		Glibc:    d.str(m, "glibc", "binary"),
 		Needs:    d.strList(m, "needs", "binary"),
+		Imports:  d.strList(m, "imports", "binary"),
 	}
 }
 
 func decodeEvent(d *decoder, m map[string]any, path string) Event {
 	d.unknown(m, path, "at", "name", "action", "target", "targets",
-		"version", "path", "rate", "transient", "ops", "group", "resolve")
+		"version", "path", "symbol", "rate", "transient", "ops", "group", "resolve", "abi")
 	ev := Event{
 		At:        d.duration(m, "at", path),
 		Name:      d.str(m, "name", path),
@@ -554,11 +572,13 @@ func decodeEvent(d *decoder, m map[string]any, path string) Event {
 		Targets:   d.strList(m, "targets", path),
 		Version:   d.str(m, "version", path),
 		Path:      d.str(m, "path", path),
+		Symbol:    d.str(m, "symbol", path),
 		Rate:      d.float(m, "rate", path),
 		Transient: d.float(m, "transient", path),
 		Ops:       d.strList(m, "ops", path),
 		Group:     d.str(m, "group", path),
 		Resolve:   d.boolean(m, "resolve", path),
+		Abi:       d.boolean(m, "abi", path),
 	}
 	if t := d.str(m, "target", path); t != "" {
 		ev.Targets = append([]string{t}, ev.Targets...)
@@ -589,6 +609,30 @@ func decodeAssertion(d *decoder, m map[string]any, path string) Assertion {
 		Min:            d.optInt64(m, "min", path),
 		Max:            d.optInt64(m, "max", path),
 	}
+}
+
+// parseImport splits a binary.imports entry "name[@version[:library]]".
+// A versioned entry without a library defaults to libc.so.6 at build time.
+func parseImport(s string) (name, version, library string, err error) {
+	name = s
+	if i := strings.IndexByte(s, '@'); i >= 0 {
+		name = s[:i]
+		rest := s[i+1:]
+		version = rest
+		if j := strings.IndexByte(rest, ':'); j >= 0 {
+			version, library = rest[:j], rest[j+1:]
+			if library == "" {
+				return "", "", "", fmt.Errorf("empty library after %q", rest[:j+1])
+			}
+		}
+		if version == "" {
+			return "", "", "", fmt.Errorf("empty version in %q", s)
+		}
+	}
+	if name == "" {
+		return "", "", "", fmt.Errorf("empty symbol name in %q", s)
+	}
+	return name, version, library, nil
 }
 
 // maxFleetSites bounds scenario fleets; beyond this the simulator is the
@@ -624,6 +668,14 @@ func validate(sc *Scenario) []string {
 	if b.Glibc != "" {
 		if _, err := parseVersion(b.Glibc); err != nil {
 			bad("binary.glibc: %v", err)
+		}
+	}
+	if len(b.Imports) > 0 && !b.Plain {
+		bad("binary.imports: only plain-mode binaries take explicit imports")
+	}
+	for i, imp := range b.Imports {
+		if name, _, _, err := parseImport(imp); err != nil || name == "" {
+			bad("binary.imports[%d]: %q is not name[@version[:library]]", i, imp)
 		}
 	}
 
@@ -671,6 +723,13 @@ func validate(sc *Scenario) []string {
 		case ActionSiteLeave, ActionOutage:
 			if len(ev.Targets) == 0 {
 				bad("%s: %s requires explicit targets", path, ev.Action)
+			}
+		case ActionStripSymbol:
+			if ev.Path == "" || !strings.HasPrefix(ev.Path, "/") {
+				bad("%s.path: an absolute library path is required", path)
+			}
+			if ev.Symbol == "" {
+				bad("%s.symbol: the export to strip is required", path)
 			}
 		}
 	}

@@ -113,7 +113,13 @@ func New(cfg Config) (*Server, error) {
 			Interp: "/lib64/ld-linux-x86-64.so.2",
 			Needed: []string{"libc.so.6"},
 			VerNeeds: []elfimg.VerNeed{
-				{File: "libc.so.6", Versions: []string{"GLIBC_2.3.4"}},
+				{File: "libc.so.6", Versions: []string{"GLIBC_2.0", "GLIBC_2.3.4"}},
+			},
+			Imports: []elfimg.ImportedSymbol{
+				{Name: "printf", Version: "GLIBC_2.0", Library: "libc.so.6"},
+				{Name: "exit", Version: "GLIBC_2.0", Library: "libc.so.6"},
+				{Name: "memcpy", Version: "GLIBC_2.3.4", Library: "libc.so.6"},
+				{Name: "malloc"},
 			},
 		}),
 	}
@@ -125,6 +131,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("GET /v1/sites", s.handleSites)
 	s.mux.HandleFunc("GET /v1/survey/{site}", s.handleSurvey)
+	s.mux.HandleFunc("GET /v1/abi/{site}", s.handleABI)
 	obs.RegisterDebug(s.mux, metricsReg, tracer)
 	return s, nil
 }
@@ -505,6 +512,30 @@ func (s *Server) handleSurvey(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.replyEnvelope(w, http.StatusOK, env, nil)
+}
+
+// ---- /v1/abi/{site} ----
+
+// handleABI resolves the built-in probe binary's dynamic symbols against
+// one site's exported-symbol index, agreement mode on — the HTTP surface
+// of the feam-abi analyzer. The site lock serializes against concurrent
+// surveys mutating the same site's cached state.
+func (s *Server) handleABI(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("site")
+	site, ok := s.tb.ByName[name]
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown site %q", name)
+		return
+	}
+	lock := s.eng.SiteLock(name)
+	lock.Lock()
+	report, err := s.eng.ABICheck(r.Context(), site, s.defaultBin, "app", true)
+	lock.Unlock()
+	if err != nil {
+		s.fail(w, http.StatusBadGateway, "abi check of %s failed: %v", name, err)
+		return
+	}
+	s.replyEnvelope(w, http.StatusOK, report, nil)
 }
 
 // ---- helpers ----

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"feam/internal/abicheck"
 	"feam/internal/obs"
 	"feam/internal/scenario"
 )
@@ -388,5 +389,58 @@ func TestGracefulDrainAndCommit(t *testing.T) {
 	}
 	if manifest["clean_shutdown"] != true {
 		t.Errorf("manifest = %v, want clean_shutdown true", manifest)
+	}
+}
+
+// TestABIEndpoint: /v1/abi/{site} resolves the built-in probe against the
+// site's symbol index — per-symbol verdicts, agreement attached — and
+// repeat hits are served from the cached index (one sym_index span).
+func TestABIEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/v1/abi/india")
+		if err != nil {
+			t.Fatalf("GET /v1/abi/india: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/abi/india = %d: %s", resp.StatusCode, body)
+		}
+		var env struct {
+			Data  *abicheck.Report `json:"data"`
+			Error *APIError        `json:"error"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatalf("abi report is not JSON: %v", err)
+		}
+		r := env.Data
+		if r == nil || env.Error != nil {
+			t.Fatalf("abi envelope = %+v, want report data and no error", env)
+		}
+		if r.Site != "india" || r.Total == 0 || len(r.Symbols) != r.Total {
+			t.Fatalf("report shape wrong: %+v", r)
+		}
+		if !r.OK() {
+			t.Fatalf("built-in probe should resolve everywhere: %s", r.Summary())
+		}
+		if r.Agreement == nil || !r.Agreement.Agree {
+			t.Fatalf("agreement missing or negative: %+v", r.Agreement)
+		}
+	}
+	if got := s.Engine().Metrics().Histogram(obs.OpSymIndex).Count(); got != 1 {
+		t.Errorf("sym_index builds after 2 hits = %d, want 1", got)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/abi/nonesuch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /v1/abi/nonesuch = %d, want 404", resp.StatusCode)
 	}
 }
